@@ -1,0 +1,437 @@
+// Package repro_test is the benchmark harness of the reproduction: one
+// benchmark (or benchmark family) per experiment in DESIGN.md §4, covering
+// every figure and claim the paper makes. EXPERIMENTS.md records the
+// paper-vs-measured comparison; `go test -bench=. -benchmem` regenerates
+// the measured side.
+package repro_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/coin"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/planner"
+	"repro/internal/relalg"
+	"repro/internal/sqlparse"
+	"repro/internal/store"
+	"repro/internal/web"
+	"repro/internal/wrapper"
+)
+
+// --- E1: the Section 3 worked example -----------------------------------
+
+// BenchmarkE1_PaperExample measures the full pipeline of the paper's
+// demonstration: parse Q1, mediate it in context c2, execute the 3-branch
+// union across the three sources, return <NTT, 9600000>.
+func BenchmarkE1_PaperExample(b *testing.B) {
+	sys := coin.Figure2System()
+	if err := sys.Mediator().Warm("c2"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := sys.Query(coin.PaperQ1, "c2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows.Len() != 1 || rows.Tuples[0][0].S != "NTT" {
+			b.Fatalf("wrong answer: %s", rows)
+		}
+	}
+}
+
+// BenchmarkE1b_MediationOnly isolates the abductive rewriting.
+func BenchmarkE1b_MediationOnly(b *testing.B) {
+	sys := coin.Figure2System()
+	if err := sys.Mediator().Warm("c2"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		med, err := sys.Mediate(coin.PaperQ1, "c2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(med.Branches) != 3 {
+			b.Fatalf("branches = %d", len(med.Branches))
+		}
+	}
+}
+
+// BenchmarkE1c_ExecutionOnly isolates plan+execute of the mediated union.
+func BenchmarkE1c_ExecutionOnly(b *testing.B) {
+	sys := coin.Figure2System()
+	med, err := sys.Mediate(coin.PaperQ1, "c2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(med); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: Figure 1 architecture over HTTP --------------------------------
+
+// BenchmarkE3_EndToEndHTTP runs the paper's query through the whole
+// receiver stack: Go client -> HTTP-tunneled protocol -> server ->
+// mediation engine -> multi-DB engine -> wrappers -> sources.
+func BenchmarkE3_EndToEndHTTP(b *testing.B) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := conn.Query(coin.PaperQ1, "c2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("rows = %v", res.Rows)
+		}
+	}
+}
+
+// --- E4: scalability in the number of *registered* sources --------------
+
+// BenchmarkE4_MediationVsRegisteredSources shows mediation cost tracks the
+// sources a query touches, not the federation size: Q1 always touches 3
+// relations while the registry grows from 3 to 67.
+func BenchmarkE4_MediationVsRegisteredSources(b *testing.B) {
+	for _, extra := range []int{0, 8, 32, 64} {
+		b.Run(fmt.Sprintf("registered=%d", 3+extra), func(b *testing.B) {
+			med := core.New(fixture.WideRegistry(extra))
+			if err := med.Warm("c2"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := med.MediateSQL(fixture.PaperQ1, "c2")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(m.Branches) != 3 {
+					b.Fatalf("branches = %d", len(m.Branches))
+				}
+			}
+		})
+	}
+}
+
+// --- E5: mediated-query growth with genuine conflicts -------------------
+
+// BenchmarkE5_MediationVsConflicts sweeps the number m of independent
+// two-way modifier case splits; the mediated query has 2^m branches, so
+// cost grows with the conflicts involved (and only with them).
+func BenchmarkE5_MediationVsConflicts(b *testing.B) {
+	for m := 0; m <= 4; m++ {
+		b.Run(fmt.Sprintf("modifiers=%d/branches=%d", m, 1<<m), func(b *testing.B) {
+			med := core.New(fixture.ConflictRegistry(m))
+			if err := med.Warm("recv"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := med.MediateSQL("SELECT wide.val FROM wide", "recv")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Branches) != 1<<m {
+					b.Fatalf("branches = %d", len(res.Branches))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5b_SimplificationAblation compares the size of the mediated
+// query (total WHERE predicates) with constraint simplification on and
+// off. Simplification is what keeps the paper's USD branch free of the
+// entailed `currency <> 'JPY'`.
+func BenchmarkE5b_SimplificationAblation(b *testing.B) {
+	predCount := func(med *core.Mediation) int {
+		n := 0
+		for _, br := range med.Branches {
+			n += strings.Count(br.String(), " AND ") + 1
+		}
+		return n
+	}
+	for _, keep := range []bool{false, true} {
+		name := "simplify=on"
+		if keep {
+			name = "simplify=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			med := core.New(fixture.Registry())
+			med.KeepEntailed = keep
+			if err := med.Warm("c2"); err != nil {
+				b.Fatal(err)
+			}
+			var preds int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := med.MediateSQL(fixture.PaperQ1, "c2")
+				if err != nil {
+					b.Fatal(err)
+				}
+				preds = predCount(m)
+			}
+			b.ReportMetric(float64(preds), "where-preds")
+		})
+	}
+}
+
+// --- E8: the [Qu96] Web-wrapping technology ------------------------------
+
+// BenchmarkE8_WebWrapperExtract crawls generated currency sites of
+// increasing size through the transition network + regex runtime.
+func BenchmarkE8_WebWrapperExtract(b *testing.B) {
+	currencies := []string{"USD", "JPY", "EUR", "GBP", "CHF", "CAD", "AUD", "SEK", "NOK", "DKK", "NZD"}
+	for _, n := range []int{4, 10, 50, 110} {
+		rates := map[web.RatePair]float64{}
+		for i := 0; len(rates) < n; i++ {
+			from := currencies[i%len(currencies)]
+			to := currencies[(i/len(currencies)+1+i)%len(currencies)]
+			if from != to {
+				rates[web.RatePair{From: from, To: to}] = 1.0 + float64(i)/100
+			}
+		}
+		site := web.NewCurrencySite(rates)
+		w := wrapper.NewWeb("bench", site, wrapper.MustParseSpec(wrapper.CurrencySpecCrawl))
+		b.Run(fmt.Sprintf("pages=%d", len(rates)+1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rel, err := w.Query(wrapper.SourceQuery{Relation: "r3"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rel.Len() != len(rates) {
+					b.Fatalf("extracted %d, want %d", rel.Len(), len(rates))
+				}
+			}
+		})
+	}
+}
+
+// --- E9: the multi-database engine (capabilities + costs) ----------------
+
+// scaledCatalog builds relational sources over a ScaledWorkload.
+func scaledCatalog(n int, seed int64) (*planner.Catalog, *fixture.ScaledWorkload) {
+	w := fixture.NewScaledWorkload(n, seed)
+	cat := planner.NewCatalog()
+	mk := func(src, rel string, schema coin.Schema, rows []relalg.Tuple) {
+		db := store.NewDB(src)
+		tab := db.MustCreateTable(rel, schema)
+		for _, row := range rows {
+			if err := tab.Insert(row); err != nil {
+				panic(err)
+			}
+		}
+		cat.MustAddSource(wrapper.NewRelational(db))
+	}
+	mk("source1", "r1", fixture.R1Schema(), w.R1.Tuples)
+	mk("source2", "r2", fixture.R2Schema(), w.R2.Tuples)
+	mk("currencyweb", "r3", fixture.R3Schema(), w.R3.Tuples)
+	return cat, w
+}
+
+// BenchmarkE9_MediatedExecutionScale executes the paper-shaped mediated
+// query over growing workloads.
+func BenchmarkE9_MediatedExecutionScale(b *testing.B) {
+	med, err := core.New(fixture.Registry()).MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{100, 1000, 10000} {
+		cat, w := scaledCatalog(n, 42)
+		b.Run(fmt.Sprintf("companies=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := planner.NewExecutor(cat).ExecuteMediation(med)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() != w.Expected.Len() {
+					b.Fatalf("answers = %d, want %d", res.Len(), w.Expected.Len())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9b_JoinAlgorithms is the join-algorithm ablation: hash vs
+// sort-merge vs nested-loop on the paper-shaped mediated query.
+func BenchmarkE9b_JoinAlgorithms(b *testing.B) {
+	med, err := core.New(fixture.Registry()).MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, _ := scaledCatalog(1000, 42)
+	for _, alg := range []string{"hash", "merge", "nested-loop"} {
+		b.Run("join="+alg, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex := planner.NewExecutor(cat)
+				ex.ForceNestedLoop = alg == "nested-loop"
+				ex.ForceMergeJoin = alg == "merge"
+				if _, err := ex.ExecuteMediation(med); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE9c_PushdownAblation compares tuples transferred and wall time
+// with selection pushdown on and off.
+func BenchmarkE9c_PushdownAblation(b *testing.B) {
+	cat, _ := scaledCatalog(5000, 42)
+	q := "SELECT r1.cname FROM r1 WHERE r1.currency = 'JPY'"
+	for _, disable := range []bool{false, true} {
+		name := "pushdown=on"
+		if disable {
+			name = "pushdown=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var transferred int
+			for i := 0; i < b.N; i++ {
+				ex := planner.NewExecutor(cat)
+				ex.DisablePushdown = disable
+				if _, err := ex.Execute(sqlparse.MustParse(q)); err != nil {
+					b.Fatal(err)
+				}
+				transferred = ex.Stats().TuplesTransferred
+			}
+			b.ReportMetric(float64(transferred), "tuples-moved")
+		})
+	}
+}
+
+// BenchmarkE9d_BindJoinVsCrawl compares the two wrapper forms of the same
+// currency site on the paper's query: the parameterized lookup form
+// fetches a handful of targeted pages; the crawl form walks the index.
+func BenchmarkE9d_BindJoinVsCrawl(b *testing.B) {
+	med, err := core.New(fixture.Registry()).MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, form := range []string{"crawl", "lookup"} {
+		b.Run("wrapper="+form, func(b *testing.B) {
+			dbs := fixture.Databases()
+			cat := planner.NewCatalog()
+			cat.MustAddSource(wrapper.NewRelational(dbs["source1"]))
+			cat.MustAddSource(wrapper.NewRelational(dbs["source2"]))
+			site := web.NewCurrencySite(web.PaperRates())
+			spec := wrapper.CurrencySpecCrawl
+			if form == "lookup" {
+				spec = wrapper.CurrencySpecLookup
+			}
+			cat.MustAddSource(wrapper.NewWeb("currencyweb", site, wrapper.MustParseSpec(spec)))
+			var pages int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				site.ResetHits()
+				res, err := planner.NewExecutor(cat).ExecuteMediation(med)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() != 1 {
+					b.Fatalf("answer = %s", res)
+				}
+				pages = site.Hits()
+			}
+			b.ReportMetric(float64(pages), "pages-fetched")
+		})
+	}
+}
+
+// BenchmarkE9e_ParallelBranches compares sequential and concurrent
+// execution of the mediated union's branches.
+func BenchmarkE9e_ParallelBranches(b *testing.B) {
+	med, err := core.New(fixture.Registry()).MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, _ := scaledCatalog(5000, 42)
+	for _, parallel := range []bool{false, true} {
+		name := "branches=sequential"
+		if parallel {
+			name = "branches=parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex := planner.NewExecutor(cat)
+				ex.Parallel = parallel
+				if _, err := ex.ExecuteMediation(med); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E6/E7 timing companions ---------------------------------------------
+
+// BenchmarkE6_RegisterSource measures the cost of integrating one new
+// source (context + elevation + recompile) into a live system.
+func BenchmarkE6_RegisterSource(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := coin.Figure2System()
+		db := store.NewDB("source3")
+		tab := db.MustCreateTable("r4", fixture.R1Schema())
+		tab.MustInsert(coin.StrV("SAP"), coin.NumV(1), coin.StrV("EUR"))
+		b.StartTimer()
+
+		c3 := coin.NewContext("c3")
+		if err := c3.DeclareConst("companyFinancials", "scaleFactor", 1000); err != nil {
+			b.Fatal(err)
+		}
+		if err := c3.DeclareConst("companyFinancials", "currency", "EUR"); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.AddContext(c3); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.AddRelationalSource(db, map[string]*coin.Elevation{
+			"r4": {Relation: "r4", Context: "c3", Columns: []coin.ElevatedColumn{
+				{Column: "cname", SemType: "companyName"},
+				{Column: "revenue", SemType: "companyFinancials"},
+			}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Mediate("SELECT r4.revenue FROM r4", "c2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_QueryKinds times each query class over the same knowledge.
+func BenchmarkE7_QueryKinds(b *testing.B) {
+	sys := coin.Figure2System()
+	queries := map[string]string{
+		"projection": "SELECT r1.cname, r1.revenue FROM r1",
+		"selection":  "SELECT r1.cname FROM r1 WHERE r1.revenue > 5000000",
+		"join":       fixture.PaperQ1,
+		"aggregate":  "SELECT SUM(r1.revenue) AS total FROM r1",
+		"orderby":    "SELECT r1.cname, r1.revenue FROM r1 ORDER BY r1.revenue DESC",
+	}
+	for name, q := range queries {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Query(q, "c2"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,54 @@
+// Command coinmediate prints the mediated form of a query without
+// executing it — the rewriting the paper presents in Section 3.
+//
+// Usage:
+//
+//	coinmediate [-context c2] 'SQL'
+//	coinmediate            # no args: the paper's query Q1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/coin"
+)
+
+func main() {
+	context := flag.String("context", "c2", "receiver context")
+	explain := flag.Bool("explain", false, "also print the execution plan")
+	flag.Parse()
+
+	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
+	if err := run(os.Stdout, sql, *context, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "coinmediate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, sql, context string, explain bool) error {
+	if sql == "" {
+		sql = coin.PaperQ1
+		fmt.Fprintf(w, "-- no query given; using the paper's Q1:\n--%s\n\n",
+			strings.ReplaceAll(sql, "\n", "\n--"))
+	}
+	sys := coin.Figure2System()
+	med, err := sys.Mediate(sql, context)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "-- receiver context: %s; %d branch(es)\n", context, len(med.Branches))
+	fmt.Fprintln(w, med.SQL()+";")
+	if explain {
+		fmt.Fprintf(w, "\n-- derivation:\n%s", med.ExplainText())
+		plan, err := sys.Explain(sql, context)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n-- execution plan:\n%s", plan)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultQuery(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "", "c2", false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"3 branch(es)", "UNION", "'JPY'", "* 1000 *"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "SELECT r1.cname, r1.revenue FROM r1", "c2", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "execution plan") || !strings.Contains(b.String(), "step 1:") {
+		t.Errorf("explain output:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "SELECT x FROM nosuch", "c2", false); err == nil {
+		t.Error("bad query succeeded")
+	}
+	if err := run(&b, "", "zzz", false); err == nil {
+		t.Error("bad context succeeded")
+	}
+}

@@ -1,0 +1,88 @@
+// Command coinquery sends SQL to a COIN mediation server (or runs it
+// against the in-process Figure 2 demo system) and prints the answer as a
+// table — the reproduction's equivalent of an ODBC application.
+//
+// Usage:
+//
+//	coinquery -context c2 'SELECT rl.cname, rl.revenue FROM r1 rl, r2 ...'
+//	coinquery -server http://localhost:8095 -context c2 '...'
+//	coinquery -naive '...'        # skip mediation (the wrong answer)
+//	coinquery -show-mediated '...'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/coin"
+	"repro/internal/client"
+)
+
+func main() {
+	serverURL := flag.String("server", "", "mediation server URL (empty: run in-process demo system)")
+	context := flag.String("context", "c2", "receiver context")
+	naive := flag.Bool("naive", false, "execute without mediation")
+	showMediated := flag.Bool("show-mediated", false, "print the mediated SQL before the answer")
+	flag.Parse()
+
+	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
+	if sql == "" {
+		fmt.Fprintln(os.Stderr, "usage: coinquery [-server URL] [-context NAME] [-naive] 'SQL'")
+		os.Exit(2)
+	}
+	if err := run(*serverURL, *context, sql, *naive, *showMediated); err != nil {
+		fmt.Fprintln(os.Stderr, "coinquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(serverURL, context, sql string, naive, showMediated bool) error {
+	if serverURL != "" {
+		conn, err := client.Open(serverURL)
+		if err != nil {
+			return err
+		}
+		if naive {
+			res, err := conn.QueryNaive(sql)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
+			return nil
+		}
+		res, err := conn.Query(sql, context)
+		if err != nil {
+			return err
+		}
+		if showMediated {
+			fmt.Printf("-- mediated into %d branch(es):\n%s\n\n", res.Branches, res.MediatedSQL)
+		}
+		fmt.Print(res.String())
+		return nil
+	}
+
+	sys := coin.Figure2System()
+	if naive {
+		rows, err := sys.QueryNaive(sql)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rows.String())
+		return nil
+	}
+	med, err := sys.Mediate(sql, context)
+	if err != nil {
+		return err
+	}
+	if showMediated {
+		fmt.Printf("-- mediated into %d branch(es):\n%s\n\n", len(med.Branches), med.SQL())
+	}
+	rows, err := sys.Execute(med)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rows.String())
+	return nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/coin"
+)
+
+func TestRunLocal(t *testing.T) {
+	if err := run("", "c2", coin.PaperQ1, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "c2", coin.PaperQ1, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "c2", "SELECT nope FROM nosuch", false, false); err == nil {
+		t.Error("bad query succeeded")
+	}
+	if err := run("", "zzz", coin.PaperQ1, false, false); err == nil {
+		t.Error("bad context succeeded")
+	}
+}
+
+func TestRunAgainstServer(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	if err := run(ts.URL, "c2", coin.PaperQ1, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ts.URL, "c2", coin.PaperQ1, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("http://127.0.0.1:1", "c2", coin.PaperQ1, false, false); err == nil {
+		t.Error("dead server succeeded")
+	}
+}

@@ -1,0 +1,118 @@
+// Command coinwrap runs a Web-wrapping specification against one of the
+// simulated sites and prints the extracted relation as CSV — the [Qu96]
+// wrapping technology demonstrated standalone.
+//
+// Usage:
+//
+//	coinwrap -builtin currency-crawl
+//	coinwrap -builtin stocks
+//	coinwrap -spec my.spec -site currency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/coin"
+	"repro/internal/store"
+	"repro/internal/web"
+	"repro/internal/wrapper"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "built-in spec: currency-crawl, currency-lookup, stocks, profiles")
+	specPath := flag.String("spec", "", "path to a wrapping specification file")
+	siteName := flag.String("site", "", "simulated site: currency, stocks, profiles (inferred for -builtin)")
+	from := flag.String("from", "JPY", "fromCur binding for currency-lookup")
+	to := flag.String("to", "USD", "toCur binding for currency-lookup")
+	flag.Parse()
+
+	if err := run(*builtin, *specPath, *siteName, *from, *to); err != nil {
+		fmt.Fprintln(os.Stderr, "coinwrap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(builtin, specPath, siteName, from, to string) error {
+	var spec *coin.WrapSpec
+	switch {
+	case builtin != "":
+		s, ok := coin.BuiltinSpec(builtin)
+		if !ok {
+			return fmt.Errorf("no built-in spec %q", builtin)
+		}
+		spec = s
+		if siteName == "" {
+			switch builtin {
+			case coin.CurrencySpecCrawl, coin.CurrencySpecLookup:
+				siteName = "currency"
+			case coin.StockSpec:
+				siteName = "stocks"
+			case coin.ProfileSpec:
+				siteName = "profiles"
+			}
+		}
+	case specPath != "":
+		raw, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		s, err := coin.ParseWrapSpec(string(raw))
+		if err != nil {
+			return err
+		}
+		spec = s
+	default:
+		return fmt.Errorf("one of -builtin or -spec is required")
+	}
+
+	var site *web.Site
+	switch siteName {
+	case "currency":
+		site = web.NewCurrencySite(web.PaperRates())
+	case "stocks":
+		site = web.NewStockSite(demoQuotes())
+	case "profiles":
+		site = web.NewProfileSite(demoProfiles())
+	default:
+		return fmt.Errorf("unknown site %q (want currency, stocks or profiles)", siteName)
+	}
+
+	w := wrapper.NewWeb(site.Name, site, spec)
+	q := wrapper.SourceQuery{Relation: spec.Relation}
+	for _, p := range spec.Params {
+		switch p {
+		case "fromCur":
+			q.Filters = append(q.Filters, wrapper.Filter{Column: p, Op: "=", Value: coin.StrV(from)})
+		case "toCur":
+			q.Filters = append(q.Filters, wrapper.Filter{Column: p, Op: "=", Value: coin.StrV(to)})
+		default:
+			return fmt.Errorf("spec parameter %s has no flag; use -builtin currency-lookup's -from/-to", p)
+		}
+	}
+	rel, err := w.Query(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "-- %s: %d tuple(s) from %d page fetch(es)\n", spec.Relation, rel.Len(), site.Hits())
+	return store.WriteCSV(rel, os.Stdout)
+}
+
+func demoQuotes() []web.Quote {
+	return []web.Quote{
+		{Ticker: "IBM", Exchange: "NYSE", Price: 151.25, Currency: "USD"},
+		{Ticker: "T", Exchange: "NYSE", Price: 38.5, Currency: "USD"},
+		{Ticker: "NTT", Exchange: "TSE", Price: 880000, Currency: "JPY"},
+		{Ticker: "SONY", Exchange: "TSE", Price: 9100, Currency: "JPY"},
+		{Ticker: "SAP", Exchange: "FSE", Price: 155, Currency: "EUR"},
+	}
+}
+
+func demoProfiles() []web.Profile {
+	return []web.Profile{
+		{Name: "IBM", Country: "USA", Sector: "Technology", Employees: 220000},
+		{Name: "NTT", Country: "Japan", Sector: "Telecom", Employees: 330000},
+		{Name: "SAP", Country: "Germany", Sector: "Technology", Employees: 48000},
+	}
+}

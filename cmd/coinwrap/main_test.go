@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wrapper"
+)
+
+func TestRunBuiltins(t *testing.T) {
+	for _, builtin := range []string{"currency-crawl", "stocks", "profiles"} {
+		if err := run(builtin, "", "", "JPY", "USD"); err != nil {
+			t.Errorf("%s: %v", builtin, err)
+		}
+	}
+	if err := run("currency-lookup", "", "", "JPY", "USD"); err != nil {
+		t.Errorf("lookup: %v", err)
+	}
+	if err := run("nope", "", "", "", ""); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+	if err := run("", "", "", "", ""); err == nil {
+		t.Error("no spec accepted")
+	}
+	if err := run("currency-crawl", "", "zzz", "", ""); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.spec")
+	if err := os.WriteFile(path, []byte(wrapper.CurrencySpecCrawl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", path, "currency", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", filepath.Join(t.TempDir(), "missing.spec"), "currency", "", ""); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

@@ -1,0 +1,236 @@
+// Package client is the receiver-side API of the prototype — the
+// counterpart of its ODBC driver. It speaks the HTTP-tunneled protocol of
+// internal/server: connect (schema handshake), schema inspection, query
+// in a named receiver context, and mediate-only. Any application with
+// socket access can use it; cmd/coinquery is one.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Conn is an open connection to a mediation server.
+type Conn struct {
+	base   string
+	client *http.Client
+	schema server.SchemaResponse
+}
+
+// Open connects to a server and performs the schema handshake.
+func Open(baseURL string) (*Conn, error) {
+	c := &Conn{
+		base:   strings.TrimRight(baseURL, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	if err := c.refreshSchema(); err != nil {
+		return nil, fmt.Errorf("client: connecting to %s: %w", baseURL, err)
+	}
+	return c, nil
+}
+
+func (c *Conn) refreshSchema() error {
+	resp, err := c.client.Get(c.base + "/api/schema")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("schema request failed: %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(&c.schema)
+}
+
+// Contexts lists the receiver contexts the server knows.
+func (c *Conn) Contexts() []string { return c.schema.Contexts }
+
+// Relations lists the queryable relations.
+func (c *Conn) Relations() []string {
+	out := make([]string, 0, len(c.schema.Relations))
+	for r := range c.schema.Relations {
+		out = append(out, r)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Columns returns a relation's columns as name/type pairs.
+func (c *Conn) Columns(relation string) ([]server.ColumnInfo, bool) {
+	cols, ok := c.schema.Relations[relation]
+	return cols, ok
+}
+
+// Result is a query answer.
+type Result struct {
+	Columns     []server.ColumnInfo
+	Rows        [][]interface{}
+	MediatedSQL string
+	Branches    int
+}
+
+// String renders the result as an aligned table.
+func (r *Result) String() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	header := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		header[i] = c.Name
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for i, v := range row {
+			cells[ri][i] = fmt.Sprintf("%v", v)
+			if len(cells[ri][i]) > widths[i] {
+				widths[i] = len(cells[ri][i])
+			}
+		}
+	}
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for p := len(cell); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func (c *Conn) post(path string, req server.QueryRequest, out interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e server.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s", e.Error)
+		}
+		return fmt.Errorf("client: %s failed: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Query mediates and executes SQL in the given receiver context.
+func (c *Conn) Query(sql, context string) (*Result, error) {
+	var resp server.QueryResponse
+	if err := c.post("/api/query", server.QueryRequest{SQL: sql, Context: context}, &resp); err != nil {
+		return nil, err
+	}
+	return &Result{Columns: resp.Columns, Rows: resp.Rows, MediatedSQL: resp.MediatedSQL, Branches: resp.Branches}, nil
+}
+
+// QueryNaive executes SQL without mediation.
+func (c *Conn) QueryNaive(sql string) (*Result, error) {
+	var resp server.QueryResponse
+	if err := c.post("/api/query", server.QueryRequest{SQL: sql, Naive: true}, &resp); err != nil {
+		return nil, err
+	}
+	return &Result{Columns: resp.Columns, Rows: resp.Rows}, nil
+}
+
+// Mediate returns the mediated SQL without executing it.
+func (c *Conn) Mediate(sql, context string) (string, int, error) {
+	var resp server.MediateResponse
+	if err := c.post("/api/mediate", server.QueryRequest{SQL: sql, Context: context}, &resp); err != nil {
+		return "", 0, err
+	}
+	return resp.MediatedSQL, resp.Branches, nil
+}
+
+// Explain returns the server's execution plan for the mediated query.
+func (c *Conn) Explain(sql, context string) (string, error) {
+	var resp server.ExplainResponse
+	if err := c.post("/api/explain", server.QueryRequest{SQL: sql, Context: context}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Plan, nil
+}
+
+// Cursor iterates a Result row by row, in the style of an ODBC cursor.
+type Cursor struct {
+	res *Result
+	i   int
+}
+
+// Cursor returns a fresh cursor positioned before the first row.
+func (r *Result) Cursor() *Cursor { return &Cursor{res: r} }
+
+// Next advances to the next row; it returns false after the last one,
+// and the cursor then stays past the end (Scan fails).
+func (c *Cursor) Next() bool {
+	if c.i >= len(c.res.Rows) {
+		c.i = len(c.res.Rows) + 1
+		return false
+	}
+	c.i++
+	return true
+}
+
+// Scan copies the current row's values into dest, which must contain one
+// pointer per column: *string, *float64, *bool, or *interface{}.
+func (c *Cursor) Scan(dest ...interface{}) error {
+	if c.i == 0 || c.i > len(c.res.Rows) {
+		return fmt.Errorf("client: Scan without a successful Next")
+	}
+	row := c.res.Rows[c.i-1]
+	if len(dest) != len(row) {
+		return fmt.Errorf("client: Scan got %d destinations for %d columns", len(dest), len(row))
+	}
+	for i, d := range dest {
+		switch d := d.(type) {
+		case *interface{}:
+			*d = row[i]
+		case *string:
+			s, ok := row[i].(string)
+			if !ok {
+				return fmt.Errorf("client: column %d is %T, not string", i, row[i])
+			}
+			*d = s
+		case *float64:
+			f, ok := row[i].(float64)
+			if !ok {
+				return fmt.Errorf("client: column %d is %T, not float64", i, row[i])
+			}
+			*d = f
+		case *bool:
+			b, ok := row[i].(bool)
+			if !ok {
+				return fmt.Errorf("client: column %d is %T, not bool", i, row[i])
+			}
+			*d = b
+		default:
+			return fmt.Errorf("client: unsupported Scan destination %T", d)
+		}
+	}
+	return nil
+}

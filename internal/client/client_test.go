@@ -1,0 +1,103 @@
+package client_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/coin"
+	"repro/internal/client"
+	"repro/internal/server"
+
+	"net/http/httptest"
+)
+
+func testConn(t *testing.T) *client.Conn {
+	t.Helper()
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	t.Cleanup(ts.Close)
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestCursorScan(t *testing.T) {
+	conn := testConn(t)
+	res, err := conn.Query("SELECT r1.cname, r1.revenue FROM r1 ORDER BY r1.revenue DESC", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := res.Cursor()
+	var names []string
+	var revs []float64
+	for cur.Next() {
+		var name string
+		var rev float64
+		if err := cur.Scan(&name, &rev); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+		revs = append(revs, rev)
+	}
+	if len(names) != 2 || names[0] != "IBM" || revs[1] != 9600000 {
+		t.Errorf("cursor read %v %v", names, revs)
+	}
+	// Exhausted cursor refuses Scan.
+	if err := cur.Scan(new(string), new(float64)); err == nil {
+		t.Error("Scan after exhaustion succeeded")
+	}
+}
+
+func TestCursorScanErrors(t *testing.T) {
+	conn := testConn(t)
+	res, err := conn.Query("SELECT r2.cname FROM r2", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := res.Cursor()
+	if err := cur.Scan(new(string)); err == nil {
+		t.Error("Scan before Next succeeded")
+	}
+	if !cur.Next() {
+		t.Fatal("no rows")
+	}
+	if err := cur.Scan(new(float64)); err == nil {
+		t.Error("type-mismatched Scan succeeded")
+	}
+	if err := cur.Scan(new(string), new(string)); err == nil {
+		t.Error("arity-mismatched Scan succeeded")
+	}
+	var anyv interface{}
+	if err := cur.Scan(&anyv); err != nil || anyv == nil {
+		t.Errorf("interface{} Scan: %v %v", anyv, err)
+	}
+}
+
+func TestExplainOverHTTP(t *testing.T) {
+	conn := testConn(t)
+	plan, err := conn.Explain(coin.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mediated into 3 branch(es)", "step 1:", "est_cost="} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	if _, err := conn.Explain("SELECT nope FROM nosuch", "c2"); err == nil {
+		t.Error("bad explain succeeded")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := &client.Result{
+		Columns: []server.ColumnInfo{{Name: "cname"}, {Name: "revenue"}},
+		Rows:    [][]interface{}{{"NTT", 9600000.0}},
+	}
+	s := res.String()
+	if !strings.Contains(s, "cname") || !strings.Contains(s, "NTT") {
+		t.Errorf("table:\n%s", s)
+	}
+}

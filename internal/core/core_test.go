@@ -1,0 +1,423 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/sqlparse"
+)
+
+func paperMediator() *Mediator { return New(fixture.Registry()) }
+
+// TestPaperExampleMediation is experiment E1's rewriting half: the paper's
+// query Q1 must mediate into a 3-branch union with exactly the paper's
+// case structure (USD identity / JPY scale-and-convert / other convert).
+func TestPaperExampleMediation(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 3 {
+		t.Fatalf("branches = %d, want 3:\n%s", len(med.Branches), med.SQL())
+	}
+	if med.Post != nil {
+		t.Errorf("unexpected post-processing: %+v", med.Post)
+	}
+
+	classify := func(b *sqlparse.Select) string {
+		s := b.String()
+		switch {
+		case strings.Contains(s, "= 'JPY'"):
+			return "JPY"
+		case strings.Contains(s, "= 'USD'") && !strings.Contains(s, "r3"):
+			return "USD"
+		default:
+			return "other"
+		}
+	}
+	byCase := map[string]*sqlparse.Select{}
+	for _, b := range med.Branches {
+		byCase[classify(b)] = b
+	}
+	usd, jpy, other := byCase["USD"], byCase["JPY"], byCase["other"]
+	if usd == nil || jpy == nil || other == nil {
+		t.Fatalf("missing case branch; got:\n%s", med.SQL())
+	}
+
+	// USD branch: identity projection, two tables, no rate join, and the
+	// entailed <> 'JPY' disequality must have been simplified away.
+	if len(usd.From) != 2 {
+		t.Errorf("USD branch FROM = %v", usd.From)
+	}
+	usdSQL := usd.String()
+	if strings.Contains(usdSQL, "<>") {
+		t.Errorf("USD branch kept an entailed disequality:\n%s", usdSQL)
+	}
+	if !strings.Contains(usdSQL, "rl.currency = 'USD'") {
+		t.Errorf("USD branch missing currency binding:\n%s", usdSQL)
+	}
+	if strings.Contains(usdSQL, "*") {
+		t.Errorf("USD branch should not convert:\n%s", usdSQL)
+	}
+
+	// JPY branch: joins the ancillary rate source, multiplies by 1000 and
+	// by the rate, in both SELECT and the comparison.
+	jpySQL := jpy.String()
+	if len(jpy.From) != 3 {
+		t.Errorf("JPY branch FROM = %v", jpy.From)
+	}
+	if !strings.Contains(jpySQL, "rl.revenue * 1000 * r3.rate") {
+		t.Errorf("JPY branch projection shape:\n%s", jpySQL)
+	}
+	if !strings.Contains(jpySQL, "r3.toCur = 'USD'") || !strings.Contains(jpySQL, "r3.fromCur = 'JPY'") {
+		t.Errorf("JPY branch rate binding:\n%s", jpySQL)
+	}
+	if !strings.Contains(jpySQL, "rl.revenue * 1000 * r3.rate > r2.expenses") {
+		t.Errorf("JPY branch comparison:\n%s", jpySQL)
+	}
+
+	// Other branch: both disequalities, rate join on the currency column.
+	otherSQL := other.String()
+	if !strings.Contains(otherSQL, "rl.currency <> 'JPY'") || !strings.Contains(otherSQL, "rl.currency <> 'USD'") {
+		t.Errorf("other branch disequalities:\n%s", otherSQL)
+	}
+	if !strings.Contains(otherSQL, "r3.fromCur = rl.currency") && !strings.Contains(otherSQL, "rl.currency = r3.fromCur") {
+		t.Errorf("other branch rate join:\n%s", otherSQL)
+	}
+	if !strings.Contains(otherSQL, "rl.revenue * r3.rate > r2.expenses") {
+		t.Errorf("other branch comparison:\n%s", otherSQL)
+	}
+	// No scale factor multiplication in the non-JPY conversion.
+	if strings.Contains(otherSQL, "1000") {
+		t.Errorf("other branch should not scale:\n%s", otherSQL)
+	}
+
+	// Every branch joins the two companies.
+	for name, b := range byCase {
+		if !strings.Contains(b.String(), "rl.cname = r2.cname") {
+			t.Errorf("%s branch lost the join:\n%s", name, b)
+		}
+	}
+}
+
+// TestMediatedSQLRoundTrips: the mediated text must be valid SQL.
+func TestMediatedSQLRoundTrips(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sqlparse.Parse(med.Mediated.String()); err != nil {
+		t.Errorf("mediated SQL does not re-parse: %v\n%s", err, med.Mediated.String())
+	}
+	if _, err := sqlparse.Parse(sqlparse.Pretty(med.Mediated)); err != nil {
+		t.Errorf("pretty mediated SQL does not re-parse: %v", err)
+	}
+}
+
+// TestNoConflictQueryUnchanged: a query whose sources share the receiver's
+// context mediates to a single branch equivalent to the original.
+func TestNoConflictQueryUnchanged(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL("SELECT r2.cname, r2.expenses FROM r2 WHERE r2.expenses > 2000000", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 1 {
+		t.Fatalf("branches = %d, want 1:\n%s", len(med.Branches), med.SQL())
+	}
+	s := med.Branches[0].String()
+	if !strings.Contains(s, "r2.expenses > 2000000") {
+		t.Errorf("mediated no-conflict query:\n%s", s)
+	}
+	if strings.Contains(s, "r3") {
+		t.Errorf("no-conflict query gained a rate join:\n%s", s)
+	}
+}
+
+// TestSelectionOnModifierColumnPrunes: a selection that pins the currency
+// must prune impossible cases (currency = 'JPY' leaves only the JPY
+// branch).
+func TestSelectionOnModifierColumnPrunes(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL("SELECT r1.cname, r1.revenue FROM r1 WHERE r1.currency = 'JPY'", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 1 {
+		t.Fatalf("branches = %d, want 1 (JPY only):\n%s", len(med.Branches), med.SQL())
+	}
+	if !strings.Contains(med.Branches[0].String(), "* 1000 *") {
+		t.Errorf("JPY-pinned query should scale and convert:\n%s", med.Branches[0])
+	}
+}
+
+// TestSelectionOnConstantContext: pinning to the receiver's currency
+// leaves the identity branch only.
+func TestSelectionOnConstantContextPrunes(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL("SELECT r1.revenue FROM r1 WHERE r1.currency = 'USD'", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 1 {
+		t.Fatalf("branches = %d, want 1:\n%s", len(med.Branches), med.SQL())
+	}
+	if strings.Contains(med.Branches[0].String(), "r3") {
+		t.Errorf("USD-pinned query should not join rates:\n%s", med.Branches[0])
+	}
+}
+
+// TestStarExpansionConverts: SELECT * returns receiver-context values, so
+// the revenue column is converted per branch.
+func TestStarExpansionConverts(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL("SELECT * FROM r1", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 3 {
+		t.Fatalf("branches = %d, want 3:\n%s", len(med.Branches), med.SQL())
+	}
+	for _, b := range med.Branches {
+		if len(b.Items) != 3 {
+			t.Errorf("star expansion items = %d, want 3", len(b.Items))
+		}
+	}
+}
+
+// TestOrDisjunction: WHERE with OR mediates through an auxiliary
+// predicate; each disjunct can trigger its own cases.
+func TestOrDisjunction(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL(
+		"SELECT r1.cname FROM r1 WHERE r1.currency = 'USD' OR r1.currency = 'JPY'", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cname needs no conversion, but the OR still splits the derivation.
+	if len(med.Branches) != 2 {
+		t.Fatalf("branches = %d, want 2:\n%s", len(med.Branches), med.SQL())
+	}
+}
+
+// TestNotPushdown: NOT negates comparisons during compilation.
+func TestNotPushdown(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL(
+		"SELECT r2.cname FROM r2 WHERE NOT (r2.expenses > 100 AND r2.cname = 'IBM')", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// De Morgan: <=100 OR <> IBM — two branches.
+	if len(med.Branches) != 2 {
+		t.Fatalf("branches = %d, want 2:\n%s", len(med.Branches), med.SQL())
+	}
+	all := med.Mediated.String()
+	if !strings.Contains(all, "<= 100") || !strings.Contains(all, "<> 'IBM'") {
+		t.Errorf("negation not pushed to comparisons:\n%s", all)
+	}
+}
+
+// TestAggregationMediation: aggregates are computed over converted values
+// via a post-union step.
+func TestAggregationMediation(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL("SELECT SUM(r1.revenue) AS total FROM r1", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Post == nil {
+		t.Fatal("aggregate query needs post-processing")
+	}
+	if !med.UnionAll {
+		t.Error("aggregation must union with bag semantics")
+	}
+	if len(med.Branches) != 3 {
+		t.Fatalf("branches = %d, want 3", len(med.Branches))
+	}
+	// Branches project the converted argument, not the aggregate.
+	for _, b := range med.Branches {
+		if strings.Contains(b.String(), "SUM") {
+			t.Errorf("branch must not aggregate:\n%s", b)
+		}
+	}
+	if len(med.Post.Items) != 1 || !strings.Contains(med.Post.Items[0].Expr.String(), "SUM(") {
+		t.Errorf("post items = %+v", med.Post.Items)
+	}
+}
+
+func TestGroupByMediation(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL(
+		"SELECT r1.currency, COUNT(*) AS n, SUM(r1.revenue) AS total FROM r1 GROUP BY r1.currency HAVING COUNT(*) > 0 ORDER BY total DESC", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Post == nil || len(med.Post.GroupBy) != 1 {
+		t.Fatalf("post = %+v", med.Post)
+	}
+	if med.Post.Having == nil {
+		t.Error("HAVING lost")
+	}
+	if len(med.Post.OrderBy) != 1 || !med.Post.OrderBy[0].Desc {
+		t.Errorf("ORDER BY lost: %+v", med.Post.OrderBy)
+	}
+}
+
+// TestOrderByConvertedSingleBranch: ORDER BY on a converted column in a
+// single-branch mediation must order by the converted expression.
+func TestOrderBySingleBranch(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL(
+		"SELECT r2.cname FROM r2 ORDER BY r2.expenses DESC LIMIT 1", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 1 {
+		t.Fatalf("branches = %d", len(med.Branches))
+	}
+	b := med.Branches[0]
+	if len(b.OrderBy) != 1 || b.Limit != 1 {
+		t.Errorf("order/limit not attached: %s", b)
+	}
+}
+
+// TestOrderByMultiBranchPost: ORDER BY over a multi-branch mediation moves
+// into the post step referencing the projected column.
+func TestOrderByMultiBranchPost(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL(
+		"SELECT r1.cname, r1.revenue FROM r1 ORDER BY r1.revenue DESC", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 3 {
+		t.Fatalf("branches = %d", len(med.Branches))
+	}
+	if med.Post == nil || len(med.Post.OrderBy) != 1 {
+		t.Fatalf("post = %+v", med.Post)
+	}
+	if med.Post.OrderBy[0].Expr.String() != "revenue" {
+		t.Errorf("post order key = %s", med.Post.OrderBy[0].Expr)
+	}
+}
+
+// TestOrderByUnprojectedMultiBranchFails with a clear error.
+func TestOrderByUnprojectedMultiBranchFails(t *testing.T) {
+	m := paperMediator()
+	_, err := m.MediateSQL("SELECT r1.cname FROM r1 ORDER BY r1.revenue", "c2")
+	if err == nil || !strings.Contains(err.Error(), "ORDER BY") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestUnsatisfiableQuery: contradictory selections yield no consistent
+// case at all.
+func TestUnsatisfiableQuery(t *testing.T) {
+	m := paperMediator()
+	_, err := m.MediateSQL(
+		"SELECT r1.cname FROM r1 WHERE r1.currency = 'USD' AND r1.currency = 'JPY'", "c2")
+	if err == nil || !strings.Contains(err.Error(), "unsatisfiable") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestMediateUnionQuery mediates each arm.
+func TestMediateUnionQuery(t *testing.T) {
+	m := paperMediator()
+	med, err := m.MediateSQL(
+		"SELECT r1.cname FROM r1 WHERE r1.currency = 'USD' UNION SELECT r2.cname FROM r2", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 2 {
+		t.Fatalf("branches = %d, want 2:\n%s", len(med.Branches), med.SQL())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	m := paperMediator()
+	cases := []struct {
+		sql, wantSub string
+	}{
+		{"SELECT x.cname FROM nosuch x", "unknown relation"},
+		{"SELECT r1.nope FROM r1", "no column"},
+		{"SELECT cname FROM r1, r2", "ambiguous"},
+		{"SELECT zzz FROM r1", "unknown column"},
+		{"SELECT r1.cname FROM r1, r1", "duplicate binding"},
+		{"SELECT r1.cname FROM r1 WHERE r1.cname IS NULL", "IS NULL"},
+		{"SELECT r1.cname FROM r1 WHERE SUM(r1.revenue) > 1", "aggregate"},
+		{"SELECT r1.cname, SUM(r1.revenue) FROM r1", "GROUP BY"},
+	}
+	for _, c := range cases {
+		_, err := m.MediateSQL(c.sql, "c2")
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("MediateSQL(%q) err = %v, want substring %q", c.sql, err, c.wantSub)
+		}
+	}
+	if _, err := m.MediateSQL(fixture.PaperQ1, "nope"); err == nil {
+		t.Error("unknown receiver accepted")
+	}
+}
+
+// TestBranchCountGrowsWithConflicts is experiment E5's correctness half:
+// m independent two-way modifier splits produce 2^m branches.
+func TestMediatedBranchCount(t *testing.T) {
+	for m := 0; m <= 4; m++ {
+		reg := fixture.ConflictRegistry(m)
+		med := New(reg)
+		res, err := med.MediateSQL("SELECT wide.val FROM wide", "recv")
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		want := 1 << m
+		if len(res.Branches) != want {
+			t.Errorf("m=%d: branches = %d, want %d", m, len(res.Branches), want)
+		}
+	}
+}
+
+// TestRegisteredSourcesDoNotAffectMediation is experiment E4's correctness
+// half: extra registered sources leave the mediated query untouched.
+func TestRegisteredSourcesDoNotAffectMediation(t *testing.T) {
+	base, err := New(fixture.Registry()).MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := New(fixture.WideRegistry(32)).MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Mediated.String() != wide.Mediated.String() {
+		t.Error("registering unrelated sources changed the mediated query")
+	}
+}
+
+// TestMaxBranchesGuard: the branch bound fails loudly, not silently.
+func TestMaxBranchesGuard(t *testing.T) {
+	reg := fixture.ConflictRegistry(4)
+	m := New(reg)
+	m.MaxBranches = 8
+	_, err := m.MediateSQL("SELECT wide.val FROM wide", "recv")
+	if err == nil || !strings.Contains(err.Error(), "branches") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestWarmAndInvalidate exercise the program cache.
+func TestWarmAndInvalidate(t *testing.T) {
+	m := paperMediator()
+	if err := m.Warm("c2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Warm("zzz"); err == nil {
+		t.Error("warming unknown receiver succeeded")
+	}
+	m.Invalidate()
+	if _, err := m.MediateSQL(fixture.PaperQ1, "c2"); err != nil {
+		t.Errorf("mediation after Invalidate failed: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixture"
+)
+
+// TestDenialPrunesImpossibleCase: an integrity constraint saying source 1
+// never reports XYZ currency kills the case a query tries to force.
+func TestDenialPrunesImpossibleCase(t *testing.T) {
+	reg := fixture.Registry()
+	if err := reg.AddDenialText(`r1(N, Rev, C), C = "XYZ"`); err != nil {
+		t.Fatal(err)
+	}
+	m := New(reg)
+	_, err := m.MediateSQL("SELECT r1.cname FROM r1 WHERE r1.currency = 'XYZ'", "c2")
+	if err == nil || !strings.Contains(err.Error(), "unsatisfiable") {
+		t.Errorf("err = %v, want unsatisfiable (denial pruned the only case)", err)
+	}
+	// Unrelated queries are untouched.
+	med, err := m.MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 3 {
+		t.Errorf("branches = %d", len(med.Branches))
+	}
+}
+
+// TestDenialLeavesOpenCasesAlone: a denial whose violation is not definite
+// (comparisons over unbound values) must not prune.
+func TestDenialLeavesOpenCasesAlone(t *testing.T) {
+	reg := fixture.Registry()
+	// "Revenues are never negative" — over an unbound revenue variable
+	// this cannot be definitely proven, so all branches survive.
+	if err := reg.AddDenialText(`r1(N, Rev, C), Rev < 0`); err != nil {
+		t.Fatal(err)
+	}
+	m := New(reg)
+	med, err := m.MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 3 {
+		t.Errorf("branches = %d", len(med.Branches))
+	}
+	// A query pinning the converted value to -5 makes the violation
+	// definite only where conversion is the identity: in the USD branch
+	// the raw column itself must be -5, so that branch is pruned; the JPY
+	// and other branches constrain raw*rate = -5, which does not
+	// definitely put the raw value below zero (rates are unknown at
+	// mediation time), so they conservatively survive.
+	med2, err := m.MediateSQL("SELECT r1.cname FROM r1 WHERE r1.revenue = -5", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med2.Branches) != 2 {
+		t.Fatalf("branches = %d, want 2 (USD branch pruned):\n%s", len(med2.Branches), med2.SQL())
+	}
+	for _, b := range med2.Branches {
+		if strings.Contains(b.String(), "= 'USD'") && !strings.Contains(b.String(), "r3") {
+			t.Errorf("USD identity branch survived the denial:\n%s", b)
+		}
+	}
+}
+
+func TestDenialValidation(t *testing.T) {
+	reg := fixture.Registry()
+	if err := reg.AddDenialText(`r1(N, Rev)`); err == nil {
+		t.Error("wrong-arity denial accepted")
+	}
+	if err := reg.AddDenialText(`not valid prolog ((`); err == nil {
+		t.Error("unparseable denial accepted")
+	}
+	if err := reg.AddDenialText(`r3(C, C, R)`); err != nil {
+		t.Errorf("self-rate denial rejected: %v", err)
+	}
+	if got := len(reg.Denials()); got != 1 {
+		t.Errorf("denials = %d", got)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fixture"
+)
+
+// TestBranchExplanations: each branch of the paper's mediated query
+// carries a human-readable derivation reconstructed from the abductive
+// proof trace: the context-theory cases that applied and the conversions
+// inserted.
+func TestBranchExplanations(t *testing.T) {
+	m := New(fixture.Registry())
+	med, err := m.MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := med.ExplainText()
+
+	wantFragments := []string{
+		// Every branch mentions the elevation of both money columns.
+		"convert r1.revenue (companyFinancials, context c1) into context c2",
+		"convert r2.expenses (companyFinancials, context c2) into context c2",
+		// The JPY case of the scale-factor declaration fired somewhere.
+		"scaleFactor of r1.revenue = 1000 when currency = \"JPY\"",
+		// The default case fired somewhere else.
+		"scaleFactor of r1.revenue = 1 otherwise",
+		// The attribute-valued currency modifier.
+		"currency of r1.revenue = value of attribute currency",
+		// At least one branch applied the currency conversion rule.
+		"apply currency conversion",
+	}
+	for _, want := range wantFragments {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanations missing %q:\n%s", want, text)
+		}
+	}
+
+	// Per-branch: the JPY branch mentions the 1000 case; the USD identity
+	// branch does not apply the currency conversion rule.
+	for i, b := range med.Branches {
+		notes := strings.Join(med.Explanation(i), "\n")
+		s := b.String()
+		switch {
+		case strings.Contains(s, "= 'JPY'"):
+			if !strings.Contains(notes, "= 1000 when currency") {
+				t.Errorf("JPY branch notes:\n%s", notes)
+			}
+		case strings.Contains(s, "= 'USD'") && !strings.Contains(s, "r3"):
+			if strings.Contains(notes, "apply currency conversion") {
+				t.Errorf("USD branch should not convert currency:\n%s", notes)
+			}
+		}
+	}
+}
+
+func TestExplanationBounds(t *testing.T) {
+	m := New(fixture.Registry())
+	med, err := m.MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Explanation(-1) != nil || med.Explanation(99) != nil {
+		t.Error("out-of-range explanation not nil")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/domain"
+	"repro/internal/fixture"
+)
+
+// pivotRegistry swaps the plain lookup conversion for the pivot variant
+// (two-hop via USD).
+func pivotRegistry() *domain.Registry {
+	m := domain.NewModel()
+	m.MustAddType(&domain.SemType{Name: "companyName"})
+	m.MustAddType(&domain.SemType{Name: "companyFinancials", Modifiers: []string{"scaleFactor", "currency"}})
+	m.MustAddConversion(domain.RatioConversion("scaleFactor"))
+	m.MustAddConversion(domain.PivotLookupConversion("currency", "rate", datalog.Str("USD")))
+
+	reg := domain.NewRegistry(m)
+	reg.MustAddContext(fixture.ContextC1())
+	chf := domain.NewContext("c_chf")
+	if err := chf.DeclareConst("companyFinancials", "scaleFactor", 1); err != nil {
+		panic(err)
+	}
+	if err := chf.DeclareConst("companyFinancials", "currency", "CHF"); err != nil {
+		panic(err)
+	}
+	reg.MustAddContext(chf)
+	reg.MustRegisterRelation("r1", fixture.R1Schema(), &domain.Elevation{
+		Relation: "r1",
+		Context:  "c1",
+		Columns: []domain.ElevatedColumn{
+			{Column: "cname", SemType: "companyName"},
+			{Column: "revenue", SemType: "companyFinancials"},
+		},
+	})
+	reg.MustRegisterRelation("r3", fixture.R3Schema(), nil)
+	reg.MustAddAncillary("rate", "r3")
+	return reg
+}
+
+// TestPivotConversionBranches: converting into CHF (which the rate source
+// may not quote directly) produces both a direct-rate branch and a
+// two-hop-via-USD branch per currency case; execution validates whichever
+// has data.
+func TestPivotConversionBranches(t *testing.T) {
+	m := New(pivotRegistry())
+	med, err := m.MediateSQL("SELECT r1.cname, r1.revenue FROM r1 WHERE r1.currency = 'GBP'", "c_chf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One currency case (GBP pinned), two access paths: direct GBP→CHF
+	// and GBP→USD→CHF.
+	if len(med.Branches) != 2 {
+		t.Fatalf("branches = %d:\n%s", len(med.Branches), med.SQL())
+	}
+	var direct, twoHop bool
+	for _, b := range med.Branches {
+		s := b.String()
+		switch strings.Count(s, "r3") {
+		case 0:
+		default:
+			if strings.Contains(s, "r3_2") {
+				twoHop = true
+				if !strings.Contains(s, "* r3.rate * r3_2.rate") {
+					t.Errorf("two-hop arithmetic:\n%s", s)
+				}
+			} else {
+				direct = true
+			}
+		}
+	}
+	if !direct || !twoHop {
+		t.Errorf("paths: direct=%v twoHop=%v\n%s", direct, twoHop, med.SQL())
+	}
+}
+
+// TestPivotConversionIdentityUnchanged: converting a currency equal to the
+// receiver's needs no branch beyond identity, even with the pivot clause
+// present (pivot requires C1 != pivot and C2 != pivot; with receiver CHF
+// and source CHF the identity clause wins and the others are inconsistent).
+func TestPivotConversionIdentityUnchanged(t *testing.T) {
+	m := New(pivotRegistry())
+	med, err := m.MediateSQL("SELECT r1.revenue FROM r1 WHERE r1.currency = 'CHF'", "c_chf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(med.Branches) != 1 {
+		t.Fatalf("branches = %d:\n%s", len(med.Branches), med.SQL())
+	}
+}

@@ -1,0 +1,100 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkUnify(b *testing.B) {
+	l := MustParseTerm("f(X, g(Y, h(Z, a)), 3, \"s\")")
+	r := MustParseTerm("f(b, g(c, h(d, a)), 3, \"s\")")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSubst()
+		if !Unify(l, r, s) {
+			b.Fatal("unify failed")
+		}
+	}
+}
+
+func BenchmarkSolveJoin(b *testing.B) {
+	prog := NewProgram()
+	for i := 0; i < 100; i++ {
+		prog.Add(Fact("p", Number(i), Number(i+1)))
+		prog.Add(Fact("q", Number(i+1), Number(i+2)))
+	}
+	prog.Add(MustParseProgram("j(X, Z) :- p(X, Y), q(Y, Z).").Clauses("j", 2)...)
+	goal := MustParseTerm("j(X, Z)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sv := &Solver{Program: prog}
+		sols, err := sv.Solve(goal)
+		if err != nil || len(sols) != 100 {
+			b.Fatalf("sols=%d err=%v", len(sols), err)
+		}
+	}
+}
+
+func BenchmarkAbductiveCaseSplit(b *testing.B) {
+	// The shape of mediation: m independent 2-way splits.
+	for _, m := range []int{1, 2, 4} {
+		src := ""
+		goal := "q("
+		for i := 0; i < m; i++ {
+			src += fmt.Sprintf("c%d(F, 1000) :- F = 'K'.\nc%d(F, 1) :- F \\= 'K'.\n", i, i)
+			if i > 0 {
+				goal += ", "
+			}
+			goal += fmt.Sprintf("V%d", i)
+		}
+		goal += ")"
+		head := goal
+		body := "r(F)"
+		for i := 0; i < m; i++ {
+			body += fmt.Sprintf(", c%d(F, V%d)", i, i)
+		}
+		src += head + " :- " + body + ".\n"
+		prog := MustParseProgram(src)
+		goalTerm := MustParseTerm(goal)
+		b.Run(fmt.Sprintf("splits=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sv := &Solver{Program: prog, CollectConstraints: true,
+					Abducible: func(name string, arity int) bool { return name == "r" }}
+				sols, err := sv.Solve(goalTerm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Splits share the flag F, so only 2 consistent worlds
+				// exist regardless of m (all-K or none-K).
+				if len(sols) != 2 {
+					b.Fatalf("sols = %d", len(sols))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParseProgram(b *testing.B) {
+	src := `
+		sf(Cur, 1000) :- Cur = 'JPY'.
+		sf(Cur, 1) :- Cur \= 'JPY'.
+		cvt(V, F, F, V).
+		cvt(V, F1, F2, V2) :- F1 \= F2, V2 is V * F1 / F2.
+		q(N, V2) :- r1(N, V, Cur), sf(Cur, F), cvt(V, F, 1, V2).
+	`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseProgram(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplifyExpr(b *testing.B) {
+	t := MustParseTerm("mul(div(mul(X, 1000), 1), mul(R, 1))")
+	s := NewSubst()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SimplifyExpr(t, s)
+	}
+}

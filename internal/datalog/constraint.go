@@ -1,0 +1,261 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Constraint predicates. During abductive mediation, comparisons over data
+// values that are unknown at mediation time are not evaluated; they are
+// recorded in a constraint store and later rendered into the WHERE clauses
+// of the mediated SQL.
+const (
+	PredEq  = "eq"  // =
+	PredNeq = "neq" // \=  (SQL <>)
+	PredLt  = "lt"  // <
+	PredLe  = "le"  // =<
+	PredGt  = "gt"  // >
+	PredGe  = "ge"  // >=
+)
+
+// IsConstraintPred reports whether name/2 is a constraint predicate.
+func IsConstraintPred(name string) bool {
+	switch name {
+	case PredEq, PredNeq, PredLt, PredLe, PredGt, PredGe:
+		return true
+	}
+	return false
+}
+
+// negatePred returns the complementary comparison.
+func negatePred(name string) string {
+	switch name {
+	case PredEq:
+		return PredNeq
+	case PredNeq:
+		return PredEq
+	case PredLt:
+		return PredGe
+	case PredGe:
+		return PredLt
+	case PredGt:
+		return PredLe
+	case PredLe:
+		return PredGt
+	}
+	return ""
+}
+
+// ConstraintSet is an ordered store of binary constraint atoms. The solver
+// snapshots it at choice points (copy-on-write via Clone).
+type ConstraintSet struct {
+	cs []Compound
+}
+
+// NewConstraintSet returns an empty set.
+func NewConstraintSet() *ConstraintSet { return &ConstraintSet{} }
+
+// Clone returns an independent copy.
+func (c *ConstraintSet) Clone() *ConstraintSet {
+	return &ConstraintSet{cs: append([]Compound(nil), c.cs...)}
+}
+
+// Len returns the number of stored constraints.
+func (c *ConstraintSet) Len() int { return len(c.cs) }
+
+// All returns the stored constraints (shared slice; treat as read-only).
+func (c *ConstraintSet) All() []Compound { return c.cs }
+
+// Add records a constraint after resolving it under s. Ground constraints
+// are decided immediately: a true one is dropped, a false one makes Add
+// return false (the branch is inconsistent). Non-ground constraints are
+// stored after a quick contradiction check against the existing store.
+func (c *ConstraintSet) Add(pred string, a, b Term, s Subst) bool {
+	a, b = s.Resolve(a), s.Resolve(b)
+	switch decideGround(pred, a, b) {
+	case decTrue:
+		return true
+	case decFalse:
+		return false
+	}
+	nc := Comp(pred, a, b)
+	for _, old := range c.cs {
+		if Equal(old, nc) {
+			return true // duplicate
+		}
+	}
+	if contradictsStore(nc, c.cs) {
+		return false
+	}
+	c.cs = append(c.cs, nc)
+	return true
+}
+
+type decision int
+
+const (
+	decUnknown decision = iota
+	decTrue
+	decFalse
+)
+
+// decideGround decides pred(a,b) when both sides are ground (after
+// arithmetic folding); returns decUnknown otherwise.
+func decideGround(pred string, a, b Term) decision {
+	av, aerr := Eval(a, NewSubst())
+	bv, berr := Eval(b, NewSubst())
+	if aerr == nil && berr == nil {
+		return boolDec(compareFloats(pred, av, bv))
+	}
+	// Non-numeric ground comparison: only (in)equality is decidable.
+	if IsGround(a) && IsGround(b) {
+		switch pred {
+		case PredEq:
+			return boolDec(Equal(a, b))
+		case PredNeq:
+			return boolDec(!Equal(a, b))
+		default:
+			// Ordered comparison between ground non-numeric terms: use
+			// string order for Str/Atom pairs (SQL semantics), undecided
+			// otherwise.
+			as, aok := groundString(a)
+			bs, bok := groundString(b)
+			if aok && bok {
+				return boolDec(compareStrings(pred, as, bs))
+			}
+		}
+	}
+	return decUnknown
+}
+
+func groundString(t Term) (string, bool) {
+	switch t := t.(type) {
+	case Str:
+		return string(t), true
+	case Atom:
+		return string(t), true
+	}
+	return "", false
+}
+
+func boolDec(b bool) decision {
+	if b {
+		return decTrue
+	}
+	return decFalse
+}
+
+func compareFloats(pred string, a, b float64) bool {
+	switch pred {
+	case PredEq:
+		return a == b
+	case PredNeq:
+		return a != b
+	case PredLt:
+		return a < b
+	case PredLe:
+		return a <= b
+	case PredGt:
+		return a > b
+	case PredGe:
+		return a >= b
+	}
+	return false
+}
+
+func compareStrings(pred string, a, b string) bool {
+	switch pred {
+	case PredEq:
+		return a == b
+	case PredNeq:
+		return a != b
+	case PredLt:
+		return a < b
+	case PredLe:
+		return a <= b
+	case PredGt:
+		return a > b
+	case PredGe:
+		return a >= b
+	}
+	return false
+}
+
+// contradictsStore detects direct contradictions between nc and the stored
+// constraints: a constraint and its exact complement over the same
+// arguments, or eq against a distinct ground value when an eq to another
+// ground value exists.
+func contradictsStore(nc Compound, store []Compound) bool {
+	neg := negatePred(nc.Functor)
+	for _, old := range store {
+		if old.Functor == neg && Equal(old.Args[0], nc.Args[0]) && Equal(old.Args[1], nc.Args[1]) {
+			return true
+		}
+		// eq(X, c1) with eq(X, c2), c1 != c2 ground.
+		if nc.Functor == PredEq && old.Functor == PredEq &&
+			Equal(old.Args[0], nc.Args[0]) &&
+			IsGround(old.Args[1]) && IsGround(nc.Args[1]) &&
+			!Equal(old.Args[1], nc.Args[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize re-resolves every stored constraint under s, re-decides the
+// ground ones, deduplicates, and checks consistency. It returns the
+// residual constraints in deterministic order, or ok=false if the set is
+// inconsistent. The solver calls it whenever a solution is emitted, so a
+// branch whose constraints became ground-false after later bindings is
+// pruned even though Add accepted it earlier.
+//
+// keepEntailed retains ground-true (entailed) constraints in the residue
+// instead of dropping them; the mediator's simplification ablation uses it
+// to measure how much constraint simplification shrinks mediated queries.
+func (c *ConstraintSet) Normalize(s Subst, keepEntailed bool) (residual []Compound, ok bool) {
+	fresh := NewConstraintSet()
+	var kept []Compound
+	for _, con := range c.cs {
+		a := SimplifyExpr(con.Args[0], s)
+		b := SimplifyExpr(con.Args[1], s)
+		if keepEntailed && decideGround(con.Functor, a, b) == decTrue {
+			kept = append(kept, Comp(con.Functor, a, b))
+			continue
+		}
+		if !fresh.Add(con.Functor, a, b, s) {
+			return nil, false
+		}
+	}
+	out := append(append([]Compound(nil), fresh.cs...), kept...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Functor != out[j].Functor {
+			return out[i].Functor < out[j].Functor
+		}
+		return Compare(Compound(out[i]), Compound(out[j])) < 0
+	})
+	return out, true
+}
+
+// String renders the store for diagnostics.
+func (c *ConstraintSet) String() string {
+	parts := make([]string, len(c.cs))
+	for i, con := range c.cs {
+		parts[i] = con.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// FormatConstraint renders a constraint atom with an infix operator, e.g.
+// "X <> 'JPY'". The SQL emitter uses its own renderer; this one is for
+// logs and tests.
+func FormatConstraint(c Compound) string {
+	op := map[string]string{
+		PredEq: "=", PredNeq: "<>", PredLt: "<",
+		PredLe: "<=", PredGt: ">", PredGe: ">=",
+	}[c.Functor]
+	if op == "" || len(c.Args) != 2 {
+		return c.String()
+	}
+	return fmt.Sprintf("%s %s %s", c.Args[0], op, c.Args[1])
+}

@@ -1,0 +1,127 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Clause is a definite clause Head :- Body. A fact has an empty body.
+type Clause struct {
+	Head Compound
+	Body []Term
+}
+
+// String renders the clause in concrete syntax.
+func (c Clause) String() string {
+	if len(c.Body) == 0 {
+		return c.Head.String() + "."
+	}
+	parts := make([]string, len(c.Body))
+	for i, b := range c.Body {
+		parts[i] = b.String()
+	}
+	return c.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Fact builds a bodyless clause.
+func Fact(functor string, args ...Term) Clause {
+	return Clause{Head: Comp(functor, args...)}
+}
+
+// Rule builds a clause with the given head and body.
+func Rule(head Compound, body ...Term) Clause {
+	return Clause{Head: head, Body: body}
+}
+
+// predKey identifies a predicate by name and arity.
+type predKey struct {
+	name  string
+	arity int
+}
+
+func (k predKey) String() string { return fmt.Sprintf("%s/%d", k.name, k.arity) }
+
+// Program is an ordered clause store indexed by predicate name/arity.
+// Clause order within a predicate is source order (Prolog-style), which
+// gives deterministic case enumeration during mediation.
+type Program struct {
+	clauses map[predKey][]Clause
+	order   []predKey // registration order, for deterministic dumps
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{clauses: map[predKey][]Clause{}}
+}
+
+// Add appends clauses to the program.
+func (p *Program) Add(cs ...Clause) {
+	for _, c := range cs {
+		k := predKey{c.Head.Functor, len(c.Head.Args)}
+		if _, ok := p.clauses[k]; !ok {
+			p.order = append(p.order, k)
+		}
+		p.clauses[k] = append(p.clauses[k], c)
+	}
+}
+
+// AddProgram appends every clause of q to p.
+func (p *Program) AddProgram(q *Program) {
+	for _, k := range q.order {
+		p.Add(q.clauses[k]...)
+	}
+}
+
+// Clauses returns the clauses for the given predicate, in source order.
+func (p *Program) Clauses(name string, arity int) []Clause {
+	return p.clauses[predKey{name, arity}]
+}
+
+// Defined reports whether the program has at least one clause for the
+// predicate.
+func (p *Program) Defined(name string, arity int) bool {
+	return len(p.clauses[predKey{name, arity}]) > 0
+}
+
+// Len returns the total number of clauses.
+func (p *Program) Len() int {
+	n := 0
+	for _, cs := range p.clauses {
+		n += len(cs)
+	}
+	return n
+}
+
+// Predicates lists the defined predicates as "name/arity", sorted.
+func (p *Program) Predicates() []string {
+	out := make([]string, 0, len(p.clauses))
+	for k := range p.clauses {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String dumps the program in registration order.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, k := range p.order {
+		for _, c := range p.clauses[k] {
+			b.WriteString(c.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Clone returns a deep-enough copy: clause slices are copied, terms are
+// shared (terms are immutable by convention).
+func (p *Program) Clone() *Program {
+	q := NewProgram()
+	q.order = append([]predKey(nil), p.order...)
+	for k, cs := range p.clauses {
+		q.clauses[k] = append([]Clause(nil), cs...)
+	}
+	return q
+}

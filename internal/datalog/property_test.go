@@ -1,0 +1,158 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestSolverMatchesBruteForceProperty: on random ground fact bases with a
+// two-way join rule, the solver's answers equal a direct nested-loop
+// computation in Go.
+func TestSolverMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := NewProgram()
+		type pair struct{ a, b int }
+		var ps, qs []pair
+		for i := 0; i < r.Intn(15); i++ {
+			p := pair{r.Intn(5), r.Intn(5)}
+			ps = append(ps, p)
+			prog.Add(Fact("p", Number(p.a), Number(p.b)))
+		}
+		for i := 0; i < r.Intn(15); i++ {
+			q := pair{r.Intn(5), r.Intn(5)}
+			qs = append(qs, q)
+			prog.Add(Fact("q", Number(q.a), Number(q.b)))
+		}
+		prog.Add(MustParseProgram("j(X, Z) :- p(X, Y), q(Y, Z), X < Z.").Clauses("j", 2)...)
+
+		// Brute force.
+		want := map[string]int{}
+		for _, p := range ps {
+			for _, q := range qs {
+				if p.b == q.a && p.a < q.b {
+					want[fmt.Sprintf("%d,%d", p.a, q.b)]++
+				}
+			}
+		}
+
+		sv := &Solver{Program: prog}
+		sols, err := sv.Solve(MustParseTerm("j(X, Z)"))
+		if err != nil {
+			return false
+		}
+		got := map[string]int{}
+		for _, s := range sols {
+			got[fmt.Sprintf("%s,%s", s.Bindings["X"], s.Bindings["Z"])]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, n := range want {
+			if got[k] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAbductionCoversAllCasesProperty: for a chain of k disjoint 2-way
+// conditionals over independent flag columns, abduction enumerates
+// exactly 2^k consistent cases, each with a distinct constraint/binding
+// signature.
+func TestAbductionCoversAllCasesProperty(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		src := ""
+		head := "q("
+		body := fmt.Sprintf("r(%s)", flagVars(k))
+		for i := 0; i < k; i++ {
+			src += fmt.Sprintf("m%d(F, 10) :- F = 'K'.\nm%d(F, 1) :- F \\= 'K'.\n", i, i)
+			if i > 0 {
+				head += ", "
+			}
+			head += fmt.Sprintf("V%d", i)
+			body += fmt.Sprintf(", m%d(F%d, V%d)", i, i, i)
+		}
+		head += ")"
+		src += head + " :- " + body + ".\n"
+		prog := MustParseProgram(src)
+		sv := &Solver{
+			Program:            prog,
+			CollectConstraints: true,
+			Abducible:          func(name string, arity int) bool { return name == "r" },
+		}
+		sols, err := sv.Solve(MustParseTerm(head))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(sols) != 1<<k {
+			t.Fatalf("k=%d: cases = %d, want %d", k, len(sols), 1<<k)
+		}
+		// Signatures (abduced flags + residual constraints) are distinct.
+		seen := map[string]bool{}
+		for _, s := range sols {
+			var sig []string
+			for _, a := range s.Abduced {
+				sig = append(sig, a.String())
+			}
+			for _, c := range s.Constraints {
+				sig = append(sig, c.String())
+			}
+			sort.Strings(sig)
+			key := fmt.Sprint(sig)
+			if seen[key] {
+				t.Errorf("k=%d: duplicate case signature %s", k, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func flagVars(k int) string {
+	out := ""
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("F%d", i)
+	}
+	return out
+}
+
+// TestSolutionSatisfiesGoalProperty: substituting a solution's bindings
+// back into the goal and re-proving it (without abduction) succeeds, for
+// ground-evaluable programs.
+func TestSolutionSatisfiesGoalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := NewProgram()
+		for i := 0; i < 2+r.Intn(10); i++ {
+			prog.Add(Fact("v", Number(r.Intn(6)), Number(r.Intn(6))))
+		}
+		prog.Add(MustParseProgram("ok(X, Y) :- v(X, Y), X >= Y.").Clauses("ok", 2)...)
+		sv := &Solver{Program: prog}
+		sols, err := sv.Solve(MustParseTerm("ok(A, B)"))
+		if err != nil {
+			return false
+		}
+		for _, s := range sols {
+			goal := Comp("ok", s.Bindings["A"], s.Bindings["B"])
+			check := &Solver{Program: prog, MaxSolutions: 1}
+			res, err := check.Solve(goal)
+			if err != nil || len(res) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,389 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Solution is one successful derivation of a query.
+type Solution struct {
+	// Bindings maps each variable of the original query to its resolved
+	// value (possibly a symbolic arithmetic expression).
+	Bindings map[string]Term
+	// Abduced holds the abducible atoms assumed by this derivation, in
+	// first-assumption order with duplicates removed. For the mediator
+	// these are the source-relation atoms that become the FROM clause.
+	Abduced []Compound
+	// Constraints holds the residual (non-ground) comparison constraints,
+	// normalized and deterministically ordered. For the mediator these
+	// become WHERE predicates.
+	Constraints []Compound
+	// Trace lists the clause applications of the derivation in order,
+	// when Solver.Trace is set. The mediator turns it into human-readable
+	// branch explanations.
+	Trace []TraceStep
+}
+
+// TraceStep records one clause application: the predicate resolved and
+// the index of the clause used (in Program source order).
+type TraceStep struct {
+	Pred   string
+	Arity  int
+	Clause int
+}
+
+// Key renders the step's predicate as "name/arity".
+func (t TraceStep) Key() string { return fmt.Sprintf("%s/%d", t.Pred, t.Arity) }
+
+// Solver runs SLD resolution with optional abduction over a Program.
+type Solver struct {
+	// Program is the clause store consulted for resolution.
+	Program *Program
+	// Abducible reports whether a predicate may be assumed rather than
+	// proven. If an abducible predicate also has clauses, clause
+	// resolution is explored first and abduction is tried as one more
+	// alternative.
+	Abducible func(name string, arity int) bool
+	// CollectConstraints makes non-ground comparisons succeed by recording
+	// them in the constraint store instead of failing. This is the
+	// abductive-mediation mode. When false, non-ground comparisons are an
+	// error (classic datalog evaluation over ground facts).
+	CollectConstraints bool
+	// MaxDepth bounds the resolution depth per derivation (a safety valve
+	// against runaway recursion; compiled mediation programs are
+	// non-recursive). Zero means DefaultMaxDepth.
+	MaxDepth int
+	// MaxSolutions stops the search after this many solutions. Zero means
+	// unlimited.
+	MaxSolutions int
+	// KeepEntailedConstraints retains ground-true constraints in each
+	// solution's residue instead of simplifying them away (ablation; see
+	// ConstraintSet.Normalize).
+	KeepEntailedConstraints bool
+	// Denials are integrity constraints in the abductive-logic-programming
+	// sense: clause bodies that must NOT be provable from the program plus
+	// the abduced atoms. A candidate solution is discarded when a denial
+	// body is definitely provable (a derivation with no residual
+	// constraints and no further abduction); possibly-provable bodies
+	// (residue left) do not prune — a sound approximation. Heads are
+	// ignored by convention (write them as ic :- body).
+	Denials []Clause
+	// Trace records clause applications into each Solution.
+	Trace bool
+
+	varCounter int
+}
+
+// DefaultMaxDepth is the resolution depth bound used when Solver.MaxDepth
+// is zero.
+const DefaultMaxDepth = 4096
+
+// ErrDepthExceeded is returned when a derivation exceeds the depth bound.
+var ErrDepthExceeded = errors.New("datalog: resolution depth exceeded")
+
+var errStopSearch = errors.New("datalog: solution limit reached")
+
+// Solve proves the conjunction of goals and returns every solution, in
+// clause-order-deterministic sequence.
+func (sv *Solver) Solve(goals ...Term) ([]Solution, error) {
+	if sv.Program == nil {
+		sv.Program = NewProgram()
+	}
+	maxDepth := sv.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	queryVars := map[string]bool{}
+	for _, g := range goals {
+		for _, v := range Vars(g, nil) {
+			queryVars[v.Name] = true
+		}
+	}
+	var sols []Solution
+	emit := func(s Subst, store *ConstraintSet, abduced []Compound, trace []TraceStep) error {
+		residual, ok := store.Normalize(s, sv.KeepEntailedConstraints)
+		if !ok {
+			return nil // inconsistent branch: not a solution
+		}
+		sol := Solution{Bindings: map[string]Term{}}
+		for name := range queryVars {
+			sol.Bindings[name] = SimplifyExpr(Variable{Name: name}, s)
+		}
+		for _, a := range abduced {
+			r := s.Resolve(a).(Compound)
+			dup := false
+			for _, prev := range sol.Abduced {
+				if Equal(prev, r) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				sol.Abduced = append(sol.Abduced, r)
+			}
+		}
+		sol.Constraints = residual
+		sol.Trace = trace
+		if len(sv.Denials) > 0 {
+			violated, err := sv.violatesDenial(sol)
+			if err != nil {
+				return err
+			}
+			if violated {
+				return nil
+			}
+		}
+		sols = append(sols, sol)
+		if sv.MaxSolutions > 0 && len(sols) >= sv.MaxSolutions {
+			return errStopSearch
+		}
+		return nil
+	}
+	err := sv.solve(goals, NewSubst(), NewConstraintSet(), nil, nil, maxDepth, emit)
+	if errors.Is(err, errStopSearch) {
+		err = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sols, nil
+}
+
+// violatesDenial reports whether any denial body is definitely provable
+// from the program extended with the solution's abduced atoms as facts.
+// Residual eq(Var, ground) constraints are applied as bindings first: an
+// equality the WHERE clause demands holds of every answer tuple, so the
+// hypothesized facts may assume it.
+func (sv *Solver) violatesDenial(sol Solution) (bool, error) {
+	eqs := NewSubst()
+	for _, c := range sol.Constraints {
+		if c.Functor == PredEq {
+			if v, ok := c.Args[0].(Variable); ok && IsGround(c.Args[1]) {
+				eqs.Bind(v, c.Args[1])
+			} else if v, ok := c.Args[1].(Variable); ok && IsGround(c.Args[0]) {
+				eqs.Bind(v, c.Args[0])
+			}
+		}
+	}
+	// Variables still free in the hypothesized facts stand for
+	// arbitrary-but-specific data values; skolemize them so a denial
+	// cannot fire by merely unifying them with a forbidden constant.
+	skolems := NewSubst()
+	skolemize := func(t Term) Term {
+		for _, v := range Vars(eqs.Resolve(t), nil) {
+			if _, done := skolems[v.Name]; !done {
+				skolems.Bind(v, Comp("$sk", Str(v.Name)))
+			}
+		}
+		return skolems.Resolve(eqs.Resolve(t))
+	}
+	ext := sv.Program.Clone()
+	for _, a := range sol.Abduced {
+		ext.Add(Clause{Head: skolemize(a).(Compound)})
+	}
+	for _, denial := range sv.Denials {
+		ren := newRenamer(&sv.varCounter)
+		goals := make([]Term, len(denial.Body))
+		for i, g := range denial.Body {
+			goals[i] = ren.rename(g)
+		}
+		sub := &Solver{
+			Program:            ext,
+			CollectConstraints: true, // undecidable comparisons become residue, not errors
+			MaxDepth:           sv.MaxDepth,
+		}
+		proofs, err := sub.Solve(goals...)
+		if err != nil {
+			return false, fmt.Errorf("datalog: checking integrity constraint %s: %w", denial.String(), err)
+		}
+		for _, p := range proofs {
+			if len(p.Constraints) == 0 {
+				return true, nil // definitely provable: violated
+			}
+		}
+	}
+	return false, nil
+}
+
+// solve is the recursive SLD step. It explores clause alternatives in
+// order, cloning the substitution and constraint store at each choice
+// point.
+func (sv *Solver) solve(goals []Term, s Subst, store *ConstraintSet, abduced []Compound, trace []TraceStep, depth int, emit func(Subst, *ConstraintSet, []Compound, []TraceStep) error) error {
+	if len(goals) == 0 {
+		return emit(s, store, abduced, trace)
+	}
+	if depth <= 0 {
+		return ErrDepthExceeded
+	}
+	goal := s.Walk(goals[0])
+	rest := goals[1:]
+
+	var name string
+	var args []Term
+	switch g := goal.(type) {
+	case Atom:
+		name, args = string(g), nil
+	case Compound:
+		name, args = g.Functor, g.Args
+	case Variable:
+		return fmt.Errorf("datalog: unbound goal %s", g.Name)
+	default:
+		return fmt.Errorf("datalog: goal %s is not callable", goal.String())
+	}
+
+	if handled, err := sv.builtin(name, args, rest, s, store, abduced, trace, depth, emit); handled {
+		return err
+	}
+
+	arity := len(args)
+	clauses := sv.Program.Clauses(name, arity)
+	for ci, cl := range clauses {
+		ren := newRenamer(&sv.varCounter)
+		head := ren.rename(cl.Head).(Compound)
+		s2 := s.Clone()
+		if !Unify(Compound{Functor: name, Args: args}, head, s2) {
+			continue
+		}
+		body := make([]Term, 0, len(cl.Body)+len(rest))
+		for _, b := range cl.Body {
+			body = append(body, ren.rename(b))
+		}
+		body = append(body, rest...)
+		trace2 := trace
+		if sv.Trace {
+			trace2 = append(append([]TraceStep(nil), trace...), TraceStep{Pred: name, Arity: arity, Clause: ci})
+		}
+		if err := sv.solve(body, s2, store.Clone(), abduced, trace2, depth-1, emit); err != nil {
+			return err
+		}
+	}
+
+	if sv.Abducible != nil && sv.Abducible(name, arity) {
+		atom := Compound{Functor: name, Args: args}
+		return sv.solve(rest, s.Clone(), store.Clone(), append(append([]Compound(nil), abduced...), atom), trace, depth-1, emit)
+	}
+	if len(clauses) == 0 && !IsConstraintPred(name) {
+		// Unknown predicate: fail silently, exactly like an empty relation.
+		return nil
+	}
+	return nil
+}
+
+// builtin dispatches control and comparison builtins. It reports whether
+// the goal was handled.
+func (sv *Solver) builtin(name string, args []Term, rest []Term, s Subst, store *ConstraintSet, abduced []Compound, trace []TraceStep, depth int, emit func(Subst, *ConstraintSet, []Compound, []TraceStep) error) (bool, error) {
+	switch {
+	case name == "true" && len(args) == 0:
+		return true, sv.solve(rest, s, store, abduced, trace, depth-1, emit)
+	case name == "fail" && len(args) == 0:
+		return true, nil
+	case name == "=" && len(args) == 2:
+		s2 := s.Clone()
+		if !Unify(args[0], args[1], s2) {
+			return true, nil
+		}
+		return true, sv.solve(rest, s2, store.Clone(), abduced, trace, depth-1, emit)
+	case name == "is" && len(args) == 2:
+		v, err := Eval(args[1], s)
+		s2 := s.Clone()
+		switch {
+		case err == nil:
+			if !Unify(args[0], Number(v), s2) {
+				return true, nil
+			}
+		case errors.Is(err, ErrNotGround) && sv.CollectConstraints:
+			// Keep the arithmetic symbolic: bind the result variable to
+			// the (simplified) expression itself.
+			if !Unify(args[0], SimplifyExpr(args[1], s), s2) {
+				return true, nil
+			}
+		default:
+			if errors.Is(err, ErrNotGround) {
+				return true, fmt.Errorf("datalog: `is` with unbound operand: %s", s.Resolve(args[1]))
+			}
+			return true, err
+		}
+		return true, sv.solve(rest, s2, store.Clone(), abduced, trace, depth-1, emit)
+	case name == "not" && len(args) == 1:
+		sub := &Solver{Program: sv.Program, Abducible: nil, CollectConstraints: false, MaxDepth: depth - 1, MaxSolutions: 1}
+		sols, err := sub.Solve(s.Resolve(args[0]))
+		if err != nil {
+			return true, err
+		}
+		if len(sols) > 0 {
+			return true, nil
+		}
+		return true, sv.solve(rest, s, store, abduced, trace, depth-1, emit)
+	}
+
+	if pred, ok := comparePred(name); ok && len(args) == 2 {
+		return true, sv.compare(pred, args[0], args[1], rest, s, store, abduced, trace, depth, emit)
+	}
+	if IsConstraintPred(name) && len(args) == 2 {
+		return true, sv.compare(name, args[0], args[1], rest, s, store, abduced, trace, depth, emit)
+	}
+	return false, nil
+}
+
+// comparePred maps surface comparison operators to constraint predicates.
+func comparePred(name string) (string, bool) {
+	switch name {
+	case "\\=":
+		return PredNeq, true
+	case "<":
+		return PredLt, true
+	case ">":
+		return PredGt, true
+	case "=<", "<=":
+		return PredLe, true
+	case ">=":
+		return PredGe, true
+	}
+	return "", false
+}
+
+// compare evaluates a comparison goal. Decidable comparisons are decided;
+// in constraint-collection mode undecidable ones are stored, otherwise they
+// are an error (unbound comparison in ground evaluation is a program bug).
+func (sv *Solver) compare(pred string, a, b Term, rest []Term, s Subst, store *ConstraintSet, abduced []Compound, trace []TraceStep, depth int, emit func(Subst, *ConstraintSet, []Compound, []TraceStep) error) error {
+	ra, rb := SimplifyExpr(a, s), SimplifyExpr(b, s)
+	switch decideGround(pred, ra, rb) {
+	case decTrue:
+		return sv.solve(rest, s, store, abduced, trace, depth-1, emit)
+	case decFalse:
+		return nil
+	}
+	if !sv.CollectConstraints {
+		return fmt.Errorf("datalog: comparison %s(%s, %s) over non-ground terms in ground evaluation mode", pred, ra, rb)
+	}
+	st2 := store.Clone()
+	if !st2.Add(pred, ra, rb, s) {
+		return nil
+	}
+	return sv.solve(rest, s.Clone(), st2, abduced, trace, depth-1, emit)
+}
+
+// SolveAll is a convenience for ground fact querying: it returns, for each
+// solution, the resolved instantiation of the pattern term.
+func (sv *Solver) SolveAll(pattern Compound) ([]Compound, error) {
+	sols, err := sv.Solve(pattern)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Compound, 0, len(sols))
+	for _, sol := range sols {
+		inst := instantiate(pattern, sol.Bindings)
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return Compare(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+func instantiate(t Compound, bindings map[string]Term) Compound {
+	s := NewSubst()
+	for k, v := range bindings {
+		s[k] = v
+	}
+	return s.Resolve(t).(Compound)
+}

@@ -1,0 +1,127 @@
+package datalog
+
+// Subst is a substitution: a binding of variable names to terms. Bindings
+// may chain (X -> Y, Y -> 3); Walk and Resolve follow chains.
+//
+// Substitutions are persistent in spirit but implemented as mutable maps
+// that the solver clones at choice points; clause bodies are small, so the
+// copying cost is dominated by unification itself.
+type Subst map[string]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return Subst{} }
+
+// Clone returns an independent copy of s.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s)+4)
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Walk dereferences t one level at a time until it is not a bound variable.
+// Compound arguments are not resolved; use Resolve for a deep rewrite.
+func (s Subst) Walk(t Term) Term {
+	for {
+		v, ok := t.(Variable)
+		if !ok {
+			return t
+		}
+		b, ok := s[v.Name]
+		if !ok {
+			return t
+		}
+		t = b
+	}
+}
+
+// Resolve rewrites t, replacing every bound variable with its binding,
+// recursively. Unbound variables remain.
+func (s Subst) Resolve(t Term) Term {
+	t = s.Walk(t)
+	c, ok := t.(Compound)
+	if !ok {
+		return t
+	}
+	args := make([]Term, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = s.Resolve(a)
+	}
+	return Compound{Functor: c.Functor, Args: args}
+}
+
+// Bind records v -> t. It does not check for cycles; Unify performs the
+// occurs check when enabled.
+func (s Subst) Bind(v Variable, t Term) {
+	s[v.Name] = t
+}
+
+// Unify attempts to unify a and b under s, mutating s in place. It returns
+// false (with s possibly partially extended) on failure; callers that need
+// backtracking must clone first. The occurs check is always on: mediation
+// rewrites terms into SQL, where cyclic terms would be fatal, and the
+// clause bodies are small enough that the cost is negligible.
+func Unify(a, b Term, s Subst) bool {
+	a, b = s.Walk(a), s.Walk(b)
+	if av, ok := a.(Variable); ok {
+		if bv, ok := b.(Variable); ok && av.Name == bv.Name {
+			return true
+		}
+		if occurs(av, b, s) {
+			return false
+		}
+		s.Bind(av, b)
+		return true
+	}
+	if bv, ok := b.(Variable); ok {
+		if occurs(bv, a, s) {
+			return false
+		}
+		s.Bind(bv, a)
+		return true
+	}
+	switch a := a.(type) {
+	case Atom:
+		b, ok := b.(Atom)
+		return ok && a == b
+	case Number:
+		b, ok := b.(Number)
+		return ok && a == b
+	case Str:
+		b, ok := b.(Str)
+		return ok && a == b
+	case Compound:
+		b, ok := b.(Compound)
+		if !ok || a.Functor != b.Functor || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !Unify(a.Args[i], b.Args[i], s) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func occurs(v Variable, t Term, s Subst) bool {
+	t = s.Walk(t)
+	switch t := t.(type) {
+	case Variable:
+		return t.Name == v.Name
+	case Compound:
+		for _, a := range t.Args {
+			if occurs(v, a, s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Unifiable reports whether a and b unify, without disturbing s.
+func Unifiable(a, b Term, s Subst) bool {
+	return Unify(a, b, s.Clone())
+}

@@ -1,0 +1,314 @@
+// Package datalog implements the logic-inference substrate of the COIN
+// mediator: first-order terms, unification, a clause store, an SLD
+// resolution engine, and — crucially for context mediation — an abductive
+// procedure in the style of Kakas, Kowalski and Toni ("Abductive logic
+// programming", J. Logic and Computation, 1993) with a constraint store for
+// (dis)equalities and order comparisons over data values that are unknown
+// at mediation time.
+//
+// The package is deliberately self-contained (stdlib only): the paper's
+// prototype used a Prolog system (ECLiPSe) as its inference engine, and the
+// Go ecosystem offers no equivalent, so this package is that substrate
+// built from scratch.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Term is a first-order term: a Variable, Atom, Number, Str, or Compound.
+type Term interface {
+	// String renders the term in Prolog-ish concrete syntax.
+	String() string
+	isTerm()
+}
+
+// Variable is a logic variable, identified by name. Names beginning with
+// "_G" are reserved for machine-generated fresh variables.
+type Variable struct {
+	Name string
+}
+
+// Atom is a symbolic constant such as usd or r1.
+type Atom string
+
+// Number is a numeric constant. All arithmetic in the engine is done in
+// float64; the mediator's monetary examples stay well within exact range.
+type Number float64
+
+// Str is a string constant, distinct from Atom so that SQL string literals
+// survive round-trips without case or quoting ambiguity.
+type Str string
+
+// Compound is a functor applied to one or more arguments, e.g.
+// rate(usd, jpy, R) or mul(X, Y).
+type Compound struct {
+	Functor string
+	Args    []Term
+}
+
+func (Variable) isTerm() {}
+func (Atom) isTerm()     {}
+func (Number) isTerm()   {}
+func (Str) isTerm()      {}
+func (Compound) isTerm() {}
+
+func (v Variable) String() string { return v.Name }
+
+// String renders the atom, quoting it unless it is a plain lowercase
+// identifier (anything else — capitals, digits-first, symbols — would
+// re-lex as a variable, number or operator).
+func (a Atom) String() string {
+	s := string(a)
+	if isPlainAtom(s) {
+		return s
+	}
+	return "'" + strings.NewReplacer(`\`, `\\`, `'`, `\'`).Replace(s) + "'"
+}
+
+func isPlainAtom(s string) bool {
+	if len(s) == 0 || !(s[0] >= 'a' && s[0] <= 'z') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_') {
+			return false
+		}
+	}
+	return true
+}
+
+func (n Number) String() string {
+	return strconv.FormatFloat(float64(n), 'g', -1, 64)
+}
+
+// String renders the string with the same minimal escaping the lexer
+// understands (backslash and the quote character only; other bytes pass
+// through raw), so printing and parsing are exact inverses.
+func (s Str) String() string {
+	return `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(string(s)) + `"`
+}
+
+// infixOps maps functors that render infix to their surface spelling and
+// precedence level (higher binds tighter). Levels match the parser.
+var infixOps = map[string]struct {
+	op    string
+	level int
+}{
+	"=": {"=", 0}, "\\=": {"\\=", 0}, "<": {"<", 0}, ">": {">", 0},
+	"=<": {"=<", 0}, ">=": {">=", 0}, "is": {"is", 0},
+	FuncAdd: {"+", 1}, FuncSub: {"-", 1},
+	FuncMul: {"*", 2}, FuncDiv: {"/", 2},
+}
+
+func (c Compound) String() string { return c.render(-1) }
+
+// render prints the compound, parenthesizing when its operator binds no
+// tighter than the enclosing context.
+func (c Compound) render(outer int) string {
+	if info, ok := infixOps[c.Functor]; ok && len(c.Args) == 2 {
+		l := renderOperand(c.Args[0], info.level-1) // left-assoc: same level OK on the left
+		r := renderOperand(c.Args[1], info.level)
+		s := l + " " + info.op + " " + r
+		if info.level <= outer {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	if c.Functor == FuncNeg && len(c.Args) == 1 {
+		return "-" + renderOperand(c.Args[0], 2)
+	}
+	if len(c.Args) == 0 {
+		return Atom(c.Functor).String() // zero-arity: bare atom syntax
+	}
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return Atom(c.Functor).String() + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func renderOperand(t Term, outer int) string {
+	if c, ok := t.(Compound); ok {
+		return c.render(outer)
+	}
+	return t.String()
+}
+
+// NewVar returns a Variable with the given name.
+func NewVar(name string) Variable { return Variable{Name: name} }
+
+// Comp builds a Compound term.
+func Comp(functor string, args ...Term) Compound {
+	return Compound{Functor: functor, Args: args}
+}
+
+// IsGround reports whether t contains no variables.
+func IsGround(t Term) bool {
+	switch t := t.(type) {
+	case Variable:
+		return false
+	case Compound:
+		for _, a := range t.Args {
+			if !IsGround(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Vars appends the variables occurring in t to dst, left to right, with
+// duplicates, and returns the extended slice.
+func Vars(t Term, dst []Variable) []Variable {
+	switch t := t.(type) {
+	case Variable:
+		return append(dst, t)
+	case Compound:
+		for _, a := range t.Args {
+			dst = Vars(a, dst)
+		}
+	}
+	return dst
+}
+
+// VarSet returns the distinct variable names occurring in t, sorted.
+func VarSet(t Term) []string {
+	seen := map[string]bool{}
+	for _, v := range Vars(t, nil) {
+		seen[v.Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports structural equality of two terms (variables equal iff their
+// names are equal).
+func Equal(a, b Term) bool {
+	switch a := a.(type) {
+	case Variable:
+		b, ok := b.(Variable)
+		return ok && a.Name == b.Name
+	case Atom:
+		b, ok := b.(Atom)
+		return ok && a == b
+	case Number:
+		b, ok := b.(Number)
+		return ok && a == b
+	case Str:
+		b, ok := b.(Str)
+		return ok && a == b
+	case Compound:
+		b, ok := b.(Compound)
+		if !ok || a.Functor != b.Functor || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !Equal(a.Args[i], b.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders terms: Number < Str < Atom < Variable < Compound, with
+// natural ordering within each kind. It gives a deterministic order for
+// canonicalizing constraint sets and test output.
+func Compare(a, b Term) int {
+	ra, rb := termRank(a), termRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch a := a.(type) {
+	case Number:
+		b := b.(Number)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case Str:
+		return strings.Compare(string(a), string(b.(Str)))
+	case Atom:
+		return strings.Compare(string(a), string(b.(Atom)))
+	case Variable:
+		return strings.Compare(a.Name, b.(Variable).Name)
+	case Compound:
+		b := b.(Compound)
+		if c := strings.Compare(a.Functor, b.Functor); c != 0 {
+			return c
+		}
+		if c := len(a.Args) - len(b.Args); c != 0 {
+			return c
+		}
+		for i := range a.Args {
+			if c := Compare(a.Args[i], b.Args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	return 0
+}
+
+func termRank(t Term) int {
+	switch t.(type) {
+	case Number:
+		return 0
+	case Str:
+		return 1
+	case Atom:
+		return 2
+	case Variable:
+		return 3
+	case Compound:
+		return 4
+	}
+	return 5
+}
+
+// renamer rewrites variable names to fresh ones, consistently within one
+// clause instance.
+type renamer struct {
+	counter *int
+	mapping map[string]Variable
+}
+
+func newRenamer(counter *int) *renamer {
+	return &renamer{counter: counter, mapping: map[string]Variable{}}
+}
+
+func (r *renamer) rename(t Term) Term {
+	switch t := t.(type) {
+	case Variable:
+		if v, ok := r.mapping[t.Name]; ok {
+			return v
+		}
+		*r.counter++
+		v := Variable{Name: fmt.Sprintf("_G%d", *r.counter)}
+		r.mapping[t.Name] = v
+		return v
+	case Compound:
+		args := make([]Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = r.rename(a)
+		}
+		return Compound{Functor: t.Functor, Args: args}
+	default:
+		return t
+	}
+}

@@ -1,0 +1,59 @@
+package domain
+
+import "fmt"
+
+// ElevatedColumn identifies one source column with a semantic type from
+// the domain model.
+type ElevatedColumn struct {
+	Column  string
+	SemType string
+}
+
+// Elevation is the set of elevation axioms for one source relation: it
+// names the context the relation's data lives in and maps its columns to
+// semantic types. Columns without an entry elevate to a plain type with no
+// modifiers (no conversion ever applies to them).
+type Elevation struct {
+	Relation string
+	Context  string
+	Columns  []ElevatedColumn
+}
+
+// SemTypeOf returns the semantic type of a column, or "" when the column
+// is not elevated.
+func (e *Elevation) SemTypeOf(column string) string {
+	for _, c := range e.Columns {
+		if c.Column == column {
+			return c.SemType
+		}
+	}
+	return ""
+}
+
+func (e *Elevation) validate() error {
+	if e.Relation == "" {
+		return fmt.Errorf("domain: elevation needs a relation name")
+	}
+	if e.Context == "" {
+		return fmt.Errorf("domain: elevation for %s needs a context", e.Relation)
+	}
+	seen := map[string]bool{}
+	for _, c := range e.Columns {
+		if c.Column == "" || c.SemType == "" {
+			return fmt.Errorf("domain: elevation for %s: empty column or type", e.Relation)
+		}
+		if seen[c.Column] {
+			return fmt.Errorf("domain: elevation for %s: column %s elevated twice", e.Relation, c.Column)
+		}
+		seen[c.Column] = true
+	}
+	return nil
+}
+
+// Ancillary maps a conversion-support predicate (e.g. rate/3 used by the
+// currency conversion) to a source relation whose columns provide the
+// predicate's arguments in schema order (e.g. r3(fromCur, toCur, rate)).
+type Ancillary struct {
+	Pred     string
+	Relation string
+}

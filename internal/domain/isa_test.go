@@ -1,0 +1,89 @@
+package domain
+
+import (
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/relalg"
+)
+
+// TestISAHierarchyEndToEnd: a semantic type inheriting modifiers from its
+// parent converts through the full inherited chain (parent's modifiers
+// first, per ModifiersOf).
+func TestISAHierarchyEndToEnd(t *testing.T) {
+	m := NewModel()
+	m.MustAddType(&SemType{Name: "measure", Modifiers: []string{"scaleFactor"}})
+	m.MustAddType(&SemType{Name: "money", Parent: "measure", Modifiers: []string{"currency"}})
+	m.MustAddConversion(RatioConversion("scaleFactor"))
+	m.MustAddConversion(LookupConversion("currency", "rate"))
+
+	reg := NewRegistry(m)
+	src := NewContext("src")
+	if err := src.DeclareConst("money", "scaleFactor", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.DeclareConst("money", "currency", "JPY"); err != nil {
+		t.Fatal(err)
+	}
+	reg.MustAddContext(src)
+	recv := NewContext("recv")
+	if err := recv.DeclareConst("money", "scaleFactor", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.DeclareConst("money", "currency", "USD"); err != nil {
+		t.Fatal(err)
+	}
+	reg.MustAddContext(recv)
+
+	schema := relalg.NewSchema(
+		relalg.Column{Name: "amount", Type: relalg.KindNumber},
+	)
+	reg.MustRegisterRelation("acct", schema, &Elevation{
+		Relation: "acct",
+		Context:  "src",
+		Columns:  []ElevatedColumn{{Column: "amount", SemType: "money"}},
+	})
+	reg.MustRegisterRelation("rates", relalg.NewSchema(
+		relalg.Column{Name: "f", Type: relalg.KindString},
+		relalg.Column{Name: "t", Type: relalg.KindString},
+		relalg.Column{Name: "r", Type: relalg.KindNumber},
+	), nil)
+	reg.MustAddAncillary("rate", "rates")
+
+	prog, err := reg.Compile("recv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solve the sem predicate directly: amount 5 (thousands of JPY) into
+	// USD must be 5 * 1000 / 1 * Rate — i.e. a symbolic product over the
+	// abduced rate, with the scale applied first.
+	sv := &datalog.Solver{
+		Program:            prog,
+		Abducible:          reg.IsAbducible,
+		CollectConstraints: true,
+	}
+	goal := datalog.Comp(SemPred("recv", "acct", "amount"), datalog.Number(5), datalog.NewVar("V"))
+	sols, err := sv.Solve(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("cases = %d (constant contexts: exactly one)", len(sols))
+	}
+	v := sols[0].Bindings["V"].String()
+	if v != "5000 * _G1" && v != "5000 * R" && !contains5000Times(v) {
+		t.Errorf("converted value = %s, want 5000 * <rate>", v)
+	}
+	// The rate lookup was abduced against the ancillary relation.
+	if len(sols[0].Abduced) != 1 || sols[0].Abduced[0].Functor != "rel_rates" {
+		t.Errorf("abduced = %v", sols[0].Abduced)
+	}
+	if !datalog.Equal(sols[0].Abduced[0].Args[0], datalog.Str("JPY")) ||
+		!datalog.Equal(sols[0].Abduced[0].Args[1], datalog.Str("USD")) {
+		t.Errorf("rate atom = %v", sols[0].Abduced[0])
+	}
+}
+
+func contains5000Times(s string) bool {
+	return len(s) > 5 && s[:5] == "5000 "
+}

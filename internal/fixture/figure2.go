@@ -1,0 +1,317 @@
+// Package fixture builds the paper's running example (Figure 2) and the
+// synthetic workloads of the benchmark harness, shared by tests, benches
+// and examples: the relations R1 and R2, the currency-exchange Web source
+// R3, the contexts c1 and c2, the domain model with companyFinancials and
+// its scaleFactor/currency modifiers, and generators that scale the same
+// shape up (more rows, more contexts, more modifiers) for the E4/E5
+// experiments.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datalog"
+	"repro/internal/domain"
+	"repro/internal/relalg"
+	"repro/internal/store"
+)
+
+// Paper's Figure 2 constants.
+const (
+	// RateJPYToUSD is the JPY→USD conversion rate implied by the paper's
+	// answer: 9,600,000 USD = 1,000,000 × 1000 × 0.0096.
+	RateJPYToUSD = 0.0096
+	// RateUSDToJPY is the USD→JPY rate shown on the Web source (104.00).
+	RateUSDToJPY = 104.00
+)
+
+// R1Schema is the schema of relation R1 in source 1 (context c1).
+func R1Schema() relalg.Schema {
+	return relalg.NewSchema(
+		relalg.Column{Name: "cname", Type: relalg.KindString},
+		relalg.Column{Name: "revenue", Type: relalg.KindNumber},
+		relalg.Column{Name: "currency", Type: relalg.KindString},
+	)
+}
+
+// R2Schema is the schema of relation R2 in source 2 (context c2).
+func R2Schema() relalg.Schema {
+	return relalg.NewSchema(
+		relalg.Column{Name: "cname", Type: relalg.KindString},
+		relalg.Column{Name: "expenses", Type: relalg.KindNumber},
+	)
+}
+
+// R3Schema is the schema of the ancillary currency-exchange Web source.
+func R3Schema() relalg.Schema {
+	return relalg.NewSchema(
+		relalg.Column{Name: "fromCur", Type: relalg.KindString},
+		relalg.Column{Name: "toCur", Type: relalg.KindString},
+		relalg.Column{Name: "rate", Type: relalg.KindNumber},
+	)
+}
+
+// R1Data returns Figure 2's R1 rows. The available scan of the paper is
+// OCR-garbled for the figure; the values here are reconstructed from the
+// worked arithmetic in Section 3, which is unambiguous: NTT's revenue is
+// 1,000,000 (JPY, scale 1000), since "9,600,000 USD = 1,000,000 x 1,000 x
+// 0.0096".
+func R1Data() *relalg.Relation {
+	r := relalg.NewRelation("r1", R1Schema())
+	r.MustAdd(relalg.StrV("IBM"), relalg.NumV(100000000), relalg.StrV("USD"))
+	r.MustAdd(relalg.StrV("NTT"), relalg.NumV(1000000), relalg.StrV("JPY"))
+	return r
+}
+
+// R2Data returns Figure 2's R2 rows. The paper states the correct answer
+// "consists only of the tuple <'NTT' 9 600 000>", so IBM's expenses must
+// exceed its 100,000,000 USD revenue; the OCR's "1500000" lost digits and
+// is reconstructed as 150,000,000.
+func R2Data() *relalg.Relation {
+	r := relalg.NewRelation("r2", R2Schema())
+	r.MustAdd(relalg.StrV("IBM"), relalg.NumV(150000000))
+	r.MustAdd(relalg.StrV("NTT"), relalg.NumV(5000000))
+	return r
+}
+
+// R3Data returns the currency-exchange rates the example needs, both
+// directions for USD/JPY plus a couple of extra currencies so the "other"
+// branch of the mediated query is exercised by tests.
+func R3Data() *relalg.Relation {
+	r := relalg.NewRelation("r3", R3Schema())
+	r.MustAdd(relalg.StrV("JPY"), relalg.StrV("USD"), relalg.NumV(RateJPYToUSD))
+	r.MustAdd(relalg.StrV("USD"), relalg.StrV("JPY"), relalg.NumV(RateUSDToJPY))
+	r.MustAdd(relalg.StrV("EUR"), relalg.StrV("USD"), relalg.NumV(1.10))
+	r.MustAdd(relalg.StrV("GBP"), relalg.StrV("USD"), relalg.NumV(1.55))
+	return r
+}
+
+// Model builds the domain model of the example.
+func Model() *domain.Model {
+	m := domain.NewModel()
+	m.MustAddType(&domain.SemType{Name: "companyName"})
+	m.MustAddType(&domain.SemType{Name: "currencyType"})
+	m.MustAddType(&domain.SemType{Name: "exchangeRate"})
+	m.MustAddType(&domain.SemType{Name: "companyFinancials", Modifiers: []string{"scaleFactor", "currency"}})
+	m.MustAddConversion(domain.RatioConversion("scaleFactor"))
+	m.MustAddConversion(domain.LookupConversion("currency", "rate"))
+	return m
+}
+
+// ContextC1 builds source 1's context: financials use the currency named
+// by the tuple's currency attribute, scale factor 1000 for JPY and 1
+// otherwise.
+func ContextC1() *domain.Context {
+	c1 := domain.NewContext("c1")
+	c1.MustDeclare(&domain.ModifierDecl{
+		SemType:  "companyFinancials",
+		Modifier: "scaleFactor",
+		Cases: []domain.Case{
+			{CondModifier: "currency", CondOp: "=", CondValue: datalog.Str("JPY"), Value: domain.ConstSpec(1000)},
+			{Value: domain.ConstSpec(1)},
+		},
+	})
+	c1.MustDeclare(&domain.ModifierDecl{
+		SemType:  "companyFinancials",
+		Modifier: "currency",
+		Cases:    []domain.Case{{Value: domain.AttrSpec("currency")}},
+	})
+	return c1
+}
+
+// ContextC2 builds source 2's (and the receiver's) context: USD, scale 1.
+func ContextC2() *domain.Context {
+	c2 := domain.NewContext("c2")
+	if err := c2.DeclareConst("companyFinancials", "scaleFactor", 1); err != nil {
+		panic(err)
+	}
+	if err := c2.DeclareConst("companyFinancials", "currency", "USD"); err != nil {
+		panic(err)
+	}
+	return c2
+}
+
+// Registry assembles the complete Figure 2 knowledge base.
+func Registry() *domain.Registry {
+	reg := domain.NewRegistry(Model())
+	reg.MustAddContext(ContextC1())
+	reg.MustAddContext(ContextC2())
+	reg.MustRegisterRelation("r1", R1Schema(), &domain.Elevation{
+		Relation: "r1",
+		Context:  "c1",
+		Columns: []domain.ElevatedColumn{
+			{Column: "cname", SemType: "companyName"},
+			{Column: "revenue", SemType: "companyFinancials"},
+		},
+	})
+	reg.MustRegisterRelation("r2", R2Schema(), &domain.Elevation{
+		Relation: "r2",
+		Context:  "c2",
+		Columns: []domain.ElevatedColumn{
+			{Column: "cname", SemType: "companyName"},
+			{Column: "expenses", SemType: "companyFinancials"},
+		},
+	})
+	reg.MustRegisterRelation("r3", R3Schema(), nil)
+	reg.MustAddAncillary("rate", "r3")
+	return reg
+}
+
+// Databases materializes the three sources as in-memory databases keyed by
+// source name, with Figure 2's rows.
+func Databases() map[string]*store.DB {
+	src1 := store.NewDB("source1")
+	t1 := src1.MustCreateTable("r1", R1Schema())
+	for _, row := range R1Data().Tuples {
+		if err := t1.Insert(row); err != nil {
+			panic(err)
+		}
+	}
+	src2 := store.NewDB("source2")
+	t2 := src2.MustCreateTable("r2", R2Schema())
+	for _, row := range R2Data().Tuples {
+		if err := t2.Insert(row); err != nil {
+			panic(err)
+		}
+	}
+	web := store.NewDB("currencyweb")
+	t3 := web.MustCreateTable("r3", R3Schema())
+	for _, row := range R3Data().Tuples {
+		if err := t3.Insert(row); err != nil {
+			panic(err)
+		}
+	}
+	return map[string]*store.DB{"source1": src1, "source2": src2, "currencyweb": web}
+}
+
+// PaperQ1 is the query of Section 3 verbatim (rl aliases r1 in the paper's
+// typography; we register the relation under both spellings via FROM
+// aliasing).
+const PaperQ1 = `
+SELECT rl.cname, rl.revenue FROM r1 rl, r2
+WHERE rl.cname = r2.cname
+AND rl.revenue > r2.expenses`
+
+// ScaledWorkload generates a randomized workload of the Figure 2 shape
+// with n companies: R1 rows spread over the given currencies, consistent
+// R2 expenses, and a complete rate table into USD. The returned oracle
+// function computes the correct receiver-context answer directly in Go,
+// for equivalence testing against the mediated query.
+type ScaledWorkload struct {
+	R1, R2, R3 *relalg.Relation
+	// Expected holds the correct answer rows (cname, revenue in USD scale
+	// 1), sorted by company name, for "revenue > expenses" in context c2.
+	Expected *relalg.Relation
+}
+
+// NewScaledWorkload builds a ScaledWorkload with n companies using the
+// given random seed.
+func NewScaledWorkload(n int, seed int64) *ScaledWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	currencies := []string{"USD", "JPY", "EUR", "GBP"}
+	rates := map[string]float64{"JPY": RateJPYToUSD, "EUR": 1.10, "GBP": 1.55}
+
+	w := &ScaledWorkload{
+		R1: relalg.NewRelation("r1", R1Schema()),
+		R2: relalg.NewRelation("r2", R2Schema()),
+		R3: R3Data(),
+		Expected: relalg.NewRelation("expected", relalg.NewSchema(
+			relalg.Column{Name: "cname", Type: relalg.KindString},
+			relalg.Column{Name: "revenue", Type: relalg.KindNumber},
+		)),
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("CO%04d", i)
+		cur := currencies[rng.Intn(len(currencies))]
+		revRaw := float64(rng.Intn(1_000_000) + 1)
+		expenses := float64(rng.Intn(2_000_000) + 1)
+		w.R1.MustAdd(relalg.StrV(name), relalg.NumV(revRaw), relalg.StrV(cur))
+		w.R2.MustAdd(relalg.StrV(name), relalg.NumV(expenses))
+
+		revUSD := revRaw
+		if cur == "JPY" {
+			revUSD = revRaw * 1000 * rates["JPY"]
+		} else if cur != "USD" {
+			revUSD = revRaw * rates[cur]
+		}
+		if revUSD > expenses {
+			w.Expected.MustAdd(relalg.StrV(name), relalg.NumV(revUSD))
+		}
+	}
+	return w
+}
+
+// WideRegistry builds a registry with extraSources additional registered
+// relations (each in its own context, same shape as r1) beyond the Figure
+// 2 three. The E4 experiment uses it to show mediation cost is governed by
+// the sources a query touches, not by how many are registered.
+func WideRegistry(extraSources int) *domain.Registry {
+	reg := Registry()
+	for i := 0; i < extraSources; i++ {
+		name := fmt.Sprintf("extra%03d", i)
+		ctx := domain.NewContext("ctx_" + name)
+		if err := ctx.DeclareConst("companyFinancials", "scaleFactor", 1000); err != nil {
+			panic(err)
+		}
+		if err := ctx.DeclareConst("companyFinancials", "currency", "EUR"); err != nil {
+			panic(err)
+		}
+		reg.MustAddContext(ctx)
+		reg.MustRegisterRelation(name, R1Schema(), &domain.Elevation{
+			Relation: name,
+			Context:  ctx.Name,
+			Columns: []domain.ElevatedColumn{
+				{Column: "cname", SemType: "companyName"},
+				{Column: "revenue", SemType: "companyFinancials"},
+			},
+		})
+	}
+	return reg
+}
+
+// ConflictRegistry builds a registry whose single relation has a value
+// column with m independent two-way conditional modifiers, so mediating a
+// query over it yields 2^m branches. The E5 experiment sweeps m.
+func ConflictRegistry(m int) *domain.Registry {
+	model := domain.NewModel()
+	model.MustAddType(&domain.SemType{Name: "flagType"})
+	mods := make([]string, m)
+	for i := range mods {
+		mods[i] = fmt.Sprintf("mod%d", i)
+		model.MustAddConversion(domain.RatioConversion(mods[i]))
+	}
+	model.MustAddType(&domain.SemType{Name: "measure", Modifiers: mods})
+
+	// The relation has one value column and one flag column per modifier;
+	// each modifier's value is conditional on its own flag attribute, so
+	// the case splits are independent and the branch count is 2^m.
+	cols := []relalg.Column{{Name: "id", Type: relalg.KindString}, {Name: "val", Type: relalg.KindNumber}}
+	elev := []domain.ElevatedColumn{{Column: "val", SemType: "measure"}}
+	src := domain.NewContext("src")
+	recv := domain.NewContext("recv")
+	for i := 0; i < m; i++ {
+		flagCol := fmt.Sprintf("flag%d", i)
+		cols = append(cols, relalg.Column{Name: flagCol, Type: relalg.KindString})
+		src.MustDeclare(&domain.ModifierDecl{
+			SemType:  "measure",
+			Modifier: mods[i],
+			Cases: []domain.Case{
+				{CondAttribute: flagCol, CondOp: "=", CondValue: datalog.Str("K"), Value: domain.ConstSpec(1000)},
+				{Value: domain.ConstSpec(1)},
+			},
+		})
+		if err := recv.DeclareConst("measure", mods[i], 1); err != nil {
+			panic(err)
+		}
+	}
+	reg := domain.NewRegistry(model)
+	reg.MustAddContext(src)
+	reg.MustAddContext(recv)
+	reg.MustRegisterRelation("wide", relalg.Schema{Columns: cols}, &domain.Elevation{
+		Relation: "wide",
+		Context:  "src",
+		Columns:  elev,
+	})
+	return reg
+}

@@ -1,0 +1,434 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/relalg"
+	"repro/internal/sqlparse"
+	"repro/internal/wrapper"
+)
+
+// Selectivity guesses used by the cost model.
+const (
+	selEq    = 0.1
+	selRange = 0.4
+	selNeq   = 0.9
+	selJoin  = 0.1
+)
+
+// Plan builds the capability- and cost-aware plan for one SELECT block:
+// it classifies predicates (pushable filter / local filter / join key /
+// residual), then greedily orders source accesses, admitting a relation
+// only once its required bindings can be fed by constants or by columns
+// of relations already placed (a bind join), and preferring the cheapest
+// feasible access at each step.
+func (e *Executor) Plan(sel *sqlparse.Select) (*BranchPlan, error) {
+	type bindingCtx struct {
+		name, relation string
+		schema         relalg.Schema
+		caps           wrapper.Capabilities
+		w              wrapper.Wrapper
+	}
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("planner: query has no FROM clause")
+	}
+	bindings := make([]*bindingCtx, 0, len(sel.From))
+	byName := map[string]*bindingCtx{}
+	for _, ref := range sel.From {
+		w, err := e.Catalog.WrapperFor(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := w.Schema(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		caps, err := w.Capabilities(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		b := &bindingCtx{name: ref.Binding(), relation: ref.Table, schema: schema, caps: caps, w: w}
+		if byName[b.name] != nil {
+			return nil, fmt.Errorf("planner: duplicate binding %s", b.name)
+		}
+		bindings = append(bindings, b)
+		byName[b.name] = b
+	}
+
+	// resolve maps a column reference onto (binding, plain column).
+	resolve := func(c *sqlparse.ColRef) (*bindingCtx, string, error) {
+		if c.Table != "" {
+			b := byName[c.Table]
+			if b == nil {
+				return nil, "", fmt.Errorf("planner: no binding %s for %s", c.Table, c)
+			}
+			idx := b.schema.Index(c.Column)
+			if idx < 0 {
+				return nil, "", fmt.Errorf("planner: %s has no column %s", b.relation, c.Column)
+			}
+			return b, b.schema.Columns[idx].Name, nil
+		}
+		var found *bindingCtx
+		col := ""
+		for _, b := range bindings {
+			if idx := b.schema.Index(c.Column); idx >= 0 {
+				if found != nil {
+					return nil, "", fmt.Errorf("planner: column %s is ambiguous", c.Column)
+				}
+				found, col = b, b.schema.Columns[idx].Name
+			}
+		}
+		if found == nil {
+			return nil, "", fmt.Errorf("planner: unknown column %s", c.Column)
+		}
+		return found, col, nil
+	}
+
+	// predBindings returns the set of bindings a predicate mentions.
+	predBindings := func(p sqlparse.Expr) (map[string]bool, error) {
+		out := map[string]bool{}
+		for _, c := range sqlparse.ColumnsOf(p) {
+			b, _, err := resolve(c)
+			if err != nil {
+				return nil, err
+			}
+			out[b.name] = true
+		}
+		return out, nil
+	}
+
+	// Classify WHERE conjuncts.
+	type joinPred struct {
+		a, b       *bindingCtx
+		aCol, bCol string
+		expr       sqlparse.Expr
+	}
+	filters := map[string][]wrapper.Filter{}   // binding -> simple filters
+	localPreds := map[string][]sqlparse.Expr{} // binding -> complex single-binding preds
+	var joins []joinPred
+	type residual struct {
+		expr  sqlparse.Expr
+		binds map[string]bool
+	}
+	var residuals []residual
+
+	for _, p := range sqlparse.Conjuncts(sel.Where) {
+		if f, b, ok, err := simpleFilter(p, resolve); err != nil {
+			return nil, err
+		} else if ok {
+			filters[b.name] = append(filters[b.name], f)
+			continue
+		}
+		if jp, ok, err := equiJoin(p, resolve); err != nil {
+			return nil, err
+		} else if ok {
+			joins = append(joins, joinPred{a: jp.a, b: jp.b, aCol: jp.aCol, bCol: jp.bCol, expr: p})
+			continue
+		}
+		bs, err := predBindings(p)
+		if err != nil {
+			return nil, err
+		}
+		if len(bs) == 1 {
+			for name := range bs {
+				localPreds[name] = append(localPreds[name], p)
+			}
+			continue
+		}
+		residuals = append(residuals, residual{expr: p, binds: bs})
+	}
+
+	// Greedy ordering.
+	plan := &BranchPlan{Limit: sel.Limit, Distinct: sel.Distinct, OrderBy: sel.OrderBy, Items: sel.Items}
+	placed := map[string]bool{}
+	placedCols := map[string]string{} // "binding.col" -> qualified name available
+	curRows := 1.0
+	joinUsed := make([]bool, len(joins))
+	residualDone := make([]bool, len(residuals))
+
+	estimateFetched := func(b *bindingCtx, pushed []wrapper.Filter, bindCount int) float64 {
+		rows := float64(b.w.EstimateRows(b.relation))
+		for _, f := range pushed {
+			switch f.Op {
+			case "=":
+				rows *= selEq
+			case "<>":
+				rows *= selNeq
+			default:
+				rows *= selRange
+			}
+		}
+		for i := 0; i < bindCount; i++ {
+			rows *= selEq
+		}
+		if rows < 1 {
+			rows = 1
+		}
+		return rows
+	}
+
+	for len(plan.Steps) < len(bindings) {
+		type candidate struct {
+			b       *bindingCtx
+			step    PlanStep
+			estRows float64
+			estCost float64
+			fromIdx int
+		}
+		var best *candidate
+		for fi, b := range bindings {
+			if placed[b.name] {
+				continue
+			}
+			// Partition this binding's simple filters into pushed/local.
+			var pushed, local []wrapper.Filter
+			required := map[string]bool{}
+			for _, rc := range b.caps.RequiredBindings {
+				required[rc] = true
+			}
+			for _, f := range filters[b.name] {
+				pushable := b.caps.Selection || (f.Op == "=" && required[f.Column])
+				if e.DisablePushdown && !(f.Op == "=" && required[f.Column]) {
+					pushable = false
+				}
+				if pushable {
+					pushed = append(pushed, f)
+				} else {
+					local = append(local, f)
+				}
+			}
+			// Required bindings not covered by constant filters must come
+			// from join predicates to placed bindings.
+			covered := map[string]bool{}
+			for _, f := range pushed {
+				if f.Op == "=" {
+					covered[f.Column] = true
+				}
+			}
+			var bindJoins []BindPair
+			feasible := true
+			for _, rc := range b.caps.RequiredBindings {
+				if covered[rc] {
+					continue
+				}
+				fed := ""
+				for ji, j := range joins {
+					if joinUsed[ji] {
+						continue
+					}
+					if j.a == b && j.aCol == rc && placed[j.b.name] {
+						fed = j.b.name + "." + j.bCol
+					}
+					if j.b == b && j.bCol == rc && placed[j.a.name] {
+						fed = j.a.name + "." + j.aCol
+					}
+					if fed != "" {
+						break
+					}
+				}
+				if fed == "" {
+					feasible = false
+					break
+				}
+				bindJoins = append(bindJoins, BindPair{Column: rc, FromQualified: fed})
+			}
+			if !feasible {
+				continue
+			}
+			// Join keys to already-placed bindings.
+			var keys []JoinKey
+			for _, j := range joins {
+				switch {
+				case j.a == b && placed[j.b.name]:
+					keys = append(keys, JoinKey{CurQualified: j.b.name + "." + j.bCol, NewColumn: j.aCol})
+				case j.b == b && placed[j.a.name]:
+					keys = append(keys, JoinKey{CurQualified: j.a.name + "." + j.aCol, NewColumn: j.bCol})
+				}
+			}
+
+			numQueries := 1.0
+			if len(bindJoins) > 0 {
+				numQueries = curRows // one query per distinct combination, bounded by current rows
+				if numQueries < 1 {
+					numQueries = 1
+				}
+			}
+			fetched := estimateFetched(b, pushed, len(bindJoins))
+			cost := b.w.Cost().PerQuery*numQueries + b.w.Cost().PerTuple*fetched*numQueries
+			cand := &candidate{
+				b: b,
+				step: PlanStep{
+					Binding:    b.name,
+					Relation:   b.relation,
+					Source:     b.w.Source(),
+					Pushed:     pushed,
+					Local:      local,
+					LocalPreds: localPreds[b.name],
+					BindJoins:  bindJoins,
+					JoinKeys:   keys,
+					EstRows:    fetched,
+					EstCost:    cost,
+				},
+				estRows: fetched,
+				estCost: cost,
+				fromIdx: fi,
+			}
+			if best == nil || cand.estCost < best.estCost ||
+				(cand.estCost == best.estCost && cand.fromIdx < best.fromIdx) {
+				best = cand
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("planner: cannot satisfy required bindings of the remaining relations (no feasible access order)")
+		}
+
+		// Mark join predicates consumed by this step.
+		for ji, j := range joins {
+			if joinUsed[ji] {
+				continue
+			}
+			if (j.a == best.b && placed[j.b.name]) || (j.b == best.b && placed[j.a.name]) {
+				joinUsed[ji] = true
+			}
+		}
+		placed[best.b.name] = true
+		for _, col := range best.b.schema.Columns {
+			placedCols[best.b.name+"."+col.Name] = best.b.name + "." + col.Name
+		}
+		// Residuals whose bindings are now all placed run after this step.
+		for ri, r := range residuals {
+			if residualDone[ri] {
+				continue
+			}
+			all := true
+			for name := range r.binds {
+				if !placed[name] {
+					all = false
+					break
+				}
+			}
+			if all {
+				residualDone[ri] = true
+				best.step.AfterPreds = append(best.step.AfterPreds, r.expr)
+			}
+		}
+
+		// Update the running cardinality estimate.
+		if len(plan.Steps) == 0 {
+			curRows = best.estRows
+		} else {
+			sel := 1.0
+			for range best.step.JoinKeys {
+				sel *= selJoin
+			}
+			curRows = curRows * best.estRows * sel
+			if curRows < 1 {
+				curRows = 1
+			}
+		}
+		plan.EstCost += best.estCost
+		plan.Steps = append(plan.Steps, best.step)
+	}
+	return plan, nil
+}
+
+// simpleFilter recognizes column-op-constant predicates (either side).
+func simpleFilter[T any](p sqlparse.Expr, resolve func(*sqlparse.ColRef) (T, string, error)) (wrapper.Filter, T, bool, error) {
+	var zero T
+	b, ok := p.(*sqlparse.BinaryExpr)
+	if !ok || !isCompare(b.Op) {
+		return wrapper.Filter{}, zero, false, nil
+	}
+	col, isColL := b.L.(*sqlparse.ColRef)
+	colR, isColR := b.R.(*sqlparse.ColRef)
+	lit, litOK := literalValue(b.R)
+	litL, litLOK := literalValue(b.L)
+	switch {
+	case isColL && litOK:
+		bind, name, err := resolve(col)
+		if err != nil {
+			return wrapper.Filter{}, zero, false, err
+		}
+		return wrapper.Filter{Column: name, Op: b.Op, Value: lit}, bind, true, nil
+	case isColR && litLOK:
+		bind, name, err := resolve(colR)
+		if err != nil {
+			return wrapper.Filter{}, zero, false, err
+		}
+		return wrapper.Filter{Column: name, Op: flipOp(b.Op), Value: litL}, bind, true, nil
+	}
+	return wrapper.Filter{}, zero, false, nil
+}
+
+type equiJoinPred[T any] struct {
+	a, b       T
+	aCol, bCol string
+}
+
+// equiJoin recognizes binding-to-binding equality predicates.
+func equiJoin[T comparable](p sqlparse.Expr, resolve func(*sqlparse.ColRef) (T, string, error)) (equiJoinPred[T], bool, error) {
+	var zero equiJoinPred[T]
+	b, ok := p.(*sqlparse.BinaryExpr)
+	if !ok || b.Op != "=" {
+		return zero, false, nil
+	}
+	lc, lok := b.L.(*sqlparse.ColRef)
+	rc, rok := b.R.(*sqlparse.ColRef)
+	if !lok || !rok {
+		return zero, false, nil
+	}
+	lb, lcol, err := resolve(lc)
+	if err != nil {
+		return zero, false, err
+	}
+	rb, rcol, err := resolve(rc)
+	if err != nil {
+		return zero, false, err
+	}
+	if lb == rb {
+		return zero, false, nil // same-binding equality is a local pred
+	}
+	return equiJoinPred[T]{a: lb, b: rb, aCol: lcol, bCol: rcol}, true, nil
+}
+
+func isCompare(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case ">":
+		return "<"
+	case "<=":
+		return ">="
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func literalValue(e sqlparse.Expr) (relalg.Value, bool) {
+	switch e := e.(type) {
+	case sqlparse.NumberLit:
+		return relalg.NumV(float64(e)), true
+	case sqlparse.StringLit:
+		return relalg.StrV(string(e)), true
+	case sqlparse.BoolLit:
+		return relalg.BoolV(bool(e)), true
+	case sqlparse.NullLit:
+		return relalg.Null, true
+	case *sqlparse.UnaryExpr:
+		if e.Op == "-" {
+			if n, ok := e.X.(sqlparse.NumberLit); ok {
+				return relalg.NumV(-float64(n)), true
+			}
+		}
+	}
+	return relalg.Null, false
+}

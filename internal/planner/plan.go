@@ -1,0 +1,112 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+	"repro/internal/wrapper"
+)
+
+// BindPair feeds a required binding of a step's relation from a column of
+// the intermediate result (a dependent / bind join).
+type BindPair struct {
+	// Column is the required column of the new relation (plain name).
+	Column string
+	// FromQualified is the already-available column feeding it
+	// ("rl.currency").
+	FromQualified string
+}
+
+// JoinKey equates one qualified column of the intermediate result with a
+// plain column of the new relation.
+type JoinKey struct {
+	CurQualified string
+	NewColumn    string // plain column of the step's relation
+}
+
+// PlanStep fetches one relation and joins it into the intermediate result.
+type PlanStep struct {
+	Binding  string
+	Relation string
+	Source   string
+
+	// Pushed filters are sent to the source; Local ones the engine applies
+	// after transfer (the source lacks the capability).
+	Pushed []wrapper.Filter
+	Local  []wrapper.Filter
+	// LocalPreds are single-binding predicates too complex for the filter
+	// protocol, applied by the engine right after transfer.
+	LocalPreds []sqlparse.Expr
+	// BindJoins are required bindings fed from earlier columns; non-empty
+	// means one source query per distinct combination.
+	BindJoins []BindPair
+	// JoinKeys are the equality keys joining this relation to the
+	// intermediate result (hash join when non-empty).
+	JoinKeys []JoinKey
+	// AfterPreds are predicates that become fully bound once this step
+	// has run.
+	AfterPreds []sqlparse.Expr
+
+	EstRows float64
+	EstCost float64
+}
+
+// BranchPlan is the plan for one SELECT block.
+type BranchPlan struct {
+	Steps    []PlanStep
+	EstCost  float64
+	Items    []sqlparse.SelectItem
+	Distinct bool
+	OrderBy  []sqlparse.OrderItem
+	Limit    int
+}
+
+// Explain renders the plan for humans (cmd/coinquery -explain and the
+// planner tests).
+func (p *BranchPlan) Explain() string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		fmt.Fprintf(&b, "step %d: %s", i+1, s.Relation)
+		if s.Binding != s.Relation {
+			fmt.Fprintf(&b, " AS %s", s.Binding)
+		}
+		fmt.Fprintf(&b, " @ %s", s.Source)
+		if len(s.Pushed) > 0 {
+			b.WriteString(" push[")
+			for j, f := range s.Pushed {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s %s %s", f.Column, f.Op, f.Value)
+			}
+			b.WriteString("]")
+		}
+		if len(s.Local) > 0 || len(s.LocalPreds) > 0 {
+			fmt.Fprintf(&b, " local[%d]", len(s.Local)+len(s.LocalPreds))
+		}
+		if len(s.BindJoins) > 0 {
+			b.WriteString(" bind[")
+			for j, bp := range s.BindJoins {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s<=%s", bp.Column, bp.FromQualified)
+			}
+			b.WriteString("]")
+		}
+		if len(s.JoinKeys) > 0 {
+			b.WriteString(" join[")
+			for j, k := range s.JoinKeys {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s=%s.%s", k.CurQualified, s.Binding, k.NewColumn)
+			}
+			b.WriteString("]")
+		}
+		fmt.Fprintf(&b, " est_rows=%.0f est_cost=%.0f\n", s.EstRows, s.EstCost)
+	}
+	fmt.Fprintf(&b, "total est_cost=%.0f\n", p.EstCost)
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package relalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+func benchRelations(n int, seed int64) (*Relation, *Relation) {
+	r := rand.New(rand.NewSource(seed))
+	a := NewRelation("a", NewSchema(Column{"a.k", KindNumber}, Column{"a.v", KindNumber}))
+	b := NewRelation("b", NewSchema(Column{"b.k", KindNumber}, Column{"b.w", KindNumber}))
+	for i := 0; i < n; i++ {
+		a.MustAdd(NumV(float64(r.Intn(n))), NumV(float64(r.Intn(1000))))
+		b.MustAdd(NumV(float64(r.Intn(n))), NumV(float64(r.Intn(1000))))
+	}
+	return a, b
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		ra, rb := benchRelations(n, 1)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := HashJoin(ra, rb, []string{"a.k"}, []string{"b.k"}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNestedLoopJoin(b *testing.B) {
+	pred := sqlparse.Bin("=", sqlparse.Col("a", "k"), sqlparse.Col("b", "k"))
+	for _, n := range []int{100, 1000} {
+		ra, rb := benchRelations(n, 1)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NestedLoopJoin(ra, rb, pred); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFilterEval(b *testing.B) {
+	ra, _ := benchRelations(10000, 1)
+	pred := sqlparse.Bin(">", sqlparse.Col("a", "v"), sqlparse.Num(500))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Filter(ra, pred); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByAgg(b *testing.B) {
+	ra, _ := benchRelations(10000, 1)
+	keys := []sqlparse.Expr{sqlparse.Col("a", "k")}
+	items := []AggItem{
+		{Name: "k", Expr: sqlparse.Col("a", "k")},
+		{Name: "s", Expr: &sqlparse.FuncCall{Name: "SUM", Args: []sqlparse.Expr{sqlparse.Col("a", "v")}}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GroupBy(ra, keys, items, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

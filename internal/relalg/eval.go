@@ -1,0 +1,194 @@
+package relalg
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+)
+
+// Eval evaluates a sqlparse expression against one tuple of the given
+// schema. Column references resolve through Schema.Index (qualified names
+// exact, unqualified names by unique suffix). SQL NULL semantics are
+// simplified to two-valued logic where any comparison with NULL is false.
+func Eval(e sqlparse.Expr, schema Schema, t Tuple) (Value, error) {
+	switch e := e.(type) {
+	case *sqlparse.ColRef:
+		idx := schema.Index(e.String())
+		if idx < 0 {
+			idx = schema.Index(e.Column)
+		}
+		if idx < 0 {
+			return Null, fmt.Errorf("relalg: unknown column %s (schema %v)", e, schema.Names())
+		}
+		return t[idx], nil
+	case sqlparse.NumberLit:
+		return NumV(float64(e)), nil
+	case sqlparse.StringLit:
+		return StrV(string(e)), nil
+	case sqlparse.BoolLit:
+		return BoolV(bool(e)), nil
+	case sqlparse.NullLit:
+		return Null, nil
+	case *sqlparse.IsNull:
+		v, err := Eval(e.X, schema, t)
+		if err != nil {
+			return Null, err
+		}
+		return BoolV(v.IsNull() != e.Not), nil
+	case *sqlparse.UnaryExpr:
+		v, err := Eval(e.X, schema, t)
+		if err != nil {
+			return Null, err
+		}
+		switch e.Op {
+		case "NOT":
+			if v.K != KindBool {
+				if v.IsNull() {
+					return Null, nil
+				}
+				return Null, fmt.Errorf("relalg: NOT applied to %v", v.K)
+			}
+			return BoolV(!v.B), nil
+		case "-":
+			if v.IsNull() {
+				return Null, nil
+			}
+			if v.K != KindNumber {
+				return Null, fmt.Errorf("relalg: unary minus applied to %v", v.K)
+			}
+			return NumV(-v.N), nil
+		}
+		return Null, fmt.Errorf("relalg: unknown unary op %q", e.Op)
+	case *sqlparse.BinaryExpr:
+		return evalBinary(e, schema, t)
+	case *sqlparse.FuncCall:
+		return Null, fmt.Errorf("relalg: aggregate %s outside GROUP BY context", e.Name)
+	}
+	return Null, fmt.Errorf("relalg: cannot evaluate %T", e)
+}
+
+func evalBinary(e *sqlparse.BinaryExpr, schema Schema, t Tuple) (Value, error) {
+	switch e.Op {
+	case "AND", "OR":
+		l, err := Eval(e.L, schema, t)
+		if err != nil {
+			return Null, err
+		}
+		lb := l.K == KindBool && l.B
+		// Short circuit.
+		if e.Op == "AND" && !lb {
+			return BoolV(false), nil
+		}
+		if e.Op == "OR" && lb {
+			return BoolV(true), nil
+		}
+		r, err := Eval(e.R, schema, t)
+		if err != nil {
+			return Null, err
+		}
+		rb := r.K == KindBool && r.B
+		return BoolV(rb), nil
+	}
+
+	l, err := Eval(e.L, schema, t)
+	if err != nil {
+		return Null, err
+	}
+	r, err := Eval(e.R, schema, t)
+	if err != nil {
+		return Null, err
+	}
+	switch e.Op {
+	case "+", "-", "*", "/":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		if l.K != KindNumber || r.K != KindNumber {
+			return Null, fmt.Errorf("relalg: arithmetic %q on %v and %v", e.Op, l.K, r.K)
+		}
+		switch e.Op {
+		case "+":
+			return NumV(l.N + r.N), nil
+		case "-":
+			return NumV(l.N - r.N), nil
+		case "*":
+			return NumV(l.N * r.N), nil
+		default:
+			if r.N == 0 {
+				return Null, fmt.Errorf("relalg: division by zero")
+			}
+			return NumV(l.N / r.N), nil
+		}
+	case "=":
+		return BoolV(l.Equal(r)), nil
+	case "<>":
+		if l.IsNull() || r.IsNull() {
+			return BoolV(false), nil
+		}
+		return BoolV(!l.Equal(r)), nil
+	case "<", ">", "<=", ">=":
+		c, ok := l.Compare(r)
+		if !ok {
+			return BoolV(false), nil
+		}
+		switch e.Op {
+		case "<":
+			return BoolV(c < 0), nil
+		case ">":
+			return BoolV(c > 0), nil
+		case "<=":
+			return BoolV(c <= 0), nil
+		default:
+			return BoolV(c >= 0), nil
+		}
+	}
+	return Null, fmt.Errorf("relalg: unknown binary op %q", e.Op)
+}
+
+// EvalBool evaluates a predicate; NULL and non-bool results count as false.
+func EvalBool(e sqlparse.Expr, schema Schema, t Tuple) (bool, error) {
+	v, err := Eval(e, schema, t)
+	if err != nil {
+		return false, err
+	}
+	return v.K == KindBool && v.B, nil
+}
+
+// InferType predicts the result kind of an expression over a schema; used
+// to type computed projection columns.
+func InferType(e sqlparse.Expr, schema Schema) Kind {
+	switch e := e.(type) {
+	case *sqlparse.ColRef:
+		idx := schema.Index(e.String())
+		if idx < 0 {
+			idx = schema.Index(e.Column)
+		}
+		if idx >= 0 {
+			return schema.Columns[idx].Type
+		}
+		return KindNull
+	case sqlparse.NumberLit:
+		return KindNumber
+	case sqlparse.StringLit:
+		return KindString
+	case sqlparse.BoolLit:
+		return KindBool
+	case *sqlparse.UnaryExpr:
+		if e.Op == "-" {
+			return KindNumber
+		}
+		return KindBool
+	case *sqlparse.IsNull:
+		return KindBool
+	case *sqlparse.BinaryExpr:
+		switch e.Op {
+		case "+", "-", "*", "/":
+			return KindNumber
+		default:
+			return KindBool
+		}
+	case *sqlparse.FuncCall:
+		return KindNumber
+	}
+	return KindNull
+}

@@ -1,0 +1,106 @@
+package relalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlparse"
+)
+
+func TestMergeJoinBasic(t *testing.T) {
+	a := figure2R1()
+	b := figure2R2()
+	mj, err := MergeJoin(a, b, []string{"rl.cname"}, []string{"r2.cname"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj, err := HashJoin(a, b, []string{"rl.cname"}, []string{"r2.cname"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameTuples(mj, hj) {
+		t.Errorf("merge join != hash join:\n%s\nvs\n%s", mj, hj)
+	}
+}
+
+func TestMergeJoinResidual(t *testing.T) {
+	a := figure2R1()
+	b := figure2R2()
+	pred := sqlparse.Bin(">", sqlparse.Col("rl", "revenue"), sqlparse.Num(2000000))
+	mj, err := MergeJoin(a, b, []string{"rl.cname"}, []string{"r2.cname"}, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mj.Len() != 1 || mj.Tuples[0][0].S != "IBM" {
+		t.Errorf("residual filter: %s", mj)
+	}
+}
+
+func TestMergeJoinErrors(t *testing.T) {
+	a := figure2R1()
+	b := figure2R2()
+	if _, err := MergeJoin(a, b, nil, nil, nil); err == nil {
+		t.Error("empty keys accepted")
+	}
+	if _, err := MergeJoin(a, b, []string{"zzz"}, []string{"r2.cname"}, nil); err == nil {
+		t.Error("bad key accepted")
+	}
+}
+
+// Property: merge join, hash join and nested-loop join agree, including on
+// duplicate keys and NULL keys (which never join).
+func TestThreeJoinsAgreeProperty(t *testing.T) {
+	pred := sqlparse.Bin("=", sqlparse.Col("a", "k"), sqlparse.Col("b", "k"))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := testRel("a", "a.k:num, a.v:num")
+		b := testRel("b", "b.k:num, b.w:num")
+		addRow := func(rel *Relation) {
+			key := Value{}
+			if r.Intn(5) > 0 { // 20% NULL keys
+				key = NumV(float64(r.Intn(4)))
+			}
+			rel.MustAdd(key, NumV(float64(r.Intn(100))))
+		}
+		for i := 0; i < r.Intn(25); i++ {
+			addRow(a)
+		}
+		for i := 0; i < r.Intn(25); i++ {
+			addRow(b)
+		}
+		nl, err := NestedLoopJoin(a, b, pred)
+		if err != nil {
+			return false
+		}
+		hj, err := HashJoin(a, b, []string{"a.k"}, []string{"b.k"}, nil)
+		if err != nil {
+			return false
+		}
+		mj, err := MergeJoin(a, b, []string{"a.k"}, []string{"b.k"}, nil)
+		if err != nil {
+			return false
+		}
+		return SameTuples(nl, hj) && SameTuples(nl, mj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Merge join output is ordered by the join keys.
+func TestMergeJoinOutputOrdered(t *testing.T) {
+	a := testRel("a", "a.k:num",
+		[]Value{NumV(3)}, []Value{NumV(1)}, []Value{NumV(2)})
+	b := testRel("b", "b.k:num",
+		[]Value{NumV(2)}, []Value{NumV(3)}, []Value{NumV(1)})
+	mj, err := MergeJoin(a, b, []string{"a.k"}, []string{"b.k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < mj.Len(); i++ {
+		if mj.Tuples[i-1][0].N > mj.Tuples[i][0].N {
+			t.Fatalf("output not key-ordered: %s", mj)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package relalg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sqlparse"
+)
+
+// Filter returns the tuples of r satisfying pred.
+func Filter(r *Relation, pred sqlparse.Expr) (*Relation, error) {
+	if pred == nil {
+		return r, nil
+	}
+	out := NewRelation(r.Name, r.Schema)
+	for _, t := range r.Tuples {
+		ok, err := EvalBool(pred, r.Schema, t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// ProjectItem names one output column computed by an expression.
+type ProjectItem struct {
+	Name string
+	Expr sqlparse.Expr
+}
+
+// Project computes one output column per item.
+func Project(r *Relation, items []ProjectItem) (*Relation, error) {
+	cols := make([]Column, len(items))
+	for i, it := range items {
+		cols[i] = Column{Name: it.Name, Type: InferType(it.Expr, r.Schema)}
+	}
+	out := NewRelation(r.Name, Schema{Columns: cols})
+	for _, t := range r.Tuples {
+		row := make(Tuple, len(items))
+		for i, it := range items {
+			v, err := Eval(it.Expr, r.Schema, t)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+// CrossJoin is the Cartesian product; schemas are concatenated.
+func CrossJoin(a, b *Relation) *Relation {
+	out := NewRelation("", a.Schema.Concat(b.Schema))
+	for _, ta := range a.Tuples {
+		for _, tb := range b.Tuples {
+			row := make(Tuple, 0, len(ta)+len(tb))
+			row = append(row, ta...)
+			row = append(row, tb...)
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out
+}
+
+// NestedLoopJoin joins a and b keeping concatenated rows where pred holds.
+// A nil pred degenerates to CrossJoin.
+func NestedLoopJoin(a, b *Relation, pred sqlparse.Expr) (*Relation, error) {
+	schema := a.Schema.Concat(b.Schema)
+	out := NewRelation("", schema)
+	row := make(Tuple, len(a.Schema.Columns)+len(b.Schema.Columns))
+	for _, ta := range a.Tuples {
+		copy(row, ta)
+		for _, tb := range b.Tuples {
+			copy(row[len(ta):], tb)
+			keep := true
+			if pred != nil {
+				ok, err := EvalBool(pred, schema, row)
+				if err != nil {
+					return nil, err
+				}
+				keep = ok
+			}
+			if keep {
+				out.Tuples = append(out.Tuples, row.Clone())
+			}
+		}
+	}
+	return out, nil
+}
+
+// HashJoin equi-joins a and b on pairwise key columns (named in each
+// side's schema), then applies the residual predicate if non-nil.
+func HashJoin(a, b *Relation, aKeys, bKeys []string, residual sqlparse.Expr) (*Relation, error) {
+	if len(aKeys) != len(bKeys) || len(aKeys) == 0 {
+		return nil, fmt.Errorf("relalg: hash join requires matching non-empty key lists")
+	}
+	aIdx := make([]int, len(aKeys))
+	bIdx := make([]int, len(bKeys))
+	for i := range aKeys {
+		aIdx[i] = a.Schema.Index(aKeys[i])
+		bIdx[i] = b.Schema.Index(bKeys[i])
+		if aIdx[i] < 0 || bIdx[i] < 0 {
+			return nil, fmt.Errorf("relalg: hash join key %s/%s not found", aKeys[i], bKeys[i])
+		}
+	}
+	// Build on the smaller side.
+	build, probe := a, b
+	buildIdx, probeIdx := aIdx, bIdx
+	swapped := false
+	if len(b.Tuples) < len(a.Tuples) {
+		build, probe = b, a
+		buildIdx, probeIdx = bIdx, aIdx
+		swapped = true
+	}
+	table := make(map[string][]Tuple, len(build.Tuples))
+	for _, t := range build.Tuples {
+		// SQL equality: NULL keys never join.
+		hasNull := false
+		for _, i := range buildIdx {
+			if t[i].IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull {
+			continue
+		}
+		k := t.Key(buildIdx)
+		table[k] = append(table[k], t)
+	}
+	schema := a.Schema.Concat(b.Schema)
+	out := NewRelation("", schema)
+	for _, pt := range probe.Tuples {
+		for _, bt := range table[pt.Key(probeIdx)] {
+			var ta, tb Tuple
+			if swapped {
+				ta, tb = pt, bt
+			} else {
+				ta, tb = bt, pt
+			}
+			row := make(Tuple, 0, len(ta)+len(tb))
+			row = append(row, ta...)
+			row = append(row, tb...)
+			keep := true
+			if residual != nil {
+				ok, err := EvalBool(residual, schema, row)
+				if err != nil {
+					return nil, err
+				}
+				keep = ok
+			}
+			if keep {
+				out.Tuples = append(out.Tuples, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Distinct removes duplicate tuples, keeping first occurrences in order.
+func Distinct(r *Relation) *Relation {
+	out := NewRelation(r.Name, r.Schema)
+	seen := make(map[string]bool, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := t.FullKey()
+		if !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Union concatenates two relations (UNION ALL when all is true, set UNION
+// otherwise). Schemas must have equal arity; column names are taken from a.
+func Union(a, b *Relation, all bool) (*Relation, error) {
+	if len(a.Schema.Columns) != len(b.Schema.Columns) {
+		return nil, fmt.Errorf("relalg: UNION arity mismatch: %d vs %d",
+			len(a.Schema.Columns), len(b.Schema.Columns))
+	}
+	out := NewRelation(a.Name, a.Schema)
+	out.Tuples = append(out.Tuples, a.Tuples...)
+	out.Tuples = append(out.Tuples, b.Tuples...)
+	if !all {
+		out = Distinct(out)
+	}
+	return out, nil
+}
+
+// OrderKey is one sort key for Sort.
+type OrderKey struct {
+	Expr sqlparse.Expr
+	Desc bool
+}
+
+// Sort orders tuples by the given keys (stable).
+func Sort(r *Relation, keys []OrderKey) (*Relation, error) {
+	type decorated struct {
+		t    Tuple
+		keys []Value
+	}
+	rows := make([]decorated, len(r.Tuples))
+	for i, t := range r.Tuples {
+		d := decorated{t: t, keys: make([]Value, len(keys))}
+		for ki, k := range keys {
+			v, err := Eval(k.Expr, r.Schema, t)
+			if err != nil {
+				return nil, err
+			}
+			d.keys[ki] = v
+		}
+		rows[i] = d
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for ki := range keys {
+			c := rows[i].keys[ki].SortKey(rows[j].keys[ki])
+			if c == 0 {
+				continue
+			}
+			if keys[ki].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := NewRelation(r.Name, r.Schema)
+	out.Tuples = make([]Tuple, len(rows))
+	for i, d := range rows {
+		out.Tuples[i] = d.t
+	}
+	return out, nil
+}
+
+// Limit keeps the first n tuples (n < 0 keeps all).
+func Limit(r *Relation, n int) *Relation {
+	if n < 0 || n >= len(r.Tuples) {
+		return r
+	}
+	out := NewRelation(r.Name, r.Schema)
+	out.Tuples = append(out.Tuples, r.Tuples[:n]...)
+	return out
+}

@@ -1,0 +1,186 @@
+// Package relalg implements the relational-algebra substrate of the COIN
+// prototype's multi-database access engine: typed values, tuples, schemas,
+// in-memory relations, an evaluator for sqlparse expressions over rows, and
+// the physical operators (selection, projection, nested-loop and hash
+// joins, union, distinct, sort, limit, grouping/aggregation) the local
+// execution engine composes.
+package relalg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind tags a Value.
+type Kind int
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindNumber
+	KindString
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	}
+	return "invalid"
+}
+
+// Value is one typed datum. The zero Value is NULL.
+type Value struct {
+	K Kind
+	N float64
+	S string
+	B bool
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// NumV builds a numeric value.
+func NumV(v float64) Value { return Value{K: KindNumber, N: v} }
+
+// StrV builds a string value.
+func StrV(s string) Value { return Value{K: KindString, S: s} }
+
+// BoolV builds a boolean value.
+func BoolV(b bool) Value { return Value{K: KindBool, B: b} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// String renders v for display and CSV output.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindNumber:
+		return strconv.FormatFloat(v.N, 'f', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}
+
+// Equal reports SQL equality; any NULL operand yields false.
+func (v Value) Equal(o Value) bool {
+	if v.K != o.K || v.K == KindNull {
+		return false
+	}
+	switch v.K {
+	case KindNumber:
+		return v.N == o.N
+	case KindString:
+		return v.S == o.S
+	case KindBool:
+		return v.B == o.B
+	}
+	return false
+}
+
+// Compare orders two values; ok is false when they are incomparable (type
+// mismatch or NULL involved).
+func (v Value) Compare(o Value) (cmp int, ok bool) {
+	if v.K == KindNull || o.K == KindNull {
+		return 0, false
+	}
+	if v.K != o.K {
+		return 0, false
+	}
+	switch v.K {
+	case KindNumber:
+		switch {
+		case v.N < o.N:
+			return -1, true
+		case v.N > o.N:
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		return strings.Compare(v.S, o.S), true
+	case KindBool:
+		a, b := 0, 0
+		if v.B {
+			a = 1
+		}
+		if o.B {
+			b = 1
+		}
+		return a - b, true
+	}
+	return 0, false
+}
+
+// SortKey gives a total order across kinds (NULL first), used by ORDER BY
+// and DISTINCT.
+func (v Value) SortKey(o Value) int {
+	if v.K != o.K {
+		return int(v.K) - int(o.K)
+	}
+	if c, ok := v.Compare(o); ok {
+		return c
+	}
+	return 0
+}
+
+// Key returns a string usable as a hash key that distinguishes values of
+// different kinds and contents.
+func (v Value) Key() string {
+	switch v.K {
+	case KindNull:
+		return "\x00"
+	case KindNumber:
+		return "n" + strconv.FormatFloat(v.N, 'g', -1, 64)
+	case KindString:
+		return "s" + v.S
+	case KindBool:
+		if v.B {
+			return "bt"
+		}
+		return "bf"
+	}
+	return "?"
+}
+
+// ParseValue converts text into a Value of the given kind. Empty text maps
+// to NULL for every kind.
+func ParseValue(text string, k Kind) (Value, error) {
+	if text == "" {
+		return Null, nil
+	}
+	switch k {
+	case KindNumber:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Null, fmt.Errorf("relalg: %q is not numeric", text)
+		}
+		return NumV(f), nil
+	case KindString:
+		return StrV(text), nil
+	case KindBool:
+		switch strings.ToUpper(text) {
+		case "TRUE", "T", "1":
+			return BoolV(true), nil
+		case "FALSE", "F", "0":
+			return BoolV(false), nil
+		}
+		return Null, fmt.Errorf("relalg: %q is not boolean", text)
+	}
+	return Null, fmt.Errorf("relalg: cannot parse into %v", k)
+}

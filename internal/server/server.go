@@ -1,0 +1,322 @@
+// Package server implements the receiver-side access layer of Figure 1:
+// the prototype tunneled an ODBC-family protocol inside HTTP so that "any
+// application with basic capabilities for Internet socket based
+// communication" could reach the mediation services, and shipped an HTML
+// Query-By-Example form on top. This package provides the same two faces:
+//
+//	POST /api/query    {"sql": ..., "context": ...} -> columns+rows JSON
+//	POST /api/mediate  {"sql": ..., "context": ...} -> mediated SQL text
+//	GET  /api/schema   -> relations, their schemas and sources, contexts
+//	GET  /qbe          -> the HTML QBE form (submits to /qbe/run)
+//
+// internal/client is the Go counterpart of the prototype's ODBC driver.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relalg"
+)
+
+// Service is what the server needs from the mediator installation;
+// repro/coin.System implements it.
+type Service interface {
+	Mediate(sql, receiver string) (*core.Mediation, error)
+	Query(sql, receiver string) (*relalg.Relation, error)
+	QueryNaive(sql string) (*relalg.Relation, error)
+	Explain(sql, receiver string) (string, error)
+	Contexts() []string
+	Relations() []string
+	Schema(relation string) (relalg.Schema, error)
+}
+
+// ExplainResponse is the body returned by /api/explain.
+type ExplainResponse struct {
+	Plan string `json:"plan"`
+}
+
+// QueryRequest is the body of /api/query and /api/mediate.
+type QueryRequest struct {
+	SQL     string `json:"sql"`
+	Context string `json:"context"`
+	// Naive skips mediation (the paper's baseline behavior).
+	Naive bool `json:"naive,omitempty"`
+}
+
+// ColumnInfo describes one result column.
+type ColumnInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// QueryResponse is the body returned by /api/query.
+type QueryResponse struct {
+	Columns     []ColumnInfo    `json:"columns"`
+	Rows        [][]interface{} `json:"rows"`
+	MediatedSQL string          `json:"mediatedSQL,omitempty"`
+	Branches    int             `json:"branches,omitempty"`
+}
+
+// MediateResponse is the body returned by /api/mediate.
+type MediateResponse struct {
+	MediatedSQL string `json:"mediatedSQL"`
+	Branches    int    `json:"branches"`
+}
+
+// SchemaResponse is the body returned by /api/schema.
+type SchemaResponse struct {
+	Relations map[string][]ColumnInfo `json:"relations"`
+	Contexts  []string                `json:"contexts"`
+}
+
+// ErrorResponse carries failures as JSON.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// New builds the HTTP handler.
+func New(svc Service) http.Handler {
+	s := &srv{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/query", s.handleQuery)
+	mux.HandleFunc("/api/mediate", s.handleMediate)
+	mux.HandleFunc("/api/explain", s.handleExplain)
+	mux.HandleFunc("/api/schema", s.handleSchema)
+	mux.HandleFunc("/qbe", s.handleQBE)
+	mux.HandleFunc("/qbe/run", s.handleQBERun)
+	mux.HandleFunc("/", s.handleRoot)
+	return mux
+}
+
+type srv struct {
+	svc Service
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func (s *srv) decode(w http.ResponseWriter, r *http.Request, req *QueryRequest) bool {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("server: POST required"))
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %v", err))
+		return false
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: sql is required"))
+		return false
+	}
+	return true
+}
+
+func (s *srv) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var (
+		rel *relalg.Relation
+		med *core.Mediation
+		err error
+	)
+	if req.Naive {
+		rel, err = s.svc.QueryNaive(req.SQL)
+	} else {
+		med, err = s.svc.Mediate(req.SQL, req.Context)
+		if err == nil {
+			rel, err = s.svc.Query(req.SQL, req.Context)
+		}
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := relationResponse(rel)
+	if med != nil {
+		resp.MediatedSQL = med.SQL()
+		resp.Branches = len(med.Branches)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func relationResponse(rel *relalg.Relation) QueryResponse {
+	resp := QueryResponse{Rows: [][]interface{}{}}
+	for _, c := range rel.Schema.Columns {
+		resp.Columns = append(resp.Columns, ColumnInfo{Name: c.Name, Type: c.Type.String()})
+	}
+	for _, t := range rel.Tuples {
+		row := make([]interface{}, len(t))
+		for i, v := range t {
+			row[i] = valueJSON(v)
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	return resp
+}
+
+func valueJSON(v relalg.Value) interface{} {
+	switch v.K {
+	case relalg.KindNumber:
+		return v.N
+	case relalg.KindString:
+		return v.S
+	case relalg.KindBool:
+		return v.B
+	}
+	return nil
+}
+
+func (s *srv) handleMediate(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	med, err := s.svc.Mediate(req.SQL, req.Context)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MediateResponse{MediatedSQL: med.SQL(), Branches: len(med.Branches)})
+}
+
+func (s *srv) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	plan, err := s.svc.Explain(req.SQL, req.Context)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{Plan: plan})
+}
+
+func (s *srv) handleSchema(w http.ResponseWriter, r *http.Request) {
+	resp := SchemaResponse{Relations: map[string][]ColumnInfo{}, Contexts: s.svc.Contexts()}
+	for _, rel := range s.svc.Relations() {
+		schema, err := s.svc.Schema(rel)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		var cols []ColumnInfo
+		for _, c := range schema.Columns {
+			cols = append(cols, ColumnInfo{Name: c.Name, Type: c.Type.String()})
+		}
+		resp.Relations[rel] = cols
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *srv) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	http.Redirect(w, r, "/qbe", http.StatusFound)
+}
+
+var qbeTemplate = template.Must(template.New("qbe").Parse(`<!DOCTYPE html>
+<html><head><title>COIN Query-By-Example</title></head>
+<body>
+<h1>Context Interchange Mediator — QBE</h1>
+<form action="/qbe/run" method="GET">
+<p>Receiver context:
+<select name="context">{{range .Contexts}}<option>{{.}}</option>{{end}}</select>
+</p>
+<p>SQL:<br>
+<textarea name="sql" rows="6" cols="80">{{.SQL}}</textarea></p>
+<p><label><input type="checkbox" name="naive" value="1" {{if .Naive}}checked{{end}}> naive (skip mediation)</label></p>
+<p><input type="submit" value="Run"></p>
+</form>
+<h2>Relations</h2>
+<ul>{{range $rel, $cols := .Relations}}<li><b>{{$rel}}</b>({{range $i, $c := $cols}}{{if $i}}, {{end}}{{$c.Name}}:{{$c.Type}}{{end}})</li>{{end}}</ul>
+{{if .MediatedSQL}}<h2>Mediated query</h2><pre>{{.MediatedSQL}}</pre>{{end}}
+{{if .Derivation}}<h2>Derivation</h2><pre>{{.Derivation}}</pre>{{end}}
+{{if .Columns}}
+<h2>Answer</h2>
+<table border="1"><tr>{{range .Columns}}<th>{{.Name}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>
+{{end}}
+{{if .Error}}<p style="color:red">{{.Error}}</p>{{end}}
+</body></html>`))
+
+type qbePage struct {
+	Contexts    []string
+	Relations   map[string][]ColumnInfo
+	SQL         string
+	Naive       bool
+	MediatedSQL string
+	Derivation  string
+	Columns     []ColumnInfo
+	Rows        [][]interface{}
+	Error       string
+}
+
+func (s *srv) qbePage() qbePage {
+	page := qbePage{Contexts: s.svc.Contexts(), Relations: map[string][]ColumnInfo{}}
+	for _, rel := range s.svc.Relations() {
+		schema, err := s.svc.Schema(rel)
+		if err != nil {
+			continue
+		}
+		var cols []ColumnInfo
+		for _, c := range schema.Columns {
+			cols = append(cols, ColumnInfo{Name: c.Name, Type: c.Type.String()})
+		}
+		page.Relations[rel] = cols
+	}
+	return page
+}
+
+func (s *srv) handleQBE(w http.ResponseWriter, r *http.Request) {
+	page := s.qbePage()
+	page.SQL = "SELECT rl.cname, rl.revenue FROM r1 rl, r2\nWHERE rl.cname = r2.cname\nAND rl.revenue > r2.expenses"
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = qbeTemplate.Execute(w, page)
+}
+
+func (s *srv) handleQBERun(w http.ResponseWriter, r *http.Request) {
+	page := s.qbePage()
+	page.SQL = r.URL.Query().Get("sql")
+	page.Naive = r.URL.Query().Get("naive") == "1"
+	ctx := r.URL.Query().Get("context")
+
+	var rel *relalg.Relation
+	var err error
+	if page.Naive {
+		rel, err = s.svc.QueryNaive(page.SQL)
+	} else {
+		var med *core.Mediation
+		med, err = s.svc.Mediate(page.SQL, ctx)
+		if err == nil {
+			page.MediatedSQL = med.SQL()
+			page.Derivation = med.ExplainText()
+			rel, err = s.svc.Query(page.SQL, ctx)
+		}
+	}
+	if err != nil {
+		page.Error = err.Error()
+	} else {
+		resp := relationResponse(rel)
+		page.Columns, page.Rows = resp.Columns, resp.Rows
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = qbeTemplate.Execute(w, page)
+}

@@ -1,0 +1,141 @@
+package server_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/coin"
+	"repro/internal/client"
+)
+
+// TestArchitectureEndToEnd is experiment E3: the full Figure 1 stack —
+// client API over the HTTP-tunneled protocol, server, mediation engine,
+// multi-database engine, wrappers, relational and Web sources — answering
+// the paper's query.
+func TestArchitectureEndToEnd(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema handshake (dictionary service).
+	if got := conn.Relations(); len(got) != 3 {
+		t.Errorf("relations = %v", got)
+	}
+	if cols, ok := conn.Columns("r1"); !ok || len(cols) != 3 {
+		t.Errorf("r1 columns = %v, %v", cols, ok)
+	}
+	found := false
+	for _, c := range conn.Contexts() {
+		if c == "c2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("contexts = %v", conn.Contexts())
+	}
+
+	// Naive baseline: empty answer.
+	naive, err := conn.QueryNaive(coin.PaperQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive.Rows) != 0 {
+		t.Errorf("naive rows = %v", naive.Rows)
+	}
+
+	// Mediated: the paper's correct answer.
+	res, err := conn.Query(coin.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "NTT" || res.Rows[0][1] != 9600000.0 {
+		t.Errorf("answer = %v", res.Rows[0])
+	}
+	if res.Branches != 3 || !strings.Contains(res.MediatedSQL, "UNION") {
+		t.Errorf("mediation metadata: branches=%d sql=\n%s", res.Branches, res.MediatedSQL)
+	}
+
+	// Mediate-only endpoint.
+	sql, branches, err := conn.Mediate(coin.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if branches != 3 || !strings.Contains(sql, "'JPY'") {
+		t.Errorf("mediate-only: branches=%d\n%s", branches, sql)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Query("SELECT nope FROM nosuch", "c2"); err == nil {
+		t.Error("bad query succeeded")
+	}
+	if _, err := conn.Query(coin.PaperQ1, "nocontext"); err == nil {
+		t.Error("unknown context succeeded")
+	}
+	if _, _, err := conn.Mediate("", "c2"); err == nil {
+		t.Error("empty SQL accepted")
+	}
+	if _, err := client.Open("http://127.0.0.1:1"); err == nil {
+		t.Error("dead server accepted")
+	}
+}
+
+func TestQBEPages(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+
+	get := func(path string) string {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+
+	form := get("/qbe")
+	if !strings.Contains(form, "Query-By-Example") || !strings.Contains(form, "r1") {
+		t.Errorf("QBE form:\n%s", form)
+	}
+
+	run := get("/qbe/run?context=c2&sql=" + strings.ReplaceAll(
+		"SELECT rl.cname, rl.revenue FROM r1 rl, r2 WHERE rl.cname = r2.cname AND rl.revenue > r2.expenses",
+		" ", "+"))
+	if !strings.Contains(run, "NTT") || !strings.Contains(run, "Mediated query") {
+		t.Errorf("QBE run:\n%s", run)
+	}
+
+	naive := get("/qbe/run?naive=1&sql=SELECT+r2.cname+FROM+r2")
+	if !strings.Contains(naive, "IBM") {
+		t.Errorf("QBE naive run:\n%s", naive)
+	}
+	bad := get("/qbe/run?context=c2&sql=SELECT+zzz+FROM+nosuch")
+	if !strings.Contains(bad, "unknown relation") {
+		t.Errorf("QBE error page:\n%s", bad)
+	}
+}

@@ -1,0 +1,29 @@
+package sqlparse
+
+import "testing"
+
+func BenchmarkParseQ1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(paperQ1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseMediated(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(paperMediated); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrintMediated(b *testing.B) {
+	stmt := MustParse(paperMediated)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Pretty(stmt)
+	}
+}

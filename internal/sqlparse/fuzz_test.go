@@ -1,0 +1,39 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that accepted statements
+// round-trip through the printer.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT rl.cname, rl.revenue FROM rl, r2 WHERE rl.cname = r2.cname AND rl.revenue > r2.expenses",
+		"SELECT rl.revenue * 1000 * r3.rate FROM rl, r3 WHERE rl.currency = 'JPY'",
+		"SELECT DISTINCT a.x AS y FROM a ORDER BY y DESC LIMIT 3",
+		"SELECT COUNT(*) FROM t GROUP BY t.k HAVING COUNT(*) > 2",
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT a FROM t WHERE x IS NOT NULL OR NOT y = 'O''Brien'",
+		"SELECT -x + 3 * (y - 2.5e3) FROM t -- comment",
+		"SELECT * FROM",
+		"((((",
+		"SELECT 'unterminated",
+		"SELECT \xe6()FROM A", // regression: stray multibyte byte must not lex as identifier
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := stmt.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("accepted %q but reprint %q does not parse: %v", src, text, err)
+		}
+		if back.String() != text {
+			t.Fatalf("unstable round trip: %q -> %q", text, back.String())
+		}
+	})
+}

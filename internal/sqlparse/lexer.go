@@ -1,0 +1,147 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// isASCIILetter restricts identifiers to ASCII: SQL-92 regular
+// identifiers, and it keeps byte-wise lexing sound (a stray byte of a
+// multibyte rune must not start an identifier).
+func isASCIILetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp    // = <> < > <= >= + - * /
+	TokPunct // ( ) , . ;
+)
+
+// Token is one lexical unit of SQL text.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords upper-cased; idents as written
+	Num  float64
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "UNION": true, "ALL": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true,
+	"NULL": true, "IS": true, "TRUE": true, "FALSE": true,
+}
+
+// Lex tokenizes SQL text. Keywords are recognized case-insensitively.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	pos := 0
+	for pos < len(src) {
+		c := src[pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pos++
+		case c == '-' && pos+1 < len(src) && src[pos+1] == '-':
+			for pos < len(src) && src[pos] != '\n' {
+				pos++
+			}
+		case c == '\'':
+			start := pos
+			pos++
+			var b strings.Builder
+			closed := false
+			for pos < len(src) {
+				if src[pos] == '\'' {
+					if pos+1 < len(src) && src[pos+1] == '\'' { // escaped ''
+						b.WriteByte('\'')
+						pos += 2
+						continue
+					}
+					pos++
+					closed = true
+					break
+				}
+				b.WriteByte(src[pos])
+				pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at byte %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: b.String(), Pos: start})
+		case c >= '0' && c <= '9':
+			start := pos
+			for pos < len(src) && (src[pos] >= '0' && src[pos] <= '9' || src[pos] == '.' ||
+				src[pos] == 'e' || src[pos] == 'E' ||
+				((src[pos] == '+' || src[pos] == '-') && pos > start && (src[pos-1] == 'e' || src[pos-1] == 'E'))) {
+				// A '.' followed by a non-digit ends the number (it is the
+				// qualified-name dot, though numbers rarely precede one).
+				if src[pos] == '.' && (pos+1 >= len(src) || src[pos+1] < '0' || src[pos+1] > '9') {
+					break
+				}
+				pos++
+			}
+			text := src[start:pos]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q at byte %d", text, start)
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: text, Num: v, Pos: start})
+		case c == '_' || isASCIILetter(c):
+			start := pos
+			for pos < len(src) && (src[pos] == '_' || isASCIILetter(src[pos]) || src[pos] >= '0' && src[pos] <= '9') {
+				pos++
+			}
+			word := src[start:pos]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == ';':
+			toks = append(toks, Token{Kind: TokPunct, Text: string(c), Pos: pos})
+			pos++
+		case c == '<':
+			if pos+1 < len(src) && (src[pos+1] == '>' || src[pos+1] == '=') {
+				toks = append(toks, Token{Kind: TokOp, Text: src[pos : pos+2], Pos: pos})
+				pos += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: "<", Pos: pos})
+				pos++
+			}
+		case c == '>':
+			if pos+1 < len(src) && src[pos+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: ">=", Pos: pos})
+				pos += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: ">", Pos: pos})
+				pos++
+			}
+		case c == '!':
+			if pos+1 < len(src) && src[pos+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: "<>", Pos: pos})
+				pos += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at byte %d", pos)
+			}
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: pos})
+			pos++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at byte %d", c, pos)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: pos})
+	return toks, nil
+}

@@ -1,0 +1,452 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses one SQL statement (SELECT, possibly a UNION chain). A
+// trailing semicolon is permitted.
+func Parse(src string) (Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokPunct && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("trailing input %q", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(src string) Statement {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type sqlParser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *sqlParser) peek() Token { return p.toks[p.pos] }
+
+func (p *sqlParser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sqlParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: parse error at byte %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sqlParser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %q", kw, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *sqlParser) acceptPunct(ch string) bool {
+	if t := p.peek(); t.Kind == TokPunct && t.Text == ch {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectPunct(ch string) error {
+	if !p.acceptPunct(ch) {
+		return p.errf("expected %q, found %q", ch, p.peek().Text)
+	}
+	return nil
+}
+
+func (p *sqlParser) statement() (Statement, error) {
+	left, err := p.selectOrParen()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("UNION") {
+		all := p.acceptKeyword("ALL")
+		right, err := p.selectOrParen()
+		if err != nil {
+			return nil, err
+		}
+		left = &Union{Left: left, Right: right, All: all}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) selectOrParen() (Statement, error) {
+	if p.acceptPunct("(") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return p.selectStmt()
+}
+
+func (p *sqlParser) selectStmt() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if p.acceptKeyword("HAVING") {
+			e, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			sel.Having = e
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.Kind != TokNumber || t.Num != float64(int(t.Num)) || t.Num < 0 {
+			return nil, p.errf("LIMIT requires a non-negative integer, found %q", t.Text)
+		}
+		sel.Limit = int(t.Num)
+	}
+	return sel, nil
+}
+
+func (p *sqlParser) selectItem() (SelectItem, error) {
+	// t.* or *
+	if t := p.peek(); t.Kind == TokOp && t.Text == "*" {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	if t := p.peek(); t.Kind == TokIdent {
+		// Lookahead for ident.*
+		if p.pos+2 < len(p.toks) &&
+			p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == "." &&
+			p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
+			p.next()
+			p.next()
+			p.next()
+			return SelectItem{Star: true, StarTable: t.Text}, nil
+		}
+	}
+	e, err := p.expr(0)
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return SelectItem{}, p.errf("expected alias after AS, found %q", t.Text)
+		}
+		item.Alias = t.Text
+	} else if t := p.peek(); t.Kind == TokIdent {
+		p.next()
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *sqlParser) tableRef() (TableRef, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return TableRef{}, p.errf("expected table name, found %q", t.Text)
+	}
+	ref := TableRef{Table: t.Text}
+	if p.acceptKeyword("AS") {
+		a := p.next()
+		if a.Kind != TokIdent {
+			return TableRef{}, p.errf("expected alias after AS, found %q", a.Text)
+		}
+		ref.Alias = a.Text
+	} else if a := p.peek(); a.Kind == TokIdent {
+		p.next()
+		ref.Alias = a.Text
+	}
+	return ref, nil
+}
+
+// Expression precedence, loosest first:
+// 0 OR, 1 AND, 2 NOT, 3 comparison/IS, 4 + -, 5 * /, 6 unary -, primary.
+func (p *sqlParser) expr(level int) (Expr, error) {
+	switch level {
+	case 0: // OR
+		left, err := p.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		for p.acceptKeyword("OR") {
+			right, err := p.expr(1)
+			if err != nil {
+				return nil, err
+			}
+			left = Bin("OR", left, right)
+		}
+		return left, nil
+	case 1: // AND
+		left, err := p.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		for p.acceptKeyword("AND") {
+			right, err := p.expr(2)
+			if err != nil {
+				return nil, err
+			}
+			left = Bin("AND", left, right)
+		}
+		return left, nil
+	case 2: // NOT
+		if p.acceptKeyword("NOT") {
+			x, err := p.expr(2)
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: "NOT", X: x}, nil
+		}
+		return p.expr(3)
+	case 3: // comparison, IS [NOT] NULL (non-associative)
+		left, err := p.expr(4)
+		if err != nil {
+			return nil, err
+		}
+		if t := p.peek(); t.Kind == TokOp && isCompareOp(t.Text) {
+			p.next()
+			right, err := p.expr(4)
+			if err != nil {
+				return nil, err
+			}
+			return Bin(t.Text, left, right), nil
+		}
+		if p.acceptKeyword("IS") {
+			not := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			return &IsNull{X: left, Not: not}, nil
+		}
+		return left, nil
+	case 4: // + -
+		left, err := p.expr(5)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+				p.next()
+				right, err := p.expr(5)
+				if err != nil {
+					return nil, err
+				}
+				left = Bin(t.Text, left, right)
+				continue
+			}
+			return left, nil
+		}
+	case 5: // * /
+		left, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			t := p.peek()
+			if t.Kind == TokOp && (t.Text == "*" || t.Text == "/") {
+				p.next()
+				right, err := p.unary()
+				if err != nil {
+					return nil, err
+				}
+				left = Bin(t.Text, left, right)
+				continue
+			}
+			return left, nil
+		}
+	}
+	return p.unary()
+}
+
+func isCompareOp(op string) bool {
+	switch op {
+	case "=", "<>", "<", ">", "<=", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) unary() (Expr, error) {
+	if t := p.peek(); t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := x.(NumberLit); ok {
+			return NumberLit(-n), nil
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *sqlParser) primary() (Expr, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokNumber:
+		return NumberLit(t.Num), nil
+	case TokString:
+		return StringLit(t.Text), nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			return NullLit{}, nil
+		case "TRUE":
+			return BoolLit(true), nil
+		case "FALSE":
+			return BoolLit(false), nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		// Function call?
+		if p.peek().Kind == TokPunct && p.peek().Text == "(" {
+			name := strings.ToUpper(t.Text)
+			p.next() // (
+			fc := &FuncCall{Name: name}
+			if st := p.peek(); st.Kind == TokOp && st.Text == "*" {
+				p.next()
+				fc.Star = true
+			} else if !(p.peek().Kind == TokPunct && p.peek().Text == ")") {
+				for {
+					a, err := p.expr(0)
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if !p.acceptPunct(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Qualified column?
+		if p.peek().Kind == TokPunct && p.peek().Text == "." {
+			p.next()
+			c := p.next()
+			if c.Kind != TokIdent {
+				return nil, p.errf("expected column after %q., found %q", t.Text, c.Text)
+			}
+			return &ColRef{Table: t.Text, Column: c.Text}, nil
+		}
+		return &ColRef{Column: t.Text}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			e, err := p.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected %q in expression", t.Text)
+}

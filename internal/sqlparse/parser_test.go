@@ -1,0 +1,315 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// The paper's query Q1, verbatim modulo whitespace.
+const paperQ1 = `
+SELECT rl.cname, rl.revenue FROM rl, r2
+WHERE rl.cname = r2.cname
+AND rl.revenue > r2.expenses;`
+
+func TestParsePaperQ1(t *testing.T) {
+	stmt, err := Parse(paperQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		t.Fatalf("got %T, want *Select", stmt)
+	}
+	if len(sel.Items) != 2 {
+		t.Errorf("items = %d, want 2", len(sel.Items))
+	}
+	if len(sel.From) != 2 || sel.From[0].Table != "rl" || sel.From[1].Table != "r2" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	preds := Conjuncts(sel.Where)
+	if len(preds) != 2 {
+		t.Fatalf("conjuncts = %d, want 2", len(preds))
+	}
+	cmp := preds[1].(*BinaryExpr)
+	if cmp.Op != ">" {
+		t.Errorf("second predicate op = %q, want >", cmp.Op)
+	}
+}
+
+// The paper's mediated query: a 3-branch UNION with arithmetic over the
+// ancillary rate source.
+const paperMediated = `
+SELECT rl.cname, rl.revenue
+FROM rl, r2
+WHERE rl.currency = 'USD'
+AND rl.cname = r2.cname
+AND rl.revenue > r2.expenses
+UNION
+SELECT rl.cname, rl.revenue * 1000 * r3.rate
+FROM rl, r2, r3
+WHERE rl.currency = 'JPY'
+AND rl.cname = r2.cname
+AND r3.fromCur = rl.currency
+AND r3.toCur = 'USD'
+AND rl.revenue * 1000 * r3.rate > r2.expenses
+UNION
+SELECT rl.cname, rl.revenue * r3.rate
+FROM rl, r2, r3
+WHERE rl.currency <> 'USD'
+AND rl.currency <> 'JPY'
+AND r3.fromCur = rl.currency
+AND r3.toCur = 'USD'
+AND rl.cname = r2.cname
+AND rl.revenue * r3.rate > r2.expenses;`
+
+func TestParsePaperMediatedQuery(t *testing.T) {
+	stmt, err := Parse(paperMediated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels := Selects(stmt)
+	if len(sels) != 3 {
+		t.Fatalf("branches = %d, want 3", len(sels))
+	}
+	// Second branch projects rl.revenue * 1000 * r3.rate.
+	proj := sels[1].Items[1].Expr.(*BinaryExpr)
+	if proj.Op != "*" {
+		t.Errorf("branch 2 projection = %s", proj)
+	}
+	if proj.String() != "rl.revenue * 1000 * r3.rate" {
+		t.Errorf("branch 2 projection = %q", proj.String())
+	}
+	// Third branch has two disequalities.
+	neqs := 0
+	for _, p := range Conjuncts(sels[2].Where) {
+		if b, ok := p.(*BinaryExpr); ok && b.Op == "<>" {
+			neqs++
+		}
+	}
+	if neqs != 2 {
+		t.Errorf("branch 3 disequalities = %d, want 2", neqs)
+	}
+}
+
+func TestParseClauses(t *testing.T) {
+	stmt := MustParse(`
+		SELECT DISTINCT c.name AS n, SUM(c.rev) total
+		FROM companies c, markets AS m
+		WHERE (c.mkt = m.id AND m.region = 'EU') OR c.global = TRUE
+		GROUP BY c.name
+		HAVING SUM(c.rev) > 100
+		ORDER BY total DESC, n
+		LIMIT 10`)
+	sel := stmt.(*Select)
+	if !sel.Distinct {
+		t.Error("DISTINCT lost")
+	}
+	if sel.Items[0].Alias != "n" || sel.Items[1].Alias != "total" {
+		t.Errorf("aliases = %+v", sel.Items)
+	}
+	if sel.From[0].Binding() != "c" || sel.From[1].Binding() != "m" {
+		t.Errorf("bindings = %v, %v", sel.From[0].Binding(), sel.From[1].Binding())
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("GROUP BY/HAVING lost")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	sel := MustParse("SELECT * FROM r1").(*Select)
+	if !sel.Items[0].Star || sel.Items[0].StarTable != "" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	sel = MustParse("SELECT r1.* , r2.x FROM r1, r2").(*Select)
+	if !sel.Items[0].Star || sel.Items[0].StarTable != "r1" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := MustParse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").(*Select)
+	or := sel.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top op = %q, want OR", or.Op)
+	}
+	and := or.R.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Errorf("right op = %q, want AND", and.Op)
+	}
+
+	sel = MustParse("SELECT a + b * c FROM t").(*Select)
+	add := sel.Items[0].Expr.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top arith = %q, want +", add.Op)
+	}
+	if mul := add.R.(*BinaryExpr); mul.Op != "*" {
+		t.Errorf("nested arith = %q, want *", mul.Op)
+	}
+}
+
+func TestParseNotAndIsNull(t *testing.T) {
+	sel := MustParse("SELECT a FROM t WHERE NOT a = 1 AND b IS NOT NULL AND c IS NULL").(*Select)
+	preds := Conjuncts(sel.Where)
+	if len(preds) != 3 {
+		t.Fatalf("conjuncts = %d", len(preds))
+	}
+	if _, ok := preds[0].(*UnaryExpr); !ok {
+		t.Errorf("pred 0 = %T, want NOT", preds[0])
+	}
+	if n, ok := preds[1].(*IsNull); !ok || !n.Not {
+		t.Errorf("pred 1 = %#v, want IS NOT NULL", preds[1])
+	}
+	if n, ok := preds[2].(*IsNull); !ok || n.Not {
+		t.Errorf("pred 2 = %#v, want IS NULL", preds[2])
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := MustParse("SELECT a FROM t WHERE n = 'O''Brien'").(*Select)
+	cmp := sel.Where.(*BinaryExpr)
+	if got := string(cmp.R.(StringLit)); got != "O'Brien" {
+		t.Errorf("string = %q", got)
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	sel := MustParse("SELECT a FROM t WHERE x > -5.5").(*Select)
+	cmp := sel.Where.(*BinaryExpr)
+	if got := float64(cmp.R.(NumberLit)); got != -5.5 {
+		t.Errorf("number = %v", got)
+	}
+}
+
+func TestParseUnionAssociativity(t *testing.T) {
+	stmt := MustParse("SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v")
+	u := stmt.(*Union)
+	if !u.All {
+		t.Error("outer union should be ALL")
+	}
+	if inner, ok := u.Left.(*Union); !ok || inner.All {
+		t.Error("inner union should be plain UNION")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT 1.5",
+		"SELECT a FROM t WHERE x = = 1",
+		"SELECT a FROM t WHERE 'unterminated",
+		"SELECT a FROM t trailing garbage (",
+		"FROM t SELECT a",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	sel := MustParse("SELECT a -- projection\nFROM t -- the table\n").(*Select)
+	if len(sel.Items) != 1 || sel.From[0].Table != "t" {
+		t.Errorf("comment handling broke parse: %+v", sel)
+	}
+}
+
+func TestStatementColumns(t *testing.T) {
+	stmt := MustParse(paperMediated)
+	cols := StatementColumns(stmt)
+	want := map[string]bool{
+		"rl.cname": true, "rl.revenue": true, "rl.currency": true,
+		"r2.cname": true, "r2.expenses": true,
+		"r3.rate": true, "r3.fromCur": true, "r3.toCur": true,
+	}
+	got := map[string]bool{}
+	for _, c := range cols {
+		got[c.String()] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing column %s in %v", k, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("columns = %v", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT rl.cname, rl.revenue FROM rl, r2 WHERE rl.cname = r2.cname AND rl.revenue > r2.expenses",
+		"SELECT rl.cname, rl.revenue * 1000 * r3.rate FROM rl, r2, r3 WHERE rl.currency = 'JPY'",
+		"SELECT DISTINCT a.x AS y FROM a ORDER BY y DESC LIMIT 3",
+		"SELECT COUNT(*) FROM t GROUP BY t.k HAVING COUNT(*) > 2",
+		"SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3",
+		"SELECT a FROM t UNION ALL SELECT b FROM u",
+		"SELECT -x + 3 * (y - 2) FROM t",
+		"SELECT a FROM t WHERE NOT (x = 1 OR x = 2)",
+	}
+	for _, src := range srcs {
+		s1 := MustParse(src)
+		text := s1.String()
+		s2, err := Parse(text)
+		if err != nil {
+			t.Errorf("re-parse of %q failed: %v", text, err)
+			continue
+		}
+		if s2.String() != text {
+			t.Errorf("round trip unstable:\n  1: %s\n  2: %s", text, s2.String())
+		}
+	}
+}
+
+func TestPrettyLayout(t *testing.T) {
+	stmt := MustParse(paperMediated)
+	out := Pretty(stmt)
+	if strings.Count(out, "UNION") != 2 {
+		t.Errorf("Pretty lost UNIONs:\n%s", out)
+	}
+	if !strings.Contains(out, "\nWHERE rl.currency = 'JPY'") {
+		t.Errorf("Pretty layout unexpected:\n%s", out)
+	}
+}
+
+func TestCloneExprIndependence(t *testing.T) {
+	e := MustParse("SELECT a FROM t WHERE x = 1 AND y > 2").(*Select).Where
+	c := CloneExpr(e).(*BinaryExpr)
+	c.L.(*BinaryExpr).Op = "<>"
+	if e.(*BinaryExpr).L.(*BinaryExpr).Op != "=" {
+		t.Error("CloneExpr shares nodes with original")
+	}
+}
+
+func TestAndAllConjunctsInverse(t *testing.T) {
+	preds := []Expr{
+		Bin("=", Col("a", "x"), Num(1)),
+		Bin(">", Col("a", "y"), Num(2)),
+		Bin("<>", Col("b", "z"), Str("q")),
+	}
+	e := AndAll(preds)
+	back := Conjuncts(e)
+	if len(back) != 3 {
+		t.Fatalf("Conjuncts(AndAll(3 preds)) = %d", len(back))
+	}
+	for i := range preds {
+		if back[i].String() != preds[i].String() {
+			t.Errorf("pred %d changed: %s vs %s", i, back[i], preds[i])
+		}
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) != nil")
+	}
+}

@@ -1,0 +1,112 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Random AST generation for the print-parse round-trip property. The
+// generator builds only valid statements (positive LIMIT, non-empty
+// clauses), since the property under test is printer/parser inversion,
+// not validation.
+
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &ColRef{Table: "t" + string(rune('0'+r.Intn(3))), Column: "c" + string(rune('0'+r.Intn(4)))}
+		case 1:
+			return NumberLit(float64(r.Intn(1000)) / 10)
+		case 2:
+			return StringLit("s" + string(rune('a'+r.Intn(6))))
+		default:
+			return &ColRef{Column: "u" + string(rune('0'+r.Intn(3)))}
+		}
+	}
+	ops := []string{"+", "-", "*", "/"}
+	return Bin(ops[r.Intn(len(ops))], genExpr(r, depth-1), genExpr(r, depth-1))
+}
+
+func genPredicate(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		cmps := []string{"=", "<>", "<", ">", "<=", ">="}
+		return Bin(cmps[r.Intn(len(cmps))], genExpr(r, 1), genExpr(r, 1))
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Bin("AND", genPredicate(r, depth-1), genPredicate(r, depth-1))
+	case 1:
+		return Bin("OR", genPredicate(r, depth-1), genPredicate(r, depth-1))
+	default:
+		return &UnaryExpr{Op: "NOT", X: genPredicate(r, depth-1)}
+	}
+}
+
+func genSelect(r *rand.Rand) *Select {
+	sel := &Select{Limit: -1, Distinct: r.Intn(4) == 0}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		item := SelectItem{Expr: genExpr(r, 2)}
+		if r.Intn(3) == 0 {
+			item.Alias = "a" + string(rune('0'+i))
+		}
+		sel.Items = append(sel.Items, item)
+	}
+	for i := 0; i <= r.Intn(3); i++ {
+		ref := TableRef{Table: "t" + string(rune('0'+i))}
+		if r.Intn(3) == 0 {
+			ref.Alias = "x" + string(rune('0'+i))
+		}
+		sel.From = append(sel.From, ref)
+	}
+	if r.Intn(2) == 0 {
+		sel.Where = genPredicate(r, 2)
+	}
+	if r.Intn(4) == 0 {
+		sel.OrderBy = []OrderItem{{Expr: genExpr(r, 1), Desc: r.Intn(2) == 0}}
+	}
+	if r.Intn(4) == 0 {
+		sel.Limit = r.Intn(100)
+	}
+	return sel
+}
+
+// TestPrintParseRoundTripProperty: for randomly generated statements,
+// Parse(String(s)) reprints identically.
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var stmt Statement = genSelect(r)
+		if r.Intn(3) == 0 {
+			stmt = &Union{Left: stmt, Right: genSelect(r), All: r.Intn(2) == 0}
+		}
+		text := stmt.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Logf("parse failed for %q: %v", text, err)
+			return false
+		}
+		return back.String() == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrettyParseRoundTripProperty: the multi-line layout parses back to
+// the same statement as the single-line one.
+func TestPrettyParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stmt := genSelect(r)
+		back, err := Parse(Pretty(stmt))
+		if err != nil {
+			return false
+		}
+		return back.String() == stmt.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

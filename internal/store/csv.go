@@ -1,0 +1,134 @@
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/relalg"
+)
+
+// CSV import/export. The header row declares columns as "name:type" where
+// type is one of str, num, bool (defaulting to str), e.g.:
+//
+//	cname:str,revenue:num,currency:str
+//	IBM,100000000,USD
+
+// ParseHeader converts a CSV header row into a schema.
+func ParseHeader(header []string) (relalg.Schema, error) {
+	var schema relalg.Schema
+	for _, h := range header {
+		name := strings.TrimSpace(h)
+		kind := relalg.KindString
+		if i := strings.LastIndex(name, ":"); i >= 0 {
+			switch strings.TrimSpace(name[i+1:]) {
+			case "str", "string", "":
+				kind = relalg.KindString
+			case "num", "number", "float", "int":
+				kind = relalg.KindNumber
+			case "bool":
+				kind = relalg.KindBool
+			default:
+				return relalg.Schema{}, fmt.Errorf("store: unknown column type in %q", h)
+			}
+			name = strings.TrimSpace(name[:i])
+		}
+		if name == "" {
+			return relalg.Schema{}, fmt.Errorf("store: empty column name in header")
+		}
+		schema.Columns = append(schema.Columns, relalg.Column{Name: name, Type: kind})
+	}
+	return schema, nil
+}
+
+// ReadCSV loads a relation from CSV with a typed header.
+func ReadCSV(name string, r io.Reader) (*relalg.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("store: reading CSV header: %w", err)
+	}
+	schema, err := ParseHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	rel := relalg.NewRelation(name, schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(schema.Columns) {
+			return nil, fmt.Errorf("store: CSV line %d has %d fields, want %d", line, len(rec), len(schema.Columns))
+		}
+		row := make(relalg.Tuple, len(rec))
+		for i, cell := range rec {
+			v, err := relalg.ParseValue(cell, schema.Columns[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("store: CSV line %d column %s: %w", line, schema.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		if err := rel.Add(row); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// WriteCSV writes a relation as CSV with a typed header; ReadCSV can load
+// it back losslessly (modulo float formatting).
+func WriteCSV(rel *relalg.Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(rel.Schema.Columns))
+	for i, c := range rel.Schema.Columns {
+		suffix := "str"
+		switch c.Type {
+		case relalg.KindNumber:
+			suffix = "num"
+		case relalg.KindBool:
+			suffix = "bool"
+		}
+		header[i] = c.Name + ":" + suffix
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, t := range rel.Tuples {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSVTable creates a table in db from CSV content.
+func LoadCSVTable(db *DB, name string, r io.Reader) (*Table, error) {
+	rel, err := ReadCSV(name, r)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.CreateTable(name, rel.Schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rel.Tuples {
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Disk persistence for a database: each table is one CSV file with a typed
+// header, named <table>.csv, in one directory per database. This is the
+// dictionary-side secondary storage of Figure 1 made durable: a catalog
+// written with SaveDir is fully reconstructed by LoadDir, and the CSV
+// files double as a human-editable data-exchange format for the demo
+// binaries.
+
+// SaveDir writes every table of db into dir (created if absent).
+func SaveDir(db *DB, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("store: creating %s: %w", path, err)
+		}
+		if err := WriteCSV(t.Scan(), f); err != nil {
+			f.Close()
+			return fmt.Errorf("store: writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every *.csv in dir into a new database named after the
+// directory's base name.
+func LoadDir(dir string) (*DB, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
+	}
+	db := NewDB(filepath.Base(dir))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".csv")
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: opening %s: %w", e.Name(), err)
+		}
+		_, err = LoadCSVTable(db, name, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: loading %s: %w", e.Name(), err)
+		}
+	}
+	return db, nil
+}

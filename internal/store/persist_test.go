@@ -1,0 +1,78 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relalg"
+)
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDB("demo")
+	tab := db.MustCreateTable("r1", companySchema())
+	tab.MustInsert(relalg.StrV("IBM"), relalg.NumV(1e8), relalg.StrV("USD"))
+	tab.MustInsert(relalg.StrV("NTT"), relalg.NumV(1e6), relalg.StrV("JPY"))
+	tab2 := db.MustCreateTable("r2", relalg.NewSchema(
+		relalg.Column{Name: "cname", Type: relalg.KindString},
+		relalg.Column{Name: "expenses", Type: relalg.KindNumber},
+	))
+	tab2.MustInsert(relalg.StrV("IBM"), relalg.NumV(1.5e8))
+
+	sub := filepath.Join(dir, "demo")
+	if err := SaveDir(db, sub); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "demo" {
+		t.Errorf("name = %s", back.Name)
+	}
+	if got := back.TableNames(); len(got) != 2 {
+		t.Fatalf("tables = %v", got)
+	}
+	orig, _ := db.Table("r1")
+	loaded, err := back.Table("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relalg.SameTuples(orig.Scan(), loaded.Scan()) {
+		t.Error("r1 changed across save/load")
+	}
+	if !loaded.Schema.Equal(orig.Schema) {
+		t.Errorf("schema changed: %v vs %v", loaded.Schema, orig.Schema)
+	}
+}
+
+func TestLoadDirIgnoresNonCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "t.csv"), []byte("a:num\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.TableNames(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("tables = %v", got)
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing dir accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.csv"), []byte("a:num\nxyz\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("bad CSV accepted")
+	}
+}

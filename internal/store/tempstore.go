@@ -1,0 +1,118 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/relalg"
+)
+
+// TempStore holds intermediate results of cross-source query execution.
+// Figure 1 of the paper gives the multi-database engine "two local
+// secondary storages ... for the management of dictionary information and
+// in order to handle large results or large sets of temporary data"; this
+// type is the second of those. Relations whose tuple count exceeds
+// SpillThreshold are written to disk as CSV and re-read on demand, so the
+// engine's resident memory stays bounded by the threshold regardless of
+// result size.
+type TempStore struct {
+	// SpillThreshold is the maximum tuple count kept in memory per entry;
+	// larger relations spill to disk. Zero means DefaultSpillThreshold.
+	SpillThreshold int
+
+	dir string
+
+	mu      sync.Mutex
+	mem     map[string]*relalg.Relation
+	spilled map[string]string // key -> file path
+	seq     int
+	// Spills counts entries written to disk (observable in tests and the
+	// E9 bench).
+	spills int
+}
+
+// DefaultSpillThreshold is used when TempStore.SpillThreshold is zero.
+const DefaultSpillThreshold = 10000
+
+// NewTempStore creates a temp store backed by a fresh directory under the
+// OS temp dir. Call Close to delete spilled files.
+func NewTempStore() (*TempStore, error) {
+	dir, err := os.MkdirTemp("", "coin-temp-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: creating temp dir: %w", err)
+	}
+	return &TempStore{
+		dir:     dir,
+		mem:     map[string]*relalg.Relation{},
+		spilled: map[string]string{},
+	}, nil
+}
+
+// Put stores a relation under key, spilling it if oversized.
+func (ts *TempStore) Put(key string, rel *relalg.Relation) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	threshold := ts.SpillThreshold
+	if threshold == 0 {
+		threshold = DefaultSpillThreshold
+	}
+	if rel.Len() <= threshold {
+		ts.mem[key] = rel
+		delete(ts.spilled, key)
+		return nil
+	}
+	ts.seq++
+	path := filepath.Join(ts.dir, fmt.Sprintf("t%06d.csv", ts.seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: spilling %s: %w", key, err)
+	}
+	if err := WriteCSV(rel, f); err != nil {
+		f.Close()
+		return fmt.Errorf("store: spilling %s: %w", key, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	delete(ts.mem, key)
+	ts.spilled[key] = path
+	ts.spills++
+	return nil
+}
+
+// Get retrieves a relation by key, reading it back from disk if spilled.
+func (ts *TempStore) Get(key string) (*relalg.Relation, error) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if rel, ok := ts.mem[key]; ok {
+		return rel, nil
+	}
+	path, ok := ts.spilled[key]
+	if !ok {
+		return nil, fmt.Errorf("store: temp store has no entry %q", key)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading spilled %s: %w", key, err)
+	}
+	defer f.Close()
+	return ReadCSV(key, f)
+}
+
+// Spills reports how many entries have been written to disk.
+func (ts *TempStore) Spills() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.spills
+}
+
+// Close removes all spilled files.
+func (ts *TempStore) Close() error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.mem = map[string]*relalg.Relation{}
+	ts.spilled = map[string]string{}
+	return os.RemoveAll(ts.dir)
+}

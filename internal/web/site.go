@@ -1,0 +1,136 @@
+// Package web simulates the semi-structured Web sources of the COIN
+// prototype. The paper wrapped live Internet sites (currency-exchange
+// services, stock-price tickers, company profiles); those sites are long
+// gone and non-deterministic anyway, so this package generates
+// deterministic HTML-ish sites with the same navigational structure: an
+// index page of links leading to detail pages, parameterized lookup pages
+// driven by query strings, and table pages listing many rows. The Web
+// wrapper (internal/wrapper) navigates them exactly as it would navigate
+// the real thing, and the sites can also be served over real HTTP via
+// Handler for the end-to-end architecture experiment.
+package web
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Site is a set of pages addressable by URL path (including query
+// string). It implements the wrapper.Fetcher contract.
+type Site struct {
+	Name string
+
+	mu    sync.RWMutex
+	pages map[string]string
+	// hits counts fetches per URL; the planner benches read it to show
+	// communication costs.
+	hits map[string]int
+}
+
+// NewSite creates an empty site.
+func NewSite(name string) *Site {
+	return &Site{Name: name, pages: map[string]string{}, hits: map[string]int{}}
+}
+
+// AddPage registers a page body under a URL (path plus optional query).
+func (s *Site) AddPage(url, body string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages[url] = body
+}
+
+// Get returns the body of a page. Unknown URLs return an error, like a
+// 404.
+func (s *Site) Get(u string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body, ok := s.pages[u]
+	if !ok {
+		// Tolerate query-parameter reordering: try canonical form.
+		if cu, err := canonicalURL(u); err == nil {
+			body, ok = s.pages[cu]
+		}
+	}
+	if !ok {
+		return "", fmt.Errorf("web: %s: no page %q", s.Name, u)
+	}
+	s.hits[u]++
+	return body, nil
+}
+
+// Hits reports how many fetches the site has served.
+func (s *Site) Hits() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, h := range s.hits {
+		n += h
+	}
+	return n
+}
+
+// ResetHits zeroes the fetch counters.
+func (s *Site) ResetHits() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits = map[string]int{}
+}
+
+// URLs lists the site's pages, sorted.
+func (s *Site) URLs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.pages))
+	for u := range s.pages {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// canonicalURL sorts query parameters so lookups are order-insensitive.
+func canonicalURL(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", err
+	}
+	q := u.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(u.Path)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteByte('?')
+		} else {
+			b.WriteByte('&')
+		}
+		b.WriteString(k + "=" + q.Get(k))
+	}
+	return b.String(), nil
+}
+
+// Handler exposes the site over real HTTP (used by the architecture
+// end-to-end test and cmd/coinserver's demo mode).
+func (s *Site) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		u := r.URL.Path
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		body, err := s.Get(u)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, body)
+	})
+}

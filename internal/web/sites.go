@@ -1,0 +1,135 @@
+package web
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file builds the three concrete simulated sites the prototype's
+// demonstrations used: a currency-exchange service (the ancillary source
+// r3 of the paper's example), a stock-quote ticker, and a company-profile
+// directory.
+
+// RatePair identifies a directed currency pair.
+type RatePair struct {
+	From, To string
+}
+
+// NewCurrencySite builds a currency-exchange service in the style of the
+// Olsen server the COIN demos used: /rates is an index of links, and
+// /rate?from=X&to=Y is a per-pair lookup page. The lookup page is reachable
+// both by navigation and by direct parameterized access, so wrappers can
+// expose it either as a crawlable relation or as one with required
+// bindings.
+func NewCurrencySite(rates map[RatePair]float64) *Site {
+	s := NewSite("currencyweb")
+	pairs := make([]RatePair, 0, len(rates))
+	for p := range rates {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].From != pairs[j].From {
+			return pairs[i].From < pairs[j].From
+		}
+		return pairs[i].To < pairs[j].To
+	})
+
+	var index strings.Builder
+	index.WriteString("<html><head><title>Currency Exchange Rates</title></head><body>\n")
+	index.WriteString("<h1>Exchange rate service</h1>\n<ul>\n")
+	for _, p := range pairs {
+		u := fmt.Sprintf("/rate?from=%s&to=%s", p.From, p.To)
+		fmt.Fprintf(&index, "<li><a href=\"%s\">%s to %s</a></li>\n", u, p.From, p.To)
+		body := fmt.Sprintf(
+			"<html><body><h2>Exchange rate</h2>\n<p>from: %s</p>\n<p>to: %s</p>\n<p>rate: %g</p>\n</body></html>",
+			p.From, p.To, rates[p])
+		s.AddPage(u, body)
+	}
+	index.WriteString("</ul>\n</body></html>")
+	s.AddPage("/rates", index.String())
+	return s
+}
+
+// Quote is one security price on the stock site.
+type Quote struct {
+	Ticker   string
+	Exchange string
+	Price    float64
+	Currency string
+}
+
+// NewStockSite builds a ticker site: /exchanges links to one table page
+// per exchange listing ticker/price/currency rows.
+func NewStockSite(quotes []Quote) *Site {
+	s := NewSite("stockweb")
+	byExchange := map[string][]Quote{}
+	for _, q := range quotes {
+		byExchange[q.Exchange] = append(byExchange[q.Exchange], q)
+	}
+	exchanges := make([]string, 0, len(byExchange))
+	for e := range byExchange {
+		exchanges = append(exchanges, e)
+	}
+	sort.Strings(exchanges)
+
+	var index strings.Builder
+	index.WriteString("<html><body><h1>Security prices</h1>\n<ul>\n")
+	for _, e := range exchanges {
+		u := "/exchange/" + e
+		fmt.Fprintf(&index, "<li><a href=\"%s\">%s</a></li>\n", u, e)
+		var page strings.Builder
+		fmt.Fprintf(&page, "<html><body><h2>exchange: %s</h2>\n<table>\n", e)
+		qs := byExchange[e]
+		sort.Slice(qs, func(i, j int) bool { return qs[i].Ticker < qs[j].Ticker })
+		for _, q := range qs {
+			fmt.Fprintf(&page, "<tr><td>%s</td><td>%g</td><td>%s</td></tr>\n", q.Ticker, q.Price, q.Currency)
+		}
+		page.WriteString("</table>\n</body></html>")
+		s.AddPage(u, page.String())
+	}
+	index.WriteString("</ul>\n</body></html>")
+	s.AddPage("/exchanges", index.String())
+	return s
+}
+
+// Profile is one company record on the profile site.
+type Profile struct {
+	Name      string
+	Country   string
+	Sector    string
+	Employees int
+}
+
+// NewProfileSite builds a company directory: /companies is an index of
+// links to per-company pages.
+func NewProfileSite(profiles []Profile) *Site {
+	s := NewSite("profileweb")
+	sorted := append([]Profile(nil), profiles...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	var index strings.Builder
+	index.WriteString("<html><body><h1>Company profiles</h1>\n<ul>\n")
+	for _, p := range sorted {
+		u := "/company?name=" + p.Name
+		fmt.Fprintf(&index, "<li><a href=\"%s\">%s</a></li>\n", u, p.Name)
+		body := fmt.Sprintf(
+			"<html><body><h2>%s</h2>\n<p>name: %s</p>\n<p>country: %s</p>\n<p>sector: %s</p>\n<p>employees: %d</p>\n</body></html>",
+			p.Name, p.Name, p.Country, p.Sector, p.Employees)
+		s.AddPage(u, body)
+	}
+	index.WriteString("</ul>\n</body></html>")
+	s.AddPage("/companies", index.String())
+	return s
+}
+
+// PaperRates returns the exchange rates of the paper's example (Figure 2
+// plus the extra currencies tests use).
+func PaperRates() map[RatePair]float64 {
+	return map[RatePair]float64{
+		{From: "JPY", To: "USD"}: 0.0096,
+		{From: "USD", To: "JPY"}: 104.00,
+		{From: "EUR", To: "USD"}: 1.10,
+		{From: "GBP", To: "USD"}: 1.55,
+	}
+}

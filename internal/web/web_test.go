@@ -1,0 +1,120 @@
+package web
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSiteGetAndHits(t *testing.T) {
+	s := NewSite("t")
+	s.AddPage("/a", "hello")
+	body, err := s.Get("/a")
+	if err != nil || body != "hello" {
+		t.Fatalf("Get = %q, %v", body, err)
+	}
+	if _, err := s.Get("/missing"); err == nil {
+		t.Error("missing page succeeded")
+	}
+	if s.Hits() != 1 {
+		t.Errorf("hits = %d", s.Hits())
+	}
+	s.ResetHits()
+	if s.Hits() != 0 {
+		t.Error("ResetHits failed")
+	}
+}
+
+func TestSiteQueryParamOrderInsensitive(t *testing.T) {
+	s := NewSite("t")
+	s.AddPage("/rate?from=JPY&to=USD", "rate: 0.0096")
+	body, err := s.Get("/rate?to=USD&from=JPY")
+	if err != nil || !strings.Contains(body, "0.0096") {
+		t.Errorf("reordered query lookup = %q, %v", body, err)
+	}
+}
+
+func TestCurrencySiteStructure(t *testing.T) {
+	s := NewCurrencySite(PaperRates())
+	index, err := s.Get("/rates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(index, "<a href=") != 4 {
+		t.Errorf("index links:\n%s", index)
+	}
+	page, err := s.Get("/rate?from=JPY&to=USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"from: JPY", "to: USD", "rate: 0.0096"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("rate page missing %q:\n%s", want, page)
+		}
+	}
+}
+
+func TestStockSiteStructure(t *testing.T) {
+	s := NewStockSite([]Quote{
+		{Ticker: "IBM", Exchange: "NYSE", Price: 151.25, Currency: "USD"},
+		{Ticker: "NTT", Exchange: "TSE", Price: 880000, Currency: "JPY"},
+	})
+	index, _ := s.Get("/exchanges")
+	if !strings.Contains(index, "/exchange/NYSE") || !strings.Contains(index, "/exchange/TSE") {
+		t.Errorf("index:\n%s", index)
+	}
+	board, err := s.Get("/exchange/TSE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(board, "<td>NTT</td><td>880000</td><td>JPY</td>") {
+		t.Errorf("board:\n%s", board)
+	}
+}
+
+func TestProfileSiteStructure(t *testing.T) {
+	s := NewProfileSite([]Profile{{Name: "IBM", Country: "USA", Sector: "Technology", Employees: 220000}})
+	card, err := s.Get("/company?name=IBM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"name: IBM", "country: USA", "employees: 220000"} {
+		if !strings.Contains(card, want) {
+			t.Errorf("card missing %q:\n%s", want, card)
+		}
+	}
+}
+
+func TestSiteHTTPHandler(t *testing.T) {
+	s := NewCurrencySite(PaperRates())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/rate?from=JPY&to=USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "rate: 0.0096") {
+		t.Errorf("HTTP body:\n%s", body)
+	}
+	resp404, err := ts.Client().Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != 404 {
+		t.Errorf("missing page status = %d", resp404.StatusCode)
+	}
+}
+
+func TestURLsSorted(t *testing.T) {
+	s := NewSite("t")
+	s.AddPage("/b", "x")
+	s.AddPage("/a", "y")
+	urls := s.URLs()
+	if len(urls) != 2 || urls[0] != "/a" {
+		t.Errorf("urls = %v", urls)
+	}
+}

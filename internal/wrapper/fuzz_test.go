@@ -1,0 +1,33 @@
+package wrapper
+
+import "testing"
+
+// FuzzParseSpec checks the wrapping-spec parser never panics.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(CurrencySpecCrawl)
+	f.Add(CurrencySpecLookup)
+	f.Add(StockSpec)
+	f.Add(ProfileSpec)
+	f.Add("relation r(a)\nstart \"/x\" -> s\nstate s\n  emit")
+	f.Add("relation r(a:num\nstate")
+	f.Add("follow \"(\" -> nowhere")
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := ParseSpec(src)
+		if err != nil {
+			return
+		}
+		// Accepted specs are internally consistent: start state exists and
+		// every follow target is defined (validate() guarantees it; this
+		// asserts the guarantee holds under fuzzing).
+		if _, ok := spec.States[spec.Start]; !ok {
+			t.Fatalf("accepted spec with undefined start state: %q", src)
+		}
+		for _, st := range spec.States {
+			for _, fr := range st.Follows {
+				if _, ok := spec.States[fr.Target]; !ok {
+					t.Fatalf("accepted spec with dangling follow: %q", src)
+				}
+			}
+		}
+	})
+}

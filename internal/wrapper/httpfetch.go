@@ -1,0 +1,62 @@
+package wrapper
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPFetcher fetches pages from a live HTTP server, making the Web
+// wrapper operate exactly as the prototype's did against real Internet
+// sites. URLs in wrapping specs are site-relative; BaseURL anchors them.
+type HTTPFetcher struct {
+	BaseURL string
+	// Client defaults to a client with DefaultHTTPTimeout.
+	Client *http.Client
+	// MaxBodyBytes bounds one page read; zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// DefaultHTTPTimeout bounds one page fetch.
+const DefaultHTTPTimeout = 15 * time.Second
+
+// DefaultMaxBodyBytes bounds one page body (a wrapper never needs more
+// than a page's worth of HTML; a runaway response should not exhaust
+// memory).
+const DefaultMaxBodyBytes = 4 << 20
+
+// NewHTTPFetcher builds a fetcher for a base URL.
+func NewHTTPFetcher(baseURL string) *HTTPFetcher {
+	return &HTTPFetcher{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Get implements Fetcher.
+func (h *HTTPFetcher) Get(url string) (string, error) {
+	client := h.Client
+	if client == nil {
+		client = &http.Client{Timeout: DefaultHTTPTimeout}
+	}
+	full := url
+	if strings.HasPrefix(url, "/") {
+		full = h.BaseURL + url
+	}
+	resp, err := client.Get(full)
+	if err != nil {
+		return "", fmt.Errorf("wrapper: GET %s: %w", full, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("wrapper: GET %s: %s", full, resp.Status)
+	}
+	limit := h.MaxBodyBytes
+	if limit == 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return "", fmt.Errorf("wrapper: reading %s: %w", full, err)
+	}
+	return string(body), nil
+}

@@ -1,0 +1,59 @@
+package wrapper
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/web"
+)
+
+// TestWebWrapperOverRealHTTP closes the Figure 1 loop on the source side:
+// the simulated currency site is served by a real HTTP server and the
+// wrapper crawls it through the network stack.
+func TestWebWrapperOverRealHTTP(t *testing.T) {
+	site := web.NewCurrencySite(web.PaperRates())
+	ts := httptest.NewServer(site.Handler())
+	defer ts.Close()
+
+	fetcher := NewHTTPFetcher(ts.URL)
+	w := NewWeb("currencyweb", fetcher, MustParseSpec(CurrencySpecCrawl))
+	rel, err := w.Query(SourceQuery{Relation: "r3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 4 {
+		t.Fatalf("crawl over HTTP = %s", rel)
+	}
+}
+
+func TestHTTPFetcherErrors(t *testing.T) {
+	site := web.NewCurrencySite(web.PaperRates())
+	ts := httptest.NewServer(site.Handler())
+	defer ts.Close()
+
+	f := NewHTTPFetcher(ts.URL)
+	if _, err := f.Get("/nope"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("404 err = %v", err)
+	}
+	dead := NewHTTPFetcher("http://127.0.0.1:1")
+	if _, err := dead.Get("/rates"); err == nil {
+		t.Error("dead server accepted")
+	}
+}
+
+func TestHTTPFetcherBodyLimit(t *testing.T) {
+	site := web.NewSite("big")
+	site.AddPage("/x", strings.Repeat("a", 1000))
+	ts := httptest.NewServer(site.Handler())
+	defer ts.Close()
+	f := NewHTTPFetcher(ts.URL)
+	f.MaxBodyBytes = 10
+	body, err := f.Get("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 10 {
+		t.Errorf("body length = %d, want truncation at 10", len(body))
+	}
+}

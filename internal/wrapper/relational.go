@@ -1,0 +1,99 @@
+package wrapper
+
+import (
+	"fmt"
+
+	"repro/internal/relalg"
+	"repro/internal/store"
+)
+
+// Relational wraps an in-memory database as a full-capability source: it
+// evaluates selections and projections remotely (i.e. inside the source)
+// and uses point indexes for equality filters when available. It stands in
+// for the paper's Oracle source.
+type Relational struct {
+	DB *store.DB
+	// CostParams defaults to a LAN-ish profile when zero.
+	CostParams Cost
+}
+
+// NewRelational wraps a database.
+func NewRelational(db *store.DB) *Relational {
+	return &Relational{DB: db, CostParams: Cost{PerQuery: 10, PerTuple: 0.1}}
+}
+
+// Source implements Wrapper.
+func (r *Relational) Source() string { return r.DB.Name }
+
+// Relations implements Wrapper.
+func (r *Relational) Relations() []string { return r.DB.TableNames() }
+
+// Schema implements Wrapper.
+func (r *Relational) Schema(relation string) (relalg.Schema, error) {
+	t, err := r.DB.Table(relation)
+	if err != nil {
+		return relalg.Schema{}, err
+	}
+	return t.Schema, nil
+}
+
+// Capabilities implements Wrapper: a relational source does everything.
+func (r *Relational) Capabilities(relation string) (Capabilities, error) {
+	if _, err := r.DB.Table(relation); err != nil {
+		return Capabilities{}, err
+	}
+	return Capabilities{Selection: true, Projection: true}, nil
+}
+
+// EstimateRows implements Wrapper.
+func (r *Relational) EstimateRows(relation string) int {
+	t, err := r.DB.Table(relation)
+	if err != nil {
+		return 0
+	}
+	return t.Len()
+}
+
+// Cost implements Wrapper.
+func (r *Relational) Cost() Cost {
+	if r.CostParams == (Cost{}) {
+		return Cost{PerQuery: 10, PerTuple: 0.1}
+	}
+	return r.CostParams
+}
+
+// Query implements Wrapper.
+func (r *Relational) Query(q SourceQuery) (*relalg.Relation, error) {
+	t, err := r.DB.Table(q.Relation)
+	if err != nil {
+		return nil, err
+	}
+	var rel *relalg.Relation
+	// Use an index for the first indexed equality filter, then apply the
+	// rest.
+	used := -1
+	for i, f := range q.Filters {
+		if f.Op == "=" && t.HasIndex(f.Column) {
+			rel, err = t.Lookup(f.Column, f.Value)
+			if err != nil {
+				return nil, err
+			}
+			used = i
+			break
+		}
+	}
+	if rel == nil {
+		rel = t.Scan()
+	}
+	rest := make([]Filter, 0, len(q.Filters))
+	for i, f := range q.Filters {
+		if i != used {
+			rest = append(rest, f)
+		}
+	}
+	rel, err = ApplyFilters(rel, rest)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: source %s: %w", r.Source(), err)
+	}
+	return ProjectColumns(rel, q.Columns)
+}

@@ -1,0 +1,193 @@
+// Package wrapper implements the wrapper layer of Figure 1: a uniform
+// protocol by which the multi-database access engine reaches every source.
+// Wrappers are "not merely communication gateways": they provide schema
+// service, a (restricted) SQL-ish query interface, and deliver answers as
+// relational tables, for on-line databases and semi-structured Web sites
+// alike.
+//
+// Two implementations are provided: Relational (over internal/store
+// databases, standing in for the paper's Oracle source) and Web (executing
+// the declarative wrapping specifications of [Qu96]-style transition
+// networks plus regular expressions against internal/web sites).
+package wrapper
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relalg"
+)
+
+// Filter is a conjunctive selection the engine asks a wrapper to apply:
+// column op constant. Op is one of = <> < <= > >=.
+type Filter struct {
+	Column string
+	Op     string
+	Value  relalg.Value
+}
+
+// SourceQuery is a single-relation query in the wrapper protocol.
+type SourceQuery struct {
+	Relation string
+	// Columns is the projection; nil keeps every column.
+	Columns []string
+	// Filters are selections. Wrappers whose capabilities lack Selection
+	// only honor equality filters on their required bindings and ignore
+	// the rest (the engine compensates locally).
+	Filters []Filter
+}
+
+// Capabilities describe what a source can do remotely; the planner plans
+// around them.
+type Capabilities struct {
+	// Selection: the source evaluates arbitrary Filters remotely.
+	Selection bool
+	// Projection: the source projects columns remotely.
+	Projection bool
+	// RequiredBindings lists columns that must be constrained by equality
+	// before the source can answer at all (a Web form page): the planner
+	// must feed them from constants or from an already-fetched relation
+	// (a dependent, "bind" join).
+	RequiredBindings []string
+}
+
+// Cost carries the communication-cost parameters of a source, in abstract
+// units the planner sums (the paper's engine plans "taking into account
+// the sources capabilities as well as the execution and communication
+// costs").
+type Cost struct {
+	// PerQuery is the fixed overhead of one remote query.
+	PerQuery float64
+	// PerTuple is the transfer cost per result tuple.
+	PerTuple float64
+}
+
+// Wrapper is the uniform source interface.
+type Wrapper interface {
+	// Source names the wrapped source.
+	Source() string
+	// Relations lists the relations the source exports, sorted.
+	Relations() []string
+	// Schema returns a relation's schema (the dictionary service).
+	Schema(relation string) (relalg.Schema, error)
+	// Capabilities describes the per-relation query power.
+	Capabilities(relation string) (Capabilities, error)
+	// EstimateRows guesses a relation's cardinality for the cost model.
+	EstimateRows(relation string) int
+	// Cost returns the source's communication-cost parameters.
+	Cost() Cost
+	// Query executes a source query and returns a relation whose columns
+	// use the relation's plain (unqualified) names.
+	Query(q SourceQuery) (*relalg.Relation, error)
+}
+
+// ApplyFilters evaluates filters over a relation locally; wrappers use it
+// to honor Selection capability, and the engine uses it to compensate for
+// sources without it.
+func ApplyFilters(rel *relalg.Relation, filters []Filter) (*relalg.Relation, error) {
+	if len(filters) == 0 {
+		return rel, nil
+	}
+	idx := make([]int, len(filters))
+	for i, f := range filters {
+		ci := rel.Schema.Index(f.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("wrapper: filter on unknown column %s", f.Column)
+		}
+		idx[i] = ci
+	}
+	out := relalg.NewRelation(rel.Name, rel.Schema)
+	for _, t := range rel.Tuples {
+		keep := true
+		for i, f := range filters {
+			ok, err := evalFilter(t[idx[i]], f.Op, f.Value)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+func evalFilter(v relalg.Value, op string, c relalg.Value) (bool, error) {
+	switch op {
+	case "=":
+		return v.Equal(c), nil
+	case "<>":
+		if v.IsNull() || c.IsNull() {
+			return false, nil
+		}
+		return !v.Equal(c), nil
+	case "<", "<=", ">", ">=":
+		cmp, ok := v.Compare(c)
+		if !ok {
+			return false, nil
+		}
+		switch op {
+		case "<":
+			return cmp < 0, nil
+		case "<=":
+			return cmp <= 0, nil
+		case ">":
+			return cmp > 0, nil
+		default:
+			return cmp >= 0, nil
+		}
+	}
+	return false, fmt.Errorf("wrapper: unknown filter operator %q", op)
+}
+
+// ProjectColumns keeps the named columns (in the given order).
+func ProjectColumns(rel *relalg.Relation, columns []string) (*relalg.Relation, error) {
+	if len(columns) == 0 {
+		return rel, nil
+	}
+	idx := make([]int, len(columns))
+	cols := make([]relalg.Column, len(columns))
+	for i, c := range columns {
+		ci := rel.Schema.Index(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("wrapper: projection of unknown column %s", c)
+		}
+		idx[i] = ci
+		cols[i] = rel.Schema.Columns[ci]
+	}
+	out := relalg.NewRelation(rel.Name, relalg.Schema{Columns: cols})
+	for _, t := range rel.Tuples {
+		row := make(relalg.Tuple, len(idx))
+		for i, ci := range idx {
+			row[i] = t[ci]
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+// CheckRequiredBindings verifies that every required binding has an
+// equality filter, returning the bound values by column.
+func CheckRequiredBindings(caps Capabilities, q SourceQuery) (map[string]relalg.Value, error) {
+	bound := map[string]relalg.Value{}
+	for _, f := range q.Filters {
+		if f.Op == "=" {
+			bound[f.Column] = f.Value
+		}
+	}
+	var missing []string
+	for _, rb := range caps.RequiredBindings {
+		if _, ok := bound[rb]; !ok {
+			missing = append(missing, rb)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("wrapper: relation %s requires bindings for %v", q.Relation, missing)
+	}
+	return bound, nil
+}
