@@ -1,0 +1,47 @@
+# COIN mediator reproduction — build/test/bench entry points.
+
+GO        ?= go
+PKGS      ?= ./...
+# Benchmarks that gate solver-performance work (see internal/datalog/README.md).
+BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_MediationOnly|BenchmarkUnify
+BENCHDIR  ?= .bench
+COUNT     ?= 6
+
+.PHONY: all build test vet bench bench-base bench-compare clean
+
+all: vet test
+
+build:
+	$(GO) build $(PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+test: build
+	$(GO) test $(PKGS)
+
+# Run the gating benchmarks once, with allocation stats.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count 1 ./internal/datalog/ .
+
+# Record a baseline for bench-compare (run on the commit you compare against).
+bench-base:
+	mkdir -p $(BENCHDIR)
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) ./internal/datalog/ . | tee $(BENCHDIR)/old.txt
+
+# Re-run the benchmarks and compare against the recorded baseline with
+# benchstat when it is installed; otherwise print both result files.
+bench-compare:
+	mkdir -p $(BENCHDIR)
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) ./internal/datalog/ . | tee $(BENCHDIR)/new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCHDIR)/old.txt $(BENCHDIR)/new.txt; \
+	else \
+		echo "--- benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest); raw results: ---"; \
+		echo "== old =="; cat $(BENCHDIR)/old.txt; \
+		echo "== new =="; cat $(BENCHDIR)/new.txt; \
+	fi
+
+clean:
+	rm -rf $(BENCHDIR)
+	$(GO) clean $(PKGS)

@@ -94,13 +94,13 @@ func (qc *queryCompile) postOrder() ([]sqlparse.OrderItem, error) {
 // bindingSubst rebuilds a substitution from a solution's bindings,
 // dropping identities (an unbound query variable maps to itself, which
 // would make Resolve loop).
-func bindingSubst(sol datalog.Solution) datalog.Subst {
-	s := datalog.Subst{}
+func bindingSubst(sol datalog.Solution) *datalog.Subst {
+	s := datalog.NewSubst()
 	for k, v := range sol.Bindings {
 		if vv, ok := v.(datalog.Variable); ok && vv.Name == k {
 			continue
 		}
-		s[k] = v
+		s.Bind(datalog.NewVar(k), v)
 	}
 	return s
 }

@@ -20,10 +20,36 @@ const (
 // variables; the abductive solver then keeps the expression symbolic.
 var ErrNotGround = errors.New("datalog: expression is not ground")
 
+// isArithFunctor reports whether functor/arity is one of the arithmetic
+// forms Eval understands.
+func isArithFunctor(functor string, arity int) bool {
+	switch functor {
+	case FuncAdd, FuncSub, FuncMul, FuncDiv:
+		return arity == 2
+	case FuncNeg:
+		return arity == 1
+	}
+	return false
+}
+
+// maybeNumeric reports whether Eval could possibly succeed on t: a Number,
+// or an arithmetic compound. Callers on hot paths use it to skip Eval's
+// allocating error construction for symbolic constants.
+func maybeNumeric(t Term) bool {
+	switch t := t.(type) {
+	case Number:
+		return true
+	case Compound:
+		return isArithFunctor(t.Functor, len(t.Args))
+	}
+	return false
+}
+
 // Eval evaluates an arithmetic expression term under s. It returns
 // ErrNotGround if any leaf is an unbound variable, and a descriptive error
-// for non-numeric leaves or unknown functors.
-func Eval(t Term, s Subst) (float64, error) {
+// for non-numeric leaves or unknown functors. A nil s is a valid empty
+// substitution (ground evaluation).
+func Eval(t Term, s *Subst) (float64, error) {
 	t = s.Walk(t)
 	switch t := t.(type) {
 	case Number:
@@ -79,7 +105,7 @@ func Eval(t Term, s Subst) (float64, error) {
 // symbolic leaves. Mediated SQL stays readable because of this pass: the
 // paper prints `rl.revenue * 1000 * r3.rate`, not `rl.revenue * 1000 / 1 *
 // r3.rate`.
-func SimplifyExpr(t Term, s Subst) Term {
+func SimplifyExpr(t Term, s *Subst) Term {
 	t = s.Walk(t)
 	c, ok := t.(Compound)
 	if !ok {
@@ -90,9 +116,11 @@ func SimplifyExpr(t Term, s Subst) Term {
 		args[i] = SimplifyExpr(a, s)
 	}
 	out := Compound{Functor: c.Functor, Args: args}
-	if v, err := Eval(out, NewSubst()); err == nil {
-		if !math.IsInf(v, 0) && !math.IsNaN(v) {
-			return Number(v)
+	if isArithFunctor(out.Functor, len(args)) {
+		if v, err := Eval(out, nil); err == nil {
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				return Number(v)
+			}
 		}
 	}
 	if len(args) == 2 {

@@ -48,7 +48,9 @@ func negatePred(name string) string {
 }
 
 // ConstraintSet is an ordered store of binary constraint atoms. The solver
-// snapshots it at choice points (copy-on-write via Clone).
+// checkpoints it at choice points with Mark and rolls back with Undo, the
+// same discipline as the Subst trail: constraints are only ever appended,
+// so a checkpoint is just the store length.
 type ConstraintSet struct {
 	cs []Compound
 }
@@ -56,9 +58,24 @@ type ConstraintSet struct {
 // NewConstraintSet returns an empty set.
 func NewConstraintSet() *ConstraintSet { return &ConstraintSet{} }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. The solver itself backtracks with
+// Mark/Undo; Clone remains for callers that need a snapshot outliving the
+// search.
 func (c *ConstraintSet) Clone() *ConstraintSet {
 	return &ConstraintSet{cs: append([]Compound(nil), c.cs...)}
+}
+
+// Mark returns a checkpoint of the current store height for Undo.
+func (c *ConstraintSet) Mark() int { return len(c.cs) }
+
+// Undo rolls the store back to a checkpoint previously returned by Mark,
+// discarding every constraint added since.
+func (c *ConstraintSet) Undo(mark int) {
+	tail := c.cs[mark:]
+	for i := range tail {
+		tail[i] = Compound{} // drop term references eagerly
+	}
+	c.cs = c.cs[:mark]
 }
 
 // Len returns the number of stored constraints.
@@ -71,7 +88,7 @@ func (c *ConstraintSet) All() []Compound { return c.cs }
 // are decided immediately: a true one is dropped, a false one makes Add
 // return false (the branch is inconsistent). Non-ground constraints are
 // stored after a quick contradiction check against the existing store.
-func (c *ConstraintSet) Add(pred string, a, b Term, s Subst) bool {
+func (c *ConstraintSet) Add(pred string, a, b Term, s *Subst) bool {
 	a, b = s.Resolve(a), s.Resolve(b)
 	switch decideGround(pred, a, b) {
 	case decTrue:
@@ -103,10 +120,15 @@ const (
 // decideGround decides pred(a,b) when both sides are ground (after
 // arithmetic folding); returns decUnknown otherwise.
 func decideGround(pred string, a, b Term) decision {
-	av, aerr := Eval(a, NewSubst())
-	bv, berr := Eval(b, NewSubst())
-	if aerr == nil && berr == nil {
-		return boolDec(compareFloats(pred, av, bv))
+	// Only attempt numeric evaluation on terms that can possibly be
+	// numeric: Eval on an Atom or Str builds a descriptive error, and this
+	// runs once per comparison goal on the solver's hot path.
+	if maybeNumeric(a) && maybeNumeric(b) {
+		av, aerr := Eval(a, nil)
+		bv, berr := Eval(b, nil)
+		if aerr == nil && berr == nil {
+			return boolDec(compareFloats(pred, av, bv))
+		}
 	}
 	// Non-numeric ground comparison: only (in)equality is decidable.
 	if IsGround(a) && IsGround(b) {
@@ -213,7 +235,10 @@ func contradictsStore(nc Compound, store []Compound) bool {
 // keepEntailed retains ground-true (entailed) constraints in the residue
 // instead of dropping them; the mediator's simplification ablation uses it
 // to measure how much constraint simplification shrinks mediated queries.
-func (c *ConstraintSet) Normalize(s Subst, keepEntailed bool) (residual []Compound, ok bool) {
+func (c *ConstraintSet) Normalize(s *Subst, keepEntailed bool) (residual []Compound, ok bool) {
+	if len(c.cs) == 0 {
+		return nil, true
+	}
 	fresh := NewConstraintSet()
 	var kept []Compound
 	for _, con := range c.cs {
@@ -228,6 +253,9 @@ func (c *ConstraintSet) Normalize(s Subst, keepEntailed bool) (residual []Compou
 		}
 	}
 	out := append(append([]Compound(nil), fresh.cs...), kept...)
+	if len(out) < 2 {
+		return out, true
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Functor != out[j].Functor {
 			return out[i].Functor < out[j].Functor

@@ -214,7 +214,7 @@ func TestNormalizeSatisfiabilityProperty(t *testing.T) {
 			if c.pred == PredEq {
 				// The solver turns eq into unification; emulate by binding
 				// if unbound, else recording as constraint.
-				if _, bound := s["X"]; !bound {
+				if _, bound := s.Lookup("X"); !bound {
 					s.Bind(x, Number(c.v))
 					continue
 				}

@@ -37,6 +37,10 @@ type TraceStep struct {
 func (t TraceStep) Key() string { return fmt.Sprintf("%s/%d", t.Pred, t.Arity) }
 
 // Solver runs SLD resolution with optional abduction over a Program.
+//
+// A Solver is single-use-at-a-time: Solve mutates internal scratch state
+// (variable counter, trace stack, goal-slice pool), so concurrent Solve
+// calls on one Solver are not safe. Create one Solver per goroutine.
 type Solver struct {
 	// Program is the clause store consulted for resolution.
 	Program *Program
@@ -73,6 +77,18 @@ type Solver struct {
 	Trace bool
 
 	varCounter int
+
+	// traceBuf is the live clause-application stack of the current
+	// derivation: steps are pushed entering a clause and popped on
+	// backtrack; emit copies it into the Solution. This replaces the
+	// per-step append-copy of the old trace threading.
+	traceBuf []TraceStep
+	// goalPool recycles goal-stack slices between clause trials. The
+	// search is depth-first, so a body slice is dead the moment the
+	// recursive call over it returns and can back the next trial.
+	goalPool [][]Term
+	// ren is the reusable clause renamer; see renamer.reset.
+	ren renamer
 }
 
 // DefaultMaxDepth is the resolution depth bound used when Solver.MaxDepth
@@ -84,6 +100,11 @@ var ErrDepthExceeded = errors.New("datalog: resolution depth exceeded")
 
 var errStopSearch = errors.New("datalog: solution limit reached")
 
+// emitFn receives each successful derivation's live state. Implementations
+// must copy anything they keep: s, store, and abduced are rolled back as
+// the search backtracks.
+type emitFn func(s *Subst, store *ConstraintSet, abduced []Compound) error
+
 // Solve proves the conjunction of goals and returns every solution, in
 // clause-order-deterministic sequence.
 func (sv *Solver) Solve(goals ...Term) ([]Solution, error) {
@@ -94,37 +115,47 @@ func (sv *Solver) Solve(goals ...Term) ([]Solution, error) {
 	if maxDepth == 0 {
 		maxDepth = DefaultMaxDepth
 	}
-	queryVars := map[string]bool{}
+	sv.traceBuf = sv.traceBuf[:0]
+	// Query variables, first-occurrence order, deduped by linear scan
+	// (queries have a handful of variables; a map costs more to build).
+	var queryVars []string
 	for _, g := range goals {
-		for _, v := range Vars(g, nil) {
-			queryVars[v.Name] = true
-		}
+		queryVars = varNames(g, queryVars)
 	}
 	var sols []Solution
-	emit := func(s Subst, store *ConstraintSet, abduced []Compound, trace []TraceStep) error {
+	emit := func(s *Subst, store *ConstraintSet, abduced []Compound) error {
 		residual, ok := store.Normalize(s, sv.KeepEntailedConstraints)
 		if !ok {
 			return nil // inconsistent branch: not a solution
 		}
-		sol := Solution{Bindings: map[string]Term{}}
-		for name := range queryVars {
+		sol := Solution{Bindings: make(map[string]Term, len(queryVars))}
+		for _, name := range queryVars {
 			sol.Bindings[name] = SimplifyExpr(Variable{Name: name}, s)
 		}
-		for _, a := range abduced {
-			r := s.Resolve(a).(Compound)
-			dup := false
-			for _, prev := range sol.Abduced {
-				if Equal(prev, r) {
-					dup = true
-					break
+		switch {
+		case len(abduced) == 1:
+			sol.Abduced = []Compound{s.ResolveCompound(abduced[0])}
+		case len(abduced) > 1:
+			// Dedup resolved atoms by canonical key: one map lookup per
+			// atom instead of a pairwise Equal scan. canonKey is injective
+			// on term structure (unlike String(), which renders e.g.
+			// Number(-1) and neg(1) identically).
+			seen := make(map[string]struct{}, len(abduced))
+			var buf []byte
+			for _, a := range abduced {
+				r := s.ResolveCompound(a)
+				buf = canonKey(buf[:0], r)
+				if _, dup := seen[string(buf)]; dup {
+					continue
 				}
-			}
-			if !dup {
+				seen[string(buf)] = struct{}{}
 				sol.Abduced = append(sol.Abduced, r)
 			}
 		}
 		sol.Constraints = residual
-		sol.Trace = trace
+		if sv.Trace {
+			sol.Trace = append([]TraceStep(nil), sv.traceBuf...)
+		}
 		if len(sv.Denials) > 0 {
 			violated, err := sv.violatesDenial(sol)
 			if err != nil {
@@ -134,13 +165,16 @@ func (sv *Solver) Solve(goals ...Term) ([]Solution, error) {
 				return nil
 			}
 		}
+		if sols == nil {
+			sols = make([]Solution, 0, 4)
+		}
 		sols = append(sols, sol)
 		if sv.MaxSolutions > 0 && len(sols) >= sv.MaxSolutions {
 			return errStopSearch
 		}
 		return nil
 	}
-	err := sv.solve(goals, NewSubst(), NewConstraintSet(), nil, nil, maxDepth, emit)
+	err := sv.solve(goals, NewSubst(), NewConstraintSet(), nil, maxDepth, emit)
 	if errors.Is(err, errStopSearch) {
 		err = nil
 	}
@@ -172,7 +206,7 @@ func (sv *Solver) violatesDenial(sol Solution) (bool, error) {
 	skolems := NewSubst()
 	skolemize := func(t Term) Term {
 		for _, v := range Vars(eqs.Resolve(t), nil) {
-			if _, done := skolems[v.Name]; !done {
+			if _, done := skolems.Lookup(v.Name); !done {
 				skolems.Bind(v, Comp("$sk", Str(v.Name)))
 			}
 		}
@@ -183,15 +217,16 @@ func (sv *Solver) violatesDenial(sol Solution) (bool, error) {
 		ext.Add(Clause{Head: skolemize(a).(Compound)})
 	}
 	for _, denial := range sv.Denials {
-		ren := newRenamer(&sv.varCounter)
+		sv.ren.reset(&sv.varCounter)
 		goals := make([]Term, len(denial.Body))
 		for i, g := range denial.Body {
-			goals[i] = ren.rename(g)
+			goals[i] = sv.ren.rename(g)
 		}
 		sub := &Solver{
 			Program:            ext,
 			CollectConstraints: true, // undecidable comparisons become residue, not errors
 			MaxDepth:           sv.MaxDepth,
+			varCounter:         sv.varCounter, // avoid capture of the goal's free _G variables
 		}
 		proofs, err := sub.Solve(goals...)
 		if err != nil {
@@ -206,12 +241,35 @@ func (sv *Solver) violatesDenial(sol Solution) (bool, error) {
 	return false, nil
 }
 
+// getGoals pops a recycled goal slice (or allocates one) with zero length
+// and at least the given capacity.
+func (sv *Solver) getGoals(capHint int) []Term {
+	if n := len(sv.goalPool); n > 0 {
+		b := sv.goalPool[n-1]
+		sv.goalPool = sv.goalPool[:n-1]
+		return b[:0]
+	}
+	return make([]Term, 0, capHint)
+}
+
+// putGoals returns a goal slice to the pool once the recursion over it has
+// fully unwound.
+func (sv *Solver) putGoals(b []Term) {
+	if sv.goalPool == nil {
+		sv.goalPool = make([][]Term, 0, 16)
+	}
+	sv.goalPool = append(sv.goalPool, b)
+}
+
 // solve is the recursive SLD step. It explores clause alternatives in
-// order, cloning the substitution and constraint store at each choice
-// point.
-func (sv *Solver) solve(goals []Term, s Subst, store *ConstraintSet, abduced []Compound, trace []TraceStep, depth int, emit func(Subst, *ConstraintSet, []Compound, []TraceStep) error) error {
+// order. Instead of cloning the substitution and constraint store at each
+// choice point, it checkpoints both (Mark), lets the trial mutate them
+// destructively, and rolls back (Undo) before the next alternative — the
+// WAM trail discipline. Invariant: solve returns with s and store exactly
+// as it received them, on every path including errors.
+func (sv *Solver) solve(goals []Term, s *Subst, store *ConstraintSet, abduced []Compound, depth int, emit emitFn) error {
 	if len(goals) == 0 {
-		return emit(s, store, abduced, trace)
+		return emit(s, store, abduced)
 	}
 	if depth <= 0 {
 		return ErrDepthExceeded
@@ -232,81 +290,108 @@ func (sv *Solver) solve(goals []Term, s Subst, store *ConstraintSet, abduced []C
 		return fmt.Errorf("datalog: goal %s is not callable", goal.String())
 	}
 
-	if handled, err := sv.builtin(name, args, rest, s, store, abduced, trace, depth, emit); handled {
+	if handled, err := sv.builtin(name, args, rest, s, store, abduced, depth, emit); handled {
 		return err
 	}
 
 	arity := len(args)
-	clauses := sv.Program.Clauses(name, arity)
-	for ci, cl := range clauses {
-		ren := newRenamer(&sv.varCounter)
-		head := ren.rename(cl.Head).(Compound)
-		s2 := s.Clone()
-		if !Unify(Compound{Functor: name, Args: args}, head, s2) {
-			continue
+	var firstArg Term
+	if arity > 0 {
+		firstArg = s.Walk(args[0])
+	}
+	var goalTerm Term // the goal re-boxed as a Compound, built on first trial
+	it := sv.Program.clausesFor(name, arity, firstArg)
+	for {
+		ci, cl, ok := it.next()
+		if !ok {
+			break
 		}
-		body := make([]Term, 0, len(cl.Body)+len(rest))
+		if goalTerm == nil {
+			goalTerm = Compound{Functor: name, Args: args} // box once, not per trial
+		}
+		mark, cmark := s.Mark(), store.Mark()
+		sv.ren.reset(&sv.varCounter)
+		head := sv.ren.rename(cl.Head)
+		if !Unify(goalTerm, head, s) {
+			continue // Unify rolled its bindings back
+		}
+		body := sv.getGoals(len(cl.Body) + len(rest))
 		for _, b := range cl.Body {
-			body = append(body, ren.rename(b))
+			body = append(body, sv.ren.rename(b))
 		}
 		body = append(body, rest...)
-		trace2 := trace
 		if sv.Trace {
-			trace2 = append(append([]TraceStep(nil), trace...), TraceStep{Pred: name, Arity: arity, Clause: ci})
+			sv.traceBuf = append(sv.traceBuf, TraceStep{Pred: name, Arity: arity, Clause: ci})
 		}
-		if err := sv.solve(body, s2, store.Clone(), abduced, trace2, depth-1, emit); err != nil {
+		err := sv.solve(body, s, store, abduced, depth-1, emit)
+		if sv.Trace {
+			sv.traceBuf = sv.traceBuf[:len(sv.traceBuf)-1]
+		}
+		sv.putGoals(body)
+		s.Undo(mark)
+		store.Undo(cmark)
+		if err != nil {
 			return err
 		}
 	}
 
 	if sv.Abducible != nil && sv.Abducible(name, arity) {
+		// Depth-first reuse makes the append safe even when it writes into
+		// shared backing: sibling branches overwrite slots only after the
+		// earlier branch's solutions were copied out by emit.
 		atom := Compound{Functor: name, Args: args}
-		return sv.solve(rest, s.Clone(), store.Clone(), append(append([]Compound(nil), abduced...), atom), trace, depth-1, emit)
+		return sv.solve(rest, s, store, append(abduced, atom), depth-1, emit)
 	}
-	if len(clauses) == 0 && !IsConstraintPred(name) {
-		// Unknown predicate: fail silently, exactly like an empty relation.
-		return nil
-	}
+	// Unknown predicate: fail silently, exactly like an empty relation.
 	return nil
 }
 
 // builtin dispatches control and comparison builtins. It reports whether
 // the goal was handled.
-func (sv *Solver) builtin(name string, args []Term, rest []Term, s Subst, store *ConstraintSet, abduced []Compound, trace []TraceStep, depth int, emit func(Subst, *ConstraintSet, []Compound, []TraceStep) error) (bool, error) {
+func (sv *Solver) builtin(name string, args []Term, rest []Term, s *Subst, store *ConstraintSet, abduced []Compound, depth int, emit emitFn) (bool, error) {
 	switch {
 	case name == "true" && len(args) == 0:
-		return true, sv.solve(rest, s, store, abduced, trace, depth-1, emit)
+		return true, sv.solve(rest, s, store, abduced, depth-1, emit)
 	case name == "fail" && len(args) == 0:
 		return true, nil
 	case name == "=" && len(args) == 2:
-		s2 := s.Clone()
-		if !Unify(args[0], args[1], s2) {
+		mark := s.Mark()
+		if !Unify(args[0], args[1], s) {
 			return true, nil
 		}
-		return true, sv.solve(rest, s2, store.Clone(), abduced, trace, depth-1, emit)
+		err := sv.solve(rest, s, store, abduced, depth-1, emit)
+		s.Undo(mark)
+		return true, err
 	case name == "is" && len(args) == 2:
 		v, err := Eval(args[1], s)
-		s2 := s.Clone()
+		var result Term
 		switch {
 		case err == nil:
-			if !Unify(args[0], Number(v), s2) {
-				return true, nil
-			}
+			result = Number(v)
 		case errors.Is(err, ErrNotGround) && sv.CollectConstraints:
 			// Keep the arithmetic symbolic: bind the result variable to
 			// the (simplified) expression itself.
-			if !Unify(args[0], SimplifyExpr(args[1], s), s2) {
-				return true, nil
-			}
+			result = SimplifyExpr(args[1], s)
 		default:
 			if errors.Is(err, ErrNotGround) {
 				return true, fmt.Errorf("datalog: `is` with unbound operand: %s", s.Resolve(args[1]))
 			}
 			return true, err
 		}
-		return true, sv.solve(rest, s2, store.Clone(), abduced, trace, depth-1, emit)
+		mark := s.Mark()
+		if !Unify(args[0], result, s) {
+			return true, nil
+		}
+		serr := sv.solve(rest, s, store, abduced, depth-1, emit)
+		s.Undo(mark)
+		return true, serr
 	case name == "not" && len(args) == 1:
-		sub := &Solver{Program: sv.Program, Abducible: nil, CollectConstraints: false, MaxDepth: depth - 1, MaxSolutions: 1}
+		// The sub-solver starts its fresh-variable counter at the parent's
+		// height: the resolved goal can carry the parent's free _G
+		// variables, and a counter restarted at zero would rename clause
+		// variables into collision with them (spurious occurs-check
+		// failures, wrong negation results).
+		sub := &Solver{Program: sv.Program, Abducible: nil, CollectConstraints: false, MaxDepth: depth - 1, MaxSolutions: 1, varCounter: sv.varCounter}
 		sols, err := sub.Solve(s.Resolve(args[0]))
 		if err != nil {
 			return true, err
@@ -314,14 +399,14 @@ func (sv *Solver) builtin(name string, args []Term, rest []Term, s Subst, store 
 		if len(sols) > 0 {
 			return true, nil
 		}
-		return true, sv.solve(rest, s, store, abduced, trace, depth-1, emit)
+		return true, sv.solve(rest, s, store, abduced, depth-1, emit)
 	}
 
 	if pred, ok := comparePred(name); ok && len(args) == 2 {
-		return true, sv.compare(pred, args[0], args[1], rest, s, store, abduced, trace, depth, emit)
+		return true, sv.compare(pred, args[0], args[1], rest, s, store, abduced, depth, emit)
 	}
 	if IsConstraintPred(name) && len(args) == 2 {
-		return true, sv.compare(name, args[0], args[1], rest, s, store, abduced, trace, depth, emit)
+		return true, sv.compare(name, args[0], args[1], rest, s, store, abduced, depth, emit)
 	}
 	return false, nil
 }
@@ -346,22 +431,24 @@ func comparePred(name string) (string, bool) {
 // compare evaluates a comparison goal. Decidable comparisons are decided;
 // in constraint-collection mode undecidable ones are stored, otherwise they
 // are an error (unbound comparison in ground evaluation is a program bug).
-func (sv *Solver) compare(pred string, a, b Term, rest []Term, s Subst, store *ConstraintSet, abduced []Compound, trace []TraceStep, depth int, emit func(Subst, *ConstraintSet, []Compound, []TraceStep) error) error {
+func (sv *Solver) compare(pred string, a, b Term, rest []Term, s *Subst, store *ConstraintSet, abduced []Compound, depth int, emit emitFn) error {
 	ra, rb := SimplifyExpr(a, s), SimplifyExpr(b, s)
 	switch decideGround(pred, ra, rb) {
 	case decTrue:
-		return sv.solve(rest, s, store, abduced, trace, depth-1, emit)
+		return sv.solve(rest, s, store, abduced, depth-1, emit)
 	case decFalse:
 		return nil
 	}
 	if !sv.CollectConstraints {
 		return fmt.Errorf("datalog: comparison %s(%s, %s) over non-ground terms in ground evaluation mode", pred, ra, rb)
 	}
-	st2 := store.Clone()
-	if !st2.Add(pred, ra, rb, s) {
-		return nil
+	cmark := store.Mark()
+	if !store.Add(pred, ra, rb, s) {
+		return nil // Add leaves the store untouched on failure
 	}
-	return sv.solve(rest, s.Clone(), st2, abduced, trace, depth-1, emit)
+	err := sv.solve(rest, s, store, abduced, depth-1, emit)
+	store.Undo(cmark)
+	return err
 }
 
 // SolveAll is a convenience for ground fact querying: it returns, for each
@@ -383,7 +470,7 @@ func (sv *Solver) SolveAll(pattern Compound) ([]Compound, error) {
 func instantiate(t Compound, bindings map[string]Term) Compound {
 	s := NewSubst()
 	for k, v := range bindings {
-		s[k] = v
+		s.Bind(Variable{Name: k}, v)
 	}
 	return s.Resolve(t).(Compound)
 }

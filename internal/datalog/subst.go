@@ -1,34 +1,96 @@
 package datalog
 
-// Subst is a substitution: a binding of variable names to terms. Bindings
-// may chain (X -> Y, Y -> 3); Walk and Resolve follow chains.
+// Subst is a substitution: a binding store mapping variable names to terms.
+// Bindings may chain (X -> Y, Y -> 3); Walk and Resolve follow chains.
 //
-// Substitutions are persistent in spirit but implemented as mutable maps
-// that the solver clones at choice points; clause bodies are small, so the
-// copying cost is dominated by unification itself.
-type Subst map[string]Term
+// The store is destructive with an undo trail, in the style of the WAM:
+// every Bind pushes a record on the trail, Mark snapshots the trail height,
+// and Undo(mark) pops bindings back to the snapshot. The solver uses marks
+// at choice points instead of cloning the map, so a resolution step costs
+// O(bindings made on that step) rather than O(all bindings so far).
+type Subst struct {
+	m     map[string]Term
+	trail []trailEntry
+}
 
-// NewSubst returns an empty substitution.
-func NewSubst() Subst { return Subst{} }
+// trailEntry records one Bind so Undo can reverse it. prev/hadPrev guard
+// the (never-exercised by Unify, but legal via Bind) rebinding case.
+type trailEntry struct {
+	name    string
+	prev    Term
+	hadPrev bool
+}
 
-// Clone returns an independent copy of s.
-func (s Subst) Clone() Subst {
-	c := make(Subst, len(s)+4)
-	for k, v := range s {
-		c[k] = v
+// NewSubst returns an empty substitution. The underlying map is allocated
+// lazily on the first Bind, so ground-only uses (arithmetic folding,
+// constraint deciding) cost one small struct allocation and no map.
+func NewSubst() *Subst { return &Subst{} }
+
+// Len returns the number of live bindings.
+func (s *Subst) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.m)
+}
+
+// Lookup returns the direct binding of the named variable, if any. It does
+// not follow chains; use Walk or Resolve for dereferencing.
+func (s *Subst) Lookup(name string) (Term, bool) {
+	if s == nil {
+		return nil, false
+	}
+	t, ok := s.m[name]
+	return t, ok
+}
+
+// Mark returns a checkpoint of the current trail height. Pass it to Undo
+// to roll every later binding back.
+func (s *Subst) Mark() int { return len(s.trail) }
+
+// Undo rolls the store back to a checkpoint previously returned by Mark.
+// Bindings made since are removed (or restored, if they overwrote).
+func (s *Subst) Undo(mark int) {
+	for i := len(s.trail) - 1; i >= mark; i-- {
+		e := s.trail[i]
+		if e.hadPrev {
+			s.m[e.name] = e.prev
+		} else {
+			delete(s.m, e.name)
+		}
+		s.trail[i] = trailEntry{} // drop term references eagerly
+	}
+	s.trail = s.trail[:mark]
+}
+
+// Clone returns an independent copy of the live bindings. The trail is not
+// copied: a clone is a fresh store whose Mark starts at zero. Snapshot
+// semantics for sub-derivations are cheaper via Mark/Undo; Clone remains
+// for callers that need a store outliving the solver's backtracking.
+func (s *Subst) Clone() *Subst {
+	c := &Subst{}
+	if len(s.m) > 0 {
+		c.m = make(map[string]Term, len(s.m)+4)
+		for k, v := range s.m {
+			c.m[k] = v
+		}
 	}
 	return c
 }
 
 // Walk dereferences t one level at a time until it is not a bound variable.
 // Compound arguments are not resolved; use Resolve for a deep rewrite.
-func (s Subst) Walk(t Term) Term {
+// A nil *Subst is a valid empty substitution for read-only use.
+func (s *Subst) Walk(t Term) Term {
+	if s == nil {
+		return t
+	}
 	for {
 		v, ok := t.(Variable)
 		if !ok {
 			return t
 		}
-		b, ok := s[v.Name]
+		b, ok := s.m[v.Name]
 		if !ok {
 			return t
 		}
@@ -38,12 +100,19 @@ func (s Subst) Walk(t Term) Term {
 
 // Resolve rewrites t, replacing every bound variable with its binding,
 // recursively. Unbound variables remain.
-func (s Subst) Resolve(t Term) Term {
+func (s *Subst) Resolve(t Term) Term {
 	t = s.Walk(t)
 	c, ok := t.(Compound)
 	if !ok {
 		return t
 	}
+	return s.ResolveCompound(c)
+}
+
+// ResolveCompound is Resolve specialized to a Compound root: it returns
+// the concrete type, sparing callers (and the solver's emit path) an
+// interface boxing per call.
+func (s *Subst) ResolveCompound(c Compound) Compound {
 	args := make([]Term, len(c.Args))
 	for i, a := range c.Args {
 		args[i] = s.Resolve(a)
@@ -51,18 +120,34 @@ func (s Subst) Resolve(t Term) Term {
 	return Compound{Functor: c.Functor, Args: args}
 }
 
-// Bind records v -> t. It does not check for cycles; Unify performs the
-// occurs check when enabled.
-func (s Subst) Bind(v Variable, t Term) {
-	s[v.Name] = t
+// Bind records v -> t on the trail. It does not check for cycles; Unify
+// performs the occurs check when enabled.
+func (s *Subst) Bind(v Variable, t Term) {
+	if s.m == nil {
+		s.m = make(map[string]Term, 8)
+		s.trail = make([]trailEntry, 0, 16)
+	}
+	prev, hadPrev := s.m[v.Name]
+	s.trail = append(s.trail, trailEntry{name: v.Name, prev: prev, hadPrev: hadPrev})
+	s.m[v.Name] = t
 }
 
-// Unify attempts to unify a and b under s, mutating s in place. It returns
-// false (with s possibly partially extended) on failure; callers that need
-// backtracking must clone first. The occurs check is always on: mediation
-// rewrites terms into SQL, where cyclic terms would be fatal, and the
-// clause bodies are small enough that the cost is negligible.
-func Unify(a, b Term, s Subst) bool {
+// Unify attempts to unify a and b under s, mutating s in place. On failure
+// it rolls its own bindings back, so s is observably unchanged (the trail
+// makes this cheap; callers no longer need to clone defensively). The
+// occurs check is always on: mediation rewrites terms into SQL, where
+// cyclic terms would be fatal, and the clause bodies are small enough that
+// the cost is negligible.
+func Unify(a, b Term, s *Subst) bool {
+	mark := s.Mark()
+	if unify(a, b, s) {
+		return true
+	}
+	s.Undo(mark)
+	return false
+}
+
+func unify(a, b Term, s *Subst) bool {
 	a, b = s.Walk(a), s.Walk(b)
 	if av, ok := a.(Variable); ok {
 		if bv, ok := b.(Variable); ok && av.Name == bv.Name {
@@ -97,7 +182,7 @@ func Unify(a, b Term, s Subst) bool {
 			return false
 		}
 		for i := range a.Args {
-			if !Unify(a.Args[i], b.Args[i], s) {
+			if !unify(a.Args[i], b.Args[i], s) {
 				return false
 			}
 		}
@@ -106,7 +191,7 @@ func Unify(a, b Term, s Subst) bool {
 	return false
 }
 
-func occurs(v Variable, t Term, s Subst) bool {
+func occurs(v Variable, t Term, s *Subst) bool {
 	t = s.Walk(t)
 	switch t := t.(type) {
 	case Variable:
@@ -121,7 +206,12 @@ func occurs(v Variable, t Term, s Subst) bool {
 	return false
 }
 
-// Unifiable reports whether a and b unify, without disturbing s.
-func Unifiable(a, b Term, s Subst) bool {
-	return Unify(a, b, s.Clone())
+// Unifiable reports whether a and b unify, without disturbing s. It trial-
+// unifies against s itself and rolls back to a checkpoint, so no clone is
+// made.
+func Unifiable(a, b Term, s *Subst) bool {
+	mark := s.Mark()
+	ok := Unify(a, b, s)
+	s.Undo(mark)
+	return ok
 }

@@ -110,7 +110,7 @@ func TestCloneIndependence(t *testing.T) {
 	s.Bind(NewVar("X"), Atom("a"))
 	c := s.Clone()
 	c.Bind(NewVar("Y"), Atom("b"))
-	if _, ok := s["Y"]; ok {
+	if _, ok := s.Lookup("Y"); ok {
 		t.Error("Clone is not independent: binding leaked to original")
 	}
 	if got := c.Resolve(NewVar("X")); !Equal(got, Atom("a")) {
@@ -123,7 +123,7 @@ func TestUnifiableDoesNotMutate(t *testing.T) {
 	if !Unifiable(NewVar("X"), Atom("a"), s) {
 		t.Fatal("expected unifiable")
 	}
-	if len(s) != 0 {
+	if s.Len() != 0 {
 		t.Error("Unifiable mutated the substitution")
 	}
 }

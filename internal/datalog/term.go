@@ -13,7 +13,6 @@
 package datalog
 
 import (
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,6 +57,15 @@ func (Compound) isTerm() {}
 
 func (v Variable) String() string { return v.Name }
 
+// atomEscaper and strEscaper are shared: strings.NewReplacer builds its
+// lookup machinery lazily once and is safe for concurrent use, so
+// constructing one per String call (as the rendering hot path used to)
+// wastes an allocation per quoted constant.
+var (
+	atomEscaper = strings.NewReplacer(`\`, `\\`, `'`, `\'`)
+	strEscaper  = strings.NewReplacer(`\`, `\\`, `"`, `\"`)
+)
+
 // String renders the atom, quoting it unless it is a plain lowercase
 // identifier (anything else — capitals, digits-first, symbols — would
 // re-lex as a variable, number or operator).
@@ -66,7 +74,7 @@ func (a Atom) String() string {
 	if isPlainAtom(s) {
 		return s
 	}
-	return "'" + strings.NewReplacer(`\`, `\\`, `'`, `\'`).Replace(s) + "'"
+	return "'" + atomEscaper.Replace(s) + "'"
 }
 
 func isPlainAtom(s string) bool {
@@ -90,7 +98,7 @@ func (n Number) String() string {
 // understands (backslash and the quote character only; other bytes pass
 // through raw), so printing and parsing are exact inverses.
 func (s Str) String() string {
-	return `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(string(s)) + `"`
+	return `"` + strEscaper.Replace(string(s)) + `"`
 }
 
 // infixOps maps functors that render infix to their surface spelling and
@@ -178,6 +186,26 @@ func Vars(t Term, dst []Variable) []Variable {
 	return dst
 }
 
+// varNames appends the distinct variable names of t to dst in
+// first-occurrence order, deduplicating by linear scan (terms have a
+// handful of variables; this avoids the intermediate slice Vars builds).
+func varNames(t Term, dst []string) []string {
+	switch t := t.(type) {
+	case Variable:
+		for _, n := range dst {
+			if n == t.Name {
+				return dst
+			}
+		}
+		return append(dst, t.Name)
+	case Compound:
+		for _, a := range t.Args {
+			dst = varNames(a, dst)
+		}
+	}
+	return dst
+}
+
 // VarSet returns the distinct variable names occurring in t, sorted.
 func VarSet(t Term) []string {
 	seen := map[string]bool{}
@@ -190,6 +218,49 @@ func VarSet(t Term) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// canonKey appends an injective byte encoding of t to dst and returns the
+// extended slice: two terms produce the same key iff Equal holds (modulo
+// -0 == +0, which Equal and Unify also conflate). Unlike String(), it
+// distinguishes e.g. Number(-1) from neg(1) and Atom("a") from the
+// zero-arity compound a(). Every token is type-tagged and every string is
+// length-prefixed; compounds carry their arity, so concatenation is
+// unambiguous even for names containing arbitrary bytes.
+func canonKey(dst []byte, t Term) []byte {
+	switch t := t.(type) {
+	case Variable:
+		dst = append(dst, 'v')
+		dst = appendLenStr(dst, t.Name)
+	case Atom:
+		dst = append(dst, 'a')
+		dst = appendLenStr(dst, string(t))
+	case Str:
+		dst = append(dst, 's')
+		dst = appendLenStr(dst, string(t))
+	case Number:
+		f := float64(t)
+		if f == 0 {
+			f = 0 // normalize -0 to +0, matching float equality
+		}
+		dst = append(dst, 'n')
+		dst = strconv.AppendFloat(dst, f, 'b', -1, 64)
+		dst = append(dst, ';')
+	case Compound:
+		dst = append(dst, 'c')
+		dst = strconv.AppendInt(dst, int64(len(t.Args)), 10)
+		dst = appendLenStr(dst, t.Functor)
+		for _, a := range t.Args {
+			dst = canonKey(dst, a)
+		}
+	}
+	return dst
+}
+
+func appendLenStr(dst []byte, s string) []byte {
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, ':')
+	return append(dst, s...)
 }
 
 // Equal reports structural equality of two terms (variables equal iff their
@@ -281,28 +352,71 @@ func termRank(t Term) int {
 	return 5
 }
 
+// gNames caches machine-generated variable names: clause renaming sits on
+// the solver's innermost loop, and building "_G<n>" there costs one string
+// allocation per fresh variable. The table is filled at init and read-only
+// afterwards, so concurrent solvers may share it.
+var gNames = func() (a [1024]string) {
+	for i := range a {
+		a[i] = "_G" + strconv.Itoa(i)
+	}
+	return
+}()
+
+func gName(n int) string {
+	if n >= 0 && n < len(gNames) {
+		return gNames[n]
+	}
+	return "_G" + strconv.Itoa(n)
+}
+
 // renamer rewrites variable names to fresh ones, consistently within one
-// clause instance.
+// clause instance. Clauses have a handful of variables, so the mapping is
+// two parallel slices scanned linearly — no map allocation per clause
+// trial. vals stores the fresh variables pre-boxed as Terms, so repeated
+// occurrences of one variable cost no interface allocation. The solver
+// owns one renamer and resets it per trial (renaming of a clause always
+// completes before the recursive descent, so reuse across stack frames is
+// safe); reset keeps the slices' backing arrays.
 type renamer struct {
 	counter *int
-	mapping map[string]Variable
+	keys    []string
+	vals    []Term // always Variable, boxed once
 }
 
 func newRenamer(counter *int) *renamer {
-	return &renamer{counter: counter, mapping: map[string]Variable{}}
+	return &renamer{counter: counter}
+}
+
+// reset re-arms the renamer for a fresh clause instance, reusing its
+// backing storage.
+func (r *renamer) reset(counter *int) {
+	r.counter = counter
+	if r.keys == nil {
+		r.keys = make([]string, 0, 8)
+		r.vals = make([]Term, 0, 8)
+	}
+	r.keys = r.keys[:0]
+	r.vals = r.vals[:0]
 }
 
 func (r *renamer) rename(t Term) Term {
 	switch t := t.(type) {
 	case Variable:
-		if v, ok := r.mapping[t.Name]; ok {
-			return v
+		for i, k := range r.keys {
+			if k == t.Name {
+				return r.vals[i]
+			}
 		}
 		*r.counter++
-		v := Variable{Name: fmt.Sprintf("_G%d", *r.counter)}
-		r.mapping[t.Name] = v
+		v := Term(Variable{Name: gName(*r.counter)})
+		r.keys = append(r.keys, t.Name)
+		r.vals = append(r.vals, v)
 		return v
 	case Compound:
+		if IsGround(t) {
+			return t // nothing to rename; share the term
+		}
 		args := make([]Term, len(t.Args))
 		for i, a := range t.Args {
 			args[i] = r.rename(a)
