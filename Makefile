@@ -7,9 +7,9 @@ BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_Mediati
 BENCHDIR  ?= .bench
 COUNT     ?= 6
 
-.PHONY: all build test vet bench bench-base bench-compare clean
+.PHONY: all build test vet docs-check examples bench bench-base bench-compare clean
 
-all: vet test
+all: vet docs-check test
 
 build:
 	$(GO) build $(PKGS)
@@ -19,6 +19,20 @@ vet:
 
 test: build
 	$(GO) test $(PKGS)
+
+# Documentation gate: vet plus a package-comment check over every package
+# (see internal/tools/docscheck).
+docs-check:
+	$(GO) vet $(PKGS)
+	$(GO) run ./internal/tools/docscheck
+
+# Run every example program end to end (CI smoke tests).
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/unitconv
+	$(GO) run ./examples/stockwatch
+	$(GO) run ./examples/finanalysis
+	$(GO) run ./examples/federation
 
 # Run the gating benchmarks once, with allocation stats.
 bench:

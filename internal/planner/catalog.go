@@ -6,6 +6,11 @@
 // sources cannot — cross-source joins, residual predicates, aggregation —
 // locally using internal/relalg, spilling large intermediates through the
 // temporary store.
+//
+// Execution is streaming: a BranchPlan compiles to a pull-based iterator
+// tree (BuildStream) whose leaves fetch from the wrappers tuple by tuple,
+// so early exits (LIMIT, lazily-consumed mediation branches) stop pulling
+// from the sources instead of materializing every intermediate result.
 package planner
 
 import (

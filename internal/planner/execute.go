@@ -13,11 +13,14 @@ import (
 )
 
 // Executor plans and runs statements over the catalog's sources, doing
-// all cross-source work locally.
+// all cross-source work locally. Execution is streaming: plans compile to
+// pull-based iterator trees (see stream.go), so tuples flow through a
+// branch one at a time and early exits stop pulling from the sources.
 type Executor struct {
 	Catalog *Catalog
-	// Temp, when set, stages every branch result (spilling large ones to
-	// disk); Figure 1's second local secondary storage.
+	// Temp, when set, stages every pipeline breaker and step boundary
+	// (spilling large ones to disk); Figure 1's second local secondary
+	// storage.
 	Temp *store.TempStore
 
 	// DisablePushdown keeps every non-required filter local — the E9
@@ -35,10 +38,12 @@ type Executor struct {
 
 	mu    sync.Mutex
 	stats ExecStats
-	seq   int
 }
 
-// ExecStats counts the communication work of executed queries.
+// ExecStats counts the communication work of executed queries. Under
+// streaming execution TuplesTransferred counts tuples actually pulled
+// across the wrapper boundary, so a LIMIT n query over a large source
+// reports O(n), not the source size.
 type ExecStats struct {
 	SourceQueries     int
 	TuplesTransferred int
@@ -74,27 +79,24 @@ func (e *Executor) countQuery(tuples int) {
 // Execute plans and runs a statement. UNION combines with set semantics
 // unless the Union node says ALL.
 func (e *Executor) Execute(stmt sqlparse.Statement) (*relalg.Relation, error) {
-	switch s := stmt.(type) {
-	case *sqlparse.Select:
+	if s, ok := stmt.(*sqlparse.Select); ok {
 		return e.ExecuteSelect(s)
-	case *sqlparse.Union:
-		l, err := e.Execute(s.Left)
-		if err != nil {
-			return nil, err
-		}
-		r, err := e.Execute(s.Right)
-		if err != nil {
-			return nil, err
-		}
-		return relalg.Union(l, r, s.All)
 	}
-	return nil, fmt.Errorf("planner: cannot execute %T", stmt)
+	it, err := e.statementStream(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return relalg.Collect(it, "")
 }
 
 // ExecuteSelect plans and runs one SELECT block.
 func (e *Executor) ExecuteSelect(sel *sqlparse.Select) (*relalg.Relation, error) {
 	if hasAggregates(sel) {
-		return e.executeAggregate(sel)
+		it, err := e.aggregateStream(sel)
+		if err != nil {
+			return nil, err
+		}
+		return relalg.Collect(it, "")
 	}
 	plan, err := e.Plan(sel)
 	if err != nil {
@@ -103,131 +105,59 @@ func (e *Executor) ExecuteSelect(sel *sqlparse.Select) (*relalg.Relation, error)
 	return e.Run(plan)
 }
 
-// Run executes a prepared plan.
+// Run executes a prepared plan by compiling it to an iterator tree and
+// draining it.
 func (e *Executor) Run(plan *BranchPlan) (*relalg.Relation, error) {
-	e.mu.Lock()
-	e.stats.BranchesRun++
-	e.mu.Unlock()
-
-	var cur *relalg.Relation
-	for _, step := range plan.Steps {
-		fetched, err := e.fetchStep(&step, cur)
-		if err != nil {
-			return nil, err
-		}
-		if cur == nil {
-			cur = fetched
-		} else {
-			cur, err = e.join(cur, fetched, step.JoinKeys, step.Binding)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if len(step.AfterPreds) > 0 {
-			cur, err = relalg.Filter(cur, sqlparse.AndAll(step.AfterPreds))
-			if err != nil {
-				return nil, err
-			}
-		}
-		if e.Temp != nil {
-			e.mu.Lock()
-			e.seq++
-			key := "step" + strconv.Itoa(e.seq)
-			e.mu.Unlock()
-			if err := e.Temp.Put(key, cur); err != nil {
-				return nil, err
-			}
-			if cur, err = e.Temp.Get(key); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Projection.
-	items, err := projectItems(plan.Items, cur)
+	it, err := e.BuildStream(plan)
 	if err != nil {
 		return nil, err
 	}
-	out, err := relalg.Project(cur, items)
-	if err != nil {
-		return nil, err
+	name := ""
+	if len(plan.Steps) == 1 {
+		name = plan.Steps[0].Relation
 	}
-	if plan.Distinct {
-		out = relalg.Distinct(out)
-	}
-	if len(plan.OrderBy) > 0 {
-		keys := make([]relalg.OrderKey, len(plan.OrderBy))
-		for i, o := range plan.OrderBy {
-			keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
-		}
-		// ORDER BY may reference output columns or source columns; sort
-		// the projected result when the keys resolve there, otherwise
-		// sort before projecting.
-		if sorted, err := relalg.Sort(out, keys); err == nil {
-			out = sorted
-		} else {
-			pre, err2 := relalg.Sort(cur, keys)
-			if err2 != nil {
-				return nil, err
-			}
-			if out, err2 = relalg.Project(pre, items); err2 != nil {
-				return nil, err2
-			}
-		}
-	}
-	return relalg.Limit(out, plan.Limit), nil
+	return relalg.Collect(it, name)
 }
 
-// fetchStep retrieves one relation, honoring bind joins, and applies the
-// engine-local filters the source could not.
-func (e *Executor) fetchStep(step *PlanStep, cur *relalg.Relation) (*relalg.Relation, error) {
+// fetchBindStep retrieves one relation through its bind joins — one
+// source query per distinct combination of feeding values from the
+// materialized intermediate result — and applies the engine-local
+// filters the source could not.
+func (e *Executor) fetchBindStep(step *PlanStep, cur *relalg.Relation) (*relalg.Relation, error) {
 	w, err := e.Catalog.WrapperFor(step.Relation)
 	if err != nil {
 		return nil, err
 	}
-	var raw *relalg.Relation
-	if len(step.BindJoins) == 0 {
-		raw, err = w.Query(wrapper.SourceQuery{Relation: step.Relation, Filters: step.Pushed})
-		if err != nil {
-			return nil, err
+	feedIdx := make([]int, len(step.BindJoins))
+	for i, bp := range step.BindJoins {
+		idx := cur.Schema.Index(bp.FromQualified)
+		if idx < 0 {
+			return nil, fmt.Errorf("planner: bind join feeder %s missing from intermediate result", bp.FromQualified)
 		}
-		e.countQuery(raw.Len())
-	} else {
-		if cur == nil {
-			return nil, fmt.Errorf("planner: bind join for %s with no prior result", step.Relation)
+		feedIdx[i] = idx
+	}
+	seen := map[string]bool{}
+	schema, err := w.Schema(step.Relation)
+	if err != nil {
+		return nil, err
+	}
+	raw := relalg.NewRelation(step.Relation, schema)
+	for _, t := range cur.Tuples {
+		key := t.Key(feedIdx)
+		if seen[key] {
+			continue
 		}
-		// One source query per distinct combination of feeding values.
-		feedIdx := make([]int, len(step.BindJoins))
+		seen[key] = true
+		filters := append([]wrapper.Filter(nil), step.Pushed...)
 		for i, bp := range step.BindJoins {
-			idx := cur.Schema.Index(bp.FromQualified)
-			if idx < 0 {
-				return nil, fmt.Errorf("planner: bind join feeder %s missing from intermediate result", bp.FromQualified)
-			}
-			feedIdx[i] = idx
+			filters = append(filters, wrapper.Filter{Column: bp.Column, Op: "=", Value: t[feedIdx[i]]})
 		}
-		seen := map[string]bool{}
-		schema, err := w.Schema(step.Relation)
+		part, err := w.Query(wrapper.SourceQuery{Relation: step.Relation, Filters: filters})
 		if err != nil {
 			return nil, err
 		}
-		raw = relalg.NewRelation(step.Relation, schema)
-		for _, t := range cur.Tuples {
-			key := t.Key(feedIdx)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			filters := append([]wrapper.Filter(nil), step.Pushed...)
-			for i, bp := range step.BindJoins {
-				filters = append(filters, wrapper.Filter{Column: bp.Column, Op: "=", Value: t[feedIdx[i]]})
-			}
-			part, err := w.Query(wrapper.SourceQuery{Relation: step.Relation, Filters: filters})
-			if err != nil {
-				return nil, err
-			}
-			e.countQuery(part.Len())
-			raw.Tuples = append(raw.Tuples, part.Tuples...)
-		}
+		e.countQuery(part.Len())
+		raw.Tuples = append(raw.Tuples, part.Tuples...)
 	}
 
 	rel := raw.Qualify(step.Binding)
@@ -248,33 +178,6 @@ func (e *Executor) fetchStep(step *PlanStep, cur *relalg.Relation) (*relalg.Rela
 	return rel, nil
 }
 
-// join combines the intermediate result with a newly fetched relation.
-func (e *Executor) join(cur, next *relalg.Relation, keys []JoinKey, binding string) (*relalg.Relation, error) {
-	if len(keys) > 0 && !e.ForceNestedLoop {
-		aKeys := make([]string, len(keys))
-		bKeys := make([]string, len(keys))
-		for i, k := range keys {
-			aKeys[i] = k.CurQualified
-			bKeys[i] = binding + "." + k.NewColumn
-		}
-		if e.ForceMergeJoin {
-			return relalg.MergeJoin(cur, next, aKeys, bKeys, nil)
-		}
-		return relalg.HashJoin(cur, next, aKeys, bKeys, nil)
-	}
-	var pred sqlparse.Expr
-	if len(keys) > 0 {
-		preds := make([]sqlparse.Expr, len(keys))
-		for i, k := range keys {
-			preds[i] = sqlparse.Bin("=",
-				colRefFromQualified(k.CurQualified),
-				colRefFromQualified(binding+"."+k.NewColumn))
-		}
-		pred = sqlparse.AndAll(preds)
-	}
-	return relalg.NestedLoopJoin(cur, next, pred)
-}
-
 func colRefFromQualified(q string) *sqlparse.ColRef {
 	for i := 0; i < len(q); i++ {
 		if q[i] == '.' {
@@ -285,7 +188,7 @@ func colRefFromQualified(q string) *sqlparse.ColRef {
 }
 
 // projectItems expands the SELECT list against the joined schema.
-func projectItems(items []sqlparse.SelectItem, rel *relalg.Relation) ([]relalg.ProjectItem, error) {
+func projectItems(items []sqlparse.SelectItem, schema relalg.Schema) ([]relalg.ProjectItem, error) {
 	var out []relalg.ProjectItem
 	used := map[string]bool{}
 	name := func(base string) string {
@@ -303,7 +206,7 @@ func projectItems(items []sqlparse.SelectItem, rel *relalg.Relation) ([]relalg.P
 	}
 	for i, it := range items {
 		if it.Star {
-			for _, col := range rel.Schema.Columns {
+			for _, col := range schema.Columns {
 				if it.StarTable != "" && !hasPrefix(col.Name, it.StarTable+".") {
 					continue
 				}
@@ -356,148 +259,18 @@ func hasAggregates(sel *sqlparse.Select) bool {
 	return false
 }
 
-// executeAggregate runs a grouped SELECT: plan the SPJ core (projecting
-// nothing yet), then group locally.
-func (e *Executor) executeAggregate(sel *sqlparse.Select) (*relalg.Relation, error) {
-	spj := *sel
-	spj.Items = []sqlparse.SelectItem{{Star: true}}
-	spj.GroupBy, spj.Having, spj.OrderBy = nil, nil, nil
-	spj.Limit = -1
-	spj.Distinct = false
-	plan, err := e.Plan(&spj)
-	if err != nil {
-		return nil, err
-	}
-	wide, err := e.Run(plan)
-	if err != nil {
-		return nil, err
-	}
-	// Aggregate over the wide result. Column names were flattened to
-	// plain names by projection; regroup using the original expressions,
-	// which Schema.Index resolves by unique suffix.
-	items := make([]relalg.AggItem, len(sel.Items))
-	for i, it := range sel.Items {
-		n := it.Alias
-		if n == "" {
-			if c, ok := it.Expr.(*sqlparse.ColRef); ok {
-				n = c.Column
-			} else {
-				n = "col" + strconv.Itoa(i+1)
-			}
-		}
-		items[i] = relalg.AggItem{Name: n, Expr: it.Expr}
-	}
-	out, err := relalg.GroupBy(wide, sel.GroupBy, items, sel.Having)
-	if err != nil {
-		return nil, err
-	}
-	if len(sel.OrderBy) > 0 {
-		keys := make([]relalg.OrderKey, len(sel.OrderBy))
-		for i, o := range sel.OrderBy {
-			keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
-		}
-		if out, err = relalg.Sort(out, keys); err != nil {
-			return nil, err
-		}
-	}
-	if sel.Distinct {
-		out = relalg.Distinct(out)
-	}
-	return relalg.Limit(out, sel.Limit), nil
-}
-
 // ExecuteMediation runs a mediated query: every branch, combined with the
 // mediation's union semantics, then the post-union step when present.
 // With Executor.Parallel set, branches run concurrently (they are
-// independent by construction: each is one conflict-resolution case).
+// independent by construction: each is one conflict-resolution case);
+// otherwise the union consumes them lazily in order. See MediationStream
+// for the streaming composition.
 func (e *Executor) ExecuteMediation(med *core.Mediation) (*relalg.Relation, error) {
-	if len(med.Branches) == 0 {
-		return nil, fmt.Errorf("planner: mediation has no branches")
+	it, err := e.MediationStream(med)
+	if err != nil {
+		return nil, err
 	}
-	results := make([]*relalg.Relation, len(med.Branches))
-	if e.Parallel && len(med.Branches) > 1 {
-		errs := make([]error, len(med.Branches))
-		var wg sync.WaitGroup
-		for i, b := range med.Branches {
-			wg.Add(1)
-			go func(i int, b *sqlparse.Select) {
-				defer wg.Done()
-				results[i], errs[i] = e.ExecuteSelect(b)
-			}(i, b)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		for i, b := range med.Branches {
-			res, err := e.ExecuteSelect(b)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = res
-		}
-	}
-
-	united := results[0]
-	var err error
-	for _, res := range results[1:] {
-		if united, err = relalg.Union(united, res, med.UnionAll); err != nil {
-			return nil, err
-		}
-	}
-	if med.Post == nil {
-		return united, nil
-	}
-	return e.runPost(med.Post, united)
-}
-
-// runPost applies a mediation's post-union step.
-func (e *Executor) runPost(post *core.Post, union *relalg.Relation) (*relalg.Relation, error) {
-	out := union
-	var err error
-	if len(post.GroupBy) > 0 || anyAggItems(post.Items) {
-		items := make([]relalg.AggItem, len(post.Items))
-		for i, it := range post.Items {
-			items[i] = relalg.AggItem{Name: it.Alias, Expr: it.Expr}
-			if items[i].Name == "" {
-				items[i].Name = "col" + strconv.Itoa(i+1)
-			}
-		}
-		if out, err = relalg.GroupBy(out, post.GroupBy, items, post.Having); err != nil {
-			return nil, err
-		}
-	} else if len(post.Items) > 0 {
-		items := make([]relalg.ProjectItem, len(post.Items))
-		for i, it := range post.Items {
-			items[i] = relalg.ProjectItem{Name: it.Alias, Expr: it.Expr}
-			if items[i].Name == "" {
-				if c, ok := it.Expr.(*sqlparse.ColRef); ok {
-					items[i].Name = c.Column
-				} else {
-					items[i].Name = "col" + strconv.Itoa(i+1)
-				}
-			}
-		}
-		if out, err = relalg.Project(out, items); err != nil {
-			return nil, err
-		}
-	}
-	if post.Distinct {
-		out = relalg.Distinct(out)
-	}
-	if len(post.OrderBy) > 0 {
-		keys := make([]relalg.OrderKey, len(post.OrderBy))
-		for i, o := range post.OrderBy {
-			keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
-		}
-		if out, err = relalg.Sort(out, keys); err != nil {
-			return nil, err
-		}
-	}
-	return relalg.Limit(out, post.Limit), nil
+	return relalg.Collect(it, "")
 }
 
 func anyAggItems(items []sqlparse.SelectItem) bool {

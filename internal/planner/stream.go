@@ -1,0 +1,496 @@
+package planner
+
+// This file compiles BranchPlans into pull-based iterator trees (the
+// Volcano model of internal/relalg). Building a stream is free of side
+// effects: no source is contacted and no tuple moves until the consumer
+// Opens the tree and pulls. That is what makes early exit work — a LIMIT
+// stops pulling as soon as it is satisfied, so upstream scans stop
+// transferring tuples from their sources, and lazily-unioned mediation
+// branches that are never reached never run at all.
+//
+// Only the pipeline breakers materialize: Sort and GroupBy buffers, the
+// build side of a hash join, both sides of a merge join, the feeding
+// side of a bind join (its distinct binding values must all be known
+// before the dependent source can be queried), and — when the executor
+// has a TempStore — the per-step staging points, all of which route
+// through store.TempStore so large intermediates spill to disk.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/relalg"
+	"repro/internal/sqlparse"
+	"repro/internal/wrapper"
+)
+
+// stager adapts the executor's TempStore to the relalg.Stager hook
+// breaker operators use; nil (keep everything resident) without one.
+func (e *Executor) stager() relalg.Stager {
+	if e.Temp == nil {
+		return nil
+	}
+	return e.Temp
+}
+
+// sourceScanIter is the leaf of every pipeline: a wrapper fetch, pulled
+// tuple by tuple through the wrapper's chunked-fetch protocol
+// (wrapper.QueryStream). It counts one source query at Open and the
+// tuples actually pulled — accumulated locally and flushed to ExecStats
+// under one lock at Close, so parallel branch pipelines do not contend
+// on the executor mutex per tuple.
+type sourceScanIter struct {
+	e      *Executor
+	w      wrapper.Wrapper
+	q      wrapper.SourceQuery
+	schema relalg.Schema
+	stream wrapper.TupleStream
+	pulled int
+}
+
+func (s *sourceScanIter) Schema() relalg.Schema { return s.schema }
+
+func (s *sourceScanIter) Open() error {
+	stream, err := wrapper.QueryStream(s.w, s.q)
+	if err != nil {
+		return err
+	}
+	s.stream = stream
+	s.pulled = 0
+	s.e.mu.Lock()
+	s.e.stats.SourceQueries++
+	s.e.mu.Unlock()
+	return nil
+}
+
+func (s *sourceScanIter) Next() (relalg.Tuple, bool, error) {
+	if s.stream == nil {
+		return nil, false, nil
+	}
+	t, ok, err := s.stream.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	s.pulled++
+	return t, true, nil
+}
+
+func (s *sourceScanIter) Close() error {
+	if s.stream == nil {
+		return nil
+	}
+	s.e.mu.Lock()
+	s.e.stats.TuplesTransferred += s.pulled
+	s.e.mu.Unlock()
+	s.pulled = 0
+	err := s.stream.Close()
+	s.stream = nil
+	return err
+}
+
+// sourceIter builds the scan pipeline for one independent (non-bind)
+// step: chunked fetch with pushed filters, columns qualified with the
+// step binding, then the engine-local filters the source could not
+// evaluate.
+func (e *Executor) sourceIter(step *PlanStep) (relalg.Iterator, error) {
+	w, err := e.Catalog.WrapperFor(step.Relation)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := w.Schema(step.Relation)
+	if err != nil {
+		return nil, err
+	}
+	leaf := &sourceScanIter{
+		e: e, w: w,
+		q:      wrapper.SourceQuery{Relation: step.Relation, Filters: step.Pushed},
+		schema: schema,
+	}
+	qualified := schema.Qualify(step.Binding)
+	var it relalg.Iterator = relalg.NewRename(leaf, qualified)
+	if len(step.Local) > 0 {
+		filters := make([]wrapper.Filter, len(step.Local))
+		for i, f := range step.Local {
+			filters[i] = wrapper.Filter{Column: step.Binding + "." + f.Column, Op: f.Op, Value: f.Value}
+		}
+		match, err := wrapper.Matcher(qualified, filters)
+		if err != nil {
+			return nil, err
+		}
+		it = relalg.NewFilterFunc(it, match)
+	}
+	if len(step.LocalPreds) > 0 {
+		it = relalg.NewFilter(it, sqlparse.AndAll(step.LocalPreds))
+	}
+	return it, nil
+}
+
+// joinIter combines the intermediate pipeline with a step's fetched
+// input. Hash join always builds over the newly fetched side and streams
+// the probe (intermediate) side: the intermediate is a stream of unknown
+// cardinality, and hashing it would break the pipeline (and every early
+// exit upstream). The materialized executor instead hashed whichever
+// input was smaller, so a step fetching a relation much larger than the
+// intermediate now holds the larger hash table; teaching the planner to
+// flip sides from EstRows is future work. Merge join breaks both sides;
+// nested loop materializes the inner (fetched) side and streams the
+// outer.
+func (e *Executor) joinIter(cur, next relalg.Iterator, keys []JoinKey, binding string) (relalg.Iterator, error) {
+	if len(keys) > 0 && !e.ForceNestedLoop {
+		aKeys := make([]string, len(keys))
+		bKeys := make([]string, len(keys))
+		for i, k := range keys {
+			aKeys[i] = k.CurQualified
+			bKeys[i] = binding + "." + k.NewColumn
+		}
+		if e.ForceMergeJoin {
+			return relalg.NewMergeJoin(cur, next, aKeys, bKeys, nil, e.stager())
+		}
+		return relalg.NewHashJoin(cur, next, aKeys, bKeys, nil, false /* build the fetched side */, e.stager())
+	}
+	var pred sqlparse.Expr
+	if len(keys) > 0 {
+		preds := make([]sqlparse.Expr, len(keys))
+		for i, k := range keys {
+			preds[i] = sqlparse.Bin("=",
+				colRefFromQualified(k.CurQualified),
+				colRefFromQualified(binding+"."+k.NewColumn))
+		}
+		pred = sqlparse.AndAll(preds)
+	}
+	// The inner side is drained at Open; the outer streams.
+	schema := cur.Schema().Concat(next.Schema())
+	nl := cur
+	return relalg.NewDeferred(schema, func() (relalg.Iterator, error) {
+		inner, err := relalg.Collect(next, "")
+		if err != nil {
+			return nil, err
+		}
+		if inner, err = stageIfSet(e.stager(), inner); err != nil {
+			return nil, err
+		}
+		return relalg.NewNestedLoop(nl, inner, pred), nil
+	}), nil
+}
+
+// stageIfSet routes rel through st when non-nil.
+func stageIfSet(st relalg.Stager, rel *relalg.Relation) (*relalg.Relation, error) {
+	if st == nil {
+		return rel, nil
+	}
+	return st.Stage(rel)
+}
+
+// BuildStream compiles a prepared plan into an iterator tree. Nothing
+// runs until the tree is Opened; Collect it (or use Run) for a
+// materialized answer. The tree is single-use.
+func (e *Executor) BuildStream(plan *BranchPlan) (relalg.Iterator, error) {
+	var cur relalg.Iterator
+	for i := range plan.Steps {
+		step := &plan.Steps[i]
+		var next relalg.Iterator
+		var err error
+		if len(step.BindJoins) == 0 {
+			if next, err = e.sourceIter(step); err != nil {
+				return nil, err
+			}
+			if cur == nil {
+				cur = next
+			} else if cur, err = e.joinIter(cur, next, step.JoinKeys, step.Binding); err != nil {
+				return nil, err
+			}
+		} else {
+			// A bind join is a pipeline breaker on the feeding side: every
+			// distinct combination of feeding values must be known before
+			// the dependent source can be queried, so the intermediate
+			// result materializes here (staged through the TempStore when
+			// configured) and both fetch and join defer to Open time.
+			if cur == nil {
+				return nil, fmt.Errorf("planner: bind join for %s with no prior result", step.Relation)
+			}
+			w, err := e.Catalog.WrapperFor(step.Relation)
+			if err != nil {
+				return nil, err
+			}
+			schema, err := w.Schema(step.Relation)
+			if err != nil {
+				return nil, err
+			}
+			prev := cur
+			joined := prev.Schema().Concat(schema.Qualify(step.Binding))
+			cur = relalg.NewDeferred(joined, func() (relalg.Iterator, error) {
+				curRel, err := relalg.Collect(prev, "")
+				if err != nil {
+					return nil, err
+				}
+				if curRel, err = stageIfSet(e.stager(), curRel); err != nil {
+					return nil, err
+				}
+				fetched, err := e.fetchBindStep(step, curRel)
+				if err != nil {
+					return nil, err
+				}
+				return e.joinIter(relalg.NewScan(curRel), relalg.NewScan(fetched), step.JoinKeys, step.Binding)
+			})
+		}
+		if len(step.AfterPreds) > 0 {
+			cur = relalg.NewFilter(cur, sqlparse.AndAll(step.AfterPreds))
+		}
+		if e.Temp != nil {
+			// Staging mode: materialize every step boundary through the
+			// temp store, exactly like the materialized executor did, so
+			// resident memory stays bounded by the spill threshold.
+			prev := cur
+			cur = relalg.NewDeferred(prev.Schema(), func() (relalg.Iterator, error) {
+				rel, err := relalg.Collect(prev, "")
+				if err != nil {
+					return nil, err
+				}
+				if rel, err = e.Temp.Stage(rel); err != nil {
+					return nil, err
+				}
+				return relalg.NewScan(rel), nil
+			})
+		}
+	}
+
+	items, err := projectItems(plan.Items, cur.Schema())
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]relalg.OrderKey, len(plan.OrderBy))
+	for i, o := range plan.OrderBy {
+		keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
+	}
+	var out relalg.Iterator
+	projSchema := relalg.ProjectionSchema(items, cur.Schema())
+	if len(plan.OrderBy) > 0 && !orderKeysResolve(plan.OrderBy, projSchema) {
+		// ORDER BY references source columns the projection drops: sort
+		// before projecting (as the materialized executor's fallback did —
+		// including its quirk of skipping DISTINCT on this path).
+		out = relalg.NewProject(relalg.NewSort(cur, keys, e.stager()), items)
+	} else {
+		out = relalg.NewProject(cur, items)
+		if plan.Distinct {
+			out = relalg.NewDistinct(out)
+		}
+		if len(plan.OrderBy) > 0 {
+			out = relalg.NewSort(out, keys, e.stager())
+		}
+	}
+	out = relalg.NewLimit(out, plan.Limit)
+	return relalg.NewOnOpen(out, func() {
+		e.mu.Lock()
+		e.stats.BranchesRun++
+		e.mu.Unlock()
+	}), nil
+}
+
+// orderKeysResolve reports whether every column reference in the ORDER BY
+// keys resolves in the projected schema (mirroring Eval's two-step
+// lookup), deciding whether to sort after or before projection.
+func orderKeysResolve(order []sqlparse.OrderItem, schema relalg.Schema) bool {
+	for _, o := range order {
+		ok := true
+		sqlparse.WalkExprs(o.Expr, func(x sqlparse.Expr) bool {
+			if c, isRef := x.(*sqlparse.ColRef); isRef {
+				if schema.Index(c.String()) < 0 && schema.Index(c.Column) < 0 {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// selectStream compiles one SELECT block (aggregated or not) into an
+// iterator tree.
+func (e *Executor) selectStream(sel *sqlparse.Select) (relalg.Iterator, error) {
+	if hasAggregates(sel) {
+		return e.aggregateStream(sel)
+	}
+	plan, err := e.Plan(sel)
+	if err != nil {
+		return nil, err
+	}
+	return e.BuildStream(plan)
+}
+
+// statementStream compiles a statement (SELECT or UNION tree) into an
+// iterator tree; UNION combines with set semantics unless marked ALL.
+func (e *Executor) statementStream(stmt sqlparse.Statement) (relalg.Iterator, error) {
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		return e.selectStream(s)
+	case *sqlparse.Union:
+		l, err := e.statementStream(s.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.statementStream(s.Right)
+		if err != nil {
+			return nil, err
+		}
+		u, err := relalg.NewUnionAll(l, r)
+		if err != nil {
+			return nil, err
+		}
+		if s.All {
+			return u, nil
+		}
+		return relalg.NewDistinct(u), nil
+	}
+	return nil, fmt.Errorf("planner: cannot execute %T", stmt)
+}
+
+// aggregateStream compiles a grouped SELECT: the SPJ core streams into a
+// GroupBy breaker, then order/distinct/limit apply.
+func (e *Executor) aggregateStream(sel *sqlparse.Select) (relalg.Iterator, error) {
+	spj := *sel
+	spj.Items = []sqlparse.SelectItem{{Star: true}}
+	spj.GroupBy, spj.Having, spj.OrderBy = nil, nil, nil
+	spj.Limit = -1
+	spj.Distinct = false
+	plan, err := e.Plan(&spj)
+	if err != nil {
+		return nil, err
+	}
+	wide, err := e.BuildStream(plan)
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate over the wide result. Column names were flattened to
+	// plain names by projection; regroup using the original expressions,
+	// which Schema.Index resolves by unique suffix.
+	items := make([]relalg.AggItem, len(sel.Items))
+	for i, it := range sel.Items {
+		n := it.Alias
+		if n == "" {
+			if c, ok := it.Expr.(*sqlparse.ColRef); ok {
+				n = c.Column
+			} else {
+				n = "col" + strconv.Itoa(i+1)
+			}
+		}
+		items[i] = relalg.AggItem{Name: n, Expr: it.Expr}
+	}
+	var out relalg.Iterator = relalg.NewGroupBy(wide, sel.GroupBy, items, sel.Having, e.stager())
+	if len(sel.OrderBy) > 0 {
+		keys := make([]relalg.OrderKey, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
+		}
+		out = relalg.NewSort(out, keys, e.stager())
+	}
+	if sel.Distinct {
+		out = relalg.NewDistinct(out)
+	}
+	return relalg.NewLimit(out, sel.Limit), nil
+}
+
+// MediationStream compiles a mediated query into one iterator tree: every
+// branch pipeline feeding a streaming union (with the mediation's union
+// semantics), then the post-union step when present.
+//
+// Without Executor.Parallel, branches are consumed lazily in order — a
+// satisfied LIMIT above the union means later branches never open, never
+// plan-execute, and never contact their sources. With Parallel, all
+// branches run concurrently to materialized results (deterministic branch
+// order is preserved) and the union streams over those.
+func (e *Executor) MediationStream(med *core.Mediation) (relalg.Iterator, error) {
+	if len(med.Branches) == 0 {
+		return nil, fmt.Errorf("planner: mediation has no branches")
+	}
+	children := make([]relalg.Iterator, len(med.Branches))
+	if e.Parallel && len(med.Branches) > 1 {
+		results := make([]*relalg.Relation, len(med.Branches))
+		errs := make([]error, len(med.Branches))
+		var wg sync.WaitGroup
+		for i, b := range med.Branches {
+			wg.Add(1)
+			go func(i int, b *sqlparse.Select) {
+				defer wg.Done()
+				results[i], errs[i] = e.ExecuteSelect(b)
+			}(i, b)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, res := range results {
+			children[i] = relalg.NewScan(res)
+		}
+	} else {
+		for i, b := range med.Branches {
+			it, err := e.selectStream(b)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = it
+		}
+	}
+
+	united := children[0]
+	if len(children) > 1 {
+		u, err := relalg.NewUnionAll(children...)
+		if err != nil {
+			return nil, err
+		}
+		united = u
+		if !med.UnionAll {
+			united = relalg.NewDistinct(united)
+		}
+	}
+	if med.Post == nil {
+		return united, nil
+	}
+	return e.postStream(med.Post, united)
+}
+
+// postStream applies a mediation's post-union step to the union stream.
+func (e *Executor) postStream(post *core.Post, in relalg.Iterator) (relalg.Iterator, error) {
+	out := in
+	if len(post.GroupBy) > 0 || anyAggItems(post.Items) {
+		items := make([]relalg.AggItem, len(post.Items))
+		for i, it := range post.Items {
+			items[i] = relalg.AggItem{Name: it.Alias, Expr: it.Expr}
+			if items[i].Name == "" {
+				items[i].Name = "col" + strconv.Itoa(i+1)
+			}
+		}
+		out = relalg.NewGroupBy(out, post.GroupBy, items, post.Having, e.stager())
+	} else if len(post.Items) > 0 {
+		items := make([]relalg.ProjectItem, len(post.Items))
+		for i, it := range post.Items {
+			items[i] = relalg.ProjectItem{Name: it.Alias, Expr: it.Expr}
+			if items[i].Name == "" {
+				if c, ok := it.Expr.(*sqlparse.ColRef); ok {
+					items[i].Name = c.Column
+				} else {
+					items[i].Name = "col" + strconv.Itoa(i+1)
+				}
+			}
+		}
+		out = relalg.NewProject(out, items)
+	}
+	if post.Distinct {
+		out = relalg.NewDistinct(out)
+	}
+	if len(post.OrderBy) > 0 {
+		keys := make([]relalg.OrderKey, len(post.OrderBy))
+		for i, o := range post.OrderBy {
+			keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
+		}
+		out = relalg.NewSort(out, keys, e.stager())
+	}
+	return relalg.NewLimit(out, post.Limit), nil
+}

@@ -1,0 +1,163 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relalg"
+	"repro/internal/sqlparse"
+	"repro/internal/store"
+	"repro/internal/wrapper"
+)
+
+// bigCatalog wires a single relational source holding n sequential rows.
+func bigCatalog(n int) *Catalog {
+	db := store.NewDB("bigsrc")
+	tab := db.MustCreateTable("nums", relalg.NewSchema(
+		relalg.Column{Name: "n", Type: relalg.KindNumber},
+		relalg.Column{Name: "grp", Type: relalg.KindString},
+	))
+	for i := 0; i < n; i++ {
+		g := "even"
+		if i%2 == 1 {
+			g = "odd"
+		}
+		tab.MustInsert(relalg.NumV(float64(i)), relalg.StrV(g))
+	}
+	cat := NewCatalog()
+	cat.MustAddSource(wrapper.NewRelational(db))
+	return cat
+}
+
+// TestLimitTransfersOnlyLimitTuples is the acceptance criterion of the
+// streaming executor: SELECT ... LIMIT n over a large source stops
+// pulling after n tuples — ExecStats reports O(n) transfer, not O(source).
+func TestLimitTransfersOnlyLimitTuples(t *testing.T) {
+	const source = 50000
+	ex := NewExecutor(bigCatalog(source))
+	res, err := ex.Execute(sqlparse.MustParse("SELECT nums.n FROM nums LIMIT 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("result = %s", res)
+	}
+	st := ex.Stats()
+	if st.TuplesTransferred != 5 {
+		t.Errorf("TuplesTransferred = %d, want exactly 5 (source holds %d)", st.TuplesTransferred, source)
+	}
+	if st.SourceQueries != 1 || st.BranchesRun != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestLimitWithLocalFilterStaysSublinear: a filter the engine applies
+// locally sits between source and LIMIT; the transfer must stop as soon
+// as the limit fills, far below the source size.
+func TestLimitWithLocalFilterStaysSublinear(t *testing.T) {
+	const source = 50000
+	ex := NewExecutor(bigCatalog(source))
+	ex.DisablePushdown = true
+	res, err := ex.Execute(sqlparse.MustParse(
+		"SELECT nums.n FROM nums WHERE nums.grp = 'odd' LIMIT 4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("result = %s", res)
+	}
+	// Odd rows are every second tuple: filling LIMIT 4 needs ~8 pulls.
+	if st := ex.Stats(); st.TuplesTransferred >= 100 {
+		t.Errorf("TuplesTransferred = %d, want O(limit), not O(%d)", st.TuplesTransferred, source)
+	}
+}
+
+// TestFullScanStillCountsEverything: without a LIMIT the stream drains,
+// and the stats match the materialized executor's accounting.
+func TestFullScanStillCountsEverything(t *testing.T) {
+	ex := NewExecutor(bigCatalog(1000))
+	if _, err := ex.Execute(sqlparse.MustParse("SELECT nums.n FROM nums")); err != nil {
+		t.Fatal(err)
+	}
+	if st := ex.Stats(); st.TuplesTransferred != 1000 || st.SourceQueries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestMediationBranchesLazilySkipped: when an early exit above the
+// mediated union is satisfied by the first branch, later branches never
+// open — they issue no source queries and are not counted as run.
+func TestMediationBranchesLazilySkipped(t *testing.T) {
+	cat := bigCatalog(100)
+	b1 := sqlparse.MustParse("SELECT nums.n FROM nums").(*sqlparse.Select)
+	b2 := sqlparse.MustParse("SELECT nums.n FROM nums").(*sqlparse.Select)
+	med := &core.Mediation{
+		Branches: []*sqlparse.Select{b1, b2},
+		UnionAll: true,
+		Post:     &core.Post{Limit: 3},
+	}
+	ex := NewExecutor(cat)
+	res, err := ex.ExecuteMediation(med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("result = %s", res)
+	}
+	st := ex.Stats()
+	if st.BranchesRun != 1 {
+		t.Errorf("BranchesRun = %d, want 1 (second branch should never open)", st.BranchesRun)
+	}
+	if st.SourceQueries != 1 || st.TuplesTransferred != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestStreamingBreakersStageThroughTempStore: with a TempStore set, the
+// pipeline breakers stage intermediates (and spill past the threshold)
+// while the streamed answer stays correct.
+func TestStreamingBreakersStageThroughTempStore(t *testing.T) {
+	ts, err := store.NewTempStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	ts.SpillThreshold = 8
+	ex := NewExecutor(bigCatalog(100))
+	ex.Temp = ts
+	res, err := ex.Execute(sqlparse.MustParse(
+		"SELECT nums.n FROM nums WHERE nums.n < 50 ORDER BY nums.n DESC LIMIT 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Tuples[0][0].N != 49 || res.Tuples[1][0].N != 48 {
+		t.Fatalf("result = %s", res)
+	}
+	if ts.Spills() == 0 {
+		t.Error("sort buffer above the threshold did not spill")
+	}
+}
+
+// TestBuildStreamHasNoSideEffects: compiling a plan contacts no source;
+// only opening the tree does.
+func TestBuildStreamHasNoSideEffects(t *testing.T) {
+	ex := NewExecutor(bigCatalog(100))
+	plan, err := ex.Plan(sqlparse.MustParse("SELECT nums.n FROM nums").(*sqlparse.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := ex.BuildStream(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ex.Stats(); st.SourceQueries != 0 || st.BranchesRun != 0 {
+		t.Errorf("building the stream already ran queries: %+v", st)
+	}
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if st := ex.Stats(); st.SourceQueries != 1 || st.BranchesRun != 1 {
+		t.Errorf("stats after open = %+v", st)
+	}
+}

@@ -1,0 +1,265 @@
+package relalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+// mustExpr parses a standalone expression by wrapping it in a SELECT.
+func mustExpr(s string) sqlparse.Expr {
+	sel := sqlparse.MustParse("SELECT 1 FROM d WHERE " + s).(*sqlparse.Select)
+	return sel.Where
+}
+
+// countingScan wraps a scan and counts how many tuples consumers pull
+// and whether it was opened — the instrument for early-termination and
+// laziness tests.
+type countingScan struct {
+	*ScanIter
+	pulls  int
+	opened bool
+}
+
+func newCountingScan(rel *Relation) *countingScan {
+	return &countingScan{ScanIter: NewScan(rel)}
+}
+
+func (c *countingScan) Open() error {
+	c.opened = true
+	return c.ScanIter.Open()
+}
+
+func (c *countingScan) Next() (Tuple, bool, error) {
+	t, ok, err := c.ScanIter.Next()
+	if ok {
+		c.pulls++
+	}
+	return t, ok, err
+}
+
+// randomRelation builds a deterministic pseudo-random relation of n rows
+// over (k number, s string, v number), with key collisions so joins,
+// distinct and grouping all have work to do.
+func randomRelation(name string, n int, rng *rand.Rand) *Relation {
+	rel := NewRelation(name, NewSchema(
+		Column{Name: "k", Type: KindNumber},
+		Column{Name: "s", Type: KindString},
+		Column{Name: "v", Type: KindNumber},
+	))
+	for i := 0; i < n; i++ {
+		rel.MustAdd(
+			NumV(float64(rng.Intn(n/2+1))),
+			StrV(fmt.Sprintf("s%d", rng.Intn(4))),
+			NumV(float64(rng.Intn(100))),
+		)
+	}
+	return rel
+}
+
+// rows serializes a relation's tuple sequence (order-sensitive).
+func rows(r *Relation) []string {
+	out := make([]string, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out[i] = t.FullKey()
+	}
+	return out
+}
+
+func sameRows(t *testing.T, op string, got, want *Relation) {
+	t.Helper()
+	g, w := rows(got), rows(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d tuples, want %d\ngot:\n%s\nwant:\n%s", op, len(g), len(w), got, want)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: tuple %d differs\ngot:\n%s\nwant:\n%s", op, i, got, want)
+		}
+	}
+}
+
+// TestIteratorMaterializedEquivalence is the property test of the
+// tentpole refactor: on randomized inputs, every streaming operator must
+// produce exactly the tuples and order of its materialized counterpart.
+func TestIteratorMaterializedEquivalence(t *testing.T) {
+	pred := mustExpr("v >= 30")
+	joinPred := mustExpr("a.k = b.k")
+	items := []ProjectItem{
+		{Name: "k2", Expr: mustExpr("k * 2")},
+		{Name: "s", Expr: mustExpr("s")},
+	}
+	orderKeys := []OrderKey{
+		{Expr: mustExpr("s")},
+		{Expr: mustExpr("v"), Desc: true},
+	}
+	aggItems := []AggItem{
+		{Name: "s", Expr: mustExpr("s")},
+		{Name: "total", Expr: mustExpr("SUM(v)")},
+	}
+
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		r := randomRelation("r", n, rng)
+		a := randomRelation("x", n, rng).Qualify("a")
+		b := randomRelation("y", 1+rng.Intn(40), rng).Qualify("b")
+
+		check := func(op string, it Iterator, err error, want *Relation, wantErr error) {
+			t.Helper()
+			if err != nil || wantErr != nil {
+				if (err == nil) != (wantErr == nil) {
+					t.Fatalf("%s: iterator err %v, materialized err %v", op, err, wantErr)
+				}
+				return
+			}
+			got, err := Collect(it, want.Name)
+			if err != nil {
+				t.Fatalf("%s: %v", op, err)
+			}
+			sameRows(t, fmt.Sprintf("seed %d %s", seed, op), got, want)
+		}
+
+		wf, ef := Filter(r, pred)
+		check("filter", NewFilter(NewScan(r), pred), nil, wf, ef)
+
+		wp, ep := Project(r, items)
+		check("project", NewProject(NewScan(r), items), nil, wp, ep)
+
+		wnl, enl := NestedLoopJoin(a, b, joinPred)
+		check("nested-loop", NewNestedLoop(NewScan(a), b, joinPred), nil, wnl, enl)
+
+		check("cross", NewNestedLoop(NewScan(a), b, nil), nil, CrossJoin(a, b), nil)
+
+		whj, ehj := HashJoin(a, b, []string{"a.k"}, []string{"b.k"}, nil)
+		buildLeft := !(len(b.Tuples) < len(a.Tuples))
+		hj, err := NewHashJoin(NewScan(a), NewScan(b), []string{"a.k"}, []string{"b.k"}, nil, buildLeft, nil)
+		check("hash-join", hj, err, whj, ehj)
+
+		// Whichever side builds, a hash join must produce the same bag.
+		hjo, err := NewHashJoin(NewScan(a), NewScan(b), []string{"a.k"}, []string{"b.k"}, nil, !buildLeft, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotO, err := Collect(hjo, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SameTuples(gotO, whj) {
+			t.Fatalf("seed %d: hash join bags differ across build sides", seed)
+		}
+
+		wmj, emj := MergeJoin(a, b, []string{"a.k"}, []string{"b.k"}, nil)
+		mj, err := NewMergeJoin(NewScan(a), NewScan(b), []string{"a.k"}, []string{"b.k"}, nil, nil)
+		check("merge-join", mj, err, wmj, emj)
+
+		check("distinct", NewDistinct(NewScan(r)), nil, Distinct(r), nil)
+
+		wu, eu := Union(a.Qualify(""), b, false)
+		ua, err := NewUnionAll(NewScan(a), NewScan(b))
+		check("union", NewDistinct(ua), err, wu, eu)
+
+		wua, eua := Union(a, b, true)
+		ual, err := NewUnionAll(NewScan(a), NewScan(b))
+		check("union-all", ual, err, wua, eua)
+
+		ws, es := Sort(r, orderKeys)
+		check("sort", NewSort(NewScan(r), orderKeys, nil), nil, ws, es)
+
+		check("limit", NewLimit(NewScan(r), n/2), nil, Limit(r, n/2), nil)
+
+		wg, eg := GroupBy(r, []sqlparse.Expr{mustExpr("s")}, aggItems, nil)
+		check("group-by", NewGroupBy(NewScan(r), []sqlparse.Expr{mustExpr("s")}, aggItems, nil, nil), nil, wg, eg)
+	}
+}
+
+// TestLimitStopsPulling proves the early-exit property at the operator
+// level: LIMIT n pulls exactly n tuples from its source, regardless of
+// source size.
+func TestLimitStopsPulling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := newCountingScan(randomRelation("big", 5000, rng))
+	out, err := Collect(NewLimit(src, 7), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 7 {
+		t.Fatalf("limit returned %d tuples", out.Len())
+	}
+	if src.pulls != 7 {
+		t.Errorf("source pulls = %d, want exactly 7", src.pulls)
+	}
+}
+
+// TestLimitThroughPipelineStopsPulling: early exit survives interposed
+// streaming operators (filter, project, distinct).
+func TestLimitThroughPipelineStopsPulling(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := newCountingScan(randomRelation("big", 5000, rng))
+	pipeline := NewLimit(
+		NewDistinct(NewProject(
+			NewFilter(src, mustExpr("v >= 10")),
+			[]ProjectItem{{Name: "s", Expr: mustExpr("s")}},
+		)), 2)
+	out, err := Collect(pipeline, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("got %d tuples", out.Len())
+	}
+	// 4 distinct s-values over thousands of rows: finding 2 must touch
+	// only a handful of source tuples.
+	if src.pulls > 100 {
+		t.Errorf("source pulls = %d; early exit failed to propagate", src.pulls)
+	}
+}
+
+// TestUnionOpensLazily: a union never opens children beyond the ones it
+// needed, so an early exit skips later inputs entirely.
+func TestUnionOpensLazily(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	first := newCountingScan(randomRelation("first", 10, rng))
+	second := newCountingScan(randomRelation("second", 10, rng))
+	u, err := NewUnionAll(first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(NewLimit(u, 5), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("got %d tuples", out.Len())
+	}
+	if !first.opened || first.pulls != 5 {
+		t.Errorf("first child: opened=%v pulls=%d, want opened with 5 pulls", first.opened, first.pulls)
+	}
+	if second.opened {
+		t.Error("second union child was opened despite the limit being satisfied by the first")
+	}
+}
+
+// TestIteratorContractAfterExhaustion: Next keeps reporting done after
+// the stream ends, as the documented contract requires.
+func TestIteratorContractAfterExhaustion(t *testing.T) {
+	rel := NewRelation("t", NewSchema(Column{Name: "n", Type: KindNumber}))
+	rel.MustAdd(NumV(1))
+	it := NewFilter(NewScan(rel), nil)
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := it.Next(); !ok {
+		t.Fatal("first Next should produce the tuple")
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, err := it.Next(); ok || err != nil {
+			t.Fatalf("Next after exhaustion: ok=%v err=%v", ok, err)
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+package relalg
+
+// This file defines the pull-based (Volcano-style) iterator execution
+// model. Every physical operator of the engine exists in two forms: a
+// streaming Iterator (this file and iterops.go) and a materialized
+// function over *Relation (ops.go, mergejoin.go, agg.go). The
+// materialized functions are thin wrappers that build a small iterator
+// tree and drain it, so the two forms cannot drift apart; the planner
+// composes the iterators directly so that tuples flow through a branch
+// plan one at a time and a LIMIT (or any other early exit) stops pulling
+// from the sources as soon as it is satisfied.
+//
+// # The Iterator contract
+//
+// An Iterator produces a finite stream of tuples, all conforming to the
+// schema reported by Schema(). The life cycle is strict:
+//
+//  1. Schema() may be called at any time, including before Open; it is
+//     cheap and must always return the same value.
+//  2. Open() acquires resources and must be called exactly once before
+//     the first Next(). Opening is where pipeline breakers (Sort, GroupBy,
+//     the build side of HashJoin, both sides of MergeJoin) consume their
+//     children and materialize; a non-breaker operator opens its children
+//     and does no tuple work.
+//  3. Next() returns (tuple, true, nil) while tuples remain, then
+//     (nil, false, nil) once exhausted. After it has returned false or an
+//     error, further calls keep returning (nil, false, err?) — callers may
+//     rely on that but must not rely on anything stronger.
+//  4. Close() releases resources. It must be called exactly once after
+//     Open succeeded, even when Next returned an error; it closes the
+//     operator's children. Close after a failed Open is a no-op.
+//
+// Returned tuples are owned by the consumer until the next call to
+// Next(): operators either hand out freshly built tuples or tuples
+// aliasing an underlying materialized relation, and never overwrite a
+// tuple they have already handed out. Consumers that buffer tuples across
+// Next calls (breakers do) may therefore keep them without cloning.
+//
+// Iterators are single-use and not safe for concurrent use. A consumer
+// that stops early (LIMIT) simply stops calling Next and calls Close;
+// operators must tolerate being closed before exhaustion.
+
+// Iterator is the pull-based tuple stream every streaming operator
+// implements. See the package comment above for the full contract.
+type Iterator interface {
+	// Schema describes the tuples this iterator produces.
+	Schema() Schema
+	// Open prepares the iterator (and its children) for Next calls.
+	Open() error
+	// Next returns the next tuple, or ok=false when the stream is done.
+	Next() (Tuple, bool, error)
+	// Close releases resources; it closes children.
+	Close() error
+}
+
+// Stager is an optional hook breaker operators use to park a fully
+// materialized intermediate (a sort buffer, a hash-build input, a
+// merge-join side). The engine passes a store.TempStore-backed Stager so
+// large intermediates spill to local secondary storage instead of
+// occupying memory; a nil Stager keeps everything resident.
+type Stager interface {
+	// Stage parks rel and returns the relation to continue with (the
+	// same value, or a disk-backed reload of it).
+	Stage(rel *Relation) (*Relation, error)
+}
+
+// stage applies st to rel when non-nil.
+func stage(st Stager, rel *Relation) (*Relation, error) {
+	if st == nil {
+		return rel, nil
+	}
+	return st.Stage(rel)
+}
+
+// Collect drains it into a materialized relation named name. It runs the
+// full Open/Next/Close cycle and is the bridge from the streaming world
+// back to *Relation.
+func Collect(it Iterator, name string) (*Relation, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	out := NewRelation(name, it.Schema())
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanIter streams the tuples of a materialized relation in order. It is
+// the leaf of every iterator tree built over in-memory data.
+type ScanIter struct {
+	rel *Relation
+	pos int
+}
+
+// NewScan returns a scan over rel.
+func NewScan(rel *Relation) *ScanIter { return &ScanIter{rel: rel} }
+
+// Schema implements Iterator.
+func (s *ScanIter) Schema() Schema { return s.rel.Schema }
+
+// Open implements Iterator.
+func (s *ScanIter) Open() error { s.pos = 0; return nil }
+
+// Next implements Iterator.
+func (s *ScanIter) Next() (Tuple, bool, error) {
+	if s.pos >= len(s.rel.Tuples) {
+		return nil, false, nil
+	}
+	t := s.rel.Tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (s *ScanIter) Close() error { return nil }
+
+// DeferredIter delays building its child until Open: the planner uses it
+// to keep whole mediation branches unplanned and unexecuted until the
+// consumer actually pulls from them (so an upstream LIMIT can skip later
+// branches entirely).
+type DeferredIter struct {
+	schema Schema
+	build  func() (Iterator, error)
+	child  Iterator
+}
+
+// NewDeferred returns an iterator with the given schema whose child is
+// built by build at Open time.
+func NewDeferred(schema Schema, build func() (Iterator, error)) *DeferredIter {
+	return &DeferredIter{schema: schema, build: build}
+}
+
+// Schema implements Iterator.
+func (d *DeferredIter) Schema() Schema { return d.schema }
+
+// Open implements Iterator.
+func (d *DeferredIter) Open() error {
+	child, err := d.build()
+	if err != nil {
+		return err
+	}
+	if err := child.Open(); err != nil {
+		return err
+	}
+	d.child = child
+	return nil
+}
+
+// Next implements Iterator.
+func (d *DeferredIter) Next() (Tuple, bool, error) {
+	if d.child == nil {
+		return nil, false, nil
+	}
+	return d.child.Next()
+}
+
+// Close implements Iterator.
+func (d *DeferredIter) Close() error {
+	if d.child == nil {
+		return nil
+	}
+	err := d.child.Close()
+	d.child = nil
+	return err
+}
+
+// RenameIter presents its child under a different schema (same arity and
+// tuple contents; only column names change). The planner uses it to
+// qualify source columns with their FROM-clause binding.
+type RenameIter struct {
+	child  Iterator
+	schema Schema
+}
+
+// NewRename wraps child with the given schema.
+func NewRename(child Iterator, schema Schema) *RenameIter {
+	return &RenameIter{child: child, schema: schema}
+}
+
+// Schema implements Iterator.
+func (r *RenameIter) Schema() Schema { return r.schema }
+
+// Open implements Iterator.
+func (r *RenameIter) Open() error { return r.child.Open() }
+
+// Next implements Iterator.
+func (r *RenameIter) Next() (Tuple, bool, error) { return r.child.Next() }
+
+// Close implements Iterator.
+func (r *RenameIter) Close() error { return r.child.Close() }
+
+// OnOpenIter invokes a callback the first time Open is called; the
+// planner uses it to count how many branch pipelines actually start
+// running (ExecStats.BranchesRun) under lazy evaluation.
+type OnOpenIter struct {
+	child Iterator
+	fn    func()
+}
+
+// NewOnOpen wraps child so fn runs when the pipeline is opened.
+func NewOnOpen(child Iterator, fn func()) *OnOpenIter {
+	return &OnOpenIter{child: child, fn: fn}
+}
+
+// Schema implements Iterator.
+func (o *OnOpenIter) Schema() Schema { return o.child.Schema() }
+
+// Open implements Iterator.
+func (o *OnOpenIter) Open() error {
+	if o.fn != nil {
+		o.fn()
+		o.fn = nil
+	}
+	return o.child.Open()
+}
+
+// Next implements Iterator.
+func (o *OnOpenIter) Next() (Tuple, bool, error) { return o.child.Next() }
+
+// Close implements Iterator.
+func (o *OnOpenIter) Close() error { return o.child.Close() }

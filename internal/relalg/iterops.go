@@ -1,0 +1,711 @@
+package relalg
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+)
+
+// FilterIter streams the child tuples satisfying a predicate.
+type FilterIter struct {
+	child Iterator
+	pred  func(Tuple) (bool, error)
+}
+
+// NewFilterFunc filters child by an arbitrary per-tuple predicate.
+func NewFilterFunc(child Iterator, pred func(Tuple) (bool, error)) *FilterIter {
+	return &FilterIter{child: child, pred: pred}
+}
+
+// NewFilter filters child by a sqlparse expression evaluated against the
+// child schema (SQL three-valued logic collapsed to two as in EvalBool).
+// A nil expression passes everything.
+func NewFilter(child Iterator, pred sqlparse.Expr) *FilterIter {
+	if pred == nil {
+		return &FilterIter{child: child, pred: func(Tuple) (bool, error) { return true, nil }}
+	}
+	schema := child.Schema()
+	return &FilterIter{child: child, pred: func(t Tuple) (bool, error) {
+		return EvalBool(pred, schema, t)
+	}}
+}
+
+// Schema implements Iterator.
+func (f *FilterIter) Schema() Schema { return f.child.Schema() }
+
+// Open implements Iterator.
+func (f *FilterIter) Open() error { return f.child.Open() }
+
+// Next implements Iterator.
+func (f *FilterIter) Next() (Tuple, bool, error) {
+	for {
+		t, ok, err := f.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := f.pred(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (f *FilterIter) Close() error { return f.child.Close() }
+
+// ProjectIter computes one output column per item for every child tuple.
+type ProjectIter struct {
+	child  Iterator
+	items  []ProjectItem
+	in     Schema // child schema, resolved once
+	schema Schema
+}
+
+// ProjectionSchema computes the output schema of projecting items over
+// an input schema (types inferred per expression).
+func ProjectionSchema(items []ProjectItem, in Schema) Schema {
+	cols := make([]Column, len(items))
+	for i, it := range items {
+		cols[i] = Column{Name: it.Name, Type: InferType(it.Expr, in)}
+	}
+	return Schema{Columns: cols}
+}
+
+// NewProject projects child through items; output types are inferred from
+// the child schema.
+func NewProject(child Iterator, items []ProjectItem) *ProjectIter {
+	in := child.Schema()
+	return &ProjectIter{child: child, items: items, in: in, schema: ProjectionSchema(items, in)}
+}
+
+// Schema implements Iterator.
+func (p *ProjectIter) Schema() Schema { return p.schema }
+
+// Open implements Iterator.
+func (p *ProjectIter) Open() error { return p.child.Open() }
+
+// Next implements Iterator.
+func (p *ProjectIter) Next() (Tuple, bool, error) {
+	t, ok, err := p.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	row := make(Tuple, len(p.items))
+	for i, it := range p.items {
+		v, err := Eval(it.Expr, p.in, t)
+		if err != nil {
+			return nil, false, err
+		}
+		row[i] = v
+	}
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (p *ProjectIter) Close() error { return p.child.Close() }
+
+// LimitIter passes through the first n tuples and then reports
+// exhaustion without pulling from its child again — the early-exit
+// operator that makes the streaming executor worthwhile.
+type LimitIter struct {
+	child Iterator
+	n     int
+	seen  int
+}
+
+// NewLimit keeps the first n tuples of child (n < 0 keeps all).
+func NewLimit(child Iterator, n int) *LimitIter {
+	return &LimitIter{child: child, n: n}
+}
+
+// Schema implements Iterator.
+func (l *LimitIter) Schema() Schema { return l.child.Schema() }
+
+// Open implements Iterator.
+func (l *LimitIter) Open() error { l.seen = 0; return l.child.Open() }
+
+// Next implements Iterator.
+func (l *LimitIter) Next() (Tuple, bool, error) {
+	if l.n >= 0 && l.seen >= l.n {
+		return nil, false, nil
+	}
+	t, ok, err := l.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (l *LimitIter) Close() error { return l.child.Close() }
+
+// DistinctIter streams the child tuples, dropping duplicates of tuples
+// already emitted (first occurrence wins). It holds the set of seen keys,
+// not the tuples, so it streams without being a full pipeline breaker.
+type DistinctIter struct {
+	child Iterator
+	seen  map[string]bool
+}
+
+// NewDistinct deduplicates child.
+func NewDistinct(child Iterator) *DistinctIter { return &DistinctIter{child: child} }
+
+// Schema implements Iterator.
+func (d *DistinctIter) Schema() Schema { return d.child.Schema() }
+
+// Open implements Iterator.
+func (d *DistinctIter) Open() error {
+	d.seen = make(map[string]bool)
+	return d.child.Open()
+}
+
+// Next implements Iterator.
+func (d *DistinctIter) Next() (Tuple, bool, error) {
+	for {
+		t, ok, err := d.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := t.FullKey()
+		if !d.seen[k] {
+			d.seen[k] = true
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (d *DistinctIter) Close() error { d.seen = nil; return d.child.Close() }
+
+// UnionAllIter concatenates its children's streams in order, opening each
+// child only when the previous one is exhausted (so with an upstream
+// early exit, later children may never run at all). For set-semantics
+// UNION, wrap it in NewDistinct.
+type UnionAllIter struct {
+	children []Iterator
+	cur      int
+	opened   int // children[0:opened] have been opened
+}
+
+// NewUnionAll concatenates children; schemas must have equal arity
+// (column names are taken from the first child, as in SQL).
+func NewUnionAll(children ...Iterator) (*UnionAllIter, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("relalg: union of no inputs")
+	}
+	arity := len(children[0].Schema().Columns)
+	for _, c := range children[1:] {
+		if len(c.Schema().Columns) != arity {
+			return nil, fmt.Errorf("relalg: UNION arity mismatch: %d vs %d",
+				arity, len(c.Schema().Columns))
+		}
+	}
+	return &UnionAllIter{children: children}, nil
+}
+
+// Schema implements Iterator.
+func (u *UnionAllIter) Schema() Schema { return u.children[0].Schema() }
+
+// Open implements Iterator.
+func (u *UnionAllIter) Open() error {
+	u.cur, u.opened = 0, 0
+	if err := u.children[0].Open(); err != nil {
+		return err
+	}
+	u.opened = 1
+	return nil
+}
+
+// Next implements Iterator.
+func (u *UnionAllIter) Next() (Tuple, bool, error) {
+	for u.cur < len(u.children) {
+		t, ok, err := u.children[u.cur].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return t, true, nil
+		}
+		u.cur++
+		if u.cur < len(u.children) {
+			if err := u.children[u.cur].Open(); err != nil {
+				return nil, false, err
+			}
+			u.opened = u.cur + 1
+		}
+	}
+	return nil, false, nil
+}
+
+// Close implements Iterator.
+func (u *UnionAllIter) Close() error {
+	var first error
+	for i := 0; i < u.opened; i++ {
+		if err := u.children[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	u.opened = 0
+	return first
+}
+
+// NestedLoopIter joins a streaming outer side against a materialized
+// inner relation, emitting concatenated rows where pred holds (nil pred:
+// cross product). The outer side streams; the inner is re-scanned per
+// outer tuple. Candidate rows are assembled in a reused scratch buffer
+// and cloned only when kept, so allocation is O(matches), not O(pairs).
+type NestedLoopIter struct {
+	outer  Iterator
+	inner  *Relation
+	pred   sqlparse.Expr
+	schema Schema
+
+	cur     Tuple // current outer tuple, nil before first
+	pos     int   // next inner index
+	scratch Tuple
+}
+
+// NewNestedLoop joins outer against inner on pred.
+func NewNestedLoop(outer Iterator, inner *Relation, pred sqlparse.Expr) *NestedLoopIter {
+	return &NestedLoopIter{
+		outer:  outer,
+		inner:  inner,
+		pred:   pred,
+		schema: outer.Schema().Concat(inner.Schema),
+	}
+}
+
+// Schema implements Iterator.
+func (n *NestedLoopIter) Schema() Schema { return n.schema }
+
+// Open implements Iterator.
+func (n *NestedLoopIter) Open() error {
+	n.cur, n.pos = nil, 0
+	n.scratch = make(Tuple, len(n.schema.Columns))
+	return n.outer.Open()
+}
+
+// Next implements Iterator.
+func (n *NestedLoopIter) Next() (Tuple, bool, error) {
+	for {
+		if n.cur == nil || n.pos >= len(n.inner.Tuples) {
+			t, ok, err := n.outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			n.cur, n.pos = t, 0
+			copy(n.scratch, t)
+			continue
+		}
+		it := n.inner.Tuples[n.pos]
+		n.pos++
+		copy(n.scratch[len(n.cur):], it)
+		if n.pred != nil {
+			ok, err := EvalBool(n.pred, n.schema, n.scratch)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		return n.scratch.Clone(), true, nil
+	}
+}
+
+// Close implements Iterator.
+func (n *NestedLoopIter) Close() error { return n.outer.Close() }
+
+// HashJoinIter equi-joins two inputs: the build side is drained and
+// hashed at Open (a pipeline breaker, staged through the Stager when
+// set), the probe side streams. Output columns are always
+// left.Schema ++ right.Schema regardless of which side builds; output
+// order follows the probe stream, with matches in build-insertion order.
+type HashJoinIter struct {
+	left, right Iterator
+	leftIdx     []int // key positions in left schema
+	rightIdx    []int // key positions in right schema
+	residual    sqlparse.Expr
+	buildLeft   bool
+	stager      Stager
+	schema      Schema
+
+	table   map[string][]Tuple
+	probe   Iterator
+	cur     Tuple   // current probe tuple
+	matches []Tuple // remaining build matches for cur
+}
+
+// NewHashJoin prepares a hash join of left and right on pairwise equal
+// key columns (resolved in each side's schema). buildLeft selects which
+// side is materialized and hashed; the other side streams. A residual
+// predicate, if non-nil, applies to the concatenated row.
+func NewHashJoin(left, right Iterator, leftKeys, rightKeys []string, residual sqlparse.Expr, buildLeft bool, st Stager) (*HashJoinIter, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("relalg: hash join requires matching non-empty key lists")
+	}
+	ls, rs := left.Schema(), right.Schema()
+	li := make([]int, len(leftKeys))
+	ri := make([]int, len(rightKeys))
+	for i := range leftKeys {
+		li[i] = ls.Index(leftKeys[i])
+		ri[i] = rs.Index(rightKeys[i])
+		if li[i] < 0 || ri[i] < 0 {
+			return nil, fmt.Errorf("relalg: hash join key %s/%s not found", leftKeys[i], rightKeys[i])
+		}
+	}
+	return &HashJoinIter{
+		left: left, right: right,
+		leftIdx: li, rightIdx: ri,
+		residual: residual, buildLeft: buildLeft, stager: st,
+		schema: ls.Concat(rs),
+	}, nil
+}
+
+// Schema implements Iterator.
+func (h *HashJoinIter) Schema() Schema { return h.schema }
+
+// Open implements Iterator: it drains the build side into the hash table.
+func (h *HashJoinIter) Open() error {
+	build, buildIdx := h.right, h.rightIdx
+	if h.buildLeft {
+		build, buildIdx = h.left, h.leftIdx
+	}
+	rel, err := Collect(build, "")
+	if err != nil {
+		return err
+	}
+	if rel, err = stage(h.stager, rel); err != nil {
+		return err
+	}
+	h.table = make(map[string][]Tuple, len(rel.Tuples))
+	for _, t := range rel.Tuples {
+		// SQL equality: NULL keys never join.
+		hasNull := false
+		for _, i := range buildIdx {
+			if t[i].IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull {
+			continue
+		}
+		k := t.Key(buildIdx)
+		h.table[k] = append(h.table[k], t)
+	}
+	h.probe = h.left
+	if h.buildLeft {
+		h.probe = h.right
+	}
+	h.cur, h.matches = nil, nil
+	return h.probe.Open()
+}
+
+// Next implements Iterator.
+func (h *HashJoinIter) Next() (Tuple, bool, error) {
+	probeIdx := h.leftIdx
+	if h.buildLeft {
+		probeIdx = h.rightIdx
+	}
+	for {
+		for len(h.matches) == 0 {
+			t, ok, err := h.probe.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			h.cur = t
+			h.matches = h.table[t.Key(probeIdx)]
+		}
+		bt := h.matches[0]
+		h.matches = h.matches[1:]
+		// Assemble in left ++ right order: bt came from the build side,
+		// h.cur from the probe side.
+		l, r := h.cur, bt
+		if h.buildLeft {
+			l, r = bt, h.cur
+		}
+		row := make(Tuple, 0, len(l)+len(r))
+		row = append(row, l...)
+		row = append(row, r...)
+		if h.residual != nil {
+			ok, err := EvalBool(h.residual, h.schema, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		return row, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (h *HashJoinIter) Close() error {
+	h.table, h.matches = nil, nil
+	if h.probe == nil {
+		return nil
+	}
+	return h.probe.Close()
+}
+
+// MergeJoinIter equi-joins two inputs by sorting both on the join keys.
+// Both sides are pipeline breakers (drained, staged and sorted at Open);
+// the merge phase itself then streams, emitting the cross product of each
+// pair of equal-key runs incrementally and producing key-ordered output.
+type MergeJoinIter struct {
+	left, right Iterator
+	leftIdx     []int
+	rightIdx    []int
+	residual    sqlparse.Expr
+	stager      Stager
+	schema      Schema
+
+	sa, sb []Tuple
+	// Merge state: [i,iEnd) × [j,jEnd) is the active equal-key run pair,
+	// (ii,jj) the next pair inside it; iEnd==i means no active run.
+	i, j, iEnd, jEnd, ii, jj int
+}
+
+// NewMergeJoin prepares a sort-merge join of left and right on pairwise
+// equal key columns, with an optional residual predicate.
+func NewMergeJoin(left, right Iterator, leftKeys, rightKeys []string, residual sqlparse.Expr, st Stager) (*MergeJoinIter, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("relalg: merge join requires matching non-empty key lists")
+	}
+	ls, rs := left.Schema(), right.Schema()
+	li := make([]int, len(leftKeys))
+	ri := make([]int, len(rightKeys))
+	for i := range leftKeys {
+		li[i] = ls.Index(leftKeys[i])
+		ri[i] = rs.Index(rightKeys[i])
+		if li[i] < 0 || ri[i] < 0 {
+			return nil, fmt.Errorf("relalg: merge join key %s/%s not found", leftKeys[i], rightKeys[i])
+		}
+	}
+	return &MergeJoinIter{
+		left: left, right: right,
+		leftIdx: li, rightIdx: ri,
+		residual: residual, stager: st,
+		schema: ls.Concat(rs),
+	}, nil
+}
+
+// Schema implements Iterator.
+func (m *MergeJoinIter) Schema() Schema { return m.schema }
+
+// Open implements Iterator: drain, stage and sort both sides.
+func (m *MergeJoinIter) Open() error {
+	sortSide := func(it Iterator, idx []int) ([]Tuple, error) {
+		rel, err := Collect(it, "")
+		if err != nil {
+			return nil, err
+		}
+		if rel, err = stage(m.stager, rel); err != nil {
+			return nil, err
+		}
+		return sortTuplesByKeyCols(rel.Tuples, idx), nil
+	}
+	var err error
+	if m.sa, err = sortSide(m.left, m.leftIdx); err != nil {
+		return err
+	}
+	if m.sb, err = sortSide(m.right, m.rightIdx); err != nil {
+		return err
+	}
+	m.i, m.j, m.iEnd, m.jEnd = 0, 0, 0, 0
+	return nil
+}
+
+func (m *MergeJoinIter) cmpKeys(ta, tb Tuple) int {
+	for i := range m.leftIdx {
+		if c := ta[m.leftIdx[i]].SortKey(tb[m.rightIdx[i]]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func sameKeyRun(tuples []Tuple, idx []int, i, j int) bool {
+	for _, k := range idx {
+		if tuples[i][k].SortKey(tuples[j][k]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements Iterator.
+func (m *MergeJoinIter) Next() (Tuple, bool, error) {
+	for {
+		// Emit from the active run pair, if any.
+		for m.ii < m.iEnd {
+			if m.jj >= m.jEnd {
+				m.ii++
+				m.jj = m.j
+				continue
+			}
+			ta, tb := m.sa[m.ii], m.sb[m.jj]
+			m.jj++
+			// SQL equality: NULL keys never join.
+			nullKey := false
+			for k := range m.leftIdx {
+				if ta[m.leftIdx[k]].IsNull() || tb[m.rightIdx[k]].IsNull() {
+					nullKey = true
+					break
+				}
+			}
+			if nullKey {
+				continue
+			}
+			row := make(Tuple, 0, len(ta)+len(tb))
+			row = append(row, ta...)
+			row = append(row, tb...)
+			if m.residual != nil {
+				ok, err := EvalBool(m.residual, m.schema, row)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			return row, true, nil
+		}
+		if m.iEnd > m.i {
+			// Run pair exhausted; advance past it.
+			m.i, m.j = m.iEnd, m.jEnd
+			m.iEnd = m.i
+		}
+		// Find the next pair of equal-key runs.
+		if m.i >= len(m.sa) || m.j >= len(m.sb) {
+			return nil, false, nil
+		}
+		switch c := m.cmpKeys(m.sa[m.i], m.sb[m.j]); {
+		case c < 0:
+			m.i++
+		case c > 0:
+			m.j++
+		default:
+			m.iEnd = m.i + 1
+			for m.iEnd < len(m.sa) && sameKeyRun(m.sa, m.leftIdx, m.i, m.iEnd) {
+				m.iEnd++
+			}
+			m.jEnd = m.j + 1
+			for m.jEnd < len(m.sb) && sameKeyRun(m.sb, m.rightIdx, m.j, m.jEnd) {
+				m.jEnd++
+			}
+			m.ii, m.jj = m.i, m.j
+		}
+	}
+}
+
+// Close implements Iterator.
+func (m *MergeJoinIter) Close() error { m.sa, m.sb = nil, nil; return nil }
+
+// SortIter is the canonical pipeline breaker: Open drains the child,
+// stages the buffer, sorts it with the materialized sort core, and then
+// streams the sorted result.
+type SortIter struct {
+	child  Iterator
+	keys   []OrderKey
+	stager Stager
+	out    *ScanIter
+}
+
+// NewSort sorts child by keys (stable).
+func NewSort(child Iterator, keys []OrderKey, st Stager) *SortIter {
+	return &SortIter{child: child, keys: keys, stager: st}
+}
+
+// Schema implements Iterator.
+func (s *SortIter) Schema() Schema { return s.child.Schema() }
+
+// Open implements Iterator.
+func (s *SortIter) Open() error {
+	rel, err := Collect(s.child, "")
+	if err != nil {
+		return err
+	}
+	if rel, err = stage(s.stager, rel); err != nil {
+		return err
+	}
+	sorted, err := sortRelation(rel, s.keys)
+	if err != nil {
+		return err
+	}
+	s.out = NewScan(sorted)
+	return s.out.Open()
+}
+
+// Next implements Iterator.
+func (s *SortIter) Next() (Tuple, bool, error) {
+	if s.out == nil {
+		return nil, false, nil
+	}
+	return s.out.Next()
+}
+
+// Close implements Iterator.
+func (s *SortIter) Close() error { s.out = nil; return nil }
+
+// GroupByIter is the aggregation pipeline breaker: Open drains the
+// child, stages the buffer, and runs the materialized grouping core.
+type GroupByIter struct {
+	child  Iterator
+	keys   []sqlparse.Expr
+	items  []AggItem
+	having sqlparse.Expr
+	stager Stager
+	schema Schema
+	out    *ScanIter
+}
+
+// NewGroupBy groups child by keys and computes items per group (see
+// GroupBy for the exact SQL semantics, including the empty-input global
+// aggregate row).
+func NewGroupBy(child Iterator, keys []sqlparse.Expr, items []AggItem, having sqlparse.Expr, st Stager) *GroupByIter {
+	in := child.Schema()
+	cols := make([]Column, len(items))
+	for i, it := range items {
+		cols[i] = Column{Name: it.Name, Type: aggType(it.Expr, in)}
+	}
+	return &GroupByIter{child: child, keys: keys, items: items, having: having,
+		stager: st, schema: Schema{Columns: cols}}
+}
+
+// Schema implements Iterator.
+func (g *GroupByIter) Schema() Schema { return g.schema }
+
+// Open implements Iterator.
+func (g *GroupByIter) Open() error {
+	rel, err := Collect(g.child, "")
+	if err != nil {
+		return err
+	}
+	if rel, err = stage(g.stager, rel); err != nil {
+		return err
+	}
+	grouped, err := GroupBy(rel, g.keys, g.items, g.having)
+	if err != nil {
+		return err
+	}
+	g.out = NewScan(grouped)
+	return g.out.Open()
+}
+
+// Next implements Iterator.
+func (g *GroupByIter) Next() (Tuple, bool, error) {
+	if g.out == nil {
+		return nil, false, nil
+	}
+	return g.out.Next()
+}
+
+// Close implements Iterator.
+func (g *GroupByIter) Close() error { g.out = nil; return nil }

@@ -1,9 +1,6 @@
 package relalg
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/sqlparse"
 )
 
@@ -12,102 +9,12 @@ import (
 // physical join of the engine (with nested-loop and hash): preferable when
 // inputs are large and nearly sorted, and it produces key-ordered output.
 // Keys compare with Value.SortKey; a residual predicate applies afterwards.
+// It is a thin wrapper over MergeJoinIter, which sorts both sides at Open
+// and streams the merge phase.
 func MergeJoin(a, b *Relation, aKeys, bKeys []string, residual sqlparse.Expr) (*Relation, error) {
-	if len(aKeys) != len(bKeys) || len(aKeys) == 0 {
-		return nil, fmt.Errorf("relalg: merge join requires matching non-empty key lists")
+	it, err := NewMergeJoin(NewScan(a), NewScan(b), aKeys, bKeys, residual, nil)
+	if err != nil {
+		return nil, err
 	}
-	aIdx := make([]int, len(aKeys))
-	bIdx := make([]int, len(bKeys))
-	for i := range aKeys {
-		aIdx[i] = a.Schema.Index(aKeys[i])
-		bIdx[i] = b.Schema.Index(bKeys[i])
-		if aIdx[i] < 0 || bIdx[i] < 0 {
-			return nil, fmt.Errorf("relalg: merge join key %s/%s not found", aKeys[i], bKeys[i])
-		}
-	}
-
-	sortByKeys := func(tuples []Tuple, idx []int) []Tuple {
-		out := append([]Tuple(nil), tuples...)
-		sort.SliceStable(out, func(i, j int) bool {
-			for _, k := range idx {
-				if c := out[i][k].SortKey(out[j][k]); c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
-		return out
-	}
-	sa := sortByKeys(a.Tuples, aIdx)
-	sb := sortByKeys(b.Tuples, bIdx)
-
-	cmpKeys := func(ta, tb Tuple) int {
-		for i := range aIdx {
-			if c := ta[aIdx[i]].SortKey(tb[bIdx[i]]); c != 0 {
-				return c
-			}
-		}
-		return 0
-	}
-	sameKeys := func(tuples []Tuple, idx []int, i, j int) bool {
-		for _, k := range idx {
-			if tuples[i][k].SortKey(tuples[j][k]) != 0 {
-				return false
-			}
-		}
-		return true
-	}
-
-	schema := a.Schema.Concat(b.Schema)
-	out := NewRelation("", schema)
-	i, j := 0, 0
-	for i < len(sa) && j < len(sb) {
-		switch c := cmpKeys(sa[i], sb[j]); {
-		case c < 0:
-			i++
-		case c > 0:
-			j++
-		default:
-			// Runs of equal keys on both sides: emit the cross product.
-			iEnd := i + 1
-			for iEnd < len(sa) && sameKeys(sa, aIdx, i, iEnd) {
-				iEnd++
-			}
-			jEnd := j + 1
-			for jEnd < len(sb) && sameKeys(sb, bIdx, j, jEnd) {
-				jEnd++
-			}
-			for ii := i; ii < iEnd; ii++ {
-				for jj := j; jj < jEnd; jj++ {
-					// SQL equality: NULL keys never join.
-					nullKey := false
-					for k := range aIdx {
-						if sa[ii][aIdx[k]].IsNull() || sb[jj][bIdx[k]].IsNull() {
-							nullKey = true
-							break
-						}
-					}
-					if nullKey {
-						continue
-					}
-					row := make(Tuple, 0, len(sa[ii])+len(sb[jj]))
-					row = append(row, sa[ii]...)
-					row = append(row, sb[jj]...)
-					keep := true
-					if residual != nil {
-						ok, err := EvalBool(residual, schema, row)
-						if err != nil {
-							return nil, err
-						}
-						keep = ok
-					}
-					if keep {
-						out.Tuples = append(out.Tuples, row)
-					}
-				}
-			}
-			i, j = iEnd, jEnd
-		}
-	}
-	return out, nil
+	return Collect(it, "")
 }

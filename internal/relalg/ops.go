@@ -1,28 +1,24 @@
 package relalg
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/sqlparse"
 )
+
+// The materialized operators in this file are thin wrappers over the
+// streaming iterators of iterops.go: each builds a small iterator tree
+// over its input relation(s) and drains it with Collect. Sort and GroupBy
+// go the other way — they are inherently pipeline breakers, so the
+// materialized cores live here (and in agg.go) and SortIter/GroupByIter
+// wrap them.
 
 // Filter returns the tuples of r satisfying pred.
 func Filter(r *Relation, pred sqlparse.Expr) (*Relation, error) {
 	if pred == nil {
 		return r, nil
 	}
-	out := NewRelation(r.Name, r.Schema)
-	for _, t := range r.Tuples {
-		ok, err := EvalBool(pred, r.Schema, t)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out.Tuples = append(out.Tuples, t)
-		}
-	}
-	return out, nil
+	return Collect(NewFilter(NewScan(r), pred), r.Name)
 }
 
 // ProjectItem names one output column computed by an expression.
@@ -33,35 +29,15 @@ type ProjectItem struct {
 
 // Project computes one output column per item.
 func Project(r *Relation, items []ProjectItem) (*Relation, error) {
-	cols := make([]Column, len(items))
-	for i, it := range items {
-		cols[i] = Column{Name: it.Name, Type: InferType(it.Expr, r.Schema)}
-	}
-	out := NewRelation(r.Name, Schema{Columns: cols})
-	for _, t := range r.Tuples {
-		row := make(Tuple, len(items))
-		for i, it := range items {
-			v, err := Eval(it.Expr, r.Schema, t)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		out.Tuples = append(out.Tuples, row)
-	}
-	return out, nil
+	return Collect(NewProject(NewScan(r), items), r.Name)
 }
 
 // CrossJoin is the Cartesian product; schemas are concatenated.
 func CrossJoin(a, b *Relation) *Relation {
-	out := NewRelation("", a.Schema.Concat(b.Schema))
-	for _, ta := range a.Tuples {
-		for _, tb := range b.Tuples {
-			row := make(Tuple, 0, len(ta)+len(tb))
-			row = append(row, ta...)
-			row = append(row, tb...)
-			out.Tuples = append(out.Tuples, row)
-		}
+	out, err := NestedLoopJoin(a, b, nil)
+	if err != nil {
+		// Unreachable: a nil predicate never evaluates an expression.
+		panic(err)
 	}
 	return out
 }
@@ -69,108 +45,28 @@ func CrossJoin(a, b *Relation) *Relation {
 // NestedLoopJoin joins a and b keeping concatenated rows where pred holds.
 // A nil pred degenerates to CrossJoin.
 func NestedLoopJoin(a, b *Relation, pred sqlparse.Expr) (*Relation, error) {
-	schema := a.Schema.Concat(b.Schema)
-	out := NewRelation("", schema)
-	row := make(Tuple, len(a.Schema.Columns)+len(b.Schema.Columns))
-	for _, ta := range a.Tuples {
-		copy(row, ta)
-		for _, tb := range b.Tuples {
-			copy(row[len(ta):], tb)
-			keep := true
-			if pred != nil {
-				ok, err := EvalBool(pred, schema, row)
-				if err != nil {
-					return nil, err
-				}
-				keep = ok
-			}
-			if keep {
-				out.Tuples = append(out.Tuples, row.Clone())
-			}
-		}
-	}
-	return out, nil
+	return Collect(NewNestedLoop(NewScan(a), b, pred), "")
 }
 
 // HashJoin equi-joins a and b on pairwise key columns (named in each
-// side's schema), then applies the residual predicate if non-nil.
+// side's schema), then applies the residual predicate if non-nil. The
+// hash table is built over the smaller input; output order follows the
+// larger (probe) side.
 func HashJoin(a, b *Relation, aKeys, bKeys []string, residual sqlparse.Expr) (*Relation, error) {
-	if len(aKeys) != len(bKeys) || len(aKeys) == 0 {
-		return nil, fmt.Errorf("relalg: hash join requires matching non-empty key lists")
+	buildLeft := !(len(b.Tuples) < len(a.Tuples))
+	it, err := NewHashJoin(NewScan(a), NewScan(b), aKeys, bKeys, residual, buildLeft, nil)
+	if err != nil {
+		return nil, err
 	}
-	aIdx := make([]int, len(aKeys))
-	bIdx := make([]int, len(bKeys))
-	for i := range aKeys {
-		aIdx[i] = a.Schema.Index(aKeys[i])
-		bIdx[i] = b.Schema.Index(bKeys[i])
-		if aIdx[i] < 0 || bIdx[i] < 0 {
-			return nil, fmt.Errorf("relalg: hash join key %s/%s not found", aKeys[i], bKeys[i])
-		}
-	}
-	// Build on the smaller side.
-	build, probe := a, b
-	buildIdx, probeIdx := aIdx, bIdx
-	swapped := false
-	if len(b.Tuples) < len(a.Tuples) {
-		build, probe = b, a
-		buildIdx, probeIdx = bIdx, aIdx
-		swapped = true
-	}
-	table := make(map[string][]Tuple, len(build.Tuples))
-	for _, t := range build.Tuples {
-		// SQL equality: NULL keys never join.
-		hasNull := false
-		for _, i := range buildIdx {
-			if t[i].IsNull() {
-				hasNull = true
-				break
-			}
-		}
-		if hasNull {
-			continue
-		}
-		k := t.Key(buildIdx)
-		table[k] = append(table[k], t)
-	}
-	schema := a.Schema.Concat(b.Schema)
-	out := NewRelation("", schema)
-	for _, pt := range probe.Tuples {
-		for _, bt := range table[pt.Key(probeIdx)] {
-			var ta, tb Tuple
-			if swapped {
-				ta, tb = pt, bt
-			} else {
-				ta, tb = bt, pt
-			}
-			row := make(Tuple, 0, len(ta)+len(tb))
-			row = append(row, ta...)
-			row = append(row, tb...)
-			keep := true
-			if residual != nil {
-				ok, err := EvalBool(residual, schema, row)
-				if err != nil {
-					return nil, err
-				}
-				keep = ok
-			}
-			if keep {
-				out.Tuples = append(out.Tuples, row)
-			}
-		}
-	}
-	return out, nil
+	return Collect(it, "")
 }
 
 // Distinct removes duplicate tuples, keeping first occurrences in order.
 func Distinct(r *Relation) *Relation {
-	out := NewRelation(r.Name, r.Schema)
-	seen := make(map[string]bool, len(r.Tuples))
-	for _, t := range r.Tuples {
-		k := t.FullKey()
-		if !seen[k] {
-			seen[k] = true
-			out.Tuples = append(out.Tuples, t)
-		}
+	out, err := Collect(NewDistinct(NewScan(r)), r.Name)
+	if err != nil {
+		// Unreachable: deduplication evaluates no expressions.
+		panic(err)
 	}
 	return out
 }
@@ -178,17 +74,15 @@ func Distinct(r *Relation) *Relation {
 // Union concatenates two relations (UNION ALL when all is true, set UNION
 // otherwise). Schemas must have equal arity; column names are taken from a.
 func Union(a, b *Relation, all bool) (*Relation, error) {
-	if len(a.Schema.Columns) != len(b.Schema.Columns) {
-		return nil, fmt.Errorf("relalg: UNION arity mismatch: %d vs %d",
-			len(a.Schema.Columns), len(b.Schema.Columns))
+	var it Iterator
+	it, err := NewUnionAll(NewScan(a), NewScan(b))
+	if err != nil {
+		return nil, err
 	}
-	out := NewRelation(a.Name, a.Schema)
-	out.Tuples = append(out.Tuples, a.Tuples...)
-	out.Tuples = append(out.Tuples, b.Tuples...)
 	if !all {
-		out = Distinct(out)
+		it = NewDistinct(it)
 	}
-	return out, nil
+	return Collect(it, a.Name)
 }
 
 // OrderKey is one sort key for Sort.
@@ -197,8 +91,13 @@ type OrderKey struct {
 	Desc bool
 }
 
-// Sort orders tuples by the given keys (stable).
+// Sort orders tuples by the given keys (stable). It is the materialized
+// sort core; SortIter streams over its result.
 func Sort(r *Relation, keys []OrderKey) (*Relation, error) {
+	return sortRelation(r, keys)
+}
+
+func sortRelation(r *Relation, keys []OrderKey) (*Relation, error) {
 	type decorated struct {
 		t    Tuple
 		keys []Value
@@ -236,12 +135,30 @@ func Sort(r *Relation, keys []OrderKey) (*Relation, error) {
 	return out, nil
 }
 
+// sortTuplesByKeyCols returns a stably sorted copy of tuples ordered by
+// the values at the given column positions (merge-join run ordering).
+func sortTuplesByKeyCols(tuples []Tuple, idx []int) []Tuple {
+	out := append([]Tuple(nil), tuples...)
+	sort.SliceStable(out, func(i, j int) bool {
+		for _, k := range idx {
+			if c := out[i][k].SortKey(out[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
 // Limit keeps the first n tuples (n < 0 keeps all).
 func Limit(r *Relation, n int) *Relation {
 	if n < 0 || n >= len(r.Tuples) {
 		return r
 	}
-	out := NewRelation(r.Name, r.Schema)
-	out.Tuples = append(out.Tuples, r.Tuples[:n]...)
+	out, err := Collect(NewLimit(NewScan(r), n), r.Name)
+	if err != nil {
+		// Unreachable: limiting evaluates no expressions.
+		panic(err)
+	}
 	return out
 }

@@ -1,9 +1,18 @@
 // Package relalg implements the relational-algebra substrate of the COIN
 // prototype's multi-database access engine: typed values, tuples, schemas,
 // in-memory relations, an evaluator for sqlparse expressions over rows, and
-// the physical operators (selection, projection, nested-loop and hash
+// the physical operators (selection, projection, nested-loop/hash/merge
 // joins, union, distinct, sort, limit, grouping/aggregation) the local
 // execution engine composes.
+//
+// Every operator exists in two interchangeable forms: a streaming,
+// pull-based Iterator (Volcano model; see the Iterator contract in
+// iterator.go) that the planner composes into pipelines with early
+// termination, and a materialized function over *Relation that is a thin
+// wrapper draining the corresponding iterator. Only pipeline breakers —
+// Sort, GroupBy, the build side of a hash join, both sides of a merge
+// join — buffer their input, and those buffers can spill through the
+// Stager hook.
 package relalg
 
 import (

@@ -101,6 +101,43 @@ func (ts *TempStore) Get(key string) (*relalg.Relation, error) {
 	return ReadCSV(key, f)
 }
 
+// Stage routes a pipeline-breaker buffer through the temp store: a
+// relation at or below the spill threshold passes through untouched,
+// while a larger one makes a disk round trip (written as CSV, reloaded,
+// and its transient entry released), exercising and counting the spill
+// path without retaining per-query entries for the store's lifetime. It
+// implements relalg.Stager, the hook the streaming executor's breaker
+// operators (sort buffers, hash build sides, bind-join feeders, step
+// boundaries) use.
+func (ts *TempStore) Stage(rel *relalg.Relation) (*relalg.Relation, error) {
+	threshold := ts.SpillThreshold
+	if threshold == 0 {
+		threshold = DefaultSpillThreshold
+	}
+	if rel.Len() <= threshold {
+		return rel, nil
+	}
+	ts.mu.Lock()
+	ts.seq++
+	key := fmt.Sprintf("stage%06d", ts.seq)
+	ts.mu.Unlock()
+	if err := ts.Put(key, rel); err != nil {
+		return nil, err
+	}
+	out, err := ts.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	if path, ok := ts.spilled[key]; ok {
+		os.Remove(path)
+		delete(ts.spilled, key)
+	}
+	delete(ts.mem, key)
+	ts.mu.Unlock()
+	return out, nil
+}
+
 // Spills reports how many entries have been written to disk.
 func (ts *TempStore) Spills() int {
 	ts.mu.Lock()

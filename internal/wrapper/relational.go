@@ -62,21 +62,21 @@ func (r *Relational) Cost() Cost {
 	return r.CostParams
 }
 
-// Query implements Wrapper.
-func (r *Relational) Query(q SourceQuery) (*relalg.Relation, error) {
+// scanFor snapshots the candidate rows for q — an index lookup when the
+// first indexed equality filter allows it, a full scan otherwise — along
+// with the filters still to apply.
+func (r *Relational) scanFor(q SourceQuery) (*relalg.Relation, []Filter, error) {
 	t, err := r.DB.Table(q.Relation)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var rel *relalg.Relation
-	// Use an index for the first indexed equality filter, then apply the
-	// rest.
 	used := -1
 	for i, f := range q.Filters {
 		if f.Op == "=" && t.HasIndex(f.Column) {
 			rel, err = t.Lookup(f.Column, f.Value)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			used = i
 			break
@@ -91,9 +91,79 @@ func (r *Relational) Query(q SourceQuery) (*relalg.Relation, error) {
 			rest = append(rest, f)
 		}
 	}
+	return rel, rest, nil
+}
+
+// Query implements Wrapper.
+func (r *Relational) Query(q SourceQuery) (*relalg.Relation, error) {
+	rel, rest, err := r.scanFor(q)
+	if err != nil {
+		return nil, err
+	}
 	rel, err = ApplyFilters(rel, rest)
 	if err != nil {
 		return nil, fmt.Errorf("wrapper: source %s: %w", r.Source(), err)
 	}
 	return ProjectColumns(rel, q.Columns)
 }
+
+// QueryStream implements Streamer: selection and projection are applied
+// per tuple as the engine pulls, so an engine-side early exit (LIMIT)
+// stops the transfer after O(limit) tuples instead of shipping the whole
+// answer.
+func (r *Relational) QueryStream(q SourceQuery) (TupleStream, error) {
+	rel, rest, err := r.scanFor(q)
+	if err != nil {
+		return nil, err
+	}
+	match, err := Matcher(rel.Schema, rest)
+	if err != nil {
+		return nil, fmt.Errorf("wrapper: source %s: %w", r.Source(), err)
+	}
+	// Resolve the projection once.
+	projIdx := []int(nil)
+	schema := rel.Schema
+	if len(q.Columns) > 0 {
+		if projIdx, schema, err = resolveProjection(rel.Schema, q.Columns); err != nil {
+			return nil, err
+		}
+	}
+	return &relationalStream{rel: rel, match: match, projIdx: projIdx, schema: schema}, nil
+}
+
+// relationalStream streams a snapshot of a table, filtering and
+// projecting lazily.
+type relationalStream struct {
+	rel     *relalg.Relation
+	match   func(relalg.Tuple) (bool, error)
+	projIdx []int
+	schema  relalg.Schema
+	pos     int
+}
+
+func (s *relationalStream) Schema() relalg.Schema { return s.schema }
+
+func (s *relationalStream) Next() (relalg.Tuple, bool, error) {
+	for s.pos < len(s.rel.Tuples) {
+		t := s.rel.Tuples[s.pos]
+		s.pos++
+		ok, err := s.match(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			continue
+		}
+		if s.projIdx == nil {
+			return t, true, nil
+		}
+		row := make(relalg.Tuple, len(s.projIdx))
+		for i, ci := range s.projIdx {
+			row[i] = t[ci]
+		}
+		return row, true, nil
+	}
+	return nil, false, nil
+}
+
+func (s *relationalStream) Close() error { return nil }

@@ -1,0 +1,102 @@
+package wrapper
+
+import (
+	"fmt"
+
+	"repro/internal/relalg"
+)
+
+// TupleStream delivers a source query's answer incrementally: the
+// engine-side face of a chunked fetch. The contract mirrors
+// relalg.Iterator minus Open — a TupleStream is returned ready to read,
+// and must be Closed exactly once by the consumer (early close allowed).
+type TupleStream interface {
+	// Schema describes the delivered tuples.
+	Schema() relalg.Schema
+	// Next returns the next tuple, or ok=false at end of stream.
+	Next() (relalg.Tuple, bool, error)
+	// Close releases the stream; safe to call before exhaustion.
+	Close() error
+}
+
+// Streamer is optionally implemented by wrappers whose sources can
+// deliver answers incrementally instead of as one materialized relation.
+// The engine always fetches through QueryStream, which falls back to a
+// materializing adapter, so implementing Streamer is purely an
+// optimization — it lets an engine-side LIMIT stop the transfer early.
+type Streamer interface {
+	// QueryStream executes a source query and streams the answer.
+	QueryStream(q SourceQuery) (TupleStream, error)
+}
+
+// QueryStream fetches q from w incrementally: natively when w implements
+// Streamer, otherwise by materializing w.Query's answer and streaming
+// over it (the default adapter).
+func QueryStream(w Wrapper, q SourceQuery) (TupleStream, error) {
+	if s, ok := w.(Streamer); ok {
+		return s.QueryStream(q)
+	}
+	rel, err := w.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return NewRelationStream(rel), nil
+}
+
+// RelationStream adapts a materialized relation to the TupleStream
+// interface.
+type RelationStream struct {
+	rel *relalg.Relation
+	pos int
+}
+
+// NewRelationStream streams over rel.
+func NewRelationStream(rel *relalg.Relation) *RelationStream {
+	return &RelationStream{rel: rel}
+}
+
+// Schema implements TupleStream.
+func (r *RelationStream) Schema() relalg.Schema { return r.rel.Schema }
+
+// Next implements TupleStream.
+func (r *RelationStream) Next() (relalg.Tuple, bool, error) {
+	if r.pos >= len(r.rel.Tuples) {
+		return nil, false, nil
+	}
+	t := r.rel.Tuples[r.pos]
+	r.pos++
+	return t, true, nil
+}
+
+// Close implements TupleStream.
+func (r *RelationStream) Close() error { return nil }
+
+// Matcher compiles filters against a schema into a per-tuple predicate,
+// resolving each filter column once. ApplyFilters and the streaming
+// executor share it so materialized and streaming filtering cannot
+// diverge.
+func Matcher(schema relalg.Schema, filters []Filter) (func(relalg.Tuple) (bool, error), error) {
+	if len(filters) == 0 {
+		return func(relalg.Tuple) (bool, error) { return true, nil }, nil
+	}
+	idx := make([]int, len(filters))
+	for i, f := range filters {
+		ci := schema.Index(f.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("wrapper: filter on unknown column %s", f.Column)
+		}
+		idx[i] = ci
+	}
+	return func(t relalg.Tuple) (bool, error) {
+		for i, f := range filters {
+			ok, err := evalFilter(t[idx[i]], f.Op, f.Value)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}, nil
+}

@@ -88,26 +88,15 @@ func ApplyFilters(rel *relalg.Relation, filters []Filter) (*relalg.Relation, err
 	if len(filters) == 0 {
 		return rel, nil
 	}
-	idx := make([]int, len(filters))
-	for i, f := range filters {
-		ci := rel.Schema.Index(f.Column)
-		if ci < 0 {
-			return nil, fmt.Errorf("wrapper: filter on unknown column %s", f.Column)
-		}
-		idx[i] = ci
+	match, err := Matcher(rel.Schema, filters)
+	if err != nil {
+		return nil, err
 	}
 	out := relalg.NewRelation(rel.Name, rel.Schema)
 	for _, t := range rel.Tuples {
-		keep := true
-		for i, f := range filters {
-			ok, err := evalFilter(t[idx[i]], f.Op, f.Value)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				keep = false
-				break
-			}
+		keep, err := match(t)
+		if err != nil {
+			return nil, err
 		}
 		if keep {
 			out.Tuples = append(out.Tuples, t)
@@ -144,22 +133,33 @@ func evalFilter(v relalg.Value, op string, c relalg.Value) (bool, error) {
 	return false, fmt.Errorf("wrapper: unknown filter operator %q", op)
 }
 
+// resolveProjection resolves column names against a schema once,
+// returning their positions and the projected schema. ProjectColumns and
+// the streaming fetch path share it.
+func resolveProjection(schema relalg.Schema, columns []string) ([]int, relalg.Schema, error) {
+	idx := make([]int, len(columns))
+	cols := make([]relalg.Column, len(columns))
+	for i, c := range columns {
+		ci := schema.Index(c)
+		if ci < 0 {
+			return nil, relalg.Schema{}, fmt.Errorf("wrapper: projection of unknown column %s", c)
+		}
+		idx[i] = ci
+		cols[i] = schema.Columns[ci]
+	}
+	return idx, relalg.Schema{Columns: cols}, nil
+}
+
 // ProjectColumns keeps the named columns (in the given order).
 func ProjectColumns(rel *relalg.Relation, columns []string) (*relalg.Relation, error) {
 	if len(columns) == 0 {
 		return rel, nil
 	}
-	idx := make([]int, len(columns))
-	cols := make([]relalg.Column, len(columns))
-	for i, c := range columns {
-		ci := rel.Schema.Index(c)
-		if ci < 0 {
-			return nil, fmt.Errorf("wrapper: projection of unknown column %s", c)
-		}
-		idx[i] = ci
-		cols[i] = rel.Schema.Columns[ci]
+	idx, schema, err := resolveProjection(rel.Schema, columns)
+	if err != nil {
+		return nil, err
 	}
-	out := relalg.NewRelation(rel.Name, relalg.Schema{Columns: cols})
+	out := relalg.NewRelation(rel.Name, schema)
 	for _, t := range rel.Tuples {
 		row := make(relalg.Tuple, len(idx))
 		for i, ci := range idx {
