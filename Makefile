@@ -7,7 +7,7 @@ BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_Mediati
 BENCHDIR  ?= .bench
 COUNT     ?= 6
 
-.PHONY: all build test vet docs-check examples bench bench-base bench-compare clean
+.PHONY: all build test test-race vet docs-check examples bench bench-base bench-compare clean
 
 all: vet docs-check test
 
@@ -19,6 +19,11 @@ vet:
 
 test: build
 	$(GO) test $(PKGS)
+
+# Race detector over the session/concurrency-sensitive packages (CI runs
+# this as its own job).
+test-race:
+	$(GO) test -race ./internal/server/ ./internal/planner/ ./coin/ ./internal/relalg/ ./internal/wrapper/ ./internal/client/
 
 # Documentation gate: vet plus a package-comment check over every package
 # (see internal/tools/docscheck).

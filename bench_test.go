@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -211,7 +212,7 @@ func BenchmarkE8_WebWrapperExtract(b *testing.B) {
 		w := wrapper.NewWeb("bench", site, wrapper.MustParseSpec(wrapper.CurrencySpecCrawl))
 		b.Run(fmt.Sprintf("pages=%d", len(rates)+1), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rel, err := w.Query(wrapper.SourceQuery{Relation: "r3"})
+				rel, err := w.Query(context.Background(), wrapper.SourceQuery{Relation: "r3"})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -6,80 +6,167 @@
 //
 //	coinquery -context c2 'SELECT rl.cname, rl.revenue FROM r1 rl, r2 ...'
 //	coinquery -server http://localhost:8095 -context c2 '...'
-//	coinquery -naive '...'        # skip mediation (the wrong answer)
+//	coinquery -naive '...'           # skip mediation (the wrong answer)
 //	coinquery -show-mediated '...'
+//	coinquery -timeout 2s '...'      # bound the query session
+//	coinquery -max-rows 100 '...'    # truncate the answer
+//	coinquery -stream '...'          # NDJSON wire path: rows print as they arrive
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/coin"
 	"repro/internal/client"
 )
 
+// queryConfig carries the per-query knobs from flags to run.
+type queryConfig struct {
+	naive        bool
+	showMediated bool
+	timeout      time.Duration
+	maxRows      int
+	stream       bool
+}
+
 func main() {
 	serverURL := flag.String("server", "", "mediation server URL (empty: run in-process demo system)")
-	context := flag.String("context", "c2", "receiver context")
+	contextName := flag.String("context", "c2", "receiver context")
 	naive := flag.Bool("naive", false, "execute without mediation")
 	showMediated := flag.Bool("show-mediated", false, "print the mediated SQL before the answer")
+	timeout := flag.Duration("timeout", 0, "query session timeout (0: none)")
+	maxRows := flag.Int("max-rows", 0, "cap on result rows; the answer is truncated (0: unlimited)")
+	stream := flag.Bool("stream", false, "stream rows as they are produced instead of buffering the answer")
 	flag.Parse()
 
 	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
 	if sql == "" {
-		fmt.Fprintln(os.Stderr, "usage: coinquery [-server URL] [-context NAME] [-naive] 'SQL'")
+		fmt.Fprintln(os.Stderr, "usage: coinquery [-server URL] [-context NAME] [-naive] [-timeout D] [-max-rows N] [-stream] 'SQL'")
 		os.Exit(2)
 	}
-	if err := run(*serverURL, *context, sql, *naive, *showMediated); err != nil {
+	cfg := queryConfig{
+		naive: *naive, showMediated: *showMediated,
+		timeout: *timeout, maxRows: *maxRows, stream: *stream,
+	}
+	if err := run(*serverURL, *contextName, sql, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "coinquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(serverURL, context, sql string, naive, showMediated bool) error {
+func run(serverURL, receiverCtx, sql string, cfg queryConfig) error {
 	if serverURL != "" {
-		conn, err := client.Open(serverURL)
+		return runRemote(serverURL, receiverCtx, sql, cfg)
+	}
+	return runLocal(receiverCtx, sql, cfg)
+}
+
+func runRemote(serverURL, receiverCtx, sql string, cfg queryConfig) error {
+	conn, err := client.Open(serverURL)
+	if err != nil {
+		return err
+	}
+	opts := client.Options{Timeout: cfg.timeout, MaxRows: cfg.maxRows}
+	if cfg.stream {
+		cur, err := conn.QueryStream(context.Background(), sql, receiverCtx, cfg.naive, opts)
 		if err != nil {
 			return err
 		}
-		if naive {
-			res, err := conn.QueryNaive(sql)
-			if err != nil {
-				return err
+		defer cur.Close()
+		if cfg.showMediated && cur.MediatedSQL() != "" {
+			fmt.Printf("-- mediated into %d branch(es):\n%s\n\n", cur.Branches(), cur.MediatedSQL())
+		}
+		names := make([]string, len(cur.Columns()))
+		for i, c := range cur.Columns() {
+			names[i] = c.Name
+		}
+		fmt.Println(strings.Join(names, "\t"))
+		for cur.Next() {
+			cells := make([]string, len(cur.Row()))
+			for i, v := range cur.Row() {
+				cells[i] = fmt.Sprintf("%v", v)
 			}
-			fmt.Print(res.String())
-			return nil
+			fmt.Println(strings.Join(cells, "\t"))
 		}
-		res, err := conn.Query(sql, context)
+		return cur.Err()
+	}
+	if cfg.naive {
+		res, err := conn.QueryNaiveCtx(context.Background(), sql, opts)
 		if err != nil {
 			return err
-		}
-		if showMediated {
-			fmt.Printf("-- mediated into %d branch(es):\n%s\n\n", res.Branches, res.MediatedSQL)
 		}
 		fmt.Print(res.String())
 		return nil
 	}
+	res, err := conn.QueryCtx(context.Background(), sql, receiverCtx, opts)
+	if err != nil {
+		return err
+	}
+	if cfg.showMediated {
+		fmt.Printf("-- mediated into %d branch(es):\n%s\n\n", res.Branches, res.MediatedSQL)
+	}
+	fmt.Print(res.String())
+	return nil
+}
 
+func runLocal(receiverCtx, sql string, cfg queryConfig) error {
 	sys := coin.Figure2System()
-	if naive {
-		rows, err := sys.QueryNaive(sql)
+	opts := coin.QueryOptions{Timeout: cfg.timeout, MaxRows: cfg.maxRows}
+	if cfg.stream {
+		var (
+			rs  *coin.RowStream
+			err error
+		)
+		if cfg.naive {
+			rs, err = sys.QueryNaiveStreamCtx(context.Background(), sql, opts)
+		} else {
+			rs, err = sys.QueryStreamCtx(context.Background(), sql, receiverCtx, opts)
+		}
+		if err != nil {
+			return err
+		}
+		defer rs.Close()
+		if cfg.showMediated && rs.Mediation() != nil {
+			fmt.Printf("-- mediated into %d branch(es):\n%s\n\n",
+				len(rs.Mediation().Branches), rs.Mediation().SQL())
+		}
+		fmt.Println(strings.Join(rs.Schema().Names(), "\t"))
+		for {
+			t, ok, err := rs.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			cells := make([]string, len(t))
+			for i, v := range t {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+	}
+	if cfg.naive {
+		rows, err := sys.QueryNaiveCtx(context.Background(), sql, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Print(rows.String())
 		return nil
 	}
-	med, err := sys.Mediate(sql, context)
+	med, err := sys.Mediate(sql, receiverCtx)
 	if err != nil {
 		return err
 	}
-	if showMediated {
+	if cfg.showMediated {
 		fmt.Printf("-- mediated into %d branch(es):\n%s\n\n", len(med.Branches), med.SQL())
 	}
-	rows, err := sys.Execute(med)
+	rows, err := sys.ExecuteCtx(context.Background(), med, opts)
 	if err != nil {
 		return err
 	}

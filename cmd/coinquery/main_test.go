@@ -3,22 +3,38 @@ package main
 import (
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/coin"
 )
 
 func TestRunLocal(t *testing.T) {
-	if err := run("", "c2", coin.PaperQ1, false, true); err != nil {
+	if err := run("", "c2", coin.PaperQ1, queryConfig{showMediated: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "c2", coin.PaperQ1, true, false); err != nil {
+	if err := run("", "c2", coin.PaperQ1, queryConfig{naive: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "c2", "SELECT nope FROM nosuch", false, false); err == nil {
+	if err := run("", "c2", "SELECT nope FROM nosuch", queryConfig{}); err == nil {
 		t.Error("bad query succeeded")
 	}
-	if err := run("", "zzz", coin.PaperQ1, false, false); err == nil {
+	if err := run("", "zzz", coin.PaperQ1, queryConfig{}); err == nil {
 		t.Error("bad context succeeded")
+	}
+}
+
+func TestRunLocalStreamAndGovernors(t *testing.T) {
+	if err := run("", "c2", coin.PaperQ1, queryConfig{stream: true, showMediated: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "c2", coin.PaperQ1, queryConfig{stream: true, naive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "c2", coin.PaperQ1, queryConfig{timeout: 30 * time.Second, maxRows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "c2", coin.PaperQ1, queryConfig{timeout: time.Nanosecond}); err == nil {
+		t.Error("expired timeout succeeded")
 	}
 }
 
@@ -26,13 +42,25 @@ func TestRunAgainstServer(t *testing.T) {
 	sys := coin.Figure2System()
 	ts := httptest.NewServer(sys.Handler())
 	defer ts.Close()
-	if err := run(ts.URL, "c2", coin.PaperQ1, false, true); err != nil {
+	if err := run(ts.URL, "c2", coin.PaperQ1, queryConfig{showMediated: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ts.URL, "c2", coin.PaperQ1, true, false); err != nil {
+	if err := run(ts.URL, "c2", coin.PaperQ1, queryConfig{naive: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("http://127.0.0.1:1", "c2", coin.PaperQ1, false, false); err == nil {
+	if err := run(ts.URL, "c2", coin.PaperQ1, queryConfig{stream: true, showMediated: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ts.URL, "c2", coin.PaperQ1, queryConfig{stream: true, naive: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ts.URL, "c2", coin.PaperQ1, queryConfig{timeout: 30 * time.Second, maxRows: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ts.URL, "c2", coin.PaperQ1, queryConfig{naive: true, timeout: 30 * time.Second, maxRows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("http://127.0.0.1:1", "c2", coin.PaperQ1, queryConfig{}); err == nil {
 		t.Error("dead server succeeded")
 	}
 }

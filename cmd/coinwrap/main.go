@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -91,7 +92,7 @@ func run(builtin, specPath, siteName, from, to string) error {
 			return fmt.Errorf("spec parameter %s has no flag; use -builtin currency-lookup's -from/-to", p)
 		}
 	}
-	rel, err := w.Query(q)
+	rel, err := w.Query(context.Background(), q)
 	if err != nil {
 		return err
 	}

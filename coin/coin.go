@@ -16,6 +16,7 @@
 package coin
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -181,23 +182,16 @@ func (s *System) Mediate(sql, receiver string) (*Mediation, error) {
 }
 
 // Query mediates and executes, returning the answer in the receiver's
-// context.
+// context. It is the ungoverned form of QueryCtx: background context, no
+// limits.
 func (s *System) Query(sql, receiver string) (*Relation, error) {
-	med, err := s.Mediate(sql, receiver)
-	if err != nil {
-		return nil, err
-	}
-	return s.executor.ExecuteMediation(med)
+	return s.QueryCtx(context.Background(), sql, receiver, QueryOptions{})
 }
 
 // QueryNaive executes SQL without mediation — the paper's "incorrect
-// answer" baseline.
+// answer" baseline. The ungoverned form of QueryNaiveCtx.
 func (s *System) QueryNaive(sql string) (*Relation, error) {
-	stmt, err := parseSQL(sql)
-	if err != nil {
-		return nil, err
-	}
-	return s.executor.Execute(stmt)
+	return s.QueryNaiveCtx(context.Background(), sql, QueryOptions{})
 }
 
 // Explain mediates the query and renders the multi-database engine's
@@ -224,9 +218,10 @@ func (s *System) Explain(sql, receiver string) (string, error) {
 	return b.String(), nil
 }
 
-// Execute runs an already-mediated query.
+// Execute runs an already-mediated query. The ungoverned form of
+// ExecuteCtx.
 func (s *System) Execute(med *Mediation) (*Relation, error) {
-	return s.executor.ExecuteMediation(med)
+	return s.ExecuteCtx(context.Background(), med, QueryOptions{})
 }
 
 // Executor exposes the engine (for stats and ablation toggles).
@@ -247,8 +242,32 @@ func (s *System) Schema(relation string) (Schema, error) {
 }
 
 // Handler serves the mediation services over HTTP: the tunneled
-// ODBC-style protocol under /api/ and the QBE form under /qbe.
-func (s *System) Handler() http.Handler { return server.New(s) }
+// ODBC-style protocol under /api/ (including the NDJSON streaming wire
+// path at /api/query/stream) and the QBE form under /qbe. Every query a
+// handler runs is bound to its HTTP request's context, so disconnected
+// receivers stop consuming the sources.
+func (s *System) Handler() http.Handler { return server.New(serverView{s}) }
+
+// serverView adapts System to server.Service: the server selects naive
+// vs mediated streaming through one method returning its RowStream
+// interface; everything else System implements directly.
+type serverView struct{ *System }
+
+func (v serverView) QueryStream(ctx context.Context, sql, receiver string, naive bool, opts QueryOptions) (server.RowStream, error) {
+	var (
+		rs  *RowStream
+		err error
+	)
+	if naive {
+		rs, err = v.QueryNaiveStreamCtx(ctx, sql, opts)
+	} else {
+		rs, err = v.QueryStreamCtx(ctx, sql, receiver, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
 
 // Figure2System wires the complete running example of the paper: sources
 // 1 and 2 as relational databases, the currency-exchange Web site wrapped

@@ -1,0 +1,161 @@
+package coin
+
+// Context-aware query services. Every query runs inside a planner.Session
+// — a context (cancellation + deadline) plus resource governors — so a
+// receiver that disconnects, times out or exceeds its budgets stops
+// consuming the sources promptly. The context-free methods of coin.go
+// (Query, QueryNaive, Execute) are thin wrappers over these with a
+// background context and no limits.
+
+import (
+	"context"
+
+	"repro/internal/planner"
+	"repro/internal/relalg"
+)
+
+// QueryOptions bound one query session: a wall-clock timeout, a cap on
+// result rows delivered (truncation), and caps on tuples transferred from
+// sources and bytes staged through the temp store (both abort the query
+// when exceeded). The zero value is ungoverned.
+type QueryOptions = planner.Limits
+
+// Tuple is one result row.
+type Tuple = relalg.Tuple
+
+// QueryCtx mediates and executes under ctx and opts, returning the answer
+// in the receiver's context. Canceling ctx (or exceeding opts.Timeout)
+// aborts the query mid-stream, source fetches included.
+func (s *System) QueryCtx(ctx context.Context, sql, receiver string, opts QueryOptions) (*Relation, error) {
+	med, err := s.Mediate(sql, receiver)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteCtx(ctx, med, opts)
+}
+
+// ExecuteCtx runs an already-mediated query under ctx and opts.
+func (s *System) ExecuteCtx(ctx context.Context, med *Mediation, opts QueryOptions) (*Relation, error) {
+	sess := s.executor.NewSession(ctx, opts)
+	defer sess.Close()
+	it, err := s.executor.MediationStream(sess, med)
+	if err != nil {
+		return nil, err
+	}
+	return relalg.Collect(sess.Context(), capRows(it, opts), "")
+}
+
+// QueryNaiveCtx executes SQL without mediation under ctx and opts — the
+// paper's "incorrect answer" baseline, now governable.
+func (s *System) QueryNaiveCtx(ctx context.Context, sql string, opts QueryOptions) (*Relation, error) {
+	stmt, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	sess := s.executor.NewSession(ctx, opts)
+	defer sess.Close()
+	it, err := s.executor.StatementStream(sess, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return relalg.Collect(sess.Context(), capRows(it, opts), "")
+}
+
+// capRows applies the MaxRows governor as a final LIMIT: the answer is
+// truncated, not failed.
+func capRows(it relalg.Iterator, opts QueryOptions) relalg.Iterator {
+	if opts.MaxRows > 0 {
+		return relalg.NewLimit(it, opts.MaxRows)
+	}
+	return it
+}
+
+// RowStream is an open, incrementally-consumable query answer: the
+// streaming executor's iterator tree surfaced all the way to the
+// receiver, so the first row is available before the sources have
+// delivered the rest. Always Close it — Close releases the underlying
+// source streams and cancels the query session (which stops any
+// still-pending source work).
+type RowStream struct {
+	sess   *planner.Session
+	it     relalg.Iterator
+	med    *Mediation // nil for naive streams
+	schema Schema
+	closed bool
+}
+
+// QueryStreamCtx mediates sql and opens a governed row stream over the
+// executing union of branches. Rows are produced as the iterator tree
+// yields them; an upstream LIMIT (or opts.MaxRows) stops source transfer
+// early, and canceling ctx aborts the stream mid-flight.
+func (s *System) QueryStreamCtx(ctx context.Context, sql, receiver string, opts QueryOptions) (*RowStream, error) {
+	med, err := s.Mediate(sql, receiver)
+	if err != nil {
+		return nil, err
+	}
+	sess := s.executor.NewSession(ctx, opts)
+	it, err := s.executor.MediationStream(sess, med)
+	if err != nil {
+		sess.Close()
+		return nil, err
+	}
+	return openRowStream(sess, capRows(it, opts), med)
+}
+
+// QueryNaiveStreamCtx opens a governed row stream over an un-mediated
+// statement.
+func (s *System) QueryNaiveStreamCtx(ctx context.Context, sql string, opts QueryOptions) (*RowStream, error) {
+	stmt, err := parseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	sess := s.executor.NewSession(ctx, opts)
+	it, err := s.executor.StatementStream(sess, stmt)
+	if err != nil {
+		sess.Close()
+		return nil, err
+	}
+	return openRowStream(sess, capRows(it, opts), nil)
+}
+
+func openRowStream(sess *planner.Session, it relalg.Iterator, med *Mediation) (*RowStream, error) {
+	if err := it.Open(sess.Context()); err != nil {
+		sess.Close()
+		return nil, err
+	}
+	return &RowStream{sess: sess, it: it, med: med, schema: it.Schema()}, nil
+}
+
+// Schema describes the stream's rows; available before the first Next.
+func (r *RowStream) Schema() Schema { return r.schema }
+
+// Mediation returns the mediated form of the query, or nil for a naive
+// stream.
+func (r *RowStream) Mediation() *Mediation { return r.med }
+
+// Next returns the next row, ok=false at end of stream, or an error
+// (including context.Canceled / context.DeadlineExceeded when the session
+// dies, and governor errors when a budget is exceeded).
+func (r *RowStream) Next() (Tuple, bool, error) {
+	if r.closed {
+		return nil, false, nil
+	}
+	return r.it.Next()
+}
+
+// Cancel aborts the query session, releasing a Next blocked on a slow
+// source. Unlike Close it is safe to call from another goroutine while
+// the consumer is mid-Next; the consumer still must Close the stream.
+func (r *RowStream) Cancel() { r.sess.Cancel() }
+
+// Close releases the stream: the iterator tree (closing every source
+// stream it holds) and the query session. Idempotent.
+func (r *RowStream) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	err := r.it.Close()
+	r.sess.Close()
+	return err
+}

@@ -1,0 +1,196 @@
+package coin_test
+
+// Tests for the coin-layer query sessions: context cancellation and
+// deadlines, the max-rows governor, and incremental row streams that
+// stop source transfer early.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/coin"
+	"repro/internal/relalg"
+	"repro/internal/store"
+	"repro/internal/wrapper"
+	"repro/internal/wrapper/wrappertest"
+)
+
+// bigNaiveSystem wires a System with one ungoverned relational source of
+// n sequential rows, reachable through naive (un-mediated) queries.
+func bigNaiveSystem(t *testing.T, n int) *coin.System {
+	t.Helper()
+	sys := coin.New(coin.NewModel())
+	db := store.NewDB("bigsrc")
+	tab := db.MustCreateTable("nums", relalg.NewSchema(
+		relalg.Column{Name: "n", Type: relalg.KindNumber},
+	))
+	for i := 0; i < n; i++ {
+		tab.MustInsert(relalg.NumV(float64(i)))
+	}
+	if err := sys.AddRelationalSource(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestQueryCtxCanceled(t *testing.T) {
+	sys := coin.Figure2System()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.QueryCtx(ctx, coin.PaperQ1, "c2", coin.QueryOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryCtxDeadlineExceeded(t *testing.T) {
+	sys := coin.Figure2System()
+	_, err := sys.QueryCtx(context.Background(), coin.PaperQ1, "c2",
+		coin.QueryOptions{Timeout: time.Nanosecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestMaxRowsTruncatesMediatedQuery(t *testing.T) {
+	sys := coin.Figure2System()
+	full, err := sys.Query("SELECT r2.cname FROM r2", "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() < 2 {
+		t.Fatalf("fixture r2 has %d rows; need >= 2", full.Len())
+	}
+	capped, err := sys.QueryCtx(context.Background(), "SELECT r2.cname FROM r2", "c2",
+		coin.QueryOptions{MaxRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Len() != 1 {
+		t.Fatalf("MaxRows=1 returned %d rows", capped.Len())
+	}
+}
+
+func TestMaxTuplesGovernorAtCoinLayer(t *testing.T) {
+	sys := bigNaiveSystem(t, 1000)
+	_, err := sys.QueryNaiveCtx(context.Background(), "SELECT nums.n FROM nums",
+		coin.QueryOptions{MaxTuples: 100})
+	if err == nil {
+		t.Fatal("query over the tuple budget succeeded")
+	}
+}
+
+// TestRowStreamLimitStopsTransfer is the coin-layer acceptance check:
+// streaming a LIMIT query over a 50k-row source delivers the rows without
+// materializing the rest — the source transfers exactly LIMIT tuples.
+func TestRowStreamLimitStopsTransfer(t *testing.T) {
+	sys := bigNaiveSystem(t, 50000)
+	rs, err := sys.QueryNaiveStreamCtx(context.Background(),
+		"SELECT nums.n FROM nums LIMIT 5", coin.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rows := 0
+	for {
+		_, ok, err := rs.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows++
+	}
+	if rows != 5 {
+		t.Fatalf("streamed %d rows, want 5", rows)
+	}
+	// Per-scan transfer counts flush to ExecStats at stream close.
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.Executor().Stats(); st.TuplesTransferred != 5 {
+		t.Errorf("TuplesTransferred = %d, want exactly 5 (source holds 50000)", st.TuplesTransferred)
+	}
+}
+
+func TestRowStreamMediated(t *testing.T) {
+	sys := coin.Figure2System()
+	rs, err := sys.QueryStreamCtx(context.Background(), coin.PaperQ1, "c2", coin.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if rs.Mediation() == nil || len(rs.Mediation().Branches) != 3 {
+		t.Fatalf("stream mediation = %+v", rs.Mediation())
+	}
+	var rows []coin.Tuple
+	for {
+		tp, ok, err := rs.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, tp)
+	}
+	if len(rows) != 1 || rows[0][0].S != "NTT" || rows[0][1].N != 9600000 {
+		t.Fatalf("streamed rows = %v", rows)
+	}
+	// Close is idempotent and Next after Close reports exhaustion.
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := rs.Next(); ok || err != nil {
+		t.Fatalf("Next after Close: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestRowStreamCloseCancelsSession: closing a stream before exhaustion
+// cancels the session, so a slow source blocked mid-transfer is released.
+func TestRowStreamCloseCancelsSession(t *testing.T) {
+	sys := coin.New(coin.NewModel())
+	db := store.NewDB("slow")
+	tab := db.MustCreateTable("nums", relalg.NewSchema(
+		relalg.Column{Name: "n", Type: relalg.KindNumber},
+	))
+	for i := 0; i < 100; i++ {
+		tab.MustInsert(relalg.NumV(float64(i)))
+	}
+	gw := wrappertest.NewGate(wrapper.NewRelational(db))
+	sys.Catalog.MustAddSource(gw)
+
+	rs, err := sys.QueryNaiveStreamCtx(context.Background(),
+		"SELECT nums.n FROM nums", coin.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow two rows through the gate, then cancel with the stream
+	// blocked offering the third; the consuming goroutine then closes.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 2; i++ {
+			if _, ok, err := rs.Next(); !ok || err != nil {
+				done <- err
+				rs.Close()
+				return
+			}
+		}
+		_, _, err := rs.Next() // blocks until Cancel aborts the session
+		rs.Close()
+		done <- err
+	}()
+	gw.Allow(2)
+	<-gw.Emitted // third tuple offered; nobody will allow it
+	rs.Cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked Next returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Cancel did not release the blocked source stream")
+	}
+}

@@ -1,12 +1,15 @@
 // Package client is the receiver-side API of the prototype — the
 // counterpart of its ODBC driver. It speaks the HTTP-tunneled protocol of
 // internal/server: connect (schema handshake), schema inspection, query
-// in a named receiver context, and mediate-only. Any application with
-// socket access can use it; cmd/coinquery is one.
+// in a named receiver context (buffered or streamed row by row over the
+// NDJSON wire path), and mediate-only. Queries take a context and
+// per-query limits, so a receiver can cancel or bound in-flight work. Any
+// application with socket access can use it; cmd/coinquery is one.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,18 +19,39 @@ import (
 	"repro/internal/server"
 )
 
+// Options bound one query: a server-side session timeout and a cap on
+// result rows (the server truncates, not fails). The zero value is
+// ungoverned.
+type Options struct {
+	Timeout time.Duration
+	MaxRows int
+}
+
 // Conn is an open connection to a mediation server.
 type Conn struct {
 	base   string
 	client *http.Client
-	schema server.SchemaResponse
+	// streamClient carries no whole-response timeout: a streamed result
+	// may legitimately outlive 30 seconds, and the caller's context (plus
+	// the server-side session timeout) bounds the body instead. Its
+	// transport still bounds the connect/header phase, so a half-dead
+	// server cannot hang a stream before it starts.
+	streamClient *http.Client
+	schema       server.SchemaResponse
 }
 
 // Open connects to a server and performs the schema handshake.
 func Open(baseURL string) (*Conn, error) {
+	streamTransport := http.DefaultTransport
+	if t, ok := streamTransport.(*http.Transport); ok {
+		t = t.Clone()
+		t.ResponseHeaderTimeout = 30 * time.Second
+		streamTransport = t
+	}
 	c := &Conn{
-		base:   strings.TrimRight(baseURL, "/"),
-		client: &http.Client{Timeout: 30 * time.Second},
+		base:         strings.TrimRight(baseURL, "/"),
+		client:       &http.Client{Timeout: 30 * time.Second},
+		streamClient: &http.Client{Transport: streamTransport},
 	}
 	if err := c.refreshSchema(); err != nil {
 		return nil, fmt.Errorf("client: connecting to %s: %w", baseURL, err)
@@ -121,11 +145,40 @@ func (r *Result) String() string {
 }
 
 func (c *Conn) post(path string, req server.QueryRequest, out interface{}) error {
+	return c.postWith(context.Background(), c.client, path, req, out)
+}
+
+// governedTimeoutGrace pads the client-side deadline of a governed query
+// beyond the server-side session timeout, leaving room for the error
+// response (or the result transfer) to make it back.
+const governedTimeoutGrace = 10 * time.Second
+
+// postQuery posts a governed query: with an explicit Options.Timeout the
+// server's session deadline is authoritative, so the request runs on the
+// un-timed client under a context deadline of timeout+grace (the default
+// client's fixed 30s whole-response timeout would otherwise cut off
+// legitimately long governed queries). Without one, the default client's
+// 30s cap applies as before.
+func (c *Conn) postQuery(ctx context.Context, path string, req server.QueryRequest, opts Options, out interface{}) error {
+	if opts.Timeout > 0 {
+		dctx, cancel := context.WithTimeout(ctx, opts.Timeout+governedTimeoutGrace)
+		defer cancel()
+		return c.postWith(dctx, c.streamClient, path, req, out)
+	}
+	return c.postWith(ctx, c.client, path, req, out)
+}
+
+func (c *Conn) postWith(ctx context.Context, hc *http.Client, path string, req server.QueryRequest, out interface{}) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
 	}
@@ -140,10 +193,30 @@ func (c *Conn) post(path string, req server.QueryRequest, out interface{}) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// queryRequest assembles the wire request for sql under opts.
+func queryRequest(sql, context string, naive bool, opts Options) server.QueryRequest {
+	req := server.QueryRequest{SQL: sql, Context: context, Naive: naive, MaxRows: opts.MaxRows}
+	if opts.Timeout > 0 {
+		req.Timeout = opts.Timeout.String()
+	}
+	return req
+}
+
 // Query mediates and executes SQL in the given receiver context.
 func (c *Conn) Query(sql, context string) (*Result, error) {
+	return c.QueryCtx(nil, sql, context, Options{})
+}
+
+// QueryCtx mediates and executes SQL under ctx and opts: canceling ctx
+// abandons the request (the server then cancels the query's session), and
+// opts carry the server-side timeout and row cap. A nil ctx means
+// background.
+func (c *Conn) QueryCtx(ctx context.Context, sql, context_ string, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var resp server.QueryResponse
-	if err := c.post("/api/query", server.QueryRequest{SQL: sql, Context: context}, &resp); err != nil {
+	if err := c.postQuery(ctx, "/api/query", queryRequest(sql, context_, false, opts), opts, &resp); err != nil {
 		return nil, err
 	}
 	return &Result{Columns: resp.Columns, Rows: resp.Rows, MediatedSQL: resp.MediatedSQL, Branches: resp.Branches}, nil
@@ -151,11 +224,158 @@ func (c *Conn) Query(sql, context string) (*Result, error) {
 
 // QueryNaive executes SQL without mediation.
 func (c *Conn) QueryNaive(sql string) (*Result, error) {
+	return c.QueryNaiveCtx(nil, sql, Options{})
+}
+
+// QueryNaiveCtx executes SQL without mediation under ctx and opts.
+func (c *Conn) QueryNaiveCtx(ctx context.Context, sql string, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var resp server.QueryResponse
-	if err := c.post("/api/query", server.QueryRequest{SQL: sql, Naive: true}, &resp); err != nil {
+	if err := c.postQuery(ctx, "/api/query", queryRequest(sql, "", true, opts), opts, &resp); err != nil {
 		return nil, err
 	}
 	return &Result{Columns: resp.Columns, Rows: resp.Rows}, nil
+}
+
+// QueryStream mediates and executes SQL over the NDJSON wire path,
+// returning a cursor that yields rows as the server produces them — the
+// first row is available before the query finishes. Always Close the
+// cursor; canceling ctx aborts the stream (and with it the server-side
+// query session). Set naive to skip mediation.
+func (c *Conn) QueryStream(ctx context.Context, sql, context_ string, naive bool, opts Options) (*RowCursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	body, err := json.Marshal(queryRequest(sql, context_, naive, opts))
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/query/stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.streamClient.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: /api/query/stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var e server.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("client: %s", e.Error)
+		}
+		return nil, fmt.Errorf("client: /api/query/stream failed: %s", resp.Status)
+	}
+	cur := &RowCursor{resp: resp, dec: json.NewDecoder(resp.Body)}
+	var header server.StreamRecord
+	if err := cur.dec.Decode(&header); err != nil || header.Type != "header" {
+		resp.Body.Close()
+		if err == nil {
+			err = fmt.Errorf("client: stream began with %q record, want header", header.Type)
+		}
+		return nil, fmt.Errorf("client: reading stream header: %w", err)
+	}
+	cur.columns = header.Columns
+	cur.mediatedSQL = header.MediatedSQL
+	cur.branches = header.Branches
+	return cur, nil
+}
+
+// RowCursor iterates a streamed query answer row by row as records
+// arrive on the wire, in the style of an ODBC cursor over an open
+// network result set.
+type RowCursor struct {
+	resp        *http.Response
+	dec         *json.Decoder
+	columns     []server.ColumnInfo
+	mediatedSQL string
+	branches    int
+
+	cur    []interface{}
+	rows   int
+	err    error
+	done   bool
+	closed bool
+}
+
+// Columns describes the result columns (from the stream header).
+func (c *RowCursor) Columns() []server.ColumnInfo { return c.columns }
+
+// MediatedSQL returns the mediated form of the query ("" for naive).
+func (c *RowCursor) MediatedSQL() string { return c.mediatedSQL }
+
+// Branches returns the mediation's branch count (0 for naive).
+func (c *RowCursor) Branches() int { return c.branches }
+
+// Next advances to the next row, blocking until the server delivers one;
+// it returns false at end of stream or on error (check Err).
+func (c *RowCursor) Next() bool {
+	if c.done || c.closed {
+		return false
+	}
+	var rec server.StreamRecord
+	if err := c.dec.Decode(&rec); err != nil {
+		c.err = fmt.Errorf("client: reading stream: %w", err)
+		c.end()
+		return false
+	}
+	switch rec.Type {
+	case "row":
+		c.cur = rec.Values
+		c.rows++
+		return true
+	case "stats":
+		c.end()
+		return false
+	case "error":
+		c.err = fmt.Errorf("client: %s", rec.Error)
+		c.end()
+		return false
+	default:
+		c.err = fmt.Errorf("client: unexpected stream record %q", rec.Type)
+		c.end()
+		return false
+	}
+}
+
+// end marks the cursor exhausted; the current row is cleared so Scan and
+// Row past the end fail like Cursor's do, instead of replaying the last
+// delivered row.
+func (c *RowCursor) end() {
+	c.done = true
+	c.cur = nil
+}
+
+// Scan copies the current row's values into dest (same conversions as
+// Cursor.Scan).
+func (c *RowCursor) Scan(dest ...interface{}) error {
+	if c.cur == nil {
+		return fmt.Errorf("client: Scan without a successful Next")
+	}
+	return scanRow(c.cur, dest)
+}
+
+// Row returns the current row's raw values.
+func (c *RowCursor) Row() []interface{} { return c.cur }
+
+// Rows reports how many rows have been delivered so far.
+func (c *RowCursor) Rows() int { return c.rows }
+
+// Err returns the terminal error, if the stream ended on one (including
+// server-side session errors carried in the trailing error record).
+func (c *RowCursor) Err() error { return c.err }
+
+// Close releases the cursor's connection. Closing before exhaustion
+// abandons the stream, which cancels the server-side query session.
+func (c *RowCursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.resp.Body.Close()
 }
 
 // Mediate returns the mediated SQL without executing it.
@@ -202,7 +422,12 @@ func (c *Cursor) Scan(dest ...interface{}) error {
 	if c.i == 0 || c.i > len(c.res.Rows) {
 		return fmt.Errorf("client: Scan without a successful Next")
 	}
-	row := c.res.Rows[c.i-1]
+	return scanRow(c.res.Rows[c.i-1], dest)
+}
+
+// scanRow copies row values into destination pointers (*string, *float64,
+// *bool, or *interface{}); Cursor and RowCursor share it.
+func scanRow(row []interface{}, dest []interface{}) error {
 	if len(dest) != len(row) {
 		return fmt.Errorf("client: Scan got %d destinations for %d columns", len(dest), len(row))
 	}

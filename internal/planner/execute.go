@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -16,6 +17,9 @@ import (
 // all cross-source work locally. Execution is streaming: plans compile to
 // pull-based iterator trees (see stream.go), so tuples flow through a
 // branch one at a time and early exits stop pulling from the sources.
+// Every run is governed by a query Session (see session.go) carrying
+// cancellation, deadline and resource limits; the context-free entry
+// points are thin wrappers over an ungoverned background session.
 type Executor struct {
 	Catalog *Catalog
 	// Temp, when set, stages every pipeline breaker and step boundary
@@ -43,7 +47,8 @@ type Executor struct {
 // ExecStats counts the communication work of executed queries. Under
 // streaming execution TuplesTransferred counts tuples actually pulled
 // across the wrapper boundary, so a LIMIT n query over a large source
-// reports O(n), not the source size.
+// reports O(n), not the source size — and a canceled query's counters
+// stop growing as soon as its pipelines notice the cancellation.
 type ExecStats struct {
 	SourceQueries     int
 	TuplesTransferred int
@@ -76,39 +81,64 @@ func (e *Executor) countQuery(tuples int) {
 	e.mu.Unlock()
 }
 
-// Execute plans and runs a statement. UNION combines with set semantics
-// unless the Union node says ALL.
+// Execute plans and runs a statement under a background, ungoverned
+// session. UNION combines with set semantics unless the Union node says
+// ALL.
 func (e *Executor) Execute(stmt sqlparse.Statement) (*relalg.Relation, error) {
+	return e.ExecuteCtx(context.Background(), stmt)
+}
+
+// ExecuteCtx plans and runs a statement under ctx: canceling ctx aborts
+// the query mid-stream, source fetches included.
+func (e *Executor) ExecuteCtx(ctx context.Context, stmt sqlparse.Statement) (*relalg.Relation, error) {
+	sess := e.NewSession(ctx, Limits{})
+	defer sess.Close()
+	return e.ExecuteSession(sess, stmt)
+}
+
+// ExecuteSession plans and runs a statement under an existing session.
+func (e *Executor) ExecuteSession(sess *Session, stmt sqlparse.Statement) (*relalg.Relation, error) {
 	if s, ok := stmt.(*sqlparse.Select); ok {
-		return e.ExecuteSelect(s)
+		return e.executeSelect(sess, s)
 	}
-	it, err := e.statementStream(stmt)
+	it, err := e.statementStream(sess, stmt)
 	if err != nil {
 		return nil, err
 	}
-	return relalg.Collect(it, "")
+	return relalg.Collect(sess.Context(), it, "")
 }
 
-// ExecuteSelect plans and runs one SELECT block.
+// ExecuteSelect plans and runs one SELECT block under a background,
+// ungoverned session.
 func (e *Executor) ExecuteSelect(sel *sqlparse.Select) (*relalg.Relation, error) {
+	return e.executeSelect(nil, sel)
+}
+
+// executeSelect plans and runs one SELECT block under sess.
+func (e *Executor) executeSelect(sess *Session, sel *sqlparse.Select) (*relalg.Relation, error) {
 	if hasAggregates(sel) {
-		it, err := e.aggregateStream(sel)
+		it, err := e.aggregateStream(sess, sel)
 		if err != nil {
 			return nil, err
 		}
-		return relalg.Collect(it, "")
+		return relalg.Collect(sess.Context(), it, "")
 	}
 	plan, err := e.Plan(sel)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(plan)
+	return e.RunSession(sess, plan)
 }
 
-// Run executes a prepared plan by compiling it to an iterator tree and
-// draining it.
+// Run executes a prepared plan under a background, ungoverned session.
 func (e *Executor) Run(plan *BranchPlan) (*relalg.Relation, error) {
-	it, err := e.BuildStream(plan)
+	return e.RunSession(nil, plan)
+}
+
+// RunSession executes a prepared plan under sess by compiling it to an
+// iterator tree and draining it.
+func (e *Executor) RunSession(sess *Session, plan *BranchPlan) (*relalg.Relation, error) {
+	it, err := e.BuildStream(sess, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -116,14 +146,16 @@ func (e *Executor) Run(plan *BranchPlan) (*relalg.Relation, error) {
 	if len(plan.Steps) == 1 {
 		name = plan.Steps[0].Relation
 	}
-	return relalg.Collect(it, name)
+	return relalg.Collect(sess.Context(), it, name)
 }
 
 // fetchBindStep retrieves one relation through its bind joins — one
 // source query per distinct combination of feeding values from the
 // materialized intermediate result — and applies the engine-local
-// filters the source could not.
-func (e *Executor) fetchBindStep(step *PlanStep, cur *relalg.Relation) (*relalg.Relation, error) {
+// filters the source could not. The context is observed between source
+// queries (and inside each one), so an abandoned query stops feeding the
+// dependent source.
+func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanStep, cur *relalg.Relation) (*relalg.Relation, error) {
 	w, err := e.Catalog.WrapperFor(step.Relation)
 	if err != nil {
 		return nil, err
@@ -143,6 +175,9 @@ func (e *Executor) fetchBindStep(step *PlanStep, cur *relalg.Relation) (*relalg.
 	}
 	raw := relalg.NewRelation(step.Relation, schema)
 	for _, t := range cur.Tuples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		key := t.Key(feedIdx)
 		if seen[key] {
 			continue
@@ -152,11 +187,14 @@ func (e *Executor) fetchBindStep(step *PlanStep, cur *relalg.Relation) (*relalg.
 		for i, bp := range step.BindJoins {
 			filters = append(filters, wrapper.Filter{Column: bp.Column, Op: "=", Value: t[feedIdx[i]]})
 		}
-		part, err := w.Query(wrapper.SourceQuery{Relation: step.Relation, Filters: filters})
+		part, err := w.Query(ctx, wrapper.SourceQuery{Relation: step.Relation, Filters: filters})
 		if err != nil {
 			return nil, err
 		}
 		e.countQuery(part.Len())
+		if err := sess.chargeTuples(part.Len()); err != nil {
+			return nil, err
+		}
 		raw.Tuples = append(raw.Tuples, part.Tuples...)
 	}
 
@@ -259,18 +297,31 @@ func hasAggregates(sel *sqlparse.Select) bool {
 	return false
 }
 
-// ExecuteMediation runs a mediated query: every branch, combined with the
-// mediation's union semantics, then the post-union step when present.
-// With Executor.Parallel set, branches run concurrently (they are
-// independent by construction: each is one conflict-resolution case);
-// otherwise the union consumes them lazily in order. See MediationStream
-// for the streaming composition.
+// ExecuteMediation runs a mediated query under a background, ungoverned
+// session: every branch, combined with the mediation's union semantics,
+// then the post-union step when present.
 func (e *Executor) ExecuteMediation(med *core.Mediation) (*relalg.Relation, error) {
-	it, err := e.MediationStream(med)
+	return e.ExecuteMediationSession(nil, med)
+}
+
+// ExecuteMediationCtx runs a mediated query under ctx.
+func (e *Executor) ExecuteMediationCtx(ctx context.Context, med *core.Mediation) (*relalg.Relation, error) {
+	sess := e.NewSession(ctx, Limits{})
+	defer sess.Close()
+	return e.ExecuteMediationSession(sess, med)
+}
+
+// ExecuteMediationSession runs a mediated query under an existing
+// session. With Executor.Parallel set, branches run concurrently (they
+// are independent by construction: each is one conflict-resolution case)
+// and share the session; otherwise the union consumes them lazily in
+// order. See MediationStream for the streaming composition.
+func (e *Executor) ExecuteMediationSession(sess *Session, med *core.Mediation) (*relalg.Relation, error) {
+	it, err := e.MediationStream(sess, med)
 	if err != nil {
 		return nil, err
 	}
-	return relalg.Collect(it, "")
+	return relalg.Collect(sess.Context(), it, "")
 }
 
 func anyAggItems(items []sqlparse.SelectItem) bool {

@@ -1,0 +1,170 @@
+package planner
+
+// A query session is the unit of lifetime and resource governance the
+// paper's service deployment needs: receivers reach the mediator over a
+// network, sources are remote and slow, and an abandoned or runaway query
+// must stop consuming both promptly. A Session bundles a context
+// (cancellation + deadline) with per-query resource governors; the
+// executor threads it through every pipeline it compiles, so the leaves
+// (source scans, bind-join fetches) and the breaker drains all observe
+// the same lifetime.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relalg"
+	"repro/internal/store"
+)
+
+// Limits are the resource-governor knobs of one query session. The zero
+// value means ungoverned (no deadline, no caps).
+type Limits struct {
+	// Timeout bounds the session's wall-clock lifetime; enforced as a
+	// context deadline, so exceeding it surfaces as
+	// context.DeadlineExceeded from the pipeline.
+	Timeout time.Duration
+	// MaxRows caps the rows delivered to the receiver. It truncates the
+	// answer rather than failing the query; the service layer (coin,
+	// HTTP) applies it as a final LIMIT.
+	MaxRows int
+	// MaxTuples caps tuples transferred from sources across the whole
+	// session; exceeding it aborts the query with ErrTuplesExceeded.
+	MaxTuples int
+	// MaxStagedBytes caps the cumulative (approximate) bytes of
+	// intermediates staged through the TempStore; exceeding it aborts
+	// the query with store.ErrStageBudgetExceeded.
+	MaxStagedBytes int64
+}
+
+// ErrTuplesExceeded aborts a session that transferred more source tuples
+// than its Limits.MaxTuples allows.
+var ErrTuplesExceeded = fmt.Errorf("planner: session exceeded max tuples transferred")
+
+// Session is one query's lifetime: a context carrying cancellation and
+// deadline, plus governors shared by every pipeline the query runs
+// (including parallel mediation branches). Create one per query with
+// Executor.NewSession and Close it when the answer has been consumed;
+// Close cancels the context, which stops any still-running pipeline and
+// releases the deadline timer.
+type Session struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	limits Limits
+
+	budget *store.Budget
+
+	// tuples is atomic, not mutex-guarded: it is charged once per tuple
+	// pulled from a source, and parallel branch pipelines share the
+	// session — a lock here would serialize them per tuple.
+	tuples atomic.Int64
+}
+
+// NewSession derives a query session from ctx with the given limits. The
+// session context inherits ctx's cancellation and gains a deadline when
+// lim.Timeout is positive.
+func (e *Executor) NewSession(ctx context.Context, lim Limits) *Session {
+	var cancel context.CancelFunc
+	if lim.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	s := &Session{ctx: ctx, cancel: cancel, limits: lim}
+	if lim.MaxStagedBytes > 0 {
+		s.budget = &store.Budget{Max: lim.MaxStagedBytes}
+	}
+	return s
+}
+
+// Context returns the session's context; Open pipeline trees with it.
+func (s *Session) Context() context.Context {
+	if s == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
+
+// Limits returns the session's resource limits.
+func (s *Session) Limits() Limits {
+	if s == nil {
+		return Limits{}
+	}
+	return s.limits
+}
+
+// Cancel aborts the session's work without waiting for Close.
+func (s *Session) Cancel() {
+	if s != nil {
+		s.cancel()
+	}
+}
+
+// Close releases the session: it cancels the context (stopping any
+// in-flight pipeline) and frees the deadline timer. Idempotent.
+func (s *Session) Close() error {
+	if s != nil {
+		s.cancel()
+	}
+	return nil
+}
+
+// TuplesTransferred reports the tuples charged against the session's
+// transfer governor so far.
+func (s *Session) TuplesTransferred() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.tuples.Load())
+}
+
+// chargeTuples records n source tuples against the session's transfer
+// budget, failing once the budget is exhausted. A nil session or a zero
+// MaxTuples is ungoverned.
+func (s *Session) chargeTuples(n int) error {
+	if s == nil {
+		return nil
+	}
+	total := s.tuples.Add(int64(n))
+	if s.limits.MaxTuples > 0 && total > int64(s.limits.MaxTuples) {
+		return fmt.Errorf("%w (%d > %d)", ErrTuplesExceeded, total, s.limits.MaxTuples)
+	}
+	return nil
+}
+
+// sessionStager adapts the executor's TempStore to the relalg.Stager hook
+// under a session: every staged intermediate first observes the session's
+// cancellation, then is charged against its staging budget inside
+// TempStore.Stage.
+type sessionStager struct {
+	temp *store.TempStore
+	sess *Session
+}
+
+// Stage implements relalg.Stager.
+func (st *sessionStager) Stage(rel *relalg.Relation) (*relalg.Relation, error) {
+	if err := st.sess.Context().Err(); err != nil {
+		return nil, err
+	}
+	return st.temp.StageWithin(rel, st.sess.budgetRef())
+}
+
+// budgetRef returns the session's staging budget (nil when ungoverned).
+func (s *Session) budgetRef() *store.Budget {
+	if s == nil {
+		return nil
+	}
+	return s.budget
+}
+
+// stagerFor adapts the executor's TempStore to the relalg.Stager hook
+// breaker operators use, governed by sess; nil (keep everything resident)
+// without a TempStore.
+func (e *Executor) stagerFor(sess *Session) relalg.Stager {
+	if e.Temp == nil {
+		return nil
+	}
+	return &sessionStager{temp: e.Temp, sess: sess}
+}

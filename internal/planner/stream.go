@@ -8,14 +8,24 @@ package planner
 // transferring tuples from their sources, and lazily-unioned mediation
 // branches that are never reached never run at all.
 //
+// Every tree is compiled under a *Session (nil: ungoverned): the session's
+// context is passed down at Open and bounds the whole run — leaves check
+// it per tuple, deferred bind-join fetches check it per source query, and
+// breaker drains check it per buffered tuple — while its resource
+// governors (max tuples transferred, max staged bytes) are charged at the
+// same points. Canceling the session context therefore stops source
+// fetches mid-stream, not just between operators.
+//
 // Only the pipeline breakers materialize: Sort and GroupBy buffers, the
 // build side of a hash join, both sides of a merge join, the feeding
 // side of a bind join (its distinct binding values must all be known
 // before the dependent source can be queried), and — when the executor
 // has a TempStore — the per-step staging points, all of which route
-// through store.TempStore so large intermediates spill to disk.
+// through store.TempStore so large intermediates spill to disk (and so
+// the session's staging budget is enforced).
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -26,37 +36,33 @@ import (
 	"repro/internal/wrapper"
 )
 
-// stager adapts the executor's TempStore to the relalg.Stager hook
-// breaker operators use; nil (keep everything resident) without one.
-func (e *Executor) stager() relalg.Stager {
-	if e.Temp == nil {
-		return nil
-	}
-	return e.Temp
-}
-
 // sourceScanIter is the leaf of every pipeline: a wrapper fetch, pulled
 // tuple by tuple through the wrapper's chunked-fetch protocol
 // (wrapper.QueryStream). It counts one source query at Open and the
 // tuples actually pulled — accumulated locally and flushed to ExecStats
 // under one lock at Close, so parallel branch pipelines do not contend
-// on the executor mutex per tuple.
+// on the executor mutex per tuple. It retains the Open context and
+// charges the session's transfer governor, so cancellation and the
+// max-tuples limit both take effect mid-chunk.
 type sourceScanIter struct {
 	e      *Executor
+	sess   *Session
 	w      wrapper.Wrapper
 	q      wrapper.SourceQuery
 	schema relalg.Schema
+	ctx    context.Context
 	stream wrapper.TupleStream
 	pulled int
 }
 
 func (s *sourceScanIter) Schema() relalg.Schema { return s.schema }
 
-func (s *sourceScanIter) Open() error {
-	stream, err := wrapper.QueryStream(s.w, s.q)
+func (s *sourceScanIter) Open(ctx context.Context) error {
+	stream, err := wrapper.QueryStream(ctx, s.w, s.q)
 	if err != nil {
 		return err
 	}
+	s.ctx = ctx
 	s.stream = stream
 	s.pulled = 0
 	s.e.mu.Lock()
@@ -69,11 +75,17 @@ func (s *sourceScanIter) Next() (relalg.Tuple, bool, error) {
 	if s.stream == nil {
 		return nil, false, nil
 	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	t, ok, err := s.stream.Next()
 	if err != nil || !ok {
 		return nil, false, err
 	}
 	s.pulled++
+	if err := s.sess.chargeTuples(1); err != nil {
+		return nil, false, err
+	}
 	return t, true, nil
 }
 
@@ -94,7 +106,7 @@ func (s *sourceScanIter) Close() error {
 // step: chunked fetch with pushed filters, columns qualified with the
 // step binding, then the engine-local filters the source could not
 // evaluate.
-func (e *Executor) sourceIter(step *PlanStep) (relalg.Iterator, error) {
+func (e *Executor) sourceIter(sess *Session, step *PlanStep) (relalg.Iterator, error) {
 	w, err := e.Catalog.WrapperFor(step.Relation)
 	if err != nil {
 		return nil, err
@@ -104,7 +116,7 @@ func (e *Executor) sourceIter(step *PlanStep) (relalg.Iterator, error) {
 		return nil, err
 	}
 	leaf := &sourceScanIter{
-		e: e, w: w,
+		e: e, sess: sess, w: w,
 		q:      wrapper.SourceQuery{Relation: step.Relation, Filters: step.Pushed},
 		schema: schema,
 	}
@@ -137,7 +149,7 @@ func (e *Executor) sourceIter(step *PlanStep) (relalg.Iterator, error) {
 // flip sides from EstRows is future work. Merge join breaks both sides;
 // nested loop materializes the inner (fetched) side and streams the
 // outer.
-func (e *Executor) joinIter(cur, next relalg.Iterator, keys []JoinKey, binding string) (relalg.Iterator, error) {
+func (e *Executor) joinIter(sess *Session, cur, next relalg.Iterator, keys []JoinKey, binding string) (relalg.Iterator, error) {
 	if len(keys) > 0 && !e.ForceNestedLoop {
 		aKeys := make([]string, len(keys))
 		bKeys := make([]string, len(keys))
@@ -146,9 +158,9 @@ func (e *Executor) joinIter(cur, next relalg.Iterator, keys []JoinKey, binding s
 			bKeys[i] = binding + "." + k.NewColumn
 		}
 		if e.ForceMergeJoin {
-			return relalg.NewMergeJoin(cur, next, aKeys, bKeys, nil, e.stager())
+			return relalg.NewMergeJoin(cur, next, aKeys, bKeys, nil, e.stagerFor(sess))
 		}
-		return relalg.NewHashJoin(cur, next, aKeys, bKeys, nil, false /* build the fetched side */, e.stager())
+		return relalg.NewHashJoin(cur, next, aKeys, bKeys, nil, false /* build the fetched side */, e.stagerFor(sess))
 	}
 	var pred sqlparse.Expr
 	if len(keys) > 0 {
@@ -163,12 +175,12 @@ func (e *Executor) joinIter(cur, next relalg.Iterator, keys []JoinKey, binding s
 	// The inner side is drained at Open; the outer streams.
 	schema := cur.Schema().Concat(next.Schema())
 	nl := cur
-	return relalg.NewDeferred(schema, func() (relalg.Iterator, error) {
-		inner, err := relalg.Collect(next, "")
+	return relalg.NewDeferred(schema, func(ctx context.Context) (relalg.Iterator, error) {
+		inner, err := relalg.Collect(ctx, next, "")
 		if err != nil {
 			return nil, err
 		}
-		if inner, err = stageIfSet(e.stager(), inner); err != nil {
+		if inner, err = stageIfSet(e.stagerFor(sess), inner); err != nil {
 			return nil, err
 		}
 		return relalg.NewNestedLoop(nl, inner, pred), nil
@@ -183,22 +195,23 @@ func stageIfSet(st relalg.Stager, rel *relalg.Relation) (*relalg.Relation, error
 	return st.Stage(rel)
 }
 
-// BuildStream compiles a prepared plan into an iterator tree. Nothing
-// runs until the tree is Opened; Collect it (or use Run) for a
-// materialized answer. The tree is single-use.
-func (e *Executor) BuildStream(plan *BranchPlan) (relalg.Iterator, error) {
+// BuildStream compiles a prepared plan into an iterator tree governed by
+// sess (nil: ungoverned). Nothing runs until the tree is Opened — open it
+// with the session's context; Collect it (or use Run) for a materialized
+// answer. The tree is single-use.
+func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator, error) {
 	var cur relalg.Iterator
 	for i := range plan.Steps {
 		step := &plan.Steps[i]
 		var next relalg.Iterator
 		var err error
 		if len(step.BindJoins) == 0 {
-			if next, err = e.sourceIter(step); err != nil {
+			if next, err = e.sourceIter(sess, step); err != nil {
 				return nil, err
 			}
 			if cur == nil {
 				cur = next
-			} else if cur, err = e.joinIter(cur, next, step.JoinKeys, step.Binding); err != nil {
+			} else if cur, err = e.joinIter(sess, cur, next, step.JoinKeys, step.Binding); err != nil {
 				return nil, err
 			}
 		} else {
@@ -220,19 +233,19 @@ func (e *Executor) BuildStream(plan *BranchPlan) (relalg.Iterator, error) {
 			}
 			prev := cur
 			joined := prev.Schema().Concat(schema.Qualify(step.Binding))
-			cur = relalg.NewDeferred(joined, func() (relalg.Iterator, error) {
-				curRel, err := relalg.Collect(prev, "")
+			cur = relalg.NewDeferred(joined, func(ctx context.Context) (relalg.Iterator, error) {
+				curRel, err := relalg.Collect(ctx, prev, "")
 				if err != nil {
 					return nil, err
 				}
-				if curRel, err = stageIfSet(e.stager(), curRel); err != nil {
+				if curRel, err = stageIfSet(e.stagerFor(sess), curRel); err != nil {
 					return nil, err
 				}
-				fetched, err := e.fetchBindStep(step, curRel)
+				fetched, err := e.fetchBindStep(ctx, sess, step, curRel)
 				if err != nil {
 					return nil, err
 				}
-				return e.joinIter(relalg.NewScan(curRel), relalg.NewScan(fetched), step.JoinKeys, step.Binding)
+				return e.joinIter(sess, relalg.NewScan(curRel), relalg.NewScan(fetched), step.JoinKeys, step.Binding)
 			})
 		}
 		if len(step.AfterPreds) > 0 {
@@ -243,12 +256,12 @@ func (e *Executor) BuildStream(plan *BranchPlan) (relalg.Iterator, error) {
 			// temp store, exactly like the materialized executor did, so
 			// resident memory stays bounded by the spill threshold.
 			prev := cur
-			cur = relalg.NewDeferred(prev.Schema(), func() (relalg.Iterator, error) {
-				rel, err := relalg.Collect(prev, "")
+			cur = relalg.NewDeferred(prev.Schema(), func(ctx context.Context) (relalg.Iterator, error) {
+				rel, err := relalg.Collect(ctx, prev, "")
 				if err != nil {
 					return nil, err
 				}
-				if rel, err = e.Temp.Stage(rel); err != nil {
+				if rel, err = stageIfSet(e.stagerFor(sess), rel); err != nil {
 					return nil, err
 				}
 				return relalg.NewScan(rel), nil
@@ -270,14 +283,14 @@ func (e *Executor) BuildStream(plan *BranchPlan) (relalg.Iterator, error) {
 		// ORDER BY references source columns the projection drops: sort
 		// before projecting (as the materialized executor's fallback did —
 		// including its quirk of skipping DISTINCT on this path).
-		out = relalg.NewProject(relalg.NewSort(cur, keys, e.stager()), items)
+		out = relalg.NewProject(relalg.NewSort(cur, keys, e.stagerFor(sess)), items)
 	} else {
 		out = relalg.NewProject(cur, items)
 		if plan.Distinct {
 			out = relalg.NewDistinct(out)
 		}
 		if len(plan.OrderBy) > 0 {
-			out = relalg.NewSort(out, keys, e.stager())
+			out = relalg.NewSort(out, keys, e.stagerFor(sess))
 		}
 	}
 	out = relalg.NewLimit(out, plan.Limit)
@@ -312,29 +325,37 @@ func orderKeysResolve(order []sqlparse.OrderItem, schema relalg.Schema) bool {
 
 // selectStream compiles one SELECT block (aggregated or not) into an
 // iterator tree.
-func (e *Executor) selectStream(sel *sqlparse.Select) (relalg.Iterator, error) {
+func (e *Executor) selectStream(sess *Session, sel *sqlparse.Select) (relalg.Iterator, error) {
 	if hasAggregates(sel) {
-		return e.aggregateStream(sel)
+		return e.aggregateStream(sess, sel)
 	}
 	plan, err := e.Plan(sel)
 	if err != nil {
 		return nil, err
 	}
-	return e.BuildStream(plan)
+	return e.BuildStream(sess, plan)
+}
+
+// StatementStream compiles a statement (SELECT or UNION tree) into an
+// iterator tree under sess; nothing runs until the tree is opened with
+// the session's context. Service layers use it to stream un-mediated
+// (naive) answers incrementally.
+func (e *Executor) StatementStream(sess *Session, stmt sqlparse.Statement) (relalg.Iterator, error) {
+	return e.statementStream(sess, stmt)
 }
 
 // statementStream compiles a statement (SELECT or UNION tree) into an
 // iterator tree; UNION combines with set semantics unless marked ALL.
-func (e *Executor) statementStream(stmt sqlparse.Statement) (relalg.Iterator, error) {
+func (e *Executor) statementStream(sess *Session, stmt sqlparse.Statement) (relalg.Iterator, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.Select:
-		return e.selectStream(s)
+		return e.selectStream(sess, s)
 	case *sqlparse.Union:
-		l, err := e.statementStream(s.Left)
+		l, err := e.statementStream(sess, s.Left)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.statementStream(s.Right)
+		r, err := e.statementStream(sess, s.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -352,7 +373,7 @@ func (e *Executor) statementStream(stmt sqlparse.Statement) (relalg.Iterator, er
 
 // aggregateStream compiles a grouped SELECT: the SPJ core streams into a
 // GroupBy breaker, then order/distinct/limit apply.
-func (e *Executor) aggregateStream(sel *sqlparse.Select) (relalg.Iterator, error) {
+func (e *Executor) aggregateStream(sess *Session, sel *sqlparse.Select) (relalg.Iterator, error) {
 	spj := *sel
 	spj.Items = []sqlparse.SelectItem{{Star: true}}
 	spj.GroupBy, spj.Having, spj.OrderBy = nil, nil, nil
@@ -362,7 +383,7 @@ func (e *Executor) aggregateStream(sel *sqlparse.Select) (relalg.Iterator, error
 	if err != nil {
 		return nil, err
 	}
-	wide, err := e.BuildStream(plan)
+	wide, err := e.BuildStream(sess, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -381,13 +402,13 @@ func (e *Executor) aggregateStream(sel *sqlparse.Select) (relalg.Iterator, error
 		}
 		items[i] = relalg.AggItem{Name: n, Expr: it.Expr}
 	}
-	var out relalg.Iterator = relalg.NewGroupBy(wide, sel.GroupBy, items, sel.Having, e.stager())
+	var out relalg.Iterator = relalg.NewGroupBy(wide, sel.GroupBy, items, sel.Having, e.stagerFor(sess))
 	if len(sel.OrderBy) > 0 {
 		keys := make([]relalg.OrderKey, len(sel.OrderBy))
 		for i, o := range sel.OrderBy {
 			keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
 		}
-		out = relalg.NewSort(out, keys, e.stager())
+		out = relalg.NewSort(out, keys, e.stagerFor(sess))
 	}
 	if sel.Distinct {
 		out = relalg.NewDistinct(out)
@@ -395,16 +416,17 @@ func (e *Executor) aggregateStream(sel *sqlparse.Select) (relalg.Iterator, error
 	return relalg.NewLimit(out, sel.Limit), nil
 }
 
-// MediationStream compiles a mediated query into one iterator tree: every
-// branch pipeline feeding a streaming union (with the mediation's union
-// semantics), then the post-union step when present.
+// MediationStream compiles a mediated query into one iterator tree
+// governed by sess: every branch pipeline feeding a streaming union (with
+// the mediation's union semantics), then the post-union step when present.
 //
 // Without Executor.Parallel, branches are consumed lazily in order — a
 // satisfied LIMIT above the union means later branches never open, never
 // plan-execute, and never contact their sources. With Parallel, all
 // branches run concurrently to materialized results (deterministic branch
-// order is preserved) and the union streams over those.
-func (e *Executor) MediationStream(med *core.Mediation) (relalg.Iterator, error) {
+// order is preserved) and the union streams over those; the branches share
+// the session, so canceling it stops every one of them.
+func (e *Executor) MediationStream(sess *Session, med *core.Mediation) (relalg.Iterator, error) {
 	if len(med.Branches) == 0 {
 		return nil, fmt.Errorf("planner: mediation has no branches")
 	}
@@ -417,7 +439,7 @@ func (e *Executor) MediationStream(med *core.Mediation) (relalg.Iterator, error)
 			wg.Add(1)
 			go func(i int, b *sqlparse.Select) {
 				defer wg.Done()
-				results[i], errs[i] = e.ExecuteSelect(b)
+				results[i], errs[i] = e.executeSelect(sess, b)
 			}(i, b)
 		}
 		wg.Wait()
@@ -431,7 +453,7 @@ func (e *Executor) MediationStream(med *core.Mediation) (relalg.Iterator, error)
 		}
 	} else {
 		for i, b := range med.Branches {
-			it, err := e.selectStream(b)
+			it, err := e.selectStream(sess, b)
 			if err != nil {
 				return nil, err
 			}
@@ -453,11 +475,11 @@ func (e *Executor) MediationStream(med *core.Mediation) (relalg.Iterator, error)
 	if med.Post == nil {
 		return united, nil
 	}
-	return e.postStream(med.Post, united)
+	return e.postStream(sess, med.Post, united)
 }
 
 // postStream applies a mediation's post-union step to the union stream.
-func (e *Executor) postStream(post *core.Post, in relalg.Iterator) (relalg.Iterator, error) {
+func (e *Executor) postStream(sess *Session, post *core.Post, in relalg.Iterator) (relalg.Iterator, error) {
 	out := in
 	if len(post.GroupBy) > 0 || anyAggItems(post.Items) {
 		items := make([]relalg.AggItem, len(post.Items))
@@ -467,7 +489,7 @@ func (e *Executor) postStream(post *core.Post, in relalg.Iterator) (relalg.Itera
 				items[i].Name = "col" + strconv.Itoa(i+1)
 			}
 		}
-		out = relalg.NewGroupBy(out, post.GroupBy, items, post.Having, e.stager())
+		out = relalg.NewGroupBy(out, post.GroupBy, items, post.Having, e.stagerFor(sess))
 	} else if len(post.Items) > 0 {
 		items := make([]relalg.ProjectItem, len(post.Items))
 		for i, it := range post.Items {
@@ -490,7 +512,7 @@ func (e *Executor) postStream(post *core.Post, in relalg.Iterator) (relalg.Itera
 		for i, o := range post.OrderBy {
 			keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
 		}
-		out = relalg.NewSort(out, keys, e.stager())
+		out = relalg.NewSort(out, keys, e.stagerFor(sess))
 	}
 	return relalg.NewLimit(out, post.Limit), nil
 }

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -146,14 +147,14 @@ func TestBuildStreamHasNoSideEffects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	it, err := ex.BuildStream(plan)
+	it, err := ex.BuildStream(nil, plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st := ex.Stats(); st.SourceQueries != 0 || st.BranchesRun != 0 {
 		t.Errorf("building the stream already ran queries: %+v", st)
 	}
-	if err := it.Open(); err != nil {
+	if err := it.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer it.Close()

@@ -1,6 +1,8 @@
 package relalg
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -27,9 +29,9 @@ func newCountingScan(rel *Relation) *countingScan {
 	return &countingScan{ScanIter: NewScan(rel)}
 }
 
-func (c *countingScan) Open() error {
+func (c *countingScan) Open(ctx context.Context) error {
 	c.opened = true
-	return c.ScanIter.Open()
+	return c.ScanIter.Open(ctx)
 }
 
 func (c *countingScan) Next() (Tuple, bool, error) {
@@ -115,7 +117,7 @@ func TestIteratorMaterializedEquivalence(t *testing.T) {
 				}
 				return
 			}
-			got, err := Collect(it, want.Name)
+			got, err := Collect(context.Background(), it, want.Name)
 			if err != nil {
 				t.Fatalf("%s: %v", op, err)
 			}
@@ -143,7 +145,7 @@ func TestIteratorMaterializedEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotO, err := Collect(hjo, "")
+		gotO, err := Collect(context.Background(), hjo, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +183,7 @@ func TestIteratorMaterializedEquivalence(t *testing.T) {
 func TestLimitStopsPulling(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	src := newCountingScan(randomRelation("big", 5000, rng))
-	out, err := Collect(NewLimit(src, 7), "")
+	out, err := Collect(context.Background(), NewLimit(src, 7), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +205,7 @@ func TestLimitThroughPipelineStopsPulling(t *testing.T) {
 			NewFilter(src, mustExpr("v >= 10")),
 			[]ProjectItem{{Name: "s", Expr: mustExpr("s")}},
 		)), 2)
-	out, err := Collect(pipeline, "")
+	out, err := Collect(context.Background(), pipeline, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +229,7 @@ func TestUnionOpensLazily(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Collect(NewLimit(u, 5), "")
+	out, err := Collect(context.Background(), NewLimit(u, 5), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +250,7 @@ func TestIteratorContractAfterExhaustion(t *testing.T) {
 	rel := NewRelation("t", NewSchema(Column{Name: "n", Type: KindNumber}))
 	rel.MustAdd(NumV(1))
 	it := NewFilter(NewScan(rel), nil)
-	if err := it.Open(); err != nil {
+	if err := it.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, _ := it.Next(); !ok {
@@ -262,4 +264,168 @@ func TestIteratorContractAfterExhaustion(t *testing.T) {
 	if err := it.Close(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestScanCancellationMidStream: canceling the Open context makes a leaf
+// report ctx.Err() from Next, even with tuples remaining — the property
+// that lets a whole pipeline stop mid-stream.
+func TestScanCancellationMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := NewScan(randomRelation("r", 100, rng))
+	ctx, cancel := context.WithCancel(context.Background())
+	pipe := NewFilter(src, nil)
+	if err := pipe.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := pipe.Next(); !ok || err != nil {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	cancel()
+	if _, ok, err := pipe.Next(); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next after cancel: ok=%v err=%v, want context.Canceled", ok, err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBreakerDrainHonorsCancellation: a pipeline breaker (Sort) draining
+// its child at Open stops when the context is already canceled.
+func TestBreakerDrainHonorsCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := newCountingScan(randomRelation("r", 10000, rng))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	it := NewSort(src, []OrderKey{{Expr: mustExpr("v")}}, nil)
+	if err := it.Open(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Open on canceled ctx: err=%v, want context.Canceled", err)
+	}
+	if src.pulls != 0 {
+		t.Errorf("breaker pulled %d tuples under a canceled context", src.pulls)
+	}
+}
+
+// TestCollectPropagatesCancellation: Collect itself stops draining when
+// the context dies between pulls.
+func TestCollectPropagatesCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src := newCountingScan(randomRelation("r", 5000, rng))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Collect(ctx, src, ""); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Collect on canceled ctx: err=%v", err)
+	}
+}
+
+// lifecycle instruments an iterator with Open/Close accounting; a
+// registry of them fails the test if any node's successful Opens are not
+// matched one-for-one by Closes — the leak detector for operator
+// composition (the stream-level twin lives in the planner tests).
+type lifecycle struct {
+	Iterator
+	opened, closed int
+	failNextAfter  int // inject an error after this many Next calls (>0)
+	served         int
+}
+
+func (l *lifecycle) Open(ctx context.Context) error {
+	err := l.Iterator.Open(ctx)
+	if err == nil {
+		l.opened++
+	}
+	return err
+}
+
+func (l *lifecycle) Next() (Tuple, bool, error) {
+	if l.failNextAfter > 0 && l.served >= l.failNextAfter {
+		return nil, false, fmt.Errorf("lifecycle: injected failure after %d tuples", l.served)
+	}
+	t, ok, err := l.Iterator.Next()
+	if ok {
+		l.served++
+	}
+	return t, ok, err
+}
+
+func (l *lifecycle) Close() error {
+	l.closed++
+	return l.Iterator.Close()
+}
+
+type lifecycleRegistry []*lifecycle
+
+func (r *lifecycleRegistry) track(it Iterator, failNextAfter int) Iterator {
+	l := &lifecycle{Iterator: it, failNextAfter: failNextAfter}
+	*r = append(*r, l)
+	return l
+}
+
+func (r lifecycleRegistry) assertBalanced(t *testing.T) {
+	t.Helper()
+	for i, l := range r {
+		if l.opened != l.closed {
+			t.Errorf("iterator %d: %d successful Opens, %d Closes", i, l.opened, l.closed)
+		}
+		if l.opened > 1 {
+			t.Errorf("iterator %d: opened %d times (single-use contract)", i, l.opened)
+		}
+	}
+}
+
+// TestIteratorLifecycleBalanced: across full drains, early exits and
+// injected mid-stream failures, every node whose Open succeeded is
+// closed exactly once.
+func TestIteratorLifecycleBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	build := func(reg *lifecycleRegistry, failAfter int) Iterator {
+		a := randomRelation("x", 30, rng).Qualify("a")
+		b := randomRelation("y", 20, rng).Qualify("b")
+		left := reg.track(NewScan(a), failAfter)
+		right := reg.track(NewScan(b), 0)
+		hj, err := NewHashJoin(left, right, []string{"a.k"}, []string{"b.k"}, nil, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := reg.track(NewSort(reg.track(hj, 0), []OrderKey{{Expr: mustExpr("a.v")}}, nil), 0)
+		items := []ProjectItem{{Name: "k", Expr: mustExpr("a.k")}}
+		u, err := NewUnionAll(
+			reg.track(NewProject(sorted, items), 0),
+			reg.track(NewProject(reg.track(NewScan(a), 0), items), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg.track(u, 0)
+	}
+
+	t.Run("full drain", func(t *testing.T) {
+		var reg lifecycleRegistry
+		if _, err := Collect(context.Background(), build(&reg, 0), ""); err != nil {
+			t.Fatal(err)
+		}
+		reg.assertBalanced(t)
+	})
+	t.Run("early exit", func(t *testing.T) {
+		var reg lifecycleRegistry
+		if _, err := Collect(context.Background(), NewLimit(build(&reg, 0), 2), ""); err != nil {
+			t.Fatal(err)
+		}
+		reg.assertBalanced(t)
+	})
+	t.Run("mid-stream failure", func(t *testing.T) {
+		var reg lifecycleRegistry
+		if _, err := Collect(context.Background(), build(&reg, 5), ""); err == nil {
+			t.Fatal("expected injected failure")
+		}
+		reg.assertBalanced(t)
+	})
+	t.Run("canceled context", func(t *testing.T) {
+		var reg lifecycleRegistry
+		it := build(&reg, 0)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := Collect(ctx, it, ""); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+		reg.assertBalanced(t)
+	})
 }

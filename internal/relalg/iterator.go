@@ -17,18 +17,24 @@ package relalg
 //
 //  1. Schema() may be called at any time, including before Open; it is
 //     cheap and must always return the same value.
-//  2. Open() acquires resources and must be called exactly once before
-//     the first Next(). Opening is where pipeline breakers (Sort, GroupBy,
-//     the build side of HashJoin, both sides of MergeJoin) consume their
-//     children and materialize; a non-breaker operator opens its children
-//     and does no tuple work.
+//  2. Open(ctx) acquires resources and must be called exactly once before
+//     the first Next(). The context bounds the whole run of the pipeline:
+//     operators pass it to their children, leaves retain it and check it
+//     while producing, and breakers check it while draining, so canceling
+//     the context (or exceeding its deadline) makes Next return ctx.Err()
+//     promptly even mid-stream. Opening is where pipeline breakers (Sort,
+//     GroupBy, the build side of HashJoin, both sides of MergeJoin)
+//     consume their children and materialize; a non-breaker operator opens
+//     its children and does no tuple work.
 //  3. Next() returns (tuple, true, nil) while tuples remain, then
 //     (nil, false, nil) once exhausted. After it has returned false or an
 //     error, further calls keep returning (nil, false, err?) — callers may
 //     rely on that but must not rely on anything stronger.
 //  4. Close() releases resources. It must be called exactly once after
 //     Open succeeded, even when Next returned an error; it closes the
-//     operator's children. Close after a failed Open is a no-op.
+//     operator's children. Close after a failed Open is a no-op: an
+//     operator whose Open fails must release whatever it had already
+//     acquired before returning the error.
 //
 // Returned tuples are owned by the consumer until the next call to
 // Next(): operators either hand out freshly built tuples or tuples
@@ -40,13 +46,17 @@ package relalg
 // that stops early (LIMIT) simply stops calling Next and calls Close;
 // operators must tolerate being closed before exhaustion.
 
+import "context"
+
 // Iterator is the pull-based tuple stream every streaming operator
 // implements. See the package comment above for the full contract.
 type Iterator interface {
 	// Schema describes the tuples this iterator produces.
 	Schema() Schema
-	// Open prepares the iterator (and its children) for Next calls.
-	Open() error
+	// Open prepares the iterator (and its children) for Next calls. The
+	// context bounds the pipeline's run; cancellation surfaces as an
+	// error from Next (or from Open itself in pipeline breakers).
+	Open(ctx context.Context) error
 	// Next returns the next tuple, or ok=false when the stream is done.
 	Next() (Tuple, bool, error)
 	// Close releases resources; it closes children.
@@ -57,7 +67,8 @@ type Iterator interface {
 // materialized intermediate (a sort buffer, a hash-build input, a
 // merge-join side). The engine passes a store.TempStore-backed Stager so
 // large intermediates spill to local secondary storage instead of
-// occupying memory; a nil Stager keeps everything resident.
+// occupying memory (and so per-session staging budgets are enforced at
+// the staging point); a nil Stager keeps everything resident.
 type Stager interface {
 	// Stage parks rel and returns the relation to continue with (the
 	// same value, or a disk-backed reload of it).
@@ -74,13 +85,18 @@ func stage(st Stager, rel *Relation) (*Relation, error) {
 
 // Collect drains it into a materialized relation named name. It runs the
 // full Open/Next/Close cycle and is the bridge from the streaming world
-// back to *Relation.
-func Collect(it Iterator, name string) (*Relation, error) {
-	if err := it.Open(); err != nil {
+// back to *Relation. The drain loop checks ctx, so a canceled context
+// stops a breaker's buffering (and any other full drain) mid-way.
+func Collect(ctx context.Context, it Iterator, name string) (*Relation, error) {
+	if err := it.Open(ctx); err != nil {
 		return nil, err
 	}
 	out := NewRelation(name, it.Schema())
 	for {
+		if err := ctx.Err(); err != nil {
+			it.Close()
+			return nil, err
+		}
 		t, ok, err := it.Next()
 		if err != nil {
 			it.Close()
@@ -98,9 +114,11 @@ func Collect(it Iterator, name string) (*Relation, error) {
 }
 
 // ScanIter streams the tuples of a materialized relation in order. It is
-// the leaf of every iterator tree built over in-memory data.
+// the leaf of every iterator tree built over in-memory data; as a leaf it
+// retains the Open context and reports its cancellation from Next.
 type ScanIter struct {
 	rel *Relation
+	ctx context.Context
 	pos int
 }
 
@@ -111,12 +129,19 @@ func NewScan(rel *Relation) *ScanIter { return &ScanIter{rel: rel} }
 func (s *ScanIter) Schema() Schema { return s.rel.Schema }
 
 // Open implements Iterator.
-func (s *ScanIter) Open() error { s.pos = 0; return nil }
+func (s *ScanIter) Open(ctx context.Context) error {
+	s.ctx = ctx
+	s.pos = 0
+	return ctx.Err()
+}
 
 // Next implements Iterator.
 func (s *ScanIter) Next() (Tuple, bool, error) {
 	if s.pos >= len(s.rel.Tuples) {
 		return nil, false, nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	t := s.rel.Tuples[s.pos]
 	s.pos++
@@ -129,16 +154,17 @@ func (s *ScanIter) Close() error { return nil }
 // DeferredIter delays building its child until Open: the planner uses it
 // to keep whole mediation branches unplanned and unexecuted until the
 // consumer actually pulls from them (so an upstream LIMIT can skip later
-// branches entirely).
+// branches entirely). The Open context is handed to the build function so
+// deferred work (bind-join fetches, staging drains) stays cancellable.
 type DeferredIter struct {
 	schema Schema
-	build  func() (Iterator, error)
+	build  func(ctx context.Context) (Iterator, error)
 	child  Iterator
 }
 
 // NewDeferred returns an iterator with the given schema whose child is
 // built by build at Open time.
-func NewDeferred(schema Schema, build func() (Iterator, error)) *DeferredIter {
+func NewDeferred(schema Schema, build func(ctx context.Context) (Iterator, error)) *DeferredIter {
 	return &DeferredIter{schema: schema, build: build}
 }
 
@@ -146,12 +172,12 @@ func NewDeferred(schema Schema, build func() (Iterator, error)) *DeferredIter {
 func (d *DeferredIter) Schema() Schema { return d.schema }
 
 // Open implements Iterator.
-func (d *DeferredIter) Open() error {
-	child, err := d.build()
+func (d *DeferredIter) Open(ctx context.Context) error {
+	child, err := d.build(ctx)
 	if err != nil {
 		return err
 	}
-	if err := child.Open(); err != nil {
+	if err := child.Open(ctx); err != nil {
 		return err
 	}
 	d.child = child
@@ -193,7 +219,7 @@ func NewRename(child Iterator, schema Schema) *RenameIter {
 func (r *RenameIter) Schema() Schema { return r.schema }
 
 // Open implements Iterator.
-func (r *RenameIter) Open() error { return r.child.Open() }
+func (r *RenameIter) Open(ctx context.Context) error { return r.child.Open(ctx) }
 
 // Next implements Iterator.
 func (r *RenameIter) Next() (Tuple, bool, error) { return r.child.Next() }
@@ -218,12 +244,12 @@ func NewOnOpen(child Iterator, fn func()) *OnOpenIter {
 func (o *OnOpenIter) Schema() Schema { return o.child.Schema() }
 
 // Open implements Iterator.
-func (o *OnOpenIter) Open() error {
+func (o *OnOpenIter) Open(ctx context.Context) error {
 	if o.fn != nil {
 		o.fn()
 		o.fn = nil
 	}
-	return o.child.Open()
+	return o.child.Open(ctx)
 }
 
 // Next implements Iterator.

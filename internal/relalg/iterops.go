@@ -1,6 +1,7 @@
 package relalg
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sqlparse"
@@ -34,7 +35,7 @@ func NewFilter(child Iterator, pred sqlparse.Expr) *FilterIter {
 func (f *FilterIter) Schema() Schema { return f.child.Schema() }
 
 // Open implements Iterator.
-func (f *FilterIter) Open() error { return f.child.Open() }
+func (f *FilterIter) Open(ctx context.Context) error { return f.child.Open(ctx) }
 
 // Next implements Iterator.
 func (f *FilterIter) Next() (Tuple, bool, error) {
@@ -85,7 +86,7 @@ func NewProject(child Iterator, items []ProjectItem) *ProjectIter {
 func (p *ProjectIter) Schema() Schema { return p.schema }
 
 // Open implements Iterator.
-func (p *ProjectIter) Open() error { return p.child.Open() }
+func (p *ProjectIter) Open(ctx context.Context) error { return p.child.Open(ctx) }
 
 // Next implements Iterator.
 func (p *ProjectIter) Next() (Tuple, bool, error) {
@@ -125,7 +126,7 @@ func NewLimit(child Iterator, n int) *LimitIter {
 func (l *LimitIter) Schema() Schema { return l.child.Schema() }
 
 // Open implements Iterator.
-func (l *LimitIter) Open() error { l.seen = 0; return l.child.Open() }
+func (l *LimitIter) Open(ctx context.Context) error { l.seen = 0; return l.child.Open(ctx) }
 
 // Next implements Iterator.
 func (l *LimitIter) Next() (Tuple, bool, error) {
@@ -158,9 +159,9 @@ func NewDistinct(child Iterator) *DistinctIter { return &DistinctIter{child: chi
 func (d *DistinctIter) Schema() Schema { return d.child.Schema() }
 
 // Open implements Iterator.
-func (d *DistinctIter) Open() error {
+func (d *DistinctIter) Open(ctx context.Context) error {
 	d.seen = make(map[string]bool)
-	return d.child.Open()
+	return d.child.Open(ctx)
 }
 
 // Next implements Iterator.
@@ -187,6 +188,7 @@ func (d *DistinctIter) Close() error { d.seen = nil; return d.child.Close() }
 // UNION, wrap it in NewDistinct.
 type UnionAllIter struct {
 	children []Iterator
+	ctx      context.Context
 	cur      int
 	opened   int // children[0:opened] have been opened
 }
@@ -211,9 +213,10 @@ func NewUnionAll(children ...Iterator) (*UnionAllIter, error) {
 func (u *UnionAllIter) Schema() Schema { return u.children[0].Schema() }
 
 // Open implements Iterator.
-func (u *UnionAllIter) Open() error {
+func (u *UnionAllIter) Open(ctx context.Context) error {
+	u.ctx = ctx
 	u.cur, u.opened = 0, 0
-	if err := u.children[0].Open(); err != nil {
+	if err := u.children[0].Open(ctx); err != nil {
 		return err
 	}
 	u.opened = 1
@@ -232,7 +235,7 @@ func (u *UnionAllIter) Next() (Tuple, bool, error) {
 		}
 		u.cur++
 		if u.cur < len(u.children) {
-			if err := u.children[u.cur].Open(); err != nil {
+			if err := u.children[u.cur].Open(u.ctx); err != nil {
 				return nil, false, err
 			}
 			u.opened = u.cur + 1
@@ -283,10 +286,10 @@ func NewNestedLoop(outer Iterator, inner *Relation, pred sqlparse.Expr) *NestedL
 func (n *NestedLoopIter) Schema() Schema { return n.schema }
 
 // Open implements Iterator.
-func (n *NestedLoopIter) Open() error {
+func (n *NestedLoopIter) Open(ctx context.Context) error {
 	n.cur, n.pos = nil, 0
 	n.scratch = make(Tuple, len(n.schema.Columns))
-	return n.outer.Open()
+	return n.outer.Open(ctx)
 }
 
 // Next implements Iterator.
@@ -370,12 +373,12 @@ func NewHashJoin(left, right Iterator, leftKeys, rightKeys []string, residual sq
 func (h *HashJoinIter) Schema() Schema { return h.schema }
 
 // Open implements Iterator: it drains the build side into the hash table.
-func (h *HashJoinIter) Open() error {
+func (h *HashJoinIter) Open(ctx context.Context) error {
 	build, buildIdx := h.right, h.rightIdx
 	if h.buildLeft {
 		build, buildIdx = h.left, h.leftIdx
 	}
-	rel, err := Collect(build, "")
+	rel, err := Collect(ctx, build, "")
 	if err != nil {
 		return err
 	}
@@ -403,7 +406,7 @@ func (h *HashJoinIter) Open() error {
 		h.probe = h.right
 	}
 	h.cur, h.matches = nil, nil
-	return h.probe.Open()
+	return h.probe.Open(ctx)
 }
 
 // Next implements Iterator.
@@ -500,9 +503,9 @@ func NewMergeJoin(left, right Iterator, leftKeys, rightKeys []string, residual s
 func (m *MergeJoinIter) Schema() Schema { return m.schema }
 
 // Open implements Iterator: drain, stage and sort both sides.
-func (m *MergeJoinIter) Open() error {
+func (m *MergeJoinIter) Open(ctx context.Context) error {
 	sortSide := func(it Iterator, idx []int) ([]Tuple, error) {
-		rel, err := Collect(it, "")
+		rel, err := Collect(ctx, it, "")
 		if err != nil {
 			return nil, err
 		}
@@ -627,8 +630,8 @@ func NewSort(child Iterator, keys []OrderKey, st Stager) *SortIter {
 func (s *SortIter) Schema() Schema { return s.child.Schema() }
 
 // Open implements Iterator.
-func (s *SortIter) Open() error {
-	rel, err := Collect(s.child, "")
+func (s *SortIter) Open(ctx context.Context) error {
+	rel, err := Collect(ctx, s.child, "")
 	if err != nil {
 		return err
 	}
@@ -640,7 +643,7 @@ func (s *SortIter) Open() error {
 		return err
 	}
 	s.out = NewScan(sorted)
-	return s.out.Open()
+	return s.out.Open(ctx)
 }
 
 // Next implements Iterator.
@@ -683,8 +686,8 @@ func NewGroupBy(child Iterator, keys []sqlparse.Expr, items []AggItem, having sq
 func (g *GroupByIter) Schema() Schema { return g.schema }
 
 // Open implements Iterator.
-func (g *GroupByIter) Open() error {
-	rel, err := Collect(g.child, "")
+func (g *GroupByIter) Open(ctx context.Context) error {
+	rel, err := Collect(ctx, g.child, "")
 	if err != nil {
 		return err
 	}
@@ -696,7 +699,7 @@ func (g *GroupByIter) Open() error {
 		return err
 	}
 	g.out = NewScan(grouped)
-	return g.out.Open()
+	return g.out.Open(ctx)
 }
 
 // Next implements Iterator.

@@ -1,6 +1,8 @@
 package relalg
 
 import (
+	"context"
+
 	"repro/internal/sqlparse"
 )
 
@@ -16,5 +18,5 @@ func MergeJoin(a, b *Relation, aKeys, bKeys []string, residual sqlparse.Expr) (*
 	if err != nil {
 		return nil, err
 	}
-	return Collect(it, "")
+	return Collect(context.Background(), it, "")
 }

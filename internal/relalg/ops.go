@@ -1,6 +1,7 @@
 package relalg
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/sqlparse"
@@ -18,7 +19,7 @@ func Filter(r *Relation, pred sqlparse.Expr) (*Relation, error) {
 	if pred == nil {
 		return r, nil
 	}
-	return Collect(NewFilter(NewScan(r), pred), r.Name)
+	return Collect(context.Background(), NewFilter(NewScan(r), pred), r.Name)
 }
 
 // ProjectItem names one output column computed by an expression.
@@ -29,7 +30,7 @@ type ProjectItem struct {
 
 // Project computes one output column per item.
 func Project(r *Relation, items []ProjectItem) (*Relation, error) {
-	return Collect(NewProject(NewScan(r), items), r.Name)
+	return Collect(context.Background(), NewProject(NewScan(r), items), r.Name)
 }
 
 // CrossJoin is the Cartesian product; schemas are concatenated.
@@ -45,7 +46,7 @@ func CrossJoin(a, b *Relation) *Relation {
 // NestedLoopJoin joins a and b keeping concatenated rows where pred holds.
 // A nil pred degenerates to CrossJoin.
 func NestedLoopJoin(a, b *Relation, pred sqlparse.Expr) (*Relation, error) {
-	return Collect(NewNestedLoop(NewScan(a), b, pred), "")
+	return Collect(context.Background(), NewNestedLoop(NewScan(a), b, pred), "")
 }
 
 // HashJoin equi-joins a and b on pairwise key columns (named in each
@@ -58,12 +59,12 @@ func HashJoin(a, b *Relation, aKeys, bKeys []string, residual sqlparse.Expr) (*R
 	if err != nil {
 		return nil, err
 	}
-	return Collect(it, "")
+	return Collect(context.Background(), it, "")
 }
 
 // Distinct removes duplicate tuples, keeping first occurrences in order.
 func Distinct(r *Relation) *Relation {
-	out, err := Collect(NewDistinct(NewScan(r)), r.Name)
+	out, err := Collect(context.Background(), NewDistinct(NewScan(r)), r.Name)
 	if err != nil {
 		// Unreachable: deduplication evaluates no expressions.
 		panic(err)
@@ -82,7 +83,7 @@ func Union(a, b *Relation, all bool) (*Relation, error) {
 	if !all {
 		it = NewDistinct(it)
 	}
-	return Collect(it, a.Name)
+	return Collect(context.Background(), it, a.Name)
 }
 
 // OrderKey is one sort key for Sort.
@@ -155,7 +156,7 @@ func Limit(r *Relation, n int) *Relation {
 	if n < 0 || n >= len(r.Tuples) {
 		return r
 	}
-	out, err := Collect(NewLimit(NewScan(r), n), r.Name)
+	out, err := Collect(context.Background(), NewLimit(NewScan(r), n), r.Name)
 	if err != nil {
 		// Unreachable: limiting evaluates no expressions.
 		panic(err)

@@ -152,6 +152,27 @@ func (r *Relation) MustAdd(vals ...Value) {
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.Tuples) }
 
+// valueOverheadBytes approximates the in-memory footprint of one Value
+// struct (kind + number + string header + bool, with padding).
+const valueOverheadBytes = 40
+
+// ApproxBytes estimates the resident size of the relation's tuple data:
+// the fixed Value footprint per datum plus string payloads. Resource
+// governors use it to budget staged intermediates; it is an estimate, not
+// an exact accounting.
+func (r *Relation) ApproxBytes() int64 {
+	var total int64
+	for _, t := range r.Tuples {
+		total += int64(len(t)) * valueOverheadBytes
+		for _, v := range t {
+			if v.K == KindString {
+				total += int64(len(v.S))
+			}
+		}
+	}
+	return total
+}
+
 // Clone deep-copies the relation.
 func (r *Relation) Clone() *Relation {
 	out := &Relation{Name: r.Name, Schema: Schema{Columns: append([]Column(nil), r.Schema.Columns...)}}

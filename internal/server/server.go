@@ -2,33 +2,61 @@
 // the prototype tunneled an ODBC-family protocol inside HTTP so that "any
 // application with basic capabilities for Internet socket based
 // communication" could reach the mediation services, and shipped an HTML
-// Query-By-Example form on top. This package provides the same two faces:
+// Query-By-Example form on top. This package provides the same faces,
+// made safe for real traffic: every query runs inside a session bound to
+// the HTTP request's context (a disconnected receiver aborts the query
+// all the way down to the source fetches) and governable by per-request
+// limits.
 //
-//	POST /api/query    {"sql": ..., "context": ...} -> columns+rows JSON
-//	POST /api/mediate  {"sql": ..., "context": ...} -> mediated SQL text
-//	GET  /api/schema   -> relations, their schemas and sources, contexts
-//	GET  /qbe          -> the HTML QBE form (submits to /qbe/run)
+//	POST /api/query         {"sql", "context", "timeout"?, "max_rows"?} -> columns+rows JSON
+//	POST /api/query/stream  same body -> NDJSON: header record, one record
+//	                        per row as produced, trailing stats/error record
+//	POST /api/mediate       {"sql", "context"} -> mediated SQL text
+//	GET  /api/schema        -> relations, their schemas and sources, contexts
+//	GET  /qbe               -> the HTML QBE form (submits to /qbe/run)
 //
 // internal/client is the Go counterpart of the prototype's ODBC driver.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/planner"
 	"repro/internal/relalg"
 )
 
+// RowStream is an open, incrementally-consumable query answer; the
+// /api/query/stream handler drains it onto the wire row by row.
+// coin.RowStream implements it.
+type RowStream interface {
+	// Schema describes the rows.
+	Schema() relalg.Schema
+	// Mediation returns the mediated query, or nil for a naive stream.
+	Mediation() *core.Mediation
+	// Next returns the next row, ok=false at end, or the terminal error.
+	Next() (relalg.Tuple, bool, error)
+	// Close releases the stream and its query session.
+	Close() error
+}
+
 // Service is what the server needs from the mediator installation;
-// repro/coin.System implements it.
+// repro/coin.System (through its Handler adapter) implements it. Every
+// query method takes the request context and per-query limits, so the
+// server can tie query lifetimes to receiver connections.
 type Service interface {
 	Mediate(sql, receiver string) (*core.Mediation, error)
-	Query(sql, receiver string) (*relalg.Relation, error)
-	QueryNaive(sql string) (*relalg.Relation, error)
+	QueryCtx(ctx context.Context, sql, receiver string, opts planner.Limits) (*relalg.Relation, error)
+	ExecuteCtx(ctx context.Context, med *core.Mediation, opts planner.Limits) (*relalg.Relation, error)
+	QueryNaiveCtx(ctx context.Context, sql string, opts planner.Limits) (*relalg.Relation, error)
+	QueryStream(ctx context.Context, sql, receiver string, naive bool, opts planner.Limits) (RowStream, error)
 	Explain(sql, receiver string) (string, error)
 	Contexts() []string
 	Relations() []string
@@ -40,12 +68,37 @@ type ExplainResponse struct {
 	Plan string `json:"plan"`
 }
 
-// QueryRequest is the body of /api/query and /api/mediate.
+// QueryRequest is the body of /api/query, /api/query/stream and
+// /api/mediate.
 type QueryRequest struct {
 	SQL     string `json:"sql"`
 	Context string `json:"context"`
 	// Naive skips mediation (the paper's baseline behavior).
 	Naive bool `json:"naive,omitempty"`
+	// Timeout bounds the query session's wall clock, as a Go duration
+	// string ("500ms", "2s"). Empty: no server-side deadline beyond the
+	// connection's lifetime.
+	Timeout string `json:"timeout,omitempty"`
+	// MaxRows caps the rows delivered; the answer is truncated, not
+	// failed. Zero: unlimited.
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// limits converts the request's governor fields to planner.Limits.
+func (r *QueryRequest) limits() (planner.Limits, error) {
+	var lim planner.Limits
+	if r.Timeout != "" {
+		d, err := time.ParseDuration(r.Timeout)
+		if err != nil || d < 0 {
+			return lim, fmt.Errorf("server: bad timeout %q (want a Go duration like \"2s\")", r.Timeout)
+		}
+		lim.Timeout = d
+	}
+	if r.MaxRows < 0 {
+		return lim, fmt.Errorf("server: bad max_rows %d", r.MaxRows)
+	}
+	lim.MaxRows = r.MaxRows
+	return lim, nil
 }
 
 // ColumnInfo describes one result column.
@@ -60,6 +113,20 @@ type QueryResponse struct {
 	Rows        [][]interface{} `json:"rows"`
 	MediatedSQL string          `json:"mediatedSQL,omitempty"`
 	Branches    int             `json:"branches,omitempty"`
+}
+
+// StreamRecord is one NDJSON line of /api/query/stream. Type is "header"
+// (first line: columns plus mediation metadata), "row" (one result row in
+// Values), "stats" (trailing success record) or "error" (trailing failure
+// record; the stream ends there).
+type StreamRecord struct {
+	Type        string          `json:"type"`
+	Columns     []ColumnInfo    `json:"columns,omitempty"`
+	MediatedSQL string          `json:"mediatedSQL,omitempty"`
+	Branches    int             `json:"branches,omitempty"`
+	Values      []interface{}   `json:"values,omitempty"`
+	Rows        int             `json:"rows,omitempty"`
+	Error       string          `json:"error,omitempty"`
 }
 
 // MediateResponse is the body returned by /api/mediate.
@@ -84,6 +151,7 @@ func New(svc Service) http.Handler {
 	s := &srv{svc: svc}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/query", s.handleQuery)
+	mux.HandleFunc("/api/query/stream", s.handleQueryStream)
 	mux.HandleFunc("/api/mediate", s.handleMediate)
 	mux.HandleFunc("/api/explain", s.handleExplain)
 	mux.HandleFunc("/api/schema", s.handleSchema)
@@ -101,6 +169,16 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// statusFor maps a query failure to an HTTP status: deadline overruns are
+// gateway timeouts, everything else (mediation errors, governor limits,
+// receiver cancellation noticed server-side) is unprocessable.
+func statusFor(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -128,21 +206,28 @@ func (s *srv) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	opts, err := req.limits()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
 	var (
 		rel *relalg.Relation
 		med *core.Mediation
-		err error
 	)
 	if req.Naive {
-		rel, err = s.svc.QueryNaive(req.SQL)
+		rel, err = s.svc.QueryNaiveCtx(ctx, req.SQL, opts)
 	} else {
+		// Mediate once and execute the result, rather than QueryCtx
+		// (which would re-run the abductive rewriting for the same SQL).
 		med, err = s.svc.Mediate(req.SQL, req.Context)
 		if err == nil {
-			rel, err = s.svc.Query(req.SQL, req.Context)
+			rel, err = s.svc.ExecuteCtx(ctx, med, opts)
 		}
 	}
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	resp := relationResponse(rel)
@@ -151,6 +236,78 @@ func (s *srv) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Branches = len(med.Branches)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQueryStream is the streaming wire path: it opens a governed row
+// stream bound to the request context and writes NDJSON incrementally —
+// header first, each row as the iterator tree yields it (flushed so the
+// receiver sees the first row before the sources finish), then a trailing
+// stats or error record. A receiver that disconnects cancels r.Context(),
+// which aborts the query's source fetches mid-stream.
+func (s *srv) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opts, err := req.limits()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rs, err := s.svc.QueryStream(r.Context(), req.SQL, req.Context, req.Naive, opts)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	defer rs.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	header := StreamRecord{Type: "header"}
+	for _, c := range rs.Schema().Columns {
+		header.Columns = append(header.Columns, ColumnInfo{Name: c.Name, Type: c.Type.String()})
+	}
+	if med := rs.Mediation(); med != nil {
+		header.MediatedSQL = med.SQL()
+		header.Branches = len(med.Branches)
+	}
+	if err := enc.Encode(header); err != nil {
+		return
+	}
+	flush()
+
+	rows := 0
+	for {
+		t, ok, err := rs.Next()
+		if err != nil {
+			_ = enc.Encode(StreamRecord{Type: "error", Rows: rows, Error: err.Error()})
+			flush()
+			return
+		}
+		if !ok {
+			break
+		}
+		vals := make([]interface{}, len(t))
+		for i, v := range t {
+			vals[i] = valueJSON(v)
+		}
+		if err := enc.Encode(StreamRecord{Type: "row", Values: vals}); err != nil {
+			return // receiver gone; rs.Close (deferred) cancels the session
+		}
+		rows++
+		flush()
+	}
+	_ = enc.Encode(StreamRecord{Type: "stats", Rows: rows})
+	flush()
 }
 
 func relationResponse(rel *relalg.Relation) QueryResponse {
@@ -301,14 +458,14 @@ func (s *srv) handleQBERun(w http.ResponseWriter, r *http.Request) {
 	var rel *relalg.Relation
 	var err error
 	if page.Naive {
-		rel, err = s.svc.QueryNaive(page.SQL)
+		rel, err = s.svc.QueryNaiveCtx(r.Context(), page.SQL, planner.Limits{})
 	} else {
 		var med *core.Mediation
 		med, err = s.svc.Mediate(page.SQL, ctx)
 		if err == nil {
 			page.MediatedSQL = med.SQL()
 			page.Derivation = med.ExplainText()
-			rel, err = s.svc.Query(page.SQL, ctx)
+			rel, err = s.svc.ExecuteCtx(r.Context(), med, planner.Limits{})
 		}
 	}
 	if err != nil {

@@ -1,0 +1,260 @@
+package server_test
+
+// Tests for the session-aware HTTP layer: the NDJSON streaming wire path
+// (first row delivered before the query finishes), per-request timeout
+// and max_rows governors, and receiver disconnects cancelling the query
+// all the way into the source fetches.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/coin"
+	"repro/internal/client"
+	"repro/internal/relalg"
+	"repro/internal/store"
+	"repro/internal/wrapper"
+	"repro/internal/wrapper/wrappertest"
+)
+
+// gatedSystem wires a System over a gated relational source of n rows
+// (naive queries only; no mediation knowledge attached).
+func gatedSystem(t *testing.T, n int) (*coin.System, *wrappertest.Gate) {
+	t.Helper()
+	sys := coin.New(coin.NewModel())
+	db := store.NewDB("slowsrc")
+	tab := db.MustCreateTable("nums", relalg.NewSchema(
+		relalg.Column{Name: "n", Type: relalg.KindNumber},
+	))
+	for i := 0; i < n; i++ {
+		tab.MustInsert(relalg.NumV(float64(i)))
+	}
+	gw := wrappertest.NewGate(wrapper.NewRelational(db))
+	sys.Catalog.MustAddSource(gw)
+	return sys, gw
+}
+
+// TestStreamEndpointMediated drives /api/query/stream through the client
+// cursor over the full Figure 2 stack: header metadata, the paper's
+// answer row, clean stats-terminated end.
+func TestStreamEndpointMediated(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := conn.QueryStream(context.Background(), coin.PaperQ1, "c2", false, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if cur.Branches() != 3 || !strings.Contains(cur.MediatedSQL(), "UNION") {
+		t.Errorf("stream header: branches=%d sql=%q", cur.Branches(), cur.MediatedSQL())
+	}
+	if len(cur.Columns()) != 2 {
+		t.Errorf("columns = %v", cur.Columns())
+	}
+	var names []string
+	var revs []float64
+	for cur.Next() {
+		var name string
+		var rev float64
+		if err := cur.Scan(&name, &rev); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+		revs = append(revs, rev)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "NTT" || revs[0] != 9600000 {
+		t.Errorf("streamed answer = %v %v", names, revs)
+	}
+}
+
+// TestStreamDeliversRowsWithoutFullMaterialization is the wire-level
+// acceptance check: a LIMIT query over a gated 50k-row source completes
+// over /api/query/stream even though the source only ever releases LIMIT
+// tuples — the server cannot have materialized the full result before
+// writing, and the transfer stats stay at LIMIT.
+func TestStreamDeliversRowsWithoutFullMaterialization(t *testing.T) {
+	sys, gw := gatedSystem(t, 50000)
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Only 3 tuples will ever pass the gate. If the handler tried to
+	// drain the source before writing, it would hang and the request
+	// context would expire.
+	go gw.Allow(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	cur, err := conn.QueryStream(ctx, "SELECT nums.n FROM nums LIMIT 3", "", true, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	rows := 0
+	for cur.Next() {
+		rows++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 {
+		t.Fatalf("streamed %d rows, want 3", rows)
+	}
+	waitForStats(t, sys, func(st coin.ExecStats) bool {
+		return st.TuplesTransferred == 3 && st.SourceQueries == 1
+	})
+}
+
+// TestStreamClientDisconnectCancelsQuery: a receiver that abandons the
+// stream cancels the request context, which aborts the query session and
+// releases the source blocked mid-transfer.
+func TestStreamClientDisconnectCancelsQuery(t *testing.T) {
+	sys, gw := gatedSystem(t, 50000)
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	go gw.Allow(2)
+	cur, err := conn.QueryStream(context.Background(), "SELECT nums.n FROM nums", "", true, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if !cur.Next() {
+			t.Fatalf("row %d missing: %v", i, cur.Err())
+		}
+	}
+	// Disconnect with the source blocked offering tuple 3. The server
+	// notices the dead connection, cancels the session, and the gated
+	// stream is released with ctx.Err().
+	cur.Close()
+	waitForStats(t, sys, func(st coin.ExecStats) bool {
+		return st.TuplesTransferred == 2 && st.SourceQueries == 1
+	})
+}
+
+// TestQueryTimeoutOverHTTP: a request-level timeout on the buffered
+// endpoint surfaces as 504 with the deadline error, instead of hanging on
+// the stuck source.
+func TestQueryTimeoutOverHTTP(t *testing.T) {
+	sys, _ := gatedSystem(t, 10) // gate never opens
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+
+	body := `{"sql": "SELECT nums.n FROM nums", "naive": true, "timeout": "75ms"}`
+	resp, err := http.Post(ts.URL+"/api/query", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "deadline") {
+		t.Errorf("body = %s", buf.String())
+	}
+}
+
+// TestMaxRowsOverHTTP: the max_rows governor truncates the buffered
+// answer.
+func TestMaxRowsOverHTTP(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.QueryCtx(context.Background(), "SELECT r2.cname FROM r2", "c2",
+		client.Options{MaxRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("max_rows=1 returned %d rows", len(res.Rows))
+	}
+}
+
+// TestGovernedNaiveQueryOverHTTP: the naive buffered path carries the
+// timeout and max_rows governors too (a Timeout > 0 also routes the
+// client off its 30s-capped default transport).
+func TestGovernedNaiveQueryOverHTTP(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.QueryNaiveCtx(context.Background(), "SELECT r2.cname FROM r2",
+		client.Options{Timeout: time.Minute, MaxRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("naive max_rows=1 returned %d rows", len(res.Rows))
+	}
+	if _, err := conn.QueryNaiveCtx(context.Background(), "SELECT r2.cname FROM r2",
+		client.Options{Timeout: time.Nanosecond}); err == nil {
+		t.Error("expired naive timeout succeeded")
+	}
+}
+
+// TestBadGovernorValuesRejected: malformed timeout / max_rows are 400s.
+func TestBadGovernorValuesRejected(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	for _, body := range []string{
+		`{"sql": "SELECT r2.cname FROM r2", "context": "c2", "timeout": "soon"}`,
+		`{"sql": "SELECT r2.cname FROM r2", "context": "c2", "max_rows": -1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/api/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// waitForStats polls the executor stats until ok or a deadline; the
+// server flushes per-stream transfer counts when the handler's deferred
+// Close runs, which can lag the client's last read slightly.
+func waitForStats(t *testing.T, sys *coin.System, ok func(coin.ExecStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := sys.Executor().Stats()
+		if ok(st) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never settled: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

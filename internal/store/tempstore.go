@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -136,6 +137,53 @@ func (ts *TempStore) Stage(rel *relalg.Relation) (*relalg.Relation, error) {
 	delete(ts.mem, key)
 	ts.mu.Unlock()
 	return out, nil
+}
+
+// ErrStageBudgetExceeded aborts a query whose staged intermediates
+// exceed its session's byte budget.
+var ErrStageBudgetExceeded = errors.New("store: staged bytes exceed the session budget")
+
+// Budget caps the cumulative bytes one query session may stage through a
+// TempStore. It is shared by every staging point of the session
+// (concurrent mediation branches included), so the cap is global to the
+// query, not per breaker.
+type Budget struct {
+	// Max is the byte cap; zero or negative means unlimited.
+	Max int64
+
+	mu   sync.Mutex
+	used int64
+}
+
+// Charge records n more staged bytes, failing once the budget is blown.
+func (b *Budget) Charge(n int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.used += n
+	if b.Max > 0 && b.used > b.Max {
+		return fmt.Errorf("%w (%d > %d bytes)", ErrStageBudgetExceeded, b.used, b.Max)
+	}
+	return nil
+}
+
+// Used reports the bytes charged so far.
+func (b *Budget) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// StageWithin stages rel like Stage, after charging the relation's
+// approximate size against budget (nil budget: ungoverned). This is the
+// enforcement point for a session's max-staged-bytes governor: every
+// pipeline breaker and step boundary routes its buffer through here.
+func (ts *TempStore) StageWithin(rel *relalg.Relation, budget *Budget) (*relalg.Relation, error) {
+	if budget != nil {
+		if err := budget.Charge(rel.ApproxBytes()); err != nil {
+			return nil, err
+		}
+	}
+	return ts.Stage(rel)
 }
 
 // Spills reports how many entries have been written to disk.

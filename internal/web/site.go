@@ -11,6 +11,7 @@
 package web
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -44,8 +45,12 @@ func (s *Site) AddPage(url, body string) {
 }
 
 // Get returns the body of a page. Unknown URLs return an error, like a
-// 404.
-func (s *Site) Get(u string) (string, error) {
+// 404. A canceled context returns ctx.Err() without serving the page,
+// mirroring a live fetcher whose socket the engine tears down.
+func (s *Site) Get(ctx context.Context, u string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	body, ok := s.pages[u]
@@ -125,7 +130,7 @@ func (s *Site) Handler() http.Handler {
 		if r.URL.RawQuery != "" {
 			u += "?" + r.URL.RawQuery
 		}
-		body, err := s.Get(u)
+		body, err := s.Get(r.Context(), u)
 		if err != nil {
 			http.NotFound(w, r)
 			return

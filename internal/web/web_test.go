@@ -1,6 +1,7 @@
 package web
 
 import (
+	"context"
 	"io"
 	"net/http/httptest"
 	"strings"
@@ -10,11 +11,11 @@ import (
 func TestSiteGetAndHits(t *testing.T) {
 	s := NewSite("t")
 	s.AddPage("/a", "hello")
-	body, err := s.Get("/a")
+	body, err := s.Get(context.Background(), "/a")
 	if err != nil || body != "hello" {
 		t.Fatalf("Get = %q, %v", body, err)
 	}
-	if _, err := s.Get("/missing"); err == nil {
+	if _, err := s.Get(context.Background(), "/missing"); err == nil {
 		t.Error("missing page succeeded")
 	}
 	if s.Hits() != 1 {
@@ -29,7 +30,7 @@ func TestSiteGetAndHits(t *testing.T) {
 func TestSiteQueryParamOrderInsensitive(t *testing.T) {
 	s := NewSite("t")
 	s.AddPage("/rate?from=JPY&to=USD", "rate: 0.0096")
-	body, err := s.Get("/rate?to=USD&from=JPY")
+	body, err := s.Get(context.Background(), "/rate?to=USD&from=JPY")
 	if err != nil || !strings.Contains(body, "0.0096") {
 		t.Errorf("reordered query lookup = %q, %v", body, err)
 	}
@@ -37,14 +38,14 @@ func TestSiteQueryParamOrderInsensitive(t *testing.T) {
 
 func TestCurrencySiteStructure(t *testing.T) {
 	s := NewCurrencySite(PaperRates())
-	index, err := s.Get("/rates")
+	index, err := s.Get(context.Background(), "/rates")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Count(index, "<a href=") != 4 {
 		t.Errorf("index links:\n%s", index)
 	}
-	page, err := s.Get("/rate?from=JPY&to=USD")
+	page, err := s.Get(context.Background(), "/rate?from=JPY&to=USD")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +61,11 @@ func TestStockSiteStructure(t *testing.T) {
 		{Ticker: "IBM", Exchange: "NYSE", Price: 151.25, Currency: "USD"},
 		{Ticker: "NTT", Exchange: "TSE", Price: 880000, Currency: "JPY"},
 	})
-	index, _ := s.Get("/exchanges")
+	index, _ := s.Get(context.Background(), "/exchanges")
 	if !strings.Contains(index, "/exchange/NYSE") || !strings.Contains(index, "/exchange/TSE") {
 		t.Errorf("index:\n%s", index)
 	}
-	board, err := s.Get("/exchange/TSE")
+	board, err := s.Get(context.Background(), "/exchange/TSE")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestStockSiteStructure(t *testing.T) {
 
 func TestProfileSiteStructure(t *testing.T) {
 	s := NewProfileSite([]Profile{{Name: "IBM", Country: "USA", Sector: "Technology", Employees: 220000}})
-	card, err := s.Get("/company?name=IBM")
+	card, err := s.Get(context.Background(), "/company?name=IBM")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,8 +33,9 @@ func NewHTTPFetcher(baseURL string) *HTTPFetcher {
 	return &HTTPFetcher{BaseURL: strings.TrimRight(baseURL, "/")}
 }
 
-// Get implements Fetcher.
-func (h *HTTPFetcher) Get(url string) (string, error) {
+// Get implements Fetcher: the request carries ctx, so canceling the
+// query aborts the page fetch at the socket.
+func (h *HTTPFetcher) Get(ctx context.Context, url string) (string, error) {
 	client := h.Client
 	if client == nil {
 		client = &http.Client{Timeout: DefaultHTTPTimeout}
@@ -42,7 +44,11 @@ func (h *HTTPFetcher) Get(url string) (string, error) {
 	if strings.HasPrefix(url, "/") {
 		full = h.BaseURL + url
 	}
-	resp, err := client.Get(full)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, full, nil)
+	if err != nil {
+		return "", fmt.Errorf("wrapper: GET %s: %w", full, err)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return "", fmt.Errorf("wrapper: GET %s: %w", full, err)
 	}

@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestWebWrapperOverRealHTTP(t *testing.T) {
 
 	fetcher := NewHTTPFetcher(ts.URL)
 	w := NewWeb("currencyweb", fetcher, MustParseSpec(CurrencySpecCrawl))
-	rel, err := w.Query(SourceQuery{Relation: "r3"})
+	rel, err := w.Query(context.Background(), SourceQuery{Relation: "r3"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,11 +34,11 @@ func TestHTTPFetcherErrors(t *testing.T) {
 	defer ts.Close()
 
 	f := NewHTTPFetcher(ts.URL)
-	if _, err := f.Get("/nope"); err == nil || !strings.Contains(err.Error(), "404") {
+	if _, err := f.Get(context.Background(), "/nope"); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Errorf("404 err = %v", err)
 	}
 	dead := NewHTTPFetcher("http://127.0.0.1:1")
-	if _, err := dead.Get("/rates"); err == nil {
+	if _, err := dead.Get(context.Background(), "/rates"); err == nil {
 		t.Error("dead server accepted")
 	}
 }
@@ -49,7 +50,7 @@ func TestHTTPFetcherBodyLimit(t *testing.T) {
 	defer ts.Close()
 	f := NewHTTPFetcher(ts.URL)
 	f.MaxBodyBytes = 10
-	body, err := f.Get("/x")
+	body, err := f.Get(context.Background(), "/x")
 	if err != nil {
 		t.Fatal(err)
 	}

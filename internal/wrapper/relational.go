@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relalg"
@@ -95,7 +96,10 @@ func (r *Relational) scanFor(q SourceQuery) (*relalg.Relation, []Filter, error) 
 }
 
 // Query implements Wrapper.
-func (r *Relational) Query(q SourceQuery) (*relalg.Relation, error) {
+func (r *Relational) Query(ctx context.Context, q SourceQuery) (*relalg.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rel, rest, err := r.scanFor(q)
 	if err != nil {
 		return nil, err
@@ -111,7 +115,10 @@ func (r *Relational) Query(q SourceQuery) (*relalg.Relation, error) {
 // per tuple as the engine pulls, so an engine-side early exit (LIMIT)
 // stops the transfer after O(limit) tuples instead of shipping the whole
 // answer.
-func (r *Relational) QueryStream(q SourceQuery) (TupleStream, error) {
+func (r *Relational) QueryStream(ctx context.Context, q SourceQuery) (TupleStream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rel, rest, err := r.scanFor(q)
 	if err != nil {
 		return nil, err
@@ -128,12 +135,14 @@ func (r *Relational) QueryStream(q SourceQuery) (TupleStream, error) {
 			return nil, err
 		}
 	}
-	return &relationalStream{rel: rel, match: match, projIdx: projIdx, schema: schema}, nil
+	return &relationalStream{ctx: ctx, rel: rel, match: match, projIdx: projIdx, schema: schema}, nil
 }
 
 // relationalStream streams a snapshot of a table, filtering and
-// projecting lazily.
+// projecting lazily; it stops with ctx.Err() once the query's context
+// dies, so an abandoned query transfers no further tuples.
 type relationalStream struct {
+	ctx     context.Context
 	rel     *relalg.Relation
 	match   func(relalg.Tuple) (bool, error)
 	projIdx []int
@@ -145,6 +154,9 @@ func (s *relationalStream) Schema() relalg.Schema { return s.schema }
 
 func (s *relationalStream) Next() (relalg.Tuple, bool, error) {
 	for s.pos < len(s.rel.Tuples) {
+		if err := s.ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		t := s.rel.Tuples[s.pos]
 		s.pos++
 		ok, err := s.match(t)

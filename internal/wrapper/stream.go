@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/relalg"
@@ -24,19 +25,21 @@ type TupleStream interface {
 // The engine always fetches through QueryStream, which falls back to a
 // materializing adapter, so implementing Streamer is purely an
 // optimization — it lets an engine-side LIMIT stop the transfer early.
+// Streams must honor the context: once it is canceled, Next returns
+// ctx.Err() instead of contacting the source again.
 type Streamer interface {
 	// QueryStream executes a source query and streams the answer.
-	QueryStream(q SourceQuery) (TupleStream, error)
+	QueryStream(ctx context.Context, q SourceQuery) (TupleStream, error)
 }
 
 // QueryStream fetches q from w incrementally: natively when w implements
 // Streamer, otherwise by materializing w.Query's answer and streaming
 // over it (the default adapter).
-func QueryStream(w Wrapper, q SourceQuery) (TupleStream, error) {
+func QueryStream(ctx context.Context, w Wrapper, q SourceQuery) (TupleStream, error) {
 	if s, ok := w.(Streamer); ok {
-		return s.QueryStream(q)
+		return s.QueryStream(ctx, q)
 	}
-	rel, err := w.Query(q)
+	rel, err := w.Query(ctx, q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,9 +9,12 @@ import (
 )
 
 // Fetcher is the page-access contract the Web wrapper runs against; both
-// the simulated internal/web.Site and a live HTTP client satisfy it.
+// the simulated internal/web.Site and a live HTTP client satisfy it. The
+// context bounds one page fetch: implementations abort (and return
+// ctx.Err()) when it is canceled, so an abandoned crawl stops contacting
+// the site.
 type Fetcher interface {
-	Get(url string) (string, error)
+	Get(ctx context.Context, url string) (string, error)
 }
 
 // Web executes wrapping specifications against a site, exposing its pages
@@ -106,7 +110,7 @@ func (w *Web) Cost() Cost {
 // required bindings, navigates the transition network, extracts tuples,
 // and (locally) applies the remaining filters so callers get exactly what
 // they asked for even though the source itself cannot select.
-func (w *Web) Query(q SourceQuery) (*relalg.Relation, error) {
+func (w *Web) Query(ctx context.Context, q SourceQuery) (*relalg.Relation, error) {
 	spec, ok := w.Specs[q.Relation]
 	if !ok {
 		return nil, fmt.Errorf("wrapper: %s exports no relation %s", w.Name, q.Relation)
@@ -121,7 +125,7 @@ func (w *Web) Query(q SourceQuery) (*relalg.Relation, error) {
 		startURL = strings.ReplaceAll(startURL, "{"+p+"}", bound[p].String())
 	}
 
-	run := &crawl{w: w, spec: spec}
+	run := &crawl{ctx: ctx, w: w, spec: spec}
 	if err := run.visit(startURL, spec.Start, map[string]string{}); err != nil {
 		return nil, err
 	}
@@ -132,8 +136,11 @@ func (w *Web) Query(q SourceQuery) (*relalg.Relation, error) {
 	return ProjectColumns(rel, q.Columns)
 }
 
-// crawl is one navigation of the transition network.
+// crawl is one navigation of the transition network. Its context is
+// checked before every page fetch, so a canceled query stops crawling
+// mid-navigation.
 type crawl struct {
+	ctx    context.Context
 	w      *Web
 	spec   *Spec
 	tuples []map[string]string
@@ -142,6 +149,9 @@ type crawl struct {
 }
 
 func (c *crawl) visit(url, stateName string, inherited map[string]string) error {
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
 	max := c.w.MaxPages
 	if max == 0 {
 		max = DefaultMaxPages
@@ -159,7 +169,7 @@ func (c *crawl) visit(url, stateName string, inherited map[string]string) error 
 	c.seen[key] = true
 	c.pages++
 
-	body, err := c.w.Site.Get(url)
+	body, err := c.w.Site.Get(c.ctx, url)
 	if err != nil {
 		return fmt.Errorf("wrapper: %s: fetching %s: %w", c.w.Name, url, err)
 	}

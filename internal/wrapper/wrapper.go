@@ -12,6 +12,7 @@
 package wrapper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -77,8 +78,10 @@ type Wrapper interface {
 	// Cost returns the source's communication-cost parameters.
 	Cost() Cost
 	// Query executes a source query and returns a relation whose columns
-	// use the relation's plain (unqualified) names.
-	Query(q SourceQuery) (*relalg.Relation, error)
+	// use the relation's plain (unqualified) names. The context bounds
+	// the fetch: a canceled or expired context aborts remote work (page
+	// fetches, scans) promptly with ctx.Err().
+	Query(ctx context.Context, q SourceQuery) (*relalg.Relation, error)
 }
 
 // ApplyFilters evaluates filters over a relation locally; wrappers use it

@@ -1,6 +1,7 @@
 package wrapper
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestRelationalWrapperBasics(t *testing.T) {
 
 func TestRelationalWrapperQuery(t *testing.T) {
 	w := NewRelational(sampleDB())
-	rel, err := w.Query(SourceQuery{
+	rel, err := w.Query(context.Background(), SourceQuery{
 		Relation: "r1",
 		Columns:  []string{"cname", "revenue"},
 		Filters:  []Filter{{Column: "currency", Op: "=", Value: relalg.StrV("JPY")}},
@@ -59,7 +60,7 @@ func TestRelationalWrapperQuery(t *testing.T) {
 		t.Errorf("projection lost: %v", rel.Schema.Names())
 	}
 	// Range filter.
-	rel, err = w.Query(SourceQuery{
+	rel, err = w.Query(context.Background(), SourceQuery{
 		Relation: "r1",
 		Filters:  []Filter{{Column: "revenue", Op: ">", Value: relalg.NumV(2e6)}},
 	})
@@ -78,7 +79,7 @@ func TestRelationalWrapperUsesIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := NewRelational(db)
-	rel, err := w.Query(SourceQuery{
+	rel, err := w.Query(context.Background(), SourceQuery{
 		Relation: "r1",
 		Filters: []Filter{
 			{Column: "cname", Op: "=", Value: relalg.StrV("SAP")},
@@ -131,7 +132,7 @@ func TestSpecParseErrors(t *testing.T) {
 func TestWebWrapperCrawl(t *testing.T) {
 	site := web.NewCurrencySite(web.PaperRates())
 	w := NewWeb("currencyweb", site, MustParseSpec(CurrencySpecCrawl))
-	rel, err := w.Query(SourceQuery{Relation: "r3"})
+	rel, err := w.Query(context.Background(), SourceQuery{Relation: "r3"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestWebWrapperCrawl(t *testing.T) {
 func TestWebWrapperLocalFilters(t *testing.T) {
 	site := web.NewCurrencySite(web.PaperRates())
 	w := NewWeb("currencyweb", site, MustParseSpec(CurrencySpecCrawl))
-	rel, err := w.Query(SourceQuery{
+	rel, err := w.Query(context.Background(), SourceQuery{
 		Relation: "r3",
 		Filters:  []Filter{{Column: "toCur", Op: "=", Value: relalg.StrV("USD")}},
 	})
@@ -179,12 +180,12 @@ func TestWebWrapperLookupRequiresBindings(t *testing.T) {
 		t.Errorf("caps = %+v", caps)
 	}
 	// Without bindings: refused.
-	if _, err := w.Query(SourceQuery{Relation: "r3"}); err == nil || !strings.Contains(err.Error(), "requires bindings") {
+	if _, err := w.Query(context.Background(), SourceQuery{Relation: "r3"}); err == nil || !strings.Contains(err.Error(), "requires bindings") {
 		t.Errorf("unbound lookup err = %v", err)
 	}
 	// With bindings: a single page fetch.
 	site.ResetHits()
-	rel, err := w.Query(SourceQuery{Relation: "r3", Filters: []Filter{
+	rel, err := w.Query(context.Background(), SourceQuery{Relation: "r3", Filters: []Filter{
 		{Column: "fromCur", Op: "=", Value: relalg.StrV("JPY")},
 		{Column: "toCur", Op: "=", Value: relalg.StrV("USD")},
 	}})
@@ -206,7 +207,7 @@ func TestWebWrapperRowsExtraction(t *testing.T) {
 		{Ticker: "NTT", Exchange: "TSE", Price: 880000, Currency: "JPY"},
 	})
 	w := NewWeb("stockweb", site, MustParseSpec(StockSpec))
-	rel, err := w.Query(SourceQuery{Relation: "quotes"})
+	rel, err := w.Query(context.Background(), SourceQuery{Relation: "quotes"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestWebWrapperProfileSite(t *testing.T) {
 		{Name: "NTT", Country: "Japan", Sector: "Telecom", Employees: 330000},
 	})
 	w := NewWeb("profileweb", site, MustParseSpec(ProfileSpec))
-	rel, err := w.Query(SourceQuery{Relation: "profiles"})
+	rel, err := w.Query(context.Background(), SourceQuery{Relation: "profiles"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,13 +242,13 @@ func TestWebWrapperProfileSite(t *testing.T) {
 func TestWebWrapperErrors(t *testing.T) {
 	site := web.NewCurrencySite(web.PaperRates())
 	w := NewWeb("currencyweb", site, MustParseSpec(CurrencySpecCrawl))
-	if _, err := w.Query(SourceQuery{Relation: "zzz"}); err == nil {
+	if _, err := w.Query(context.Background(), SourceQuery{Relation: "zzz"}); err == nil {
 		t.Error("unknown relation accepted")
 	}
 	// A broken site (missing start page) surfaces as a fetch error.
 	empty := web.NewSite("empty")
 	w2 := NewWeb("empty", empty, MustParseSpec(CurrencySpecCrawl))
-	if _, err := w2.Query(SourceQuery{Relation: "r3"}); err == nil || !strings.Contains(err.Error(), "fetching") {
+	if _, err := w2.Query(context.Background(), SourceQuery{Relation: "r3"}); err == nil || !strings.Contains(err.Error(), "fetching") {
 		t.Errorf("missing page err = %v", err)
 	}
 	// A page that stops matching the pattern is a wrapping error, not a
@@ -256,7 +257,7 @@ func TestWebWrapperErrors(t *testing.T) {
 	broken.AddPage("/rates", `<a href="/rate?from=USD&to=JPY">x</a>`)
 	broken.AddPage("/rate?from=USD&to=JPY", "<html>layout changed!</html>")
 	w3 := NewWeb("broken", broken, MustParseSpec(CurrencySpecCrawl))
-	if _, err := w3.Query(SourceQuery{Relation: "r3"}); err == nil || !strings.Contains(err.Error(), "matched nothing") {
+	if _, err := w3.Query(context.Background(), SourceQuery{Relation: "r3"}); err == nil || !strings.Contains(err.Error(), "matched nothing") {
 		t.Errorf("broken page err = %v", err)
 	}
 }
@@ -275,7 +276,7 @@ state node
   follow "<a href=\"(/[ab])\">" -> node
 `)
 	w := NewWeb("loopy", site, spec)
-	rel, err := w.Query(SourceQuery{Relation: "loop"})
+	rel, err := w.Query(context.Background(), SourceQuery{Relation: "loop"})
 	if err != nil {
 		t.Fatal(err)
 	}
