@@ -2,8 +2,9 @@
 
 GO        ?= go
 PKGS      ?= ./...
-# Benchmarks that gate solver-performance work (see internal/datalog/README.md).
-BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_MediationOnly|BenchmarkUnify
+# Benchmarks that gate solver- and source-access-performance work (see
+# internal/datalog/README.md and ARCHITECTURE.md "Source access layer").
+BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_MediationOnly|BenchmarkUnify|BenchmarkBindJoinBatched
 BENCHDIR  ?= .bench
 COUNT     ?= 6
 

@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/coin"
 	"repro/internal/client"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/web"
 	"repro/internal/wrapper"
+	"repro/internal/wrapper/wrappertest"
 )
 
 // --- E1: the Section 3 worked example -----------------------------------
@@ -375,6 +377,63 @@ func BenchmarkE9e_ParallelBranches(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- E10: the source access layer ----------------------------------------
+
+// BenchmarkBindJoinBatched measures the dominant communication cost of a
+// federation scenario: a bind join fanning N distinct feeder values into
+// a slow source (simulated per-query latency). The IN-capable batched
+// path issues ⌈N/BatchSize⌉ source queries where the unbatched ablation
+// issues N, and the dispatcher overlaps them up to the source's
+// concurrency cap, so wall-clock improves on both axes.
+func BenchmarkBindJoinBatched(b *testing.B) {
+	const n = 64
+	const batch = 16
+	buildCat := func() (*planner.Catalog, *wrappertest.Counter) {
+		fdb := store.NewDB("feedsrc")
+		ftab := fdb.MustCreateTable("feed", relalg.NewSchema(
+			relalg.Column{Name: "k", Type: relalg.KindString}))
+		tdb := store.NewDB("bindsrc")
+		ttab := tdb.MustCreateTable("tgt", relalg.NewSchema(
+			relalg.Column{Name: "k", Type: relalg.KindString},
+			relalg.Column{Name: "v", Type: relalg.KindNumber}))
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%03d", i)
+			ftab.MustInsert(coin.StrV(k))
+			ttab.MustInsert(coin.StrV(k), coin.NumV(float64(i)))
+		}
+		rw := wrapper.NewRelational(tdb)
+		rw.BatchSize = batch
+		rw.Require = map[string][]string{"tgt": {"k"}}
+		ctr := wrappertest.NewCounter(rw)
+		ctr.Delay = 200 * time.Microsecond
+		cat := planner.NewCatalog()
+		cat.MustAddSource(wrapper.NewRelational(fdb))
+		cat.MustAddSource(ctr)
+		return cat, ctr
+	}
+	q := sqlparse.MustParse("SELECT feed.k, tgt.v FROM feed, tgt WHERE tgt.k = feed.k")
+	for _, mode := range []string{"batched", "unbatched"} {
+		b.Run("probes="+mode, func(b *testing.B) {
+			cat, _ := buildCat()
+			var queries int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ex := planner.NewExecutor(cat)
+				ex.DisableBatching = mode == "unbatched"
+				res, err := ex.ExecuteCtx(context.Background(), q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() != n {
+					b.Fatalf("rows = %d, want %d", res.Len(), n)
+				}
+				queries = ex.Stats().SourceQueries
+			}
+			b.ReportMetric(float64(queries), "source-queries")
 		})
 	}
 }

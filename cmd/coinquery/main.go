@@ -10,6 +10,7 @@
 //	coinquery -show-mediated '...'
 //	coinquery -timeout 2s '...'      # bound the query session
 //	coinquery -max-rows 100 '...'    # truncate the answer
+//	coinquery -max-concurrent-per-source 2 '...'  # bound per-source fetch concurrency
 //	coinquery -stream '...'          # NDJSON wire path: rows print as they arrive
 package main
 
@@ -31,6 +32,7 @@ type queryConfig struct {
 	showMediated bool
 	timeout      time.Duration
 	maxRows      int
+	maxPerSource int
 	stream       bool
 }
 
@@ -41,6 +43,7 @@ func main() {
 	showMediated := flag.Bool("show-mediated", false, "print the mediated SQL before the answer")
 	timeout := flag.Duration("timeout", 0, "query session timeout (0: none)")
 	maxRows := flag.Int("max-rows", 0, "cap on result rows; the answer is truncated (0: unlimited)")
+	maxPerSource := flag.Int("max-concurrent-per-source", 0, "cap on the session's concurrent fetches per source (0: dispatcher defaults)")
 	stream := flag.Bool("stream", false, "stream rows as they are produced instead of buffering the answer")
 	flag.Parse()
 
@@ -51,7 +54,7 @@ func main() {
 	}
 	cfg := queryConfig{
 		naive: *naive, showMediated: *showMediated,
-		timeout: *timeout, maxRows: *maxRows, stream: *stream,
+		timeout: *timeout, maxRows: *maxRows, maxPerSource: *maxPerSource, stream: *stream,
 	}
 	if err := run(*serverURL, *contextName, sql, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "coinquery:", err)
@@ -71,7 +74,7 @@ func runRemote(serverURL, receiverCtx, sql string, cfg queryConfig) error {
 	if err != nil {
 		return err
 	}
-	opts := client.Options{Timeout: cfg.timeout, MaxRows: cfg.maxRows}
+	opts := client.Options{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource}
 	if cfg.stream {
 		cur, err := conn.QueryStream(context.Background(), sql, receiverCtx, cfg.naive, opts)
 		if err != nil {
@@ -116,7 +119,7 @@ func runRemote(serverURL, receiverCtx, sql string, cfg queryConfig) error {
 
 func runLocal(receiverCtx, sql string, cfg queryConfig) error {
 	sys := coin.Figure2System()
-	opts := coin.QueryOptions{Timeout: cfg.timeout, MaxRows: cfg.maxRows}
+	opts := coin.QueryOptions{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource}
 	if cfg.stream {
 		var (
 			rs  *coin.RowStream

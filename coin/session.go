@@ -15,9 +15,11 @@ import (
 )
 
 // QueryOptions bound one query session: a wall-clock timeout, a cap on
-// result rows delivered (truncation), and caps on tuples transferred from
+// result rows delivered (truncation), caps on tuples transferred from
 // sources and bytes staged through the temp store (both abort the query
-// when exceeded). The zero value is ungoverned.
+// when exceeded), and a cap on the session's concurrent fetches per
+// source (admission waits, it does not fail). The zero value is
+// ungoverned.
 type QueryOptions = planner.Limits
 
 // Tuple is one result row.

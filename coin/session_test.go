@@ -194,3 +194,19 @@ func TestRowStreamCloseCancelsSession(t *testing.T) {
 		t.Fatal("Cancel did not release the blocked source stream")
 	}
 }
+
+// TestMaxConcurrentPerSourceAtCoinLayer: the per-source concurrency cap
+// is accepted through QueryOptions and a capped query still returns the
+// paper's answer (the admission bound itself is pinned at the planner
+// layer).
+func TestMaxConcurrentPerSourceAtCoinLayer(t *testing.T) {
+	sys := coin.Figure2System()
+	rows, err := sys.QueryCtx(context.Background(), coin.PaperQ1, "c2",
+		coin.QueryOptions{MaxConcurrentPerSource: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Tuples[0][0].S != "NTT" {
+		t.Errorf("capped answer = %s", rows)
+	}
+}

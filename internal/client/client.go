@@ -19,12 +19,14 @@ import (
 	"repro/internal/server"
 )
 
-// Options bound one query: a server-side session timeout and a cap on
-// result rows (the server truncates, not fails). The zero value is
-// ungoverned.
+// Options bound one query: a server-side session timeout, a cap on
+// result rows (the server truncates, not fails), and a cap on the
+// session's concurrent fetches per source (the server's dispatcher
+// defaults apply when zero). The zero value is ungoverned.
 type Options struct {
-	Timeout time.Duration
-	MaxRows int
+	Timeout                time.Duration
+	MaxRows                int
+	MaxConcurrentPerSource int
 }
 
 // Conn is an open connection to a mediation server.
@@ -195,7 +197,11 @@ func (c *Conn) postWith(ctx context.Context, hc *http.Client, path string, req s
 
 // queryRequest assembles the wire request for sql under opts.
 func queryRequest(sql, context string, naive bool, opts Options) server.QueryRequest {
-	req := server.QueryRequest{SQL: sql, Context: context, Naive: naive, MaxRows: opts.MaxRows}
+	req := server.QueryRequest{
+		SQL: sql, Context: context, Naive: naive,
+		MaxRows:                opts.MaxRows,
+		MaxConcurrentPerSource: opts.MaxConcurrentPerSource,
+	}
 	if opts.Timeout > 0 {
 		req.Timeout = opts.Timeout.String()
 	}

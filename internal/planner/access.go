@@ -1,0 +1,299 @@
+package planner
+
+// The source access layer: every fetch the engine issues — streaming
+// scans and materialized bind-join probes alike — is admitted through a
+// per-source dispatcher, a bounded pool of in-flight queries keyed by
+// wrapper. The pool size comes from the source's Cost.MaxConcurrent
+// (sources know their own tolerance), further capped per session by
+// Limits.MaxConcurrentPerSource. On top of admission, materialized
+// probe fetches are deduplicated within a session: a canonicalized
+// SourceQuery that has already been answered is served from the session
+// result cache, and one that is currently in flight is joined
+// (single-flight) instead of re-issued — repeated identical probes
+// across mediation branches hit the network exactly once.
+//
+// Slot discipline: a streaming scan holds its slot from Open until the
+// stream is exhausted, fails, or is closed; a materialized fetch holds
+// it for the duration of the source query. The iterator trees this
+// planner builds drain at most one source stream at a time per pipeline
+// (every breaker collects one side to completion — closing it — before
+// opening the other), so admission can never self-deadlock: a pipeline
+// waiting for a slot holds no other slot on any source.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/relalg"
+	"repro/internal/wrapper"
+)
+
+// DefaultMaxConcurrentPerSource is the dispatcher pool size for sources
+// that do not state their own Cost.MaxConcurrent.
+const DefaultMaxConcurrentPerSource = 4
+
+// dispatcher is a bounded admission pool for one source: at most
+// cap(slots) queries are in flight against it at once.
+type dispatcher struct {
+	slots chan struct{}
+}
+
+func newDispatcher(n int) *dispatcher {
+	if n <= 0 {
+		n = DefaultMaxConcurrentPerSource
+	}
+	return &dispatcher{slots: make(chan struct{}, n)}
+}
+
+// acquire blocks until a slot frees or ctx dies.
+func (d *dispatcher) acquire(ctx context.Context) error {
+	select {
+	case d.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (d *dispatcher) release() { <-d.slots }
+
+// dispatcherPool lazily keeps one dispatcher per source; the executor
+// (source-level pools) and the session (per-query allowances) share it.
+type dispatcherPool struct {
+	mu sync.Mutex
+	m  map[string]*dispatcher
+}
+
+// get returns the source's dispatcher, creating it with n slots (0:
+// default) on first use.
+func (p *dispatcherPool) get(source string, n int) *dispatcher {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		p.m = map[string]*dispatcher{}
+	}
+	d := p.m[source]
+	if d == nil {
+		d = newDispatcher(n)
+		p.m[source] = d
+	}
+	return d
+}
+
+// dispatcherFor returns (creating on first use) the executor's admission
+// pool for w's source.
+func (e *Executor) dispatcherFor(w wrapper.Wrapper) *dispatcher {
+	return e.disp.get(w.Source(), w.Cost().MaxConcurrent)
+}
+
+// acquireSource reserves one in-flight-query slot against w — first in
+// the session's per-source allowance (when limited), then in the
+// source's own dispatcher; the consistent ordering rules out deadlock
+// between the two levels. It returns the release callback, which must be
+// called exactly once.
+func (e *Executor) acquireSource(ctx context.Context, sess *Session, w wrapper.Wrapper) (func(), error) {
+	sd := sess.dispatcherFor(w.Source())
+	if sd != nil {
+		if err := sd.acquire(ctx); err != nil {
+			return nil, err
+		}
+	}
+	d := e.dispatcherFor(w)
+	if err := d.acquire(ctx); err != nil {
+		if sd != nil {
+			sd.release()
+		}
+		return nil, err
+	}
+	return func() {
+		d.release()
+		if sd != nil {
+			sd.release()
+		}
+	}, nil
+}
+
+// DefaultProbeCacheBytes bounds the (approximate) bytes of probe answers
+// a session retains for reuse. Past the bound, answers are still
+// single-flighted while in flight but are not kept afterwards, so a
+// huge bind join cannot pin its whole fetched volume in memory for the
+// session's lifetime.
+const DefaultProbeCacheBytes = 64 << 20
+
+// probeCache is the session-scoped source-result cache with single-flight
+// deduplication. Entries key on source name + SourceQuery.Canonical().
+type probeCache struct {
+	mu      sync.Mutex
+	entries map[string]*probeEntry
+	bytes   int64
+}
+
+// probeEntry is one cached (or in-flight) answer; done closes when rel
+// and err are final.
+type probeEntry struct {
+	done chan struct{}
+	rel  *relalg.Relation
+	err  error
+}
+
+// fetchSource answers one materialized source query through the
+// dispatcher, deduplicated within the session: a repeated identical
+// probe returns the cached relation (counted as a cache hit, not a
+// source query), and a concurrent identical probe waits for the first
+// one's answer instead of contacting the source again. Errors are not
+// cached — the waiting duplicates observe the error, later probes retry.
+// With a nil session there is no cache and the fetch goes straight
+// through admission.
+func (e *Executor) fetchSource(ctx context.Context, sess *Session, w wrapper.Wrapper, q wrapper.SourceQuery) (*relalg.Relation, error) {
+	cache := sess.probeCacheRef()
+	if cache == nil {
+		return e.querySource(ctx, sess, w, q)
+	}
+	key := w.Source() + "\x00" + q.Canonical()
+	cache.mu.Lock()
+	if ent, ok := cache.entries[key]; ok {
+		cache.mu.Unlock()
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if ent.err != nil {
+			return nil, ent.err
+		}
+		e.mu.Lock()
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		return ent.rel, nil
+	}
+	ent := &probeEntry{done: make(chan struct{})}
+	cache.entries[key] = ent
+	cache.mu.Unlock()
+	ent.rel, ent.err = e.querySource(ctx, sess, w, q)
+	if ent.err != nil {
+		cache.mu.Lock()
+		delete(cache.entries, key)
+		cache.mu.Unlock()
+	} else {
+		// Retain the answer only within the session's cache byte budget;
+		// an over-budget answer still serves the waiters that joined this
+		// flight, it just is not kept for later probes.
+		size := ent.rel.ApproxBytes()
+		cache.mu.Lock()
+		if cache.bytes+size > DefaultProbeCacheBytes {
+			delete(cache.entries, key)
+		} else {
+			cache.bytes += size
+		}
+		cache.mu.Unlock()
+	}
+	close(ent.done)
+	return ent.rel, ent.err
+}
+
+// querySource runs one materialized source query under admission,
+// counting it and charging the session's transfer governor.
+func (e *Executor) querySource(ctx context.Context, sess *Session, w wrapper.Wrapper, q wrapper.SourceQuery) (*relalg.Relation, error) {
+	release, err := e.acquireSource(ctx, sess, w)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	rel, err := w.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	e.countQuery(rel.Len())
+	if err := sess.chargeTuples(rel.Len()); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// fetchAll answers a set of source queries concurrently (each through
+// fetchSource, so admission, caching and governors all apply), returning
+// the results in query order. A worker pool no larger than the source's
+// own concurrency cap runs them — more goroutines would only queue at
+// the dispatcher. The queries share a context cancelled on the first
+// failure, so sibling fetches stop promptly; the first error by query
+// order that is not that derived cancellation is reported.
+func (e *Executor) fetchAll(ctx context.Context, sess *Session, w wrapper.Wrapper, queries []wrapper.SourceQuery) ([]*relalg.Relation, error) {
+	if len(queries) == 1 {
+		rel, err := e.fetchSource(ctx, sess, w, queries[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*relalg.Relation{rel}, nil
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := w.Cost().MaxConcurrent
+	if workers <= 0 {
+		workers = DefaultMaxConcurrentPerSource
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([]*relalg.Relation, len(queries))
+	errs := make([]error, len(queries))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = e.fetchSource(fctx, sess, w, queries[i])
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if err := firstRealError(errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// firstRealError picks the error to report from a cancelled-as-a-group
+// fan-out: the first (by order) that is not a context cancellation —
+// those are usually just the echo of a sibling's failure — falling back
+// to the first error of any kind (the whole group may have been
+// cancelled from above). nil when every slot succeeded.
+func firstRealError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return first
+}
+
+// batchSizeFor decides the bind-join batch width against a source: its
+// advertised IN-list width when batching applies, 1 (per-value probes)
+// when it does not. Batching requires an InList-capable source and a
+// single-column bind join (an IN list expresses one column's
+// disjunction); DisableBatching is the ablation switch.
+func (e *Executor) batchSizeFor(caps wrapper.Capabilities, bindCols int) int {
+	if e.DisableBatching || bindCols != 1 || !caps.InList {
+		return 1
+	}
+	if caps.BatchSize > 0 {
+		return caps.BatchSize
+	}
+	return wrapper.DefaultBatchSize
+}

@@ -1,0 +1,443 @@
+package planner
+
+// Tests for the source access layer: bind-join batching (⌈N/BatchSize⌉
+// IN-list queries, answers identical to per-value probing), NULL-feeder
+// skipping, the session result cache with single-flight deduplication,
+// dispatcher admission bounds, branch-scoped cancellation of parallel
+// mediation, and the LIMIT 0 short-circuit. The package's race-detector
+// run (make test-race) covers the concurrent paths.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/relalg"
+	"repro/internal/sqlparse"
+	"repro/internal/store"
+	"repro/internal/wrapper"
+	"repro/internal/wrapper/wrappertest"
+)
+
+// bindQ joins a local feeder relation against a required-binding target:
+// the planner must feed tgt.k from feed.k through a bind join.
+const bindQ = "SELECT feed.k, tgt.v FROM feed, tgt WHERE tgt.k = feed.k"
+
+// buildBindCatalog wires a feeder source and an IN-capable target source
+// whose relation tgt(k,v) requires k bound (a form-like relational
+// endpoint), instrumented with a Counter.
+func buildBindCatalog(t *testing.T, feedKeys []relalg.Value, targetRows [][2]relalg.Value, batchSize int, index bool) (*Catalog, *wrappertest.Counter) {
+	t.Helper()
+	fdb := store.NewDB("feedsrc")
+	ftab := fdb.MustCreateTable("feed", relalg.NewSchema(
+		relalg.Column{Name: "k", Type: relalg.KindString}))
+	for _, k := range feedKeys {
+		ftab.MustInsert(k)
+	}
+	tdb := store.NewDB("bindsrc")
+	ttab := tdb.MustCreateTable("tgt", relalg.NewSchema(
+		relalg.Column{Name: "k", Type: relalg.KindString},
+		relalg.Column{Name: "v", Type: relalg.KindNumber}))
+	for _, r := range targetRows {
+		ttab.MustInsert(r[0], r[1])
+	}
+	if index {
+		if err := ttab.CreateIndex("k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rw := wrapper.NewRelational(tdb)
+	rw.BatchSize = batchSize
+	rw.Require = map[string][]string{"tgt": {"k"}}
+	ctr := wrappertest.NewCounter(rw)
+	cat := NewCatalog()
+	cat.MustAddSource(wrapper.NewRelational(fdb))
+	cat.MustAddSource(ctr)
+	return cat, ctr
+}
+
+// keysOf builds n distinct string keys k00..k<n-1>.
+func keysOf(n int) []relalg.Value {
+	out := make([]relalg.Value, n)
+	for i := range out {
+		out[i] = relalg.StrV(fmt.Sprintf("k%02d", i))
+	}
+	return out
+}
+
+// targetFor builds rows for every key, m rows each, interleaved by key so
+// a batched scan returns them in non-grouped order (exercising the
+// engine's regrouping).
+func targetFor(keys []relalg.Value, m int) [][2]relalg.Value {
+	var rows [][2]relalg.Value
+	for j := 0; j < m; j++ {
+		for i, k := range keys {
+			rows = append(rows, [2]relalg.Value{k, relalg.NumV(float64(100*j + i))})
+		}
+	}
+	return rows
+}
+
+// TestBindJoinBatchesProbes is the acceptance criterion of the tentpole:
+// a bind join over N distinct feeder values against an IN-capable source
+// issues exactly ⌈N/BatchSize⌉ source queries, and the answer — tuples
+// and order — is identical to the unbatched per-value path.
+func TestBindJoinBatchesProbes(t *testing.T) {
+	const n, batch = 10, 4
+	keys := keysOf(n)
+	feed := append(append([]relalg.Value(nil), keys...), keys[0], keys[3]) // duplicates dedup away
+	rows := targetFor(keys, 3)
+
+	cat, ctr := buildBindCatalog(t, feed, rows, batch, false)
+	ex := NewExecutor(cat)
+	batched, err := ex.ExecuteCtx(context.Background(), sqlparse.MustParse(bindQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (n + batch - 1) / batch
+	if got := ctr.Queries(); got != want {
+		t.Errorf("batched bind join issued %d source queries, want ⌈%d/%d⌉ = %d", got, n, batch, want)
+	}
+
+	cat2, ctr2 := buildBindCatalog(t, feed, rows, batch, false)
+	ex2 := NewExecutor(cat2)
+	ex2.DisableBatching = true
+	unbatched, err := ex2.ExecuteCtx(context.Background(), sqlparse.MustParse(bindQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr2.Queries(); got != n {
+		t.Errorf("unbatched bind join issued %d source queries, want %d", got, n)
+	}
+	if batched.String() != unbatched.String() {
+		t.Errorf("batched answer differs from unbatched:\n%s\nvs\n%s", batched, unbatched)
+	}
+	if want := len(feed) * 3; batched.Len() != want {
+		t.Errorf("answer has %d rows, want %d (every feeder row × 3 target rows)", batched.Len(), want)
+	}
+}
+
+// TestBindJoinSkipsNullFeeders pins the NULL-probe bugfix: feeder rows
+// with NULL keys produce no `k = NULL` source query (which could never
+// join under SQL semantics), and the answer is unaffected.
+func TestBindJoinSkipsNullFeeders(t *testing.T) {
+	keys := keysOf(3)
+	feed := []relalg.Value{keys[0], relalg.Null, keys[1], relalg.Null, keys[2]}
+	rows := targetFor(keys, 1)
+	for _, batch := range []int{1, 2} {
+		cat, ctr := buildBindCatalog(t, feed, rows, batch, false)
+		ex := NewExecutor(cat)
+		if batch == 1 {
+			ex.DisableBatching = true
+		}
+		res, err := ex.ExecuteCtx(context.Background(), sqlparse.MustParse(bindQ))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 3 {
+			t.Errorf("batch=%d: answer has %d rows, want 3:\n%s", batch, res.Len(), res)
+		}
+		for _, q := range ctr.Log() {
+			for _, f := range q.Filters {
+				if f.Op == "=" && f.Value.IsNull() {
+					t.Errorf("batch=%d: NULL equality probe reached the source: %+v", batch, q)
+				}
+				for _, v := range f.Values {
+					if v.IsNull() {
+						t.Errorf("batch=%d: NULL inside IN list reached the source: %+v", batch, q)
+					}
+				}
+			}
+		}
+		want := 3
+		if batch == 2 {
+			want = 2 // ⌈3/2⌉
+		}
+		if got := ctr.Queries(); got != want {
+			t.Errorf("batch=%d: %d source queries, want %d (NULLs must not probe)", batch, got, want)
+		}
+	}
+}
+
+// TestProbeCacheDeduplicatesAcrossBranches: two mediation branches with
+// identical bind probes hit the target source once; the repeats are
+// served from the session result cache and counted as cache hits, not
+// source queries.
+func TestProbeCacheDeduplicatesAcrossBranches(t *testing.T) {
+	const n, batch = 6, 3
+	keys := keysOf(n)
+	rows := targetFor(keys, 2)
+	cat, ctr := buildBindCatalog(t, keys, rows, batch, false)
+	med := &core.Mediation{
+		Branches: []*sqlparse.Select{
+			sqlparse.MustParse(bindQ).(*sqlparse.Select),
+			sqlparse.MustParse(bindQ).(*sqlparse.Select),
+		},
+		UnionAll: true,
+	}
+	ex := NewExecutor(cat)
+	res, err := ex.ExecuteMediationCtx(context.Background(), med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2*n*2 {
+		t.Errorf("answer has %d rows, want %d", res.Len(), 2*n*2)
+	}
+	want := (n + batch - 1) / batch
+	if got := ctr.Queries(); got != want {
+		t.Errorf("target reached %d times, want %d (branch 2 must hit the cache)", got, want)
+	}
+	if d := ctr.MaxDuplicates(); d != 1 {
+		t.Errorf("an identical probe reached the source %d times, want 1", d)
+	}
+	if st := ex.Stats(); st.CacheHits != want {
+		t.Errorf("CacheHits = %d, want %d", st.CacheHits, want)
+	}
+}
+
+// TestProbeCacheSingleFlightUnderParallel: with parallel branches and a
+// slow target, concurrent identical probes are joined in flight — the
+// source still sees each canonical query exactly once.
+func TestProbeCacheSingleFlightUnderParallel(t *testing.T) {
+	const n, batch = 8, 2
+	keys := keysOf(n)
+	rows := targetFor(keys, 1)
+	cat, ctr := buildBindCatalog(t, keys, rows, batch, false)
+	ctr.Delay = 2 * time.Millisecond
+	med := &core.Mediation{
+		Branches: []*sqlparse.Select{
+			sqlparse.MustParse(bindQ).(*sqlparse.Select),
+			sqlparse.MustParse(bindQ).(*sqlparse.Select),
+			sqlparse.MustParse(bindQ).(*sqlparse.Select),
+		},
+		UnionAll: true,
+	}
+	ex := NewExecutor(cat)
+	ex.Parallel = true
+	res, err := ex.ExecuteMediationCtx(context.Background(), med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3*n {
+		t.Errorf("answer has %d rows, want %d", res.Len(), 3*n)
+	}
+	if d := ctr.MaxDuplicates(); d != 1 {
+		t.Errorf("single-flight failed: an identical probe reached the source %d times", d)
+	}
+	if got, want := ctr.Queries(), (n+batch-1)/batch; got != want {
+		t.Errorf("target reached %d times, want %d", got, want)
+	}
+}
+
+// TestDispatcherBoundsInflight: the per-source dispatcher admits at most
+// Cost.MaxConcurrent probes at once, and a session's
+// MaxConcurrentPerSource lowers the ceiling further.
+func TestDispatcherBoundsInflight(t *testing.T) {
+	const n = 12
+	keys := keysOf(n)
+	rows := targetFor(keys, 1)
+
+	build := func() (*Executor, *wrappertest.Counter) {
+		cat, ctr := buildBindCatalog(t, keys, rows, 1, false)
+		ctr.Delay = 2 * time.Millisecond
+		ctr.Wrapper.(*wrapper.Relational).CostParams = wrapper.Cost{PerQuery: 10, PerTuple: 0.1, MaxConcurrent: 2}
+		ex := NewExecutor(cat)
+		ex.DisableBatching = true
+		return ex, ctr
+	}
+
+	ex, ctr := build()
+	if _, err := ex.ExecuteCtx(context.Background(), sqlparse.MustParse(bindQ)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.MaxInflight(); got > 2 {
+		t.Errorf("max in-flight queries = %d, want <= Cost.MaxConcurrent = 2", got)
+	} else if got < 2 {
+		t.Errorf("max in-flight queries = %d; probes did not overlap at all", got)
+	}
+
+	ex2, ctr2 := build()
+	sess := ex2.NewSession(context.Background(), Limits{MaxConcurrentPerSource: 1})
+	defer sess.Close()
+	if _, err := ex2.ExecuteSession(sess, sqlparse.MustParse(bindQ)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr2.MaxInflight(); got != 1 {
+		t.Errorf("max in-flight with session cap 1 = %d, want 1", got)
+	}
+}
+
+// failingWrapper fails every fetch; it overrides the embedded Streamer
+// too so streamed scans fail identically.
+type failingWrapper struct {
+	wrapper.Wrapper
+}
+
+var errInjected = errors.New("injected source failure")
+
+func (f *failingWrapper) Query(context.Context, wrapper.SourceQuery) (*relalg.Relation, error) {
+	return nil, errInjected
+}
+
+func (f *failingWrapper) QueryStream(context.Context, wrapper.SourceQuery) (wrapper.TupleStream, error) {
+	return nil, errInjected
+}
+
+// TestParallelBranchFailureCancelsSiblings pins the branch-scoped
+// cancellation bugfix: when one parallel mediation branch fails, its
+// siblings stop fetching from their sources promptly instead of running
+// to completion. The sibling here is frozen mid-transfer behind a Gate
+// that only the branch context's death can release — before the fix this
+// test hung until timeout.
+func TestParallelBranchFailureCancelsSiblings(t *testing.T) {
+	bad := store.NewDB("badsrc")
+	bad.MustCreateTable("bad", relalg.NewSchema(
+		relalg.Column{Name: "n", Type: relalg.KindNumber}))
+	slow := store.NewDB("slowsrc")
+	stab := slow.MustCreateTable("nums", relalg.NewSchema(
+		relalg.Column{Name: "n", Type: relalg.KindNumber}))
+	for i := 0; i < 1000; i++ {
+		stab.MustInsert(relalg.NumV(float64(i)))
+	}
+	gw := wrappertest.NewGate(wrapper.NewRelational(slow))
+	cat := NewCatalog()
+	cat.MustAddSource(&failingWrapper{Wrapper: wrapper.NewRelational(bad)})
+	cat.MustAddSource(gw)
+
+	med := &core.Mediation{
+		Branches: []*sqlparse.Select{
+			sqlparse.MustParse("SELECT nums.n FROM nums").(*sqlparse.Select),
+			sqlparse.MustParse("SELECT bad.n FROM bad").(*sqlparse.Select),
+		},
+		UnionAll: true,
+	}
+	ex := NewExecutor(cat)
+	ex.Parallel = true
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ex.ExecuteMediationCtx(context.Background(), med)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("mediation error = %v, want the injected branch failure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("failing branch did not cancel its gated sibling; parallel mediation hung")
+	}
+}
+
+// TestLimitZeroTransfersNothing pins the LIMIT 0 short-circuit: the scan
+// leaf is never opened, so zero source queries run and zero tuples move.
+func TestLimitZeroTransfersNothing(t *testing.T) {
+	ex := NewExecutor(bigCatalog(1000))
+	res, err := ex.Execute(sqlparse.MustParse("SELECT nums.n FROM nums LIMIT 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("LIMIT 0 returned %d rows", res.Len())
+	}
+	if st := ex.Stats(); st.SourceQueries != 0 || st.TuplesTransferred != 0 {
+		t.Errorf("LIMIT 0 still touched the source: %+v", st)
+	}
+}
+
+// TestBatchedEquivalenceRandomized fuzzes the batched path against the
+// per-value path over randomized fixtures: random feeder bags (with
+// duplicates and NULLs), random target tables (unmatched keys, duplicate
+// rows per key), random batch widths, indexed and not. Answers must be
+// identical tuple for tuple, in order.
+func TestBatchedEquivalenceRandomized(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pool := keysOf(3 + rng.Intn(12))
+		var feed []relalg.Value
+		for i := 0; i < 2+rng.Intn(30); i++ {
+			if rng.Intn(8) == 0 {
+				feed = append(feed, relalg.Null)
+			} else {
+				feed = append(feed, pool[rng.Intn(len(pool))])
+			}
+		}
+		var rows [][2]relalg.Value
+		for i := 0; i < rng.Intn(60); i++ {
+			// Indexes past the pool are keys the feeder never mentions.
+			k := fmt.Sprintf("k%02d", rng.Intn(len(pool)+3))
+			rows = append(rows, [2]relalg.Value{relalg.StrV(k), relalg.NumV(float64(rng.Intn(10)))})
+		}
+		batch := 1 + rng.Intn(5)
+		index := rng.Intn(2) == 0
+
+		cat, _ := buildBindCatalog(t, feed, rows, batch, index)
+		a, err := NewExecutor(cat).ExecuteCtx(context.Background(), sqlparse.MustParse(bindQ))
+		if err != nil {
+			t.Fatalf("seed %d: batched: %v", seed, err)
+		}
+		cat2, _ := buildBindCatalog(t, feed, rows, batch, index)
+		ex2 := NewExecutor(cat2)
+		ex2.DisableBatching = true
+		b, err := ex2.ExecuteCtx(context.Background(), sqlparse.MustParse(bindQ))
+		if err != nil {
+			t.Fatalf("seed %d: unbatched: %v", seed, err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("seed %d (batch=%d index=%v): batched differs from unbatched:\n%s\nvs\n%s",
+				seed, batch, index, a, b)
+		}
+	}
+}
+
+// TestExplainShowsBatchWidth: the plan explains its batching decision.
+func TestExplainShowsBatchWidth(t *testing.T) {
+	cat, _ := buildBindCatalog(t, keysOf(4), targetFor(keysOf(4), 1), 7, false)
+	ex := NewExecutor(cat)
+	plan, err := ex.Plan(sqlparse.MustParse(bindQ).(*sqlparse.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp := plan.Explain(); !strings.Contains(exp, "batch[7]") {
+		t.Errorf("explain lacks batch width:\n%s", exp)
+	}
+}
+
+// TestUnionArmsShareAdmissionSlot: a mediation branch stopped by its own
+// LIMIT before stream exhaustion must release its admission slot when
+// the union advances past it — with a per-source cap of 1, the next
+// branch over the same source would otherwise wait forever for the slot
+// the drained branch still held.
+func TestUnionArmsShareAdmissionSlot(t *testing.T) {
+	cat := bigCatalog(100)
+	med := &core.Mediation{
+		Branches: []*sqlparse.Select{
+			sqlparse.MustParse("SELECT nums.n FROM nums LIMIT 1").(*sqlparse.Select),
+			sqlparse.MustParse("SELECT nums.n FROM nums LIMIT 2").(*sqlparse.Select),
+		},
+		UnionAll: true,
+	}
+	ex := NewExecutor(cat)
+	sess := ex.NewSession(context.Background(), Limits{MaxConcurrentPerSource: 1})
+	defer sess.Close()
+	done := make(chan error, 1)
+	go func() {
+		res, err := ex.ExecuteMediationSession(sess, med)
+		if err == nil && res.Len() != 3 {
+			err = fmt.Errorf("rows = %d, want 3", res.Len())
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("union arms deadlocked on the per-source admission slot")
+	}
+}

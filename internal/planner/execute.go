@@ -39,9 +39,15 @@ type Executor struct {
 	// (one goroutine per branch). Results are combined in branch order,
 	// so answers are deterministic.
 	Parallel bool
+	// DisableBatching keeps bind joins on one query per feeder value even
+	// against IN-capable sources — the batching ablation.
+	DisableBatching bool
 
 	mu    sync.Mutex
 	stats ExecStats
+	// disp holds the per-source dispatchers (admission pools) of the
+	// source access layer; see access.go.
+	disp dispatcherPool
 }
 
 // ExecStats counts the communication work of executed queries. Under
@@ -50,9 +56,15 @@ type Executor struct {
 // reports O(n), not the source size — and a canceled query's counters
 // stop growing as soon as its pipelines notice the cancellation.
 type ExecStats struct {
+	// SourceQueries counts queries that actually reached a source.
 	SourceQueries     int
 	TuplesTransferred int
 	BranchesRun       int
+	// CacheHits counts probes answered from the session result cache
+	// (including single-flight joins of an in-flight identical probe)
+	// without contacting the source; they are deliberately not part of
+	// SourceQueries, which stays a faithful communication count.
+	CacheHits int
 }
 
 // NewExecutor creates an executor over a catalog.
@@ -149,12 +161,18 @@ func (e *Executor) RunSession(sess *Session, plan *BranchPlan) (*relalg.Relation
 	return relalg.Collect(sess.Context(), it, name)
 }
 
-// fetchBindStep retrieves one relation through its bind joins — one
-// source query per distinct combination of feeding values from the
-// materialized intermediate result — and applies the engine-local
-// filters the source could not. The context is observed between source
-// queries (and inside each one), so an abandoned query stops feeding the
-// dependent source.
+// fetchBindStep retrieves one relation through its bind joins and
+// applies the engine-local filters the source could not. The distinct
+// combinations of feeding values are collected from the materialized
+// intermediate result (combinations containing NULL are skipped outright:
+// a `col = NULL` probe can never join under SQL semantics, and a Web form
+// would match the rendered "NULL" literally); against an InList-capable
+// source they are batched into ⌈N/BatchSize⌉ IN-list queries, otherwise
+// each becomes one equality probe. All resulting queries flow through the
+// source access layer — concurrent up to the per-source dispatcher
+// bounds, deduplicated by the session result cache, cancelled as a group
+// on the first failure — and the combined answer is identical, tuple for
+// tuple and in order, to issuing the probes serially per value.
 func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanStep, cur *relalg.Relation) (*relalg.Relation, error) {
 	w, err := e.Catalog.WrapperFor(step.Relation)
 	if err != nil {
@@ -168,34 +186,65 @@ func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanS
 		}
 		feedIdx[i] = idx
 	}
-	seen := map[string]bool{}
 	schema, err := w.Schema(step.Relation)
 	if err != nil {
 		return nil, err
 	}
-	raw := relalg.NewRelation(step.Relation, schema)
+
+	// Distinct non-NULL feeder combinations, in first-appearance order.
+	seen := map[string]bool{}
+	var combos []relalg.Tuple
 	for _, t := range cur.Tuples {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		hasNull := false
+		for _, fi := range feedIdx {
+			if t[fi].IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull {
+			continue
 		}
 		key := t.Key(feedIdx)
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		filters := append([]wrapper.Filter(nil), step.Pushed...)
-		for i, bp := range step.BindJoins {
-			filters = append(filters, wrapper.Filter{Column: bp.Column, Op: "=", Value: t[feedIdx[i]]})
+		vals := make(relalg.Tuple, len(feedIdx))
+		for i, fi := range feedIdx {
+			vals[i] = t[fi]
 		}
-		part, err := w.Query(ctx, wrapper.SourceQuery{Relation: step.Relation, Filters: filters})
+		combos = append(combos, vals)
+	}
+
+	raw := relalg.NewRelation(step.Relation, schema)
+	if len(combos) > 0 {
+		// The planner recorded its batching decision on the step; derive
+		// it only for hand-built plans, so Explain always reports what
+		// execution does.
+		batch := step.BatchSize
+		if batch <= 0 {
+			caps, err := w.Capabilities(step.Relation)
+			if err != nil {
+				return nil, err
+			}
+			batch = e.batchSizeFor(caps, len(step.BindJoins))
+		}
+		var parts []*relalg.Relation
+		if batch > 1 {
+			parts, err = e.fetchBindBatched(ctx, sess, w, step, schema, combos, batch)
+		} else {
+			parts, err = e.fetchBindProbes(ctx, sess, w, step, combos)
+		}
 		if err != nil {
 			return nil, err
 		}
-		e.countQuery(part.Len())
-		if err := sess.chargeTuples(part.Len()); err != nil {
-			return nil, err
+		for _, p := range parts {
+			raw.Tuples = append(raw.Tuples, p.Tuples...)
 		}
-		raw.Tuples = append(raw.Tuples, part.Tuples...)
 	}
 
 	rel := raw.Qualify(step.Binding)
@@ -214,6 +263,75 @@ func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanS
 		}
 	}
 	return rel, nil
+}
+
+// fetchBindProbes issues one equality probe per feeder combination,
+// concurrently through the source access layer, returning the answers in
+// combination order (so the combined result matches serial probing).
+func (e *Executor) fetchBindProbes(ctx context.Context, sess *Session, w wrapper.Wrapper, step *PlanStep, combos []relalg.Tuple) ([]*relalg.Relation, error) {
+	queries := make([]wrapper.SourceQuery, len(combos))
+	for i, vals := range combos {
+		filters := append([]wrapper.Filter(nil), step.Pushed...)
+		for j, bp := range step.BindJoins {
+			filters = append(filters, wrapper.Filter{Column: bp.Column, Op: "=", Value: vals[j]})
+		}
+		queries[i] = wrapper.SourceQuery{Relation: step.Relation, Filters: filters}
+	}
+	return e.fetchAll(ctx, sess, w, queries)
+}
+
+// fetchBindBatched issues one IN-list query per batch of feeder values
+// (single-column bind joins only — an IN list expresses one column), then
+// regroups every batch answer by feeder value so the combined result is
+// identical, tuple for tuple, to the per-value probe path: sources return
+// a batch in their own order, not grouped by probe value.
+func (e *Executor) fetchBindBatched(ctx context.Context, sess *Session, w wrapper.Wrapper, step *PlanStep, schema relalg.Schema, combos []relalg.Tuple, batch int) ([]*relalg.Relation, error) {
+	bp := step.BindJoins[0]
+	colIdx := schema.Index(bp.Column)
+	if colIdx < 0 {
+		return nil, fmt.Errorf("planner: bind column %s missing from %s schema", bp.Column, step.Relation)
+	}
+	var queries []wrapper.SourceQuery
+	var groups [][]relalg.Value
+	for start := 0; start < len(combos); start += batch {
+		end := start + batch
+		if end > len(combos) {
+			end = len(combos)
+		}
+		vals := make([]relalg.Value, 0, end-start)
+		for _, c := range combos[start:end] {
+			vals = append(vals, c[0])
+		}
+		filters := append([]wrapper.Filter(nil), step.Pushed...)
+		if len(vals) == 1 {
+			filters = append(filters, wrapper.Filter{Column: bp.Column, Op: "=", Value: vals[0]})
+		} else {
+			filters = append(filters, wrapper.Filter{Column: bp.Column, Op: wrapper.OpIn, Values: vals})
+		}
+		queries = append(queries, wrapper.SourceQuery{Relation: step.Relation, Filters: filters})
+		groups = append(groups, vals)
+	}
+	parts, err := e.fetchAll(ctx, sess, w, queries)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*relalg.Relation, 0, len(combos))
+	for qi, part := range parts {
+		vals := groups[qi]
+		if len(vals) == 1 {
+			out = append(out, part)
+			continue
+		}
+		buckets := map[string][]relalg.Tuple{}
+		for _, t := range part.Tuples {
+			k := t[colIdx].Key()
+			buckets[k] = append(buckets[k], t)
+		}
+		for _, v := range vals {
+			out = append(out, &relalg.Relation{Name: part.Name, Schema: part.Schema, Tuples: buckets[v.Key()]})
+		}
+	}
+	return out, nil
 }
 
 func colRefFromQualified(q string) *sqlparse.ColRef {

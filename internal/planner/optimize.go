@@ -2,6 +2,7 @@ package planner
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/relalg"
 	"repro/internal/sqlparse"
@@ -246,15 +247,29 @@ func (e *Executor) Plan(sel *sqlparse.Select) (*BranchPlan, error) {
 				}
 			}
 
-			numQueries := 1.0
+			// One probe per distinct feeder combination (bounded by the
+			// current cardinality); an IN-capable source answers them in
+			// ⌈probes/batch⌉ batched queries, which shrinks the per-query
+			// overhead term while the transfer term — tuples priced per
+			// probe — is unchanged.
+			probes := 1.0
 			if len(bindJoins) > 0 {
-				numQueries = curRows // one query per distinct combination, bounded by current rows
-				if numQueries < 1 {
-					numQueries = 1
+				probes = curRows
+				if probes < 1 {
+					probes = 1
 				}
 			}
+			queries := probes
+			batch := e.batchSizeFor(b.caps, len(bindJoins))
+			if batch > 1 {
+				queries = math.Ceil(probes / float64(batch))
+			}
 			fetched := estimateFetched(b, pushed, len(bindJoins))
-			cost := b.w.Cost().PerQuery*numQueries + b.w.Cost().PerTuple*fetched*numQueries
+			cost := b.w.Cost().PerQuery*queries + b.w.Cost().PerTuple*fetched*probes
+			stepBatch := 0
+			if len(bindJoins) > 0 {
+				stepBatch = batch
+			}
 			cand := &candidate{
 				b: b,
 				step: PlanStep{
@@ -266,6 +281,7 @@ func (e *Executor) Plan(sel *sqlparse.Select) (*BranchPlan, error) {
 					LocalPreds: localPreds[b.name],
 					BindJoins:  bindJoins,
 					JoinKeys:   keys,
+					BatchSize:  stepBatch,
 					EstRows:    fetched,
 					EstCost:    cost,
 				},

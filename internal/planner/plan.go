@@ -44,6 +44,10 @@ type PlanStep struct {
 	// JoinKeys are the equality keys joining this relation to the
 	// intermediate result (hash join when non-empty).
 	JoinKeys []JoinKey
+	// BatchSize is the planned IN-list width of a bind join against an
+	// InList-capable source: probes are batched ⌈N/BatchSize⌉-wise. 1
+	// means per-value probes; 0 means the step has no bind joins.
+	BatchSize int
 	// AfterPreds are predicates that become fully bound once this step
 	// has run.
 	AfterPreds []sqlparse.Expr
@@ -94,6 +98,9 @@ func (p *BranchPlan) Explain() string {
 				fmt.Fprintf(&b, "%s<=%s", bp.Column, bp.FromQualified)
 			}
 			b.WriteString("]")
+			if s.BatchSize > 1 {
+				fmt.Fprintf(&b, " batch[%d]", s.BatchSize)
+			}
 		}
 		if len(s.JoinKeys) > 0 {
 			b.WriteString(" join[")

@@ -37,11 +37,36 @@ type Limits struct {
 	// intermediates staged through the TempStore; exceeding it aborts
 	// the query with store.ErrStageBudgetExceeded.
 	MaxStagedBytes int64
+	// MaxConcurrentPerSource caps this session's in-flight queries
+	// against any single source, below the source dispatcher's own pool
+	// size (see internal/planner/access.go). Zero leaves the session
+	// bounded only by the per-source dispatchers.
+	MaxConcurrentPerSource int
 }
 
 // ErrTuplesExceeded aborts a session that transferred more source tuples
 // than its Limits.MaxTuples allows.
 var ErrTuplesExceeded = fmt.Errorf("planner: session exceeded max tuples transferred")
+
+// sessGov holds the governor state every pipeline of a query shares —
+// including parallel mediation branches running under derived
+// branch-scoped contexts. It is held by pointer so deriving a session
+// (withContext) shares the counters instead of forking them.
+type sessGov struct {
+	budget *store.Budget
+
+	// tuples is atomic, not mutex-guarded: it is charged once per tuple
+	// pulled from a source, and parallel branch pipelines share the
+	// session — a lock here would serialize them per tuple.
+	tuples atomic.Int64
+
+	// probe is the session-scoped source-result cache (access.go).
+	probe probeCache
+
+	// disp holds the session-level per-source admission pools backing
+	// Limits.MaxConcurrentPerSource.
+	disp dispatcherPool
+}
 
 // Session is one query's lifetime: a context carrying cancellation and
 // deadline, plus governors shared by every pipeline the query runs
@@ -53,13 +78,7 @@ type Session struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	limits Limits
-
-	budget *store.Budget
-
-	// tuples is atomic, not mutex-guarded: it is charged once per tuple
-	// pulled from a source, and parallel branch pipelines share the
-	// session — a lock here would serialize them per tuple.
-	tuples atomic.Int64
+	gov    *sessGov
 }
 
 // NewSession derives a query session from ctx with the given limits. The
@@ -72,11 +91,25 @@ func (e *Executor) NewSession(ctx context.Context, lim Limits) *Session {
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
 	}
-	s := &Session{ctx: ctx, cancel: cancel, limits: lim}
+	s := &Session{ctx: ctx, cancel: cancel, limits: lim, gov: &sessGov{}}
 	if lim.MaxStagedBytes > 0 {
-		s.budget = &store.Budget{Max: lim.MaxStagedBytes}
+		s.gov.budget = &store.Budget{Max: lim.MaxStagedBytes}
 	}
 	return s
+}
+
+// withContext derives a view of the session bound to ctx (which must
+// descend from the session context) while sharing every governor: the
+// tuple counter, staging budget, probe cache and per-source admission
+// pools. Parallel mediation uses it to give sibling branches a common
+// branch-scoped context that is cancelled on the first branch failure.
+// The derived session does not own ctx — Close/Cancel on it are no-ops;
+// lifetime stays with the parent.
+func (s *Session) withContext(ctx context.Context) *Session {
+	if s == nil {
+		return &Session{ctx: ctx, cancel: func() {}, gov: &sessGov{}}
+	}
+	return &Session{ctx: ctx, cancel: func() {}, limits: s.limits, gov: s.gov}
 }
 
 // Context returns the session's context; Open pipeline trees with it.
@@ -117,7 +150,7 @@ func (s *Session) TuplesTransferred() int {
 	if s == nil {
 		return 0
 	}
-	return int(s.tuples.Load())
+	return int(s.gov.tuples.Load())
 }
 
 // chargeTuples records n source tuples against the session's transfer
@@ -127,11 +160,34 @@ func (s *Session) chargeTuples(n int) error {
 	if s == nil {
 		return nil
 	}
-	total := s.tuples.Add(int64(n))
+	total := s.gov.tuples.Add(int64(n))
 	if s.limits.MaxTuples > 0 && total > int64(s.limits.MaxTuples) {
 		return fmt.Errorf("%w (%d > %d)", ErrTuplesExceeded, total, s.limits.MaxTuples)
 	}
 	return nil
+}
+
+// probeCacheRef returns the session's source-result cache (nil for a nil
+// session: ungoverned runs do not deduplicate).
+func (s *Session) probeCacheRef() *probeCache {
+	if s == nil {
+		return nil
+	}
+	s.gov.probe.mu.Lock()
+	if s.gov.probe.entries == nil {
+		s.gov.probe.entries = map[string]*probeEntry{}
+	}
+	s.gov.probe.mu.Unlock()
+	return &s.gov.probe
+}
+
+// dispatcherFor returns the session-level admission pool for a source,
+// or nil when the session does not cap per-source concurrency.
+func (s *Session) dispatcherFor(source string) *dispatcher {
+	if s == nil || s.limits.MaxConcurrentPerSource <= 0 {
+		return nil
+	}
+	return s.gov.disp.get(source, s.limits.MaxConcurrentPerSource)
 }
 
 // sessionStager adapts the executor's TempStore to the relalg.Stager hook
@@ -156,7 +212,7 @@ func (s *Session) budgetRef() *store.Budget {
 	if s == nil {
 		return nil
 	}
-	return s.budget
+	return s.gov.budget
 }
 
 // stagerFor adapts the executor's TempStore to the relalg.Stager hook

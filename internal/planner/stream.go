@@ -44,26 +44,39 @@ import (
 // on the executor mutex per tuple. It retains the Open context and
 // charges the session's transfer governor, so cancellation and the
 // max-tuples limit both take effect mid-chunk.
+//
+// The scan is admitted through the source access layer: Open acquires a
+// per-source dispatcher slot (blocking while the source is saturated)
+// and the slot is held until the stream is exhausted, fails, or the scan
+// closes — a streaming fetch is in flight against the source for exactly
+// that window.
 type sourceScanIter struct {
-	e      *Executor
-	sess   *Session
-	w      wrapper.Wrapper
-	q      wrapper.SourceQuery
-	schema relalg.Schema
-	ctx    context.Context
-	stream wrapper.TupleStream
-	pulled int
+	e       *Executor
+	sess    *Session
+	w       wrapper.Wrapper
+	q       wrapper.SourceQuery
+	schema  relalg.Schema
+	ctx     context.Context
+	stream  wrapper.TupleStream
+	release func()
+	pulled  int
 }
 
 func (s *sourceScanIter) Schema() relalg.Schema { return s.schema }
 
 func (s *sourceScanIter) Open(ctx context.Context) error {
+	release, err := s.e.acquireSource(ctx, s.sess, s.w)
+	if err != nil {
+		return err
+	}
 	stream, err := wrapper.QueryStream(ctx, s.w, s.q)
 	if err != nil {
+		release()
 		return err
 	}
 	s.ctx = ctx
 	s.stream = stream
+	s.release = release
 	s.pulled = 0
 	s.e.mu.Lock()
 	s.e.stats.SourceQueries++
@@ -71,19 +84,30 @@ func (s *sourceScanIter) Open(ctx context.Context) error {
 	return nil
 }
 
+// freeSlot returns the scan's dispatcher slot; idempotent.
+func (s *sourceScanIter) freeSlot() {
+	if s.release != nil {
+		s.release()
+		s.release = nil
+	}
+}
+
 func (s *sourceScanIter) Next() (relalg.Tuple, bool, error) {
 	if s.stream == nil {
 		return nil, false, nil
 	}
 	if err := s.ctx.Err(); err != nil {
+		s.freeSlot()
 		return nil, false, err
 	}
 	t, ok, err := s.stream.Next()
 	if err != nil || !ok {
+		s.freeSlot()
 		return nil, false, err
 	}
 	s.pulled++
 	if err := s.sess.chargeTuples(1); err != nil {
+		s.freeSlot()
 		return nil, false, err
 	}
 	return t, true, nil
@@ -91,6 +115,7 @@ func (s *sourceScanIter) Next() (relalg.Tuple, bool, error) {
 
 func (s *sourceScanIter) Close() error {
 	if s.stream == nil {
+		s.freeSlot()
 		return nil
 	}
 	s.e.mu.Lock()
@@ -99,6 +124,9 @@ func (s *sourceScanIter) Close() error {
 	s.pulled = 0
 	err := s.stream.Close()
 	s.stream = nil
+	// Release the slot only after the stream is closed: the fetch stays
+	// "in flight" against the source until its stream is torn down.
+	s.freeSlot()
 	return err
 }
 
@@ -432,6 +460,15 @@ func (e *Executor) MediationStream(sess *Session, med *core.Mediation) (relalg.I
 	}
 	children := make([]relalg.Iterator, len(med.Branches))
 	if e.Parallel && len(med.Branches) > 1 {
+		// Branches share a branch-scoped context cancelled on the first
+		// failure, so when one branch dies its siblings stop fetching from
+		// their sources promptly instead of running to completion against
+		// answers nobody will see. The derived session shares the parent's
+		// governors (tuple counter, staging budget, probe cache, admission
+		// pools); only the context differs.
+		bctx, bcancel := context.WithCancel(sess.Context())
+		defer bcancel()
+		bsess := sess.withContext(bctx)
 		results := make([]*relalg.Relation, len(med.Branches))
 		errs := make([]error, len(med.Branches))
 		var wg sync.WaitGroup
@@ -439,14 +476,17 @@ func (e *Executor) MediationStream(sess *Session, med *core.Mediation) (relalg.I
 			wg.Add(1)
 			go func(i int, b *sqlparse.Select) {
 				defer wg.Done()
-				results[i], errs[i] = e.executeSelect(sess, b)
+				results[i], errs[i] = e.executeSelect(bsess, b)
+				if errs[i] != nil {
+					bcancel()
+				}
 			}(i, b)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+		// Report the first branch (by order) that failed for its own
+		// reasons, not with the cancellation derived from a sibling.
+		if err := firstRealError(errs); err != nil {
+			return nil, err
 		}
 		for i, res := range results {
 			children[i] = relalg.NewScan(res)

@@ -112,9 +112,10 @@ func (p *ProjectIter) Close() error { return p.child.Close() }
 // exhaustion without pulling from its child again — the early-exit
 // operator that makes the streaming executor worthwhile.
 type LimitIter struct {
-	child Iterator
-	n     int
-	seen  int
+	child  Iterator
+	n      int
+	seen   int
+	opened bool
 }
 
 // NewLimit keeps the first n tuples of child (n < 0 keeps all).
@@ -125,8 +126,19 @@ func NewLimit(child Iterator, n int) *LimitIter {
 // Schema implements Iterator.
 func (l *LimitIter) Schema() Schema { return l.child.Schema() }
 
-// Open implements Iterator.
-func (l *LimitIter) Open(ctx context.Context) error { l.seen = 0; return l.child.Open(ctx) }
+// Open implements Iterator. LIMIT 0 is a complete short-circuit: the
+// child is never opened, so no source is contacted and no tuple moves.
+func (l *LimitIter) Open(ctx context.Context) error {
+	l.seen = 0
+	if l.n == 0 {
+		return nil
+	}
+	if err := l.child.Open(ctx); err != nil {
+		return err
+	}
+	l.opened = true
+	return nil
+}
 
 // Next implements Iterator.
 func (l *LimitIter) Next() (Tuple, bool, error) {
@@ -142,7 +154,13 @@ func (l *LimitIter) Next() (Tuple, bool, error) {
 }
 
 // Close implements Iterator.
-func (l *LimitIter) Close() error { return l.child.Close() }
+func (l *LimitIter) Close() error {
+	if !l.opened {
+		return nil
+	}
+	l.opened = false
+	return l.child.Close()
+}
 
 // DistinctIter streams the child tuples, dropping duplicates of tuples
 // already emitted (first occurrence wins). It holds the set of seen keys,
@@ -184,13 +202,19 @@ func (d *DistinctIter) Close() error { d.seen = nil; return d.child.Close() }
 
 // UnionAllIter concatenates its children's streams in order, opening each
 // child only when the previous one is exhausted (so with an upstream
-// early exit, later children may never run at all). For set-semantics
-// UNION, wrap it in NewDistinct.
+// early exit, later children may never run at all). A child the union has
+// advanced past is closed eagerly, before the next child opens: the union
+// will never pull from it again, and holding it open would pin its
+// resources — including any source-access admission slot its scan leaf
+// still owns when an early exit (a per-arm LIMIT) stopped the arm before
+// stream exhaustion, which could starve the next arm's admission against
+// the same source. For set-semantics UNION, wrap it in NewDistinct.
 type UnionAllIter struct {
 	children []Iterator
 	ctx      context.Context
 	cur      int
 	opened   int // children[0:opened] have been opened
+	closed   int // children[0:closed] have been eagerly closed
 }
 
 // NewUnionAll concatenates children; schemas must have equal arity
@@ -215,7 +239,7 @@ func (u *UnionAllIter) Schema() Schema { return u.children[0].Schema() }
 // Open implements Iterator.
 func (u *UnionAllIter) Open(ctx context.Context) error {
 	u.ctx = ctx
-	u.cur, u.opened = 0, 0
+	u.cur, u.opened, u.closed = 0, 0, 0
 	if err := u.children[0].Open(ctx); err != nil {
 		return err
 	}
@@ -233,6 +257,11 @@ func (u *UnionAllIter) Next() (Tuple, bool, error) {
 		if ok {
 			return t, true, nil
 		}
+		// Done with this child: release it before the next one opens.
+		u.closed = u.cur + 1
+		if err := u.children[u.cur].Close(); err != nil {
+			return nil, false, err
+		}
 		u.cur++
 		if u.cur < len(u.children) {
 			if err := u.children[u.cur].Open(u.ctx); err != nil {
@@ -247,12 +276,12 @@ func (u *UnionAllIter) Next() (Tuple, bool, error) {
 // Close implements Iterator.
 func (u *UnionAllIter) Close() error {
 	var first error
-	for i := 0; i < u.opened; i++ {
+	for i := u.closed; i < u.opened; i++ {
 		if err := u.children[i].Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	u.opened = 0
+	u.closed = u.opened
 	return first
 }
 

@@ -149,7 +149,12 @@ func (v Value) SortKey(o Value) int {
 }
 
 // Key returns a string usable as a hash key that distinguishes values of
-// different kinds and contents.
+// different kinds and contents. String payloads are length-prefixed so
+// the encoding is self-delimiting: no string content (including the
+// \x1f separator Tuple.Key inserts between columns) can make two
+// distinct value sequences encode identically. Without the prefix,
+// ("a\x1fsb","c") and ("a","b\x1fsc") collided, silently merging rows in
+// DISTINCT, GROUP BY, hash joins and bind-join probe dedup.
 func (v Value) Key() string {
 	switch v.K {
 	case KindNull:
@@ -157,7 +162,9 @@ func (v Value) Key() string {
 	case KindNumber:
 		return "n" + strconv.FormatFloat(v.N, 'g', -1, 64)
 	case KindString:
-		return "s" + v.S
+		// One-expression concat: the compiler emits a single allocation,
+		// and Itoa is allocation-free for the common short strings.
+		return "s" + strconv.Itoa(len(v.S)) + ":" + v.S
 	case KindBool:
 		if v.B {
 			return "bt"

@@ -82,6 +82,10 @@ type QueryRequest struct {
 	// MaxRows caps the rows delivered; the answer is truncated, not
 	// failed. Zero: unlimited.
 	MaxRows int `json:"max_rows,omitempty"`
+	// MaxConcurrentPerSource caps the query session's in-flight fetches
+	// against any single source, below the server's own per-source
+	// dispatcher pools. Zero: the dispatcher defaults alone apply.
+	MaxConcurrentPerSource int `json:"max_concurrent_per_source,omitempty"`
 }
 
 // limits converts the request's governor fields to planner.Limits.
@@ -98,6 +102,10 @@ func (r *QueryRequest) limits() (planner.Limits, error) {
 		return lim, fmt.Errorf("server: bad max_rows %d", r.MaxRows)
 	}
 	lim.MaxRows = r.MaxRows
+	if r.MaxConcurrentPerSource < 0 {
+		return lim, fmt.Errorf("server: bad max_concurrent_per_source %d", r.MaxConcurrentPerSource)
+	}
+	lim.MaxConcurrentPerSource = r.MaxConcurrentPerSource
 	return lim, nil
 }
 

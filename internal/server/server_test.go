@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -137,5 +138,36 @@ func TestQBEPages(t *testing.T) {
 	bad := get("/qbe/run?context=c2&sql=SELECT+zzz+FROM+nosuch")
 	if !strings.Contains(bad, "unknown relation") {
 		t.Errorf("QBE error page:\n%s", bad)
+	}
+}
+
+// TestConcurrencyKnobOverWire: the per-source concurrency cap travels
+// from client.Options through the wire into the query session — a capped
+// query still returns the paper's answer, and a negative cap is rejected
+// before any session starts.
+func TestConcurrencyKnobOverWire(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.QueryCtx(nil, coin.PaperQ1, "c2", client.Options{MaxConcurrentPerSource: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "NTT" {
+		t.Errorf("capped query rows = %v", res.Rows)
+	}
+
+	resp, err := http.Post(ts.URL+"/api/query", "application/json",
+		strings.NewReader(`{"sql":"SELECT r1.cname FROM r1","max_concurrent_per_source":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative max_concurrent_per_source: status = %d, want 400", resp.StatusCode)
 	}
 }

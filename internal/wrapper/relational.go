@@ -9,13 +9,23 @@ import (
 )
 
 // Relational wraps an in-memory database as a full-capability source: it
-// evaluates selections and projections remotely (i.e. inside the source)
-// and uses point indexes for equality filters when available. It stands in
-// for the paper's Oracle source.
+// evaluates selections and projections remotely (i.e. inside the source),
+// accepts IN-list disjunctions (so the engine can batch bind-join probes),
+// and uses point indexes for equality and IN filters when available. It
+// stands in for the paper's Oracle source.
 type Relational struct {
 	DB *store.DB
 	// CostParams defaults to a LAN-ish profile when zero.
 	CostParams Cost
+	// BatchSize is the advertised IN-list width; zero means
+	// DefaultBatchSize.
+	BatchSize int
+	// Require declares per-relation required bindings, simulating a
+	// form-like relational endpoint (a stored procedure or keyed API)
+	// that only answers when the listed columns are constrained. The
+	// planner then feeds those columns through bind joins — which, since
+	// the source is InList-capable, arrive batched.
+	Require map[string][]string
 }
 
 // NewRelational wraps a database.
@@ -38,12 +48,19 @@ func (r *Relational) Schema(relation string) (relalg.Schema, error) {
 	return t.Schema, nil
 }
 
-// Capabilities implements Wrapper: a relational source does everything.
+// Capabilities implements Wrapper: a relational source does everything,
+// including IN-list filters (batched bind-join probes).
 func (r *Relational) Capabilities(relation string) (Capabilities, error) {
 	if _, err := r.DB.Table(relation); err != nil {
 		return Capabilities{}, err
 	}
-	return Capabilities{Selection: true, Projection: true}, nil
+	return Capabilities{
+		Selection:        true,
+		Projection:       true,
+		InList:           true,
+		BatchSize:        r.BatchSize,
+		RequiredBindings: append([]string(nil), r.Require[relation]...),
+	}, nil
 }
 
 // EstimateRows implements Wrapper.
@@ -64,8 +81,10 @@ func (r *Relational) Cost() Cost {
 }
 
 // scanFor snapshots the candidate rows for q — an index lookup when the
-// first indexed equality filter allows it, a full scan otherwise — along
-// with the filters still to apply.
+// first indexed equality (or IN-list) filter allows it, a full scan
+// otherwise — along with the filters still to apply. An indexed IN
+// concatenates the per-value lookups in list order; equality on distinct
+// values partitions, so no row repeats.
 func (r *Relational) scanFor(q SourceQuery) (*relalg.Relation, []Filter, error) {
 	t, err := r.DB.Table(q.Relation)
 	if err != nil {
@@ -74,10 +93,30 @@ func (r *Relational) scanFor(q SourceQuery) (*relalg.Relation, []Filter, error) 
 	var rel *relalg.Relation
 	used := -1
 	for i, f := range q.Filters {
-		if f.Op == "=" && t.HasIndex(f.Column) {
+		if !t.HasIndex(f.Column) {
+			continue
+		}
+		if f.Op == "=" {
 			rel, err = t.Lookup(f.Column, f.Value)
 			if err != nil {
 				return nil, nil, err
+			}
+			used = i
+			break
+		}
+		if f.Op == OpIn {
+			rel = relalg.NewRelation(q.Relation, t.Schema)
+			seen := map[string]bool{}
+			for _, v := range f.Values {
+				if seen[v.Key()] {
+					continue
+				}
+				seen[v.Key()] = true
+				part, err := t.Lookup(f.Column, v)
+				if err != nil {
+					return nil, nil, err
+				}
+				rel.Tuples = append(rel.Tuples, part.Tuples...)
 			}
 			used = i
 			break
@@ -95,9 +134,28 @@ func (r *Relational) scanFor(q SourceQuery) (*relalg.Relation, []Filter, error) 
 	return rel, rest, nil
 }
 
+// checkRequire enforces the relation's declared required bindings, the
+// way the Web wrapper does through CheckRequiredBindings: a form-like
+// endpoint must not silently answer an unconstrained query with a full
+// scan.
+func (r *Relational) checkRequire(q SourceQuery) error {
+	if len(r.Require[q.Relation]) == 0 {
+		return nil
+	}
+	caps, err := r.Capabilities(q.Relation)
+	if err != nil {
+		return err
+	}
+	_, err = CheckRequiredBindings(caps, q)
+	return err
+}
+
 // Query implements Wrapper.
 func (r *Relational) Query(ctx context.Context, q SourceQuery) (*relalg.Relation, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.checkRequire(q); err != nil {
 		return nil, err
 	}
 	rel, rest, err := r.scanFor(q)
@@ -117,6 +175,9 @@ func (r *Relational) Query(ctx context.Context, q SourceQuery) (*relalg.Relation
 // answer.
 func (r *Relational) QueryStream(ctx context.Context, q SourceQuery) (TupleStream, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.checkRequire(q); err != nil {
 		return nil, err
 	}
 	rel, rest, err := r.scanFor(q)

@@ -92,7 +92,7 @@ func Matcher(schema relalg.Schema, filters []Filter) (func(relalg.Tuple) (bool, 
 	}
 	return func(t relalg.Tuple) (bool, error) {
 		for i, f := range filters {
-			ok, err := evalFilter(t[idx[i]], f.Op, f.Value)
+			ok, err := f.Match(t[idx[i]])
 			if err != nil {
 				return false, err
 			}

@@ -15,16 +15,42 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/relalg"
 )
 
+// OpIn is the disjunctive-equality filter operator: `column IN (v1..vk)`.
+// The engine's bind-join batching sends one OpIn filter carrying a batch
+// of feeder values instead of one equality query per value; only sources
+// whose Capabilities report InList receive it.
+const OpIn = "in"
+
 // Filter is a conjunctive selection the engine asks a wrapper to apply:
-// column op constant. Op is one of = <> < <= > >=.
+// column op constant. Op is one of = <> < <= > >= or OpIn ("in"), which
+// matches when the column equals any element of Values (Value is unused
+// then).
 type Filter struct {
 	Column string
 	Op     string
 	Value  relalg.Value
+	// Values carries the constants of an OpIn filter.
+	Values []relalg.Value
+}
+
+// Match evaluates the filter against one column value. ApplyFilters, the
+// Matcher used by streaming fetches, and the Relational wrapper all route
+// through it so filter semantics cannot diverge.
+func (f Filter) Match(v relalg.Value) (bool, error) {
+	if f.Op == OpIn {
+		for _, c := range f.Values {
+			if v.Equal(c) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return evalFilter(v, f.Op, f.Value)
 }
 
 // SourceQuery is a single-relation query in the wrapper protocol.
@@ -38,6 +64,51 @@ type SourceQuery struct {
 	Filters []Filter
 }
 
+// Canonical renders the query as a deterministic string key: identical
+// queries — regardless of filter order or of the order of values inside
+// an IN list (both are conjunction/disjunction-insensitive) — map to the
+// same key. The engine's session result cache and single-flight
+// deduplication key on it (prefixed with the source name). Projection
+// column order is significant and preserved: it changes the result.
+func (q SourceQuery) Canonical() string {
+	var b strings.Builder
+	b.WriteString(q.Relation)
+	b.WriteByte('\x00')
+	for _, c := range q.Columns {
+		b.WriteString(c)
+		b.WriteByte('\x01')
+	}
+	b.WriteByte('\x00')
+	enc := make([]string, len(q.Filters))
+	for i, f := range q.Filters {
+		var fb strings.Builder
+		fb.WriteString(f.Column)
+		fb.WriteByte('\x02')
+		fb.WriteString(f.Op)
+		fb.WriteByte('\x02')
+		if f.Op == OpIn {
+			vals := make([]string, len(f.Values))
+			for j, v := range f.Values {
+				vals[j] = v.Key()
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				fb.WriteString(v)
+				fb.WriteByte('\x03')
+			}
+		} else {
+			fb.WriteString(f.Value.Key())
+		}
+		enc[i] = fb.String()
+	}
+	sort.Strings(enc)
+	for _, e := range enc {
+		b.WriteString(e)
+		b.WriteByte('\x01')
+	}
+	return b.String()
+}
+
 // Capabilities describe what a source can do remotely; the planner plans
 // around them.
 type Capabilities struct {
@@ -45,12 +116,23 @@ type Capabilities struct {
 	Selection bool
 	// Projection: the source projects columns remotely.
 	Projection bool
+	// InList: the source accepts OpIn filters, so the engine may batch a
+	// bind join into ⌈N/BatchSize⌉ IN-list queries instead of N equality
+	// probes.
+	InList bool
+	// BatchSize caps the values per IN-list query; zero means
+	// DefaultBatchSize.
+	BatchSize int
 	// RequiredBindings lists columns that must be constrained by equality
 	// before the source can answer at all (a Web form page): the planner
 	// must feed them from constants or from an already-fetched relation
 	// (a dependent, "bind" join).
 	RequiredBindings []string
 }
+
+// DefaultBatchSize is the IN-list batch width used when an InList-capable
+// source does not state its own.
+const DefaultBatchSize = 16
 
 // Cost carries the communication-cost parameters of a source, in abstract
 // units the planner sums (the paper's engine plans "taking into account
@@ -61,6 +143,10 @@ type Cost struct {
 	PerQuery float64
 	// PerTuple is the transfer cost per result tuple.
 	PerTuple float64
+	// MaxConcurrent bounds the queries the engine keeps in flight against
+	// the source at once (its dispatcher pool size); zero means the
+	// engine's default.
+	MaxConcurrent int
 }
 
 // Wrapper is the uniform source interface.
@@ -174,17 +260,26 @@ func ProjectColumns(rel *relalg.Relation, columns []string) (*relalg.Relation, e
 }
 
 // CheckRequiredBindings verifies that every required binding has an
-// equality filter, returning the bound values by column.
+// equality (or non-empty IN-list) filter, returning the equality-bound
+// values by column. An IN filter satisfies the requirement but
+// contributes no entry to the map — single-value wrappers (Web URL
+// templates) substitute from the map, and the engine only sends IN lists
+// to sources whose capabilities advertise InList.
 func CheckRequiredBindings(caps Capabilities, q SourceQuery) (map[string]relalg.Value, error) {
 	bound := map[string]relalg.Value{}
+	covered := map[string]bool{}
 	for _, f := range q.Filters {
 		if f.Op == "=" {
 			bound[f.Column] = f.Value
+			covered[f.Column] = true
+		}
+		if f.Op == OpIn && len(f.Values) > 0 {
+			covered[f.Column] = true
 		}
 	}
 	var missing []string
 	for _, rb := range caps.RequiredBindings {
-		if _, ok := bound[rb]; !ok {
+		if !covered[rb] {
 			missing = append(missing, rb)
 		}
 	}

@@ -304,3 +304,112 @@ func TestApplyFiltersAndProject(t *testing.T) {
 		t.Errorf("ProjectColumns = %v, %v", p, err)
 	}
 }
+
+func TestRelationalInListFilter(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		db := sampleDB()
+		if indexed {
+			tab, err := db.Table("r1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.CreateIndex("cname"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w := NewRelational(db)
+		caps, err := w.Capabilities("r1")
+		if err != nil || !caps.InList {
+			t.Fatalf("indexed=%v: caps = %+v, %v (want InList)", indexed, caps, err)
+		}
+		rel, err := w.Query(context.Background(), SourceQuery{
+			Relation: "r1",
+			Filters: []Filter{{Column: "cname", Op: OpIn, Values: []relalg.Value{
+				relalg.StrV("NTT"), relalg.StrV("IBM"), relalg.StrV("NTT"), // duplicate tolerated
+			}}},
+		})
+		if err != nil {
+			t.Fatalf("indexed=%v: %v", indexed, err)
+		}
+		if rel.Len() != 2 {
+			t.Errorf("indexed=%v: IN matched %d rows, want 2:\n%s", indexed, rel.Len(), rel)
+		}
+		for _, tup := range rel.Tuples {
+			if s := tup[0].S; s != "NTT" && s != "IBM" {
+				t.Errorf("indexed=%v: IN returned %s", indexed, s)
+			}
+		}
+		// NULL column values never match an IN list.
+		empty, err := w.Query(context.Background(), SourceQuery{
+			Relation: "r1",
+			Filters:  []Filter{{Column: "cname", Op: OpIn, Values: []relalg.Value{relalg.Null}}},
+		})
+		if err != nil || empty.Len() != 0 {
+			t.Errorf("indexed=%v: IN (NULL) = %d rows, %v; want 0 rows", indexed, empty.Len(), err)
+		}
+	}
+}
+
+func TestSourceQueryCanonical(t *testing.T) {
+	base := SourceQuery{Relation: "r1", Filters: []Filter{
+		{Column: "currency", Op: "=", Value: relalg.StrV("JPY")},
+		{Column: "cname", Op: OpIn, Values: []relalg.Value{relalg.StrV("a"), relalg.StrV("b")}},
+	}}
+	// Filter order and IN-value order are canonicalized away.
+	same := SourceQuery{Relation: "r1", Filters: []Filter{
+		{Column: "cname", Op: OpIn, Values: []relalg.Value{relalg.StrV("b"), relalg.StrV("a")}},
+		{Column: "currency", Op: "=", Value: relalg.StrV("JPY")},
+	}}
+	if base.Canonical() != same.Canonical() {
+		t.Errorf("reordered filters changed the canonical key:\n%q\nvs\n%q", base.Canonical(), same.Canonical())
+	}
+	// Different values, relations or projections do not collide.
+	diffs := []SourceQuery{
+		{Relation: "r2", Filters: base.Filters},
+		{Relation: "r1", Filters: []Filter{{Column: "currency", Op: "=", Value: relalg.StrV("USD")}}},
+		{Relation: "r1", Filters: base.Filters, Columns: []string{"cname"}},
+		{Relation: "r1", Filters: []Filter{
+			{Column: "currency", Op: "=", Value: relalg.StrV("JPY")},
+			{Column: "cname", Op: OpIn, Values: []relalg.Value{relalg.StrV("a")}},
+		}},
+	}
+	for i, d := range diffs {
+		if d.Canonical() == base.Canonical() {
+			t.Errorf("query %d collides with base canonical key %q", i, base.Canonical())
+		}
+	}
+	// Projection order is significant (it changes the result columns).
+	p1 := SourceQuery{Relation: "r1", Columns: []string{"cname", "revenue"}}
+	p2 := SourceQuery{Relation: "r1", Columns: []string{"revenue", "cname"}}
+	if p1.Canonical() == p2.Canonical() {
+		t.Error("projection order was canonicalized away; it must stay significant")
+	}
+}
+
+func TestCheckRequiredBindingsAcceptsInList(t *testing.T) {
+	caps := Capabilities{RequiredBindings: []string{"fromCur"}}
+	if _, err := CheckRequiredBindings(caps, SourceQuery{
+		Relation: "r3",
+		Filters:  []Filter{{Column: "fromCur", Op: OpIn, Values: []relalg.Value{relalg.StrV("JPY")}}},
+	}); err != nil {
+		t.Errorf("non-empty IN on a required binding rejected: %v", err)
+	}
+	if _, err := CheckRequiredBindings(caps, SourceQuery{
+		Relation: "r3",
+		Filters:  []Filter{{Column: "fromCur", Op: OpIn}},
+	}); err == nil {
+		t.Error("empty IN accepted as a required binding")
+	}
+}
+
+func TestRequiredBindingsOnRelational(t *testing.T) {
+	w := NewRelational(sampleDB())
+	w.Require = map[string][]string{"r1": {"cname"}}
+	caps, err := w.Capabilities("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps.RequiredBindings) != 1 || caps.RequiredBindings[0] != "cname" {
+		t.Errorf("required bindings = %v", caps.RequiredBindings)
+	}
+}
