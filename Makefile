@@ -2,9 +2,10 @@
 
 GO        ?= go
 PKGS      ?= ./...
-# Benchmarks that gate solver- and source-access-performance work (see
-# internal/datalog/README.md and ARCHITECTURE.md "Source access layer").
-BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_MediationOnly|BenchmarkUnify|BenchmarkBindJoinBatched
+# Benchmarks that gate solver-, source-access- and optimizer-performance
+# work (see internal/datalog/README.md and ARCHITECTURE.md "Source access
+# layer" / "Optimizer & statistics").
+BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_MediationOnly|BenchmarkUnify|BenchmarkBindJoinBatched|BenchmarkJoinOrderAdaptive
 BENCHDIR  ?= .bench
 COUNT     ?= 6
 

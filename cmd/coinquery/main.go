@@ -8,6 +8,8 @@
 //	coinquery -server http://localhost:8095 -context c2 '...'
 //	coinquery -naive '...'           # skip mediation (the wrong answer)
 //	coinquery -show-mediated '...'
+//	coinquery -explain '...'         # print the execution plan, don't run
+//	coinquery -analyze '...'         # EXPLAIN ANALYZE: run and show est vs actual
 //	coinquery -timeout 2s '...'      # bound the query session
 //	coinquery -max-rows 100 '...'    # truncate the answer
 //	coinquery -max-concurrent-per-source 2 '...'  # bound per-source fetch concurrency
@@ -30,6 +32,8 @@ import (
 type queryConfig struct {
 	naive        bool
 	showMediated bool
+	explain      bool
+	analyze      bool
 	timeout      time.Duration
 	maxRows      int
 	maxPerSource int
@@ -41,6 +45,8 @@ func main() {
 	contextName := flag.String("context", "c2", "receiver context")
 	naive := flag.Bool("naive", false, "execute without mediation")
 	showMediated := flag.Bool("show-mediated", false, "print the mediated SQL before the answer")
+	explain := flag.Bool("explain", false, "print the execution plan instead of running the query")
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute the query and print the plan with actual rows/queries/cost")
 	timeout := flag.Duration("timeout", 0, "query session timeout (0: none)")
 	maxRows := flag.Int("max-rows", 0, "cap on result rows; the answer is truncated (0: unlimited)")
 	maxPerSource := flag.Int("max-concurrent-per-source", 0, "cap on the session's concurrent fetches per source (0: dispatcher defaults)")
@@ -53,7 +59,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := queryConfig{
-		naive: *naive, showMediated: *showMediated,
+		naive: *naive, showMediated: *showMediated, explain: *explain, analyze: *analyze,
 		timeout: *timeout, maxRows: *maxRows, maxPerSource: *maxPerSource, stream: *stream,
 	}
 	if err := run(*serverURL, *contextName, sql, cfg); err != nil {
@@ -75,6 +81,19 @@ func runRemote(serverURL, receiverCtx, sql string, cfg queryConfig) error {
 		return err
 	}
 	opts := client.Options{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource}
+	if cfg.explain || cfg.analyze {
+		var plan string
+		if cfg.analyze {
+			plan, err = conn.ExplainAnalyze(context.Background(), sql, receiverCtx, opts)
+		} else {
+			plan, err = conn.Explain(sql, receiverCtx)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
 	if cfg.stream {
 		cur, err := conn.QueryStream(context.Background(), sql, receiverCtx, cfg.naive, opts)
 		if err != nil {
@@ -120,6 +139,22 @@ func runRemote(serverURL, receiverCtx, sql string, cfg queryConfig) error {
 func runLocal(receiverCtx, sql string, cfg queryConfig) error {
 	sys := coin.Figure2System()
 	opts := coin.QueryOptions{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource}
+	if cfg.explain || cfg.analyze {
+		var (
+			plan string
+			err  error
+		)
+		if cfg.analyze {
+			plan, err = sys.ExplainAnalyzeCtx(context.Background(), sql, receiverCtx, opts)
+		} else {
+			plan, err = sys.Explain(sql, receiverCtx)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
 	if cfg.stream {
 		var (
 			rs  *coin.RowStream

@@ -64,3 +64,26 @@ func TestRunAgainstServer(t *testing.T) {
 		t.Error("dead server succeeded")
 	}
 }
+
+// TestRunExplainAndAnalyze covers the -explain and -analyze flags in both
+// the in-process and the server-backed modes.
+func TestRunExplainAndAnalyze(t *testing.T) {
+	if err := run("", "c2", coin.PaperQ1, queryConfig{explain: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "c2", coin.PaperQ1, queryConfig{analyze: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "c2", "SELECT nope FROM nosuch", queryConfig{analyze: true}); err == nil {
+		t.Error("bad analyze succeeded")
+	}
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	if err := run(ts.URL, "c2", coin.PaperQ1, queryConfig{explain: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ts.URL, "c2", coin.PaperQ1, queryConfig{analyze: true, timeout: 30 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+}

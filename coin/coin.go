@@ -218,6 +218,41 @@ func (s *System) Explain(sql, receiver string) (string, error) {
 	return b.String(), nil
 }
 
+// ExplainAnalyze mediates the query, then actually executes every branch
+// with measurement wired through the pipeline, rendering each plan with
+// estimated-vs-actual rows, source queries and cost per step (the
+// est_rows / act_rows columns). The run feeds the adaptive statistics
+// like any execution, so an EXPLAIN ANALYZE followed by EXPLAIN shows
+// the optimizer learning. The ungoverned form of ExplainAnalyzeCtx.
+func (s *System) ExplainAnalyze(sql, receiver string) (string, error) {
+	return s.ExplainAnalyzeCtx(context.Background(), sql, receiver, QueryOptions{})
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under a context and per-query
+// limits: the analyzed execution runs inside a governed session, so it
+// can be cancelled or bounded like any query.
+func (s *System) ExplainAnalyzeCtx(ctx context.Context, sql, receiver string, opts QueryOptions) (string, error) {
+	med, err := s.Mediate(sql, receiver)
+	if err != nil {
+		return "", err
+	}
+	sess := s.executor.NewSession(ctx, opts)
+	defer sess.Close()
+	var b strings.Builder
+	fmt.Fprintf(&b, "mediated into %d branch(es)\n", len(med.Branches))
+	for i, br := range med.Branches {
+		plan, err := s.executor.AnalyzeSelect(sess, br)
+		if err != nil {
+			return "", fmt.Errorf("coin: analyzing branch %d: %w", i+1, err)
+		}
+		fmt.Fprintf(&b, "branch %d: %s\n%s", i+1, br.String(), plan.Explain())
+	}
+	if med.Post != nil {
+		b.WriteString("post: aggregation/ordering over the union\n")
+	}
+	return b.String(), nil
+}
+
 // Execute runs an already-mediated query. The ungoverned form of
 // ExecuteCtx.
 func (s *System) Execute(med *Mediation) (*Relation, error) {

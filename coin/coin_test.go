@@ -181,3 +181,30 @@ func TestBuiltinSpecs(t *testing.T) {
 		t.Error("unknown spec found")
 	}
 }
+
+// TestExplainAnalyze: the analyzed plan renders estimated-vs-actual
+// columns for every branch, and the analyzed run's observations teach the
+// optimizer (a following EXPLAIN prices from measured cardinalities).
+func TestExplainAnalyze(t *testing.T) {
+	sys := coin.Figure2System()
+	out, err := sys.ExplainAnalyze(coin.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mediated into 3 branch(es)", "est_rows=", "act_rows=", "act_queries=", "act_branch_rows="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+	// The ordinary answer still computes after an analyzed run.
+	rows, err := sys.Query(coin.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Tuples[0][0].S != "NTT" {
+		t.Errorf("post-analyze answer = %s", rows)
+	}
+	if _, err := sys.ExplainAnalyze("SELECT nope FROM nosuch", "c2"); err == nil {
+		t.Error("bad query analyzed successfully")
+	}
+}

@@ -402,6 +402,23 @@ func (c *Conn) Explain(sql, context string) (string, error) {
 	return resp.Plan, nil
 }
 
+// ExplainAnalyze asks the server to execute the mediated query with
+// measurement attached and returns the plans annotated with actual rows,
+// source queries and cost per step. opts govern the analyzed execution's
+// session like a normal query's.
+func (c *Conn) ExplainAnalyze(ctx context.Context, sql, context_ string, opts Options) (string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req := queryRequest(sql, context_, false, opts)
+	req.Analyze = true
+	var resp server.ExplainResponse
+	if err := c.postQuery(ctx, "/api/explain", req, opts, &resp); err != nil {
+		return "", err
+	}
+	return resp.Plan, nil
+}
+
 // Cursor iterates a Result row by row, in the style of an ODBC cursor.
 type Cursor struct {
 	res *Result

@@ -1,8 +1,10 @@
 package client_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/coin"
 	"repro/internal/client"
@@ -99,5 +101,23 @@ func TestResultString(t *testing.T) {
 	s := res.String()
 	if !strings.Contains(s, "cname") || !strings.Contains(s, "NTT") {
 		t.Errorf("table:\n%s", s)
+	}
+}
+
+// TestExplainAnalyzeOverHTTP: the client's EXPLAIN ANALYZE executes
+// server-side and returns plans with measured columns.
+func TestExplainAnalyzeOverHTTP(t *testing.T) {
+	conn := testConn(t)
+	plan, err := conn.ExplainAnalyze(context.Background(), coin.PaperQ1, "c2", client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"act_rows=", "act_queries=", "est_cost="} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("analyzed plan missing %q:\n%s", want, plan)
+		}
+	}
+	if _, err := conn.ExplainAnalyze(context.Background(), "SELECT nope FROM nosuch", "c2", client.Options{}); err == nil {
+		t.Error("bad analyze succeeded")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"repro/internal/relalg"
 	"repro/internal/wrapper"
@@ -193,22 +194,53 @@ func (e *Executor) fetchSource(ctx context.Context, sess *Session, w wrapper.Wra
 }
 
 // querySource runs one materialized source query under admission,
-// counting it and charging the session's transfer governor.
+// counting it, charging the session's transfer governor, and feeding the
+// adaptive statistics (observed cardinality and query latency).
 func (e *Executor) querySource(ctx context.Context, sess *Session, w wrapper.Wrapper, q wrapper.SourceQuery) (*relalg.Relation, error) {
 	release, err := e.acquireSource(ctx, sess, w)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	start := time.Now()
 	rel, err := w.Query(ctx, q)
 	if err != nil {
 		return nil, err
 	}
+	e.observeLatency(sess, w.Source(), time.Since(start))
+	e.observeAccess(sess, q.Relation, q.Filters, rel.Len())
 	e.countQuery(rel.Len())
 	if err := sess.chargeTuples(rel.Len()); err != nil {
 		return nil, err
 	}
 	return rel, nil
+}
+
+// observeAccess feeds one completed source access (relation, filters,
+// tuples transferred) into the adaptive statistics: buffered in the
+// session when one governs the run (flushed at Session.Close), recorded
+// directly otherwise. A nil AdaptiveStats disables learning.
+func (e *Executor) observeAccess(sess *Session, relation string, filters []wrapper.Filter, rows int) {
+	if e.AdaptiveStats == nil {
+		return
+	}
+	o := statObs{relation: relation, filters: filters, rows: rows}
+	if sess != nil && sess.bufferObs(o) {
+		return
+	}
+	o.apply(e.AdaptiveStats)
+}
+
+// observeLatency feeds one measured source-query latency the same way.
+func (e *Executor) observeLatency(sess *Session, source string, d time.Duration) {
+	if e.AdaptiveStats == nil {
+		return
+	}
+	o := statObs{source: source, latency: d}
+	if sess != nil && sess.bufferObs(o) {
+		return
+	}
+	o.apply(e.AdaptiveStats)
 }
 
 // fetchAll answers a set of source queries concurrently (each through

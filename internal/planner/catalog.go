@@ -11,6 +11,12 @@
 // tree (BuildStream) whose leaves fetch from the wrappers tuple by tuple,
 // so early exits (LIMIT, lazily-consumed mediation branches) stop pulling
 // from the sources instead of materializing every intermediate result.
+//
+// Planning is cost-based and adaptive: the logical query graph
+// (logical.go) feeds a Selinger-style left-deep enumerator (optimize.go)
+// priced by a cost model (cost.go) over statistics learned from actual
+// executions (stats.go); EXPLAIN ANALYZE (analyze.go, plan.go) renders
+// estimated-vs-measured rows, queries and cost per plan step.
 package planner
 
 import (

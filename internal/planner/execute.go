@@ -42,6 +42,16 @@ type Executor struct {
 	// DisableBatching keeps bind joins on one query per feeder value even
 	// against IN-capable sources — the batching ablation.
 	DisableBatching bool
+	// DisableReorder keeps the legacy greedy access ordering instead of
+	// the dynamic-programming enumerator — the join-order ablation.
+	DisableReorder bool
+
+	// AdaptiveStats is the executor's feedback store: completed source
+	// accesses record their observed cardinalities and latencies here
+	// (via the session, at close), and subsequent plans price with them
+	// instead of the wrappers' static guesses. NewExecutor installs one;
+	// set nil to plan from static estimates only (the learning ablation).
+	AdaptiveStats *StatsStore
 
 	mu    sync.Mutex
 	stats ExecStats
@@ -67,9 +77,10 @@ type ExecStats struct {
 	CacheHits int
 }
 
-// NewExecutor creates an executor over a catalog.
+// NewExecutor creates an executor over a catalog, with an empty adaptive
+// statistics store ready to learn from executions.
 func NewExecutor(cat *Catalog) *Executor {
-	return &Executor{Catalog: cat}
+	return &Executor{Catalog: cat, AdaptiveStats: NewStatsStore()}
 }
 
 // Stats snapshots the execution counters.
@@ -173,7 +184,7 @@ func (e *Executor) RunSession(sess *Session, plan *BranchPlan) (*relalg.Relation
 // bounds, deduplicated by the session result cache, cancelled as a group
 // on the first failure — and the combined answer is identical, tuple for
 // tuple and in order, to issuing the probes serially per value.
-func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanStep, cur *relalg.Relation) (*relalg.Relation, error) {
+func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanStep, act *StepActuals, cur *relalg.Relation) (*relalg.Relation, error) {
 	w, err := e.Catalog.WrapperFor(step.Relation)
 	if err != nil {
 		return nil, err
@@ -233,6 +244,10 @@ func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanS
 			}
 			batch = e.batchSizeFor(caps, len(step.BindJoins))
 		}
+		queries := len(combos)
+		if batch > 1 {
+			queries = (len(combos) + batch - 1) / batch
+		}
 		var parts []*relalg.Relation
 		if batch > 1 {
 			parts, err = e.fetchBindBatched(ctx, sess, w, step, schema, combos, batch)
@@ -244,6 +259,10 @@ func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanS
 		}
 		for _, p := range parts {
 			raw.Tuples = append(raw.Tuples, p.Tuples...)
+		}
+		if act != nil {
+			act.Queries.Add(int64(queries))
+			act.Rows.Add(int64(len(raw.Tuples)))
 		}
 	}
 

@@ -1,5 +1,27 @@
 package planner
 
+// The physical half of the optimizer: given the logical query graph
+// (logical.go) and the cost model (cost.go), choose a left-deep access
+// order and materialize it into a BranchPlan. Two enumerators share one
+// candidate-step builder, so they differ only in how they search:
+//
+//   - dpOrder is Selinger-style dynamic programming over placed-set
+//     bitmasks: best[mask] holds the cheapest left-deep prefix covering
+//     exactly the relations in mask, transitions try every feasible next
+//     relation, and the full-mask winner is reconstructed through parent
+//     pointers. Bind-join feasibility (required bindings fed by constants
+//     or placed relations) prunes transitions, so every enumerated order
+//     is executable.
+//   - greedyOrder is the legacy myopic pass — cheapest feasible access
+//     next — kept as the Executor.DisableReorder ablation and as the
+//     fallback above maxDPRelations relations, where 2^n states stop
+//     being cheap.
+//
+// Both are deterministic: states advance in increasing mask order,
+// relations in FROM order, and a candidate replaces the incumbent only
+// when strictly cheaper, so ties resolve to the earliest-found order and
+// repeated planning of the same query renders byte-identical plans.
+
 import (
 	"fmt"
 	"math"
@@ -9,341 +31,283 @@ import (
 	"repro/internal/wrapper"
 )
 
-// Selectivity guesses used by the cost model.
-const (
-	selEq    = 0.1
-	selRange = 0.4
-	selNeq   = 0.9
-	selJoin  = 0.1
-)
+// maxDPRelations caps the dynamic program's FROM-clause size; beyond it
+// the greedy enumerator plans (2^n states would outgrow the win).
+const maxDPRelations = 12
 
 // Plan builds the capability- and cost-aware plan for one SELECT block:
-// it classifies predicates (pushable filter / local filter / join key /
-// residual), then greedily orders source accesses, admitting a relation
+// it builds the logical query graph, then enumerates left-deep access
+// orders — dynamic programming by default, the greedy pass under
+// DisableReorder or past maxDPRelations relations — admitting a relation
 // only once its required bindings can be fed by constants or by columns
-// of relations already placed (a bind join), and preferring the cheapest
-// feasible access at each step.
+// of relations already placed (a bind join), and materializes the winning
+// order into executable steps.
 func (e *Executor) Plan(sel *sqlparse.Select) (*BranchPlan, error) {
-	type bindingCtx struct {
-		name, relation string
-		schema         relalg.Schema
-		caps           wrapper.Capabilities
-		w              wrapper.Wrapper
+	lq, err := e.buildLogical(sel)
+	if err != nil {
+		return nil, err
 	}
-	if len(sel.From) == 0 {
-		return nil, fmt.Errorf("planner: query has no FROM clause")
+	pb := &planBuilder{e: e, lq: lq, cm: e.costModelFor()}
+	var order []int
+	if e.DisableReorder || len(lq.rels) > maxDPRelations {
+		order, err = pb.greedyOrder()
+	} else {
+		order, err = pb.dpOrder()
 	}
-	bindings := make([]*bindingCtx, 0, len(sel.From))
-	byName := map[string]*bindingCtx{}
-	for _, ref := range sel.From {
-		w, err := e.Catalog.WrapperFor(ref.Table)
-		if err != nil {
-			return nil, err
+	if err != nil {
+		return nil, err
+	}
+	return pb.build(order)
+}
+
+// planBuilder turns (logical graph, cost model) into candidate steps and
+// complete plans.
+type planBuilder struct {
+	e  *Executor
+	lq *logicalQuery
+	cm *costModel
+}
+
+// errNoFeasibleOrder is the shared complaint when no placement order can
+// feed every required binding.
+func errNoFeasibleOrder() error {
+	return fmt.Errorf("planner: cannot satisfy required bindings of the remaining relations (no feasible access order)")
+}
+
+// candidate prices placing b next, given the relations already placed and
+// the estimated cardinality of the current intermediate result. It
+// returns the executable step, the estimated cardinality after the step's
+// joins, and the step's cost; ok=false when b's required bindings cannot
+// be fed yet.
+func (pb *planBuilder) candidate(b *relBinding, placed uint64, curRows float64) (step PlanStep, outRows, cost float64, ok bool) {
+	lq := pb.lq
+	// Required bindings not covered by constant filters must be fed from
+	// join edges to placed bindings.
+	var bindJoins []BindPair
+	for _, rc := range b.caps.RequiredBindings {
+		if b.reqCovered[rc] {
+			continue
 		}
-		schema, err := w.Schema(ref.Table)
-		if err != nil {
-			return nil, err
+		fed := lq.feedFor(b, rc, placed)
+		if fed == "" {
+			return PlanStep{}, 0, 0, false
 		}
-		caps, err := w.Capabilities(ref.Table)
-		if err != nil {
-			return nil, err
+		bindJoins = append(bindJoins, BindPair{Column: rc, FromQualified: fed})
+	}
+	// Join keys to already-placed bindings.
+	var keys []JoinKey
+	for _, j := range lq.joins {
+		switch {
+		case j.a == b && placed&j.b.bit() != 0:
+			keys = append(keys, JoinKey{CurQualified: j.b.name + "." + j.bCol, NewColumn: j.aCol})
+		case j.b == b && placed&j.a.bit() != 0:
+			keys = append(keys, JoinKey{CurQualified: j.a.name + "." + j.aCol, NewColumn: j.bCol})
 		}
-		b := &bindingCtx{name: ref.Binding(), relation: ref.Table, schema: schema, caps: caps, w: w}
-		if byName[b.name] != nil {
-			return nil, fmt.Errorf("planner: duplicate binding %s", b.name)
-		}
-		bindings = append(bindings, b)
-		byName[b.name] = b
 	}
 
-	// resolve maps a column reference onto (binding, plain column).
-	resolve := func(c *sqlparse.ColRef) (*bindingCtx, string, error) {
-		if c.Table != "" {
-			b := byName[c.Table]
-			if b == nil {
-				return nil, "", fmt.Errorf("planner: no binding %s for %s", c.Table, c)
-			}
-			idx := b.schema.Index(c.Column)
-			if idx < 0 {
-				return nil, "", fmt.Errorf("planner: %s has no column %s", b.relation, c.Column)
-			}
-			return b, b.schema.Columns[idx].Name, nil
-		}
-		var found *bindingCtx
-		col := ""
-		for _, b := range bindings {
-			if idx := b.schema.Index(c.Column); idx >= 0 {
-				if found != nil {
-					return nil, "", fmt.Errorf("planner: column %s is ambiguous", c.Column)
+	bindCols := make([]string, len(bindJoins))
+	for i, bp := range bindJoins {
+		bindCols[i] = bp.Column
+	}
+	// One probe per distinct feeder combination, bounded by the current
+	// cardinality and — when a feeder column's distinct count is known —
+	// by the values that can exist at all. An IN-capable source answers
+	// them in ⌈probes/batch⌉ batched queries, which shrinks the per-query
+	// overhead term while the transfer term is unchanged.
+	probes := 1.0
+	if len(bindJoins) > 0 {
+		probes = math.Max(curRows, 1)
+		if len(bindJoins) == 1 {
+			if fb, fcol, ok := lq.bindingOf(bindJoins[0].FromQualified); ok {
+				if d := pb.cm.distinctOf(fb, fcol); d > 0 && float64(d) < probes {
+					probes = float64(d)
 				}
-				found, col = b, b.schema.Columns[idx].Name
 			}
 		}
-		if found == nil {
-			return nil, "", fmt.Errorf("planner: unknown column %s", c.Column)
-		}
-		return found, col, nil
 	}
+	queries := probes
+	batch := pb.e.batchSizeFor(b.caps, len(bindJoins))
+	if batch > 1 {
+		queries = math.Ceil(probes / float64(batch))
+	}
+	perProbe := pb.cm.accessRows(b, b.pushed, bindCols)
+	transfer := perProbe * probes
+	cost = pb.cm.perQueryCost(b)*queries + b.w.Cost().PerTuple*transfer
 
-	// predBindings returns the set of bindings a predicate mentions.
-	predBindings := func(p sqlparse.Expr) (map[string]bool, error) {
-		out := map[string]bool{}
-		for _, c := range sqlparse.ColumnsOf(p) {
-			b, _, err := resolve(c)
-			if err != nil {
-				return nil, err
+	// Cardinality after the step's joins. Keys on a bound column carry no
+	// extra selectivity: the per-probe transfer estimate is already
+	// conditioned on that equality.
+	if placed == 0 {
+		outRows = perProbe
+	} else {
+		bound := map[string]bool{}
+		for _, c := range bindCols {
+			bound[c] = true
+		}
+		outRows = curRows * perProbe
+		for _, k := range keys {
+			if bound[k.NewColumn] {
+				continue
 			}
-			out[b.name] = true
-		}
-		return out, nil
-	}
-
-	// Classify WHERE conjuncts.
-	type joinPred struct {
-		a, b       *bindingCtx
-		aCol, bCol string
-		expr       sqlparse.Expr
-	}
-	filters := map[string][]wrapper.Filter{}   // binding -> simple filters
-	localPreds := map[string][]sqlparse.Expr{} // binding -> complex single-binding preds
-	var joins []joinPred
-	type residual struct {
-		expr  sqlparse.Expr
-		binds map[string]bool
-	}
-	var residuals []residual
-
-	for _, p := range sqlparse.Conjuncts(sel.Where) {
-		if f, b, ok, err := simpleFilter(p, resolve); err != nil {
-			return nil, err
-		} else if ok {
-			filters[b.name] = append(filters[b.name], f)
-			continue
-		}
-		if jp, ok, err := equiJoin(p, resolve); err != nil {
-			return nil, err
-		} else if ok {
-			joins = append(joins, joinPred{a: jp.a, b: jp.b, aCol: jp.aCol, bCol: jp.bCol, expr: p})
-			continue
-		}
-		bs, err := predBindings(p)
-		if err != nil {
-			return nil, err
-		}
-		if len(bs) == 1 {
-			for name := range bs {
-				localPreds[name] = append(localPreds[name], p)
+			fb, fcol, ok := lq.bindingOf(k.CurQualified)
+			if !ok {
+				fb = nil
 			}
-			continue
+			outRows *= pb.cm.joinSelectivity(fb, fcol, b, k.NewColumn)
 		}
-		residuals = append(residuals, residual{expr: p, binds: bs})
+		if outRows < 1 {
+			outRows = 1
+		}
 	}
 
-	// Greedy ordering.
-	plan := &BranchPlan{Limit: sel.Limit, Distinct: sel.Distinct, OrderBy: sel.OrderBy, Items: sel.Items}
-	placed := map[string]bool{}
-	placedCols := map[string]string{} // "binding.col" -> qualified name available
+	stepBatch := 0
+	if len(bindJoins) > 0 {
+		stepBatch = batch
+	}
+	step = PlanStep{
+		Binding:    b.name,
+		Relation:   b.relation,
+		Source:     b.w.Source(),
+		Pushed:     b.pushed,
+		Local:      b.local,
+		LocalPreds: b.localPreds,
+		BindJoins:  bindJoins,
+		JoinKeys:   keys,
+		BatchSize:  stepBatch,
+		EstRows:    transfer,
+		EstQueries: queries,
+		EstCost:    cost,
+		SourceCost: b.w.Cost(),
+	}
+	return step, outRows, cost, true
+}
+
+// bindingOf resolves a qualified column ("rl.currency") back onto its
+// binding and plain column.
+func (lq *logicalQuery) bindingOf(qualified string) (*relBinding, string, bool) {
+	for i := 0; i < len(qualified); i++ {
+		if qualified[i] == '.' {
+			name, col := qualified[:i], qualified[i+1:]
+			for _, b := range lq.rels {
+				if b.name == name {
+					return b, col, true
+				}
+			}
+			return nil, "", false
+		}
+	}
+	return nil, "", false
+}
+
+// greedyOrder picks the cheapest feasible access at each step — the
+// legacy ordering, kept as the DisableReorder ablation and the fallback
+// for very wide FROM clauses. Ties resolve to FROM order.
+func (pb *planBuilder) greedyOrder() ([]int, error) {
+	n := len(pb.lq.rels)
+	order := make([]int, 0, n)
+	var placed uint64
 	curRows := 1.0
-	joinUsed := make([]bool, len(joins))
-	residualDone := make([]bool, len(residuals))
-
-	estimateFetched := func(b *bindingCtx, pushed []wrapper.Filter, bindCount int) float64 {
-		rows := float64(b.w.EstimateRows(b.relation))
-		for _, f := range pushed {
-			switch f.Op {
-			case "=":
-				rows *= selEq
-			case "<>":
-				rows *= selNeq
-			default:
-				rows *= selRange
+	for len(order) < n {
+		bestIdx := -1
+		bestCost := 0.0
+		bestRows := 0.0
+		for _, b := range pb.lq.rels {
+			if placed&b.bit() != 0 {
+				continue
+			}
+			_, outRows, cost, ok := pb.candidate(b, placed, curRows)
+			if !ok {
+				continue
+			}
+			if bestIdx < 0 || cost < bestCost {
+				bestIdx, bestCost, bestRows = b.idx, cost, outRows
 			}
 		}
-		for i := 0; i < bindCount; i++ {
-			rows *= selEq
+		if bestIdx < 0 {
+			return nil, errNoFeasibleOrder()
 		}
-		if rows < 1 {
-			rows = 1
-		}
-		return rows
+		order = append(order, bestIdx)
+		placed |= 1 << uint(bestIdx)
+		curRows = bestRows
 	}
+	return order, nil
+}
 
-	for len(plan.Steps) < len(bindings) {
-		type candidate struct {
-			b       *bindingCtx
-			step    PlanStep
-			estRows float64
-			estCost float64
-			fromIdx int
+// dpOrder runs the Selinger-style dynamic program: for every placement
+// mask, the cheapest left-deep prefix reaching it, extended one feasible
+// relation at a time. States are a dense slice indexed by mask — no map
+// iteration anywhere — so enumeration order, and therefore tie-breaking,
+// is fixed.
+func (pb *planBuilder) dpOrder() ([]int, error) {
+	n := len(pb.lq.rels)
+	type dpState struct {
+		cost float64
+		rows float64
+		last int // relation placed to reach this mask
+		prev uint64
+		ok   bool
+	}
+	best := make([]dpState, 1<<uint(n))
+	best[0] = dpState{cost: 0, rows: 1, last: -1, ok: true}
+	full := uint64(1<<uint(n)) - 1
+	for mask := uint64(0); mask <= full; mask++ {
+		st := best[mask]
+		if !st.ok {
+			continue
 		}
-		var best *candidate
-		for fi, b := range bindings {
-			if placed[b.name] {
+		for _, b := range pb.lq.rels {
+			if mask&b.bit() != 0 {
 				continue
 			}
-			// Partition this binding's simple filters into pushed/local.
-			var pushed, local []wrapper.Filter
-			required := map[string]bool{}
-			for _, rc := range b.caps.RequiredBindings {
-				required[rc] = true
-			}
-			for _, f := range filters[b.name] {
-				pushable := b.caps.Selection || (f.Op == "=" && required[f.Column])
-				if e.DisablePushdown && !(f.Op == "=" && required[f.Column]) {
-					pushable = false
-				}
-				if pushable {
-					pushed = append(pushed, f)
-				} else {
-					local = append(local, f)
-				}
-			}
-			// Required bindings not covered by constant filters must come
-			// from join predicates to placed bindings.
-			covered := map[string]bool{}
-			for _, f := range pushed {
-				if f.Op == "=" {
-					covered[f.Column] = true
-				}
-			}
-			var bindJoins []BindPair
-			feasible := true
-			for _, rc := range b.caps.RequiredBindings {
-				if covered[rc] {
-					continue
-				}
-				fed := ""
-				for ji, j := range joins {
-					if joinUsed[ji] {
-						continue
-					}
-					if j.a == b && j.aCol == rc && placed[j.b.name] {
-						fed = j.b.name + "." + j.bCol
-					}
-					if j.b == b && j.bCol == rc && placed[j.a.name] {
-						fed = j.a.name + "." + j.aCol
-					}
-					if fed != "" {
-						break
-					}
-				}
-				if fed == "" {
-					feasible = false
-					break
-				}
-				bindJoins = append(bindJoins, BindPair{Column: rc, FromQualified: fed})
-			}
-			if !feasible {
+			_, outRows, cost, ok := pb.candidate(b, mask, st.rows)
+			if !ok {
 				continue
 			}
-			// Join keys to already-placed bindings.
-			var keys []JoinKey
-			for _, j := range joins {
-				switch {
-				case j.a == b && placed[j.b.name]:
-					keys = append(keys, JoinKey{CurQualified: j.b.name + "." + j.bCol, NewColumn: j.aCol})
-				case j.b == b && placed[j.a.name]:
-					keys = append(keys, JoinKey{CurQualified: j.a.name + "." + j.aCol, NewColumn: j.bCol})
-				}
-			}
-
-			// One probe per distinct feeder combination (bounded by the
-			// current cardinality); an IN-capable source answers them in
-			// ⌈probes/batch⌉ batched queries, which shrinks the per-query
-			// overhead term while the transfer term — tuples priced per
-			// probe — is unchanged.
-			probes := 1.0
-			if len(bindJoins) > 0 {
-				probes = curRows
-				if probes < 1 {
-					probes = 1
-				}
-			}
-			queries := probes
-			batch := e.batchSizeFor(b.caps, len(bindJoins))
-			if batch > 1 {
-				queries = math.Ceil(probes / float64(batch))
-			}
-			fetched := estimateFetched(b, pushed, len(bindJoins))
-			cost := b.w.Cost().PerQuery*queries + b.w.Cost().PerTuple*fetched*probes
-			stepBatch := 0
-			if len(bindJoins) > 0 {
-				stepBatch = batch
-			}
-			cand := &candidate{
-				b: b,
-				step: PlanStep{
-					Binding:    b.name,
-					Relation:   b.relation,
-					Source:     b.w.Source(),
-					Pushed:     pushed,
-					Local:      local,
-					LocalPreds: localPreds[b.name],
-					BindJoins:  bindJoins,
-					JoinKeys:   keys,
-					BatchSize:  stepBatch,
-					EstRows:    fetched,
-					EstCost:    cost,
-				},
-				estRows: fetched,
-				estCost: cost,
-				fromIdx: fi,
-			}
-			if best == nil || cand.estCost < best.estCost ||
-				(cand.estCost == best.estCost && cand.fromIdx < best.fromIdx) {
-				best = cand
+			next := mask | b.bit()
+			total := st.cost + cost
+			if !best[next].ok || total < best[next].cost {
+				best[next] = dpState{cost: total, rows: outRows, last: b.idx, prev: mask, ok: true}
 			}
 		}
-		if best == nil {
-			return nil, fmt.Errorf("planner: cannot satisfy required bindings of the remaining relations (no feasible access order)")
-		}
+	}
+	if !best[full].ok {
+		return nil, errNoFeasibleOrder()
+	}
+	order := make([]int, n)
+	for mask, i := full, n-1; mask != 0; i-- {
+		order[i] = best[mask].last
+		mask = best[mask].prev
+	}
+	return order, nil
+}
 
-		// Mark join predicates consumed by this step.
-		for ji, j := range joins {
-			if joinUsed[ji] {
+// build materializes an access order into the executable plan: candidate
+// steps replayed in order, residual predicates attached to the first step
+// after which all their bindings are placed.
+func (pb *planBuilder) build(order []int) (*BranchPlan, error) {
+	lq := pb.lq
+	sel := lq.sel
+	plan := &BranchPlan{Limit: sel.Limit, Distinct: sel.Distinct, OrderBy: sel.OrderBy, Items: sel.Items}
+	var placed uint64
+	curRows := 1.0
+	residualDone := make([]bool, len(lq.residuals))
+	for _, idx := range order {
+		b := lq.rels[idx]
+		step, outRows, cost, ok := pb.candidate(b, placed, curRows)
+		if !ok {
+			return nil, errNoFeasibleOrder()
+		}
+		placed |= b.bit()
+		curRows = outRows
+		for ri, r := range lq.residuals {
+			if residualDone[ri] || r.mask&^placed != 0 {
 				continue
 			}
-			if (j.a == best.b && placed[j.b.name]) || (j.b == best.b && placed[j.a.name]) {
-				joinUsed[ji] = true
-			}
+			residualDone[ri] = true
+			step.AfterPreds = append(step.AfterPreds, r.expr)
 		}
-		placed[best.b.name] = true
-		for _, col := range best.b.schema.Columns {
-			placedCols[best.b.name+"."+col.Name] = best.b.name + "." + col.Name
-		}
-		// Residuals whose bindings are now all placed run after this step.
-		for ri, r := range residuals {
-			if residualDone[ri] {
-				continue
-			}
-			all := true
-			for name := range r.binds {
-				if !placed[name] {
-					all = false
-					break
-				}
-			}
-			if all {
-				residualDone[ri] = true
-				best.step.AfterPreds = append(best.step.AfterPreds, r.expr)
-			}
-		}
-
-		// Update the running cardinality estimate.
-		if len(plan.Steps) == 0 {
-			curRows = best.estRows
-		} else {
-			sel := 1.0
-			for range best.step.JoinKeys {
-				sel *= selJoin
-			}
-			curRows = curRows * best.estRows * sel
-			if curRows < 1 {
-				curRows = 1
-			}
-		}
-		plan.EstCost += best.estCost
-		plan.Steps = append(plan.Steps, best.step)
+		plan.EstCost += cost
+		plan.Steps = append(plan.Steps, step)
 	}
 	return plan, nil
 }

@@ -3,6 +3,7 @@ package planner
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/sqlparse"
 	"repro/internal/wrapper"
@@ -52,8 +53,41 @@ type PlanStep struct {
 	// has run.
 	AfterPreds []sqlparse.Expr
 
-	EstRows float64
-	EstCost float64
+	// EstRows is the estimated tuples this step transfers from its source
+	// (across all probes, for a bind join); EstQueries the estimated
+	// source queries; EstCost the step's communication cost in the
+	// source's abstract units. SourceCost snapshots the pricing
+	// parameters so EXPLAIN ANALYZE can cost the measured counts the same
+	// way.
+	EstRows    float64
+	EstQueries float64
+	EstCost    float64
+	SourceCost wrapper.Cost
+}
+
+// StepActuals are the measured counterparts of one step's estimates,
+// filled in while an analyzed plan executes. Counters are atomic: a
+// step's source fetches may run concurrently (batched probes, parallel
+// branches).
+type StepActuals struct {
+	// Rows counts tuples actually transferred from the source for this
+	// step (before engine-local filters).
+	Rows atomic.Int64
+	// Queries counts source queries issued for this step; probes answered
+	// by the session cache count too (they are still accesses the plan
+	// asked for).
+	Queries atomic.Int64
+	// Out counts the tuples the step emitted downstream, after its joins
+	// and local predicates.
+	Out atomic.Int64
+}
+
+// PlanActuals carries a plan's measured execution counts, one entry per
+// step, plus the rows the whole branch produced.
+type PlanActuals struct {
+	Steps []StepActuals
+	// Rows counts the branch's output tuples.
+	Rows atomic.Int64
 }
 
 // BranchPlan is the plan for one SELECT block.
@@ -64,10 +98,36 @@ type BranchPlan struct {
 	Distinct bool
 	OrderBy  []sqlparse.OrderItem
 	Limit    int
+
+	// Actuals, when non-nil (EnableAnalyze), makes the compiled pipeline
+	// count per-step actual rows and queries as it runs; Explain then
+	// renders estimated-vs-actual columns.
+	Actuals *PlanActuals
 }
 
-// Explain renders the plan for humans (cmd/coinquery -explain and the
-// planner tests).
+// EnableAnalyze attaches (and returns) actual-execution counters to the
+// plan: the next BuildStream wires them through the pipeline, and Explain
+// renders measured columns next to the estimates. Call it before
+// executing the plan.
+func (p *BranchPlan) EnableAnalyze() *PlanActuals {
+	if p.Actuals == nil {
+		p.Actuals = &PlanActuals{Steps: make([]StepActuals, len(p.Steps))}
+	}
+	return p.Actuals
+}
+
+// stepActuals returns the counters for step i (nil when not analyzing).
+func (p *BranchPlan) stepActuals(i int) *StepActuals {
+	if p.Actuals == nil || i >= len(p.Actuals.Steps) {
+		return nil
+	}
+	return &p.Actuals.Steps[i]
+}
+
+// Explain renders the plan for humans (EXPLAIN through coin, the server,
+// the client and cmd/coinquery, plus the planner tests). After an
+// analyzed execution (EnableAnalyze + run) every step also shows its
+// measured rows, queries, cost and output cardinality.
 func (p *BranchPlan) Explain() string {
 	var b strings.Builder
 	for i, s := range p.Steps {
@@ -112,8 +172,29 @@ func (p *BranchPlan) Explain() string {
 			}
 			b.WriteString("]")
 		}
-		fmt.Fprintf(&b, " est_rows=%.0f est_cost=%.0f\n", s.EstRows, s.EstCost)
+		fmt.Fprintf(&b, " est_rows=%.0f est_queries=%.0f est_cost=%.0f", s.EstRows, s.EstQueries, s.EstCost)
+		if act := p.stepActuals(i); act != nil {
+			rows, queries := act.Rows.Load(), act.Queries.Load()
+			actCost := s.SourceCost.PerQuery*float64(queries) + s.SourceCost.PerTuple*float64(rows)
+			fmt.Fprintf(&b, " | act_rows=%d act_queries=%d act_cost=%.0f act_out=%d",
+				rows, queries, actCost, act.Out.Load())
+		}
+		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "total est_cost=%.0f\n", p.EstCost)
+	fmt.Fprintf(&b, "total est_cost=%.0f", p.EstCost)
+	if p.Actuals != nil {
+		var rows, queries int64
+		var cost float64
+		for i := range p.Actuals.Steps {
+			act := &p.Actuals.Steps[i]
+			rows += act.Rows.Load()
+			queries += act.Queries.Load()
+			cost += p.Steps[i].SourceCost.PerQuery*float64(act.Queries.Load()) +
+				p.Steps[i].SourceCost.PerTuple*float64(act.Rows.Load())
+		}
+		fmt.Fprintf(&b, " | act_cost=%.0f act_tuples=%d act_queries=%d act_branch_rows=%d",
+			cost, rows, queries, p.Actuals.Rows.Load())
+	}
+	b.WriteByte('\n')
 	return b.String()
 }

@@ -12,6 +12,7 @@ package planner
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,7 +67,21 @@ type sessGov struct {
 	// disp holds the session-level per-source admission pools backing
 	// Limits.MaxConcurrentPerSource.
 	disp dispatcherPool
+
+	// obs buffers the run's statistics observations (observed source
+	// cardinalities and latencies); Session.Close drains them into sink —
+	// the executor's adaptive StatsStore — so a query's own feedback
+	// reaches the optimizer only once the query is over, and parallel
+	// branch pipelines contend on one small buffer lock instead of the
+	// store. The buffer is bounded; overflow drains inline.
+	obsMu   sync.Mutex
+	obs     []statObs
+	obsSink *StatsStore
 }
+
+// maxBufferedObs bounds a session's observation buffer; a run producing
+// more flushes the surplus to the store inline.
+const maxBufferedObs = 512
 
 // Session is one query's lifetime: a context carrying cancellation and
 // deadline, plus governors shared by every pipeline the query runs
@@ -91,7 +106,7 @@ func (e *Executor) NewSession(ctx context.Context, lim Limits) *Session {
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
 	}
-	s := &Session{ctx: ctx, cancel: cancel, limits: lim, gov: &sessGov{}}
+	s := &Session{ctx: ctx, cancel: cancel, limits: lim, gov: &sessGov{obsSink: e.AdaptiveStats}}
 	if lim.MaxStagedBytes > 0 {
 		s.gov.budget = &store.Budget{Max: lim.MaxStagedBytes}
 	}
@@ -136,12 +151,54 @@ func (s *Session) Cancel() {
 }
 
 // Close releases the session: it cancels the context (stopping any
-// in-flight pipeline) and frees the deadline timer. Idempotent.
+// in-flight pipeline), frees the deadline timer, and flushes the buffered
+// statistics observations into the executor's adaptive store — the
+// feedback loop's hand-off point. Idempotent.
 func (s *Session) Close() error {
 	if s != nil {
+		s.flushObs()
 		s.cancel()
 	}
 	return nil
+}
+
+// bufferObs queues a statistics observation on the session, reporting
+// false when the session has no statistics sink (the caller then records
+// directly). Past the buffer bound the surplus drains to the store inline.
+func (s *Session) bufferObs(o statObs) bool {
+	if s == nil || s.gov.obsSink == nil {
+		return false
+	}
+	g := s.gov
+	var drain []statObs
+	g.obsMu.Lock()
+	g.obs = append(g.obs, o)
+	if len(g.obs) >= maxBufferedObs {
+		drain = g.obs
+		g.obs = nil
+	}
+	g.obsMu.Unlock()
+	for _, o := range drain {
+		o.apply(g.obsSink)
+	}
+	return true
+}
+
+// flushObs drains the session's buffered observations into the adaptive
+// store. Draining makes it idempotent, so derived branch sessions closing
+// alongside their parent are harmless.
+func (s *Session) flushObs() {
+	if s == nil || s.gov.obsSink == nil {
+		return
+	}
+	g := s.gov
+	g.obsMu.Lock()
+	drain := g.obs
+	g.obs = nil
+	g.obsMu.Unlock()
+	for _, o := range drain {
+		o.apply(g.obsSink)
+	}
 }
 
 // TuplesTransferred reports the tuples charged against the session's

@@ -1,0 +1,227 @@
+package planner
+
+// The adaptive statistics subsystem: a bounded, concurrency-safe store of
+// facts observed during actual executions, feeding the cost model of
+// subsequent plans. Two kinds of facts are kept:
+//
+//   - cardinalities, per (relation, canonical filter signature). Every
+//     completed source access — a streamed scan pulled to exhaustion, a
+//     materialized bind-join probe — records the tuples it actually
+//     transferred under two signatures: the exact one (filter values
+//     included), so replanning the same query uses the measured truth,
+//     and the value-abstracted shape ("col =", "col <", ...), whose
+//     running mean generalizes across probe values — that is what prices
+//     a bind join's per-probe transfer before the probe values are known.
+//   - per-source query latencies, as a running mean, floor for the cost
+//     model's per-query term.
+//
+// Observations flow in from the access layer (access.go, stream.go)
+// through the session's observation buffer and land here when the session
+// closes (Session.Close → flushObs); sessionless runs record directly.
+// The store is bounded: past MaxEntries access signatures, the oldest
+// entries fall away FIFO, so a long-lived executor cannot grow without
+// limit.
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wrapper"
+)
+
+// DefaultStatsEntries bounds the access-signature entries a StatsStore
+// retains (exact and shape signatures both count).
+const DefaultStatsEntries = 4096
+
+// StatsStore is the adaptive statistics store. The zero value is not
+// usable; create one with NewStatsStore. It implements the Stats
+// interface of the cost model.
+type StatsStore struct {
+	mu      sync.Mutex
+	access  map[string]*accessStat
+	order   []string // insertion order, for FIFO eviction
+	latency map[string]*meanStat
+	max     int
+}
+
+type accessStat struct {
+	count float64
+	sum   float64
+}
+
+func (a *accessStat) mean() float64 { return a.sum / a.count }
+
+type meanStat struct {
+	count float64
+	sum   float64
+}
+
+// NewStatsStore creates an empty store bounded by DefaultStatsEntries.
+func NewStatsStore() *StatsStore {
+	return &StatsStore{
+		access:  map[string]*accessStat{},
+		latency: map[string]*meanStat{},
+		max:     DefaultStatsEntries,
+	}
+}
+
+// sigFilters renders a deterministic signature of a filter set, exact
+// (values included) or shape-only. IN-list filters normalize to the
+// equality shape — a batch of k values is k probes in one query — and
+// have no useful exact form (exact=false callers skip them).
+func sigFilters(filters []wrapper.Filter, bindCols []string, exact bool) string {
+	enc := make([]string, 0, len(filters)+len(bindCols))
+	for _, f := range filters {
+		op := f.Op
+		if op == wrapper.OpIn {
+			op = "="
+		}
+		if exact {
+			enc = append(enc, f.Column+"\x02"+op+"\x02"+f.Value.Key())
+		} else {
+			enc = append(enc, f.Column+"\x02"+op)
+		}
+	}
+	for _, c := range bindCols {
+		enc = append(enc, c+"\x02=")
+	}
+	sort.Strings(enc)
+	return strings.Join(enc, "\x01")
+}
+
+func accessKey(relation, sig string, exact bool) string {
+	kind := "s"
+	if exact {
+		kind = "e"
+	}
+	return relation + "\x00" + kind + "\x00" + sig
+}
+
+// ObserveAccess records one completed source access: a query against
+// relation with the given filters transferred rows tuples. An IN-list
+// query answers len(Values) probes at once, so its per-probe mean is
+// recorded under the equality shape and no exact entry is kept.
+func (s *StatsStore) ObserveAccess(relation string, filters []wrapper.Filter, rows int) {
+	probes := 1
+	hasIn := false
+	for _, f := range filters {
+		if f.Op == wrapper.OpIn {
+			hasIn = true
+			if n := len(f.Values); n > 1 {
+				probes = n
+			}
+		}
+	}
+	perProbe := float64(rows) / float64(probes)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !hasIn {
+		// Exact entries keep the latest measurement: the source may have
+		// changed, and the newest answer is the truth.
+		st := s.entry(accessKey(relation, sigFilters(filters, nil, true), true))
+		st.count, st.sum = 1, float64(rows)
+	}
+	st := s.entry(accessKey(relation, sigFilters(filters, nil, false), false))
+	st.count += float64(probes)
+	st.sum += perProbe * float64(probes)
+}
+
+// entry returns (creating, evicting FIFO past the bound) the stat for key.
+// Callers hold s.mu.
+func (s *StatsStore) entry(key string) *accessStat {
+	if st, ok := s.access[key]; ok {
+		return st
+	}
+	for len(s.access) >= s.max && len(s.order) > 0 {
+		delete(s.access, s.order[0])
+		s.order = s.order[1:]
+	}
+	st := &accessStat{}
+	s.access[key] = st
+	s.order = append(s.order, key)
+	return st
+}
+
+// ObserveLatency records one source query's wall-clock latency.
+func (s *StatsStore) ObserveLatency(source string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.latency[source]
+	if st == nil {
+		st = &meanStat{}
+		s.latency[source] = st
+	}
+	st.count++
+	st.sum += float64(d)
+}
+
+// AccessRows implements Stats: the learned transfer size of one access.
+// With bind columns the lookup is by shape only (the probe values are
+// unknown at plan time); without, the exact signature wins over the
+// shape.
+func (s *StatsStore) AccessRows(relation string, filters []wrapper.Filter, bindCols []string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(bindCols) == 0 {
+		if st, ok := s.access[accessKey(relation, sigFilters(filters, nil, true), true)]; ok {
+			return st.mean(), true
+		}
+	}
+	if st, ok := s.access[accessKey(relation, sigFilters(filters, bindCols, false), false)]; ok {
+		return st.mean(), true
+	}
+	return 0, false
+}
+
+// RelationRows implements Stats: the learned unfiltered cardinality.
+func (s *StatsStore) RelationRows(relation string) (float64, bool) {
+	return s.AccessRows(relation, nil, nil)
+}
+
+// SourceLatency implements Stats: the mean observed per-query latency.
+func (s *StatsStore) SourceLatency(source string) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.latency[source]
+	if st == nil || st.count == 0 {
+		return 0, false
+	}
+	return time.Duration(st.sum / st.count), true
+}
+
+// Len reports the retained access-signature entries (tests, bounds).
+func (s *StatsStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.access)
+}
+
+// Reset drops every learned fact.
+func (s *StatsStore) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.access = map[string]*accessStat{}
+	s.order = nil
+	s.latency = map[string]*meanStat{}
+}
+
+// statObs is one buffered observation (session.go holds them until the
+// session closes).
+type statObs struct {
+	relation string
+	filters  []wrapper.Filter
+	rows     int
+	source   string
+	latency  time.Duration
+}
+
+// apply lands the observation in the store.
+func (o statObs) apply(s *StatsStore) {
+	if o.source != "" {
+		s.ObserveLatency(o.source, o.latency)
+		return
+	}
+	s.ObserveAccess(o.relation, o.filters, o.rows)
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/relalg"
@@ -51,15 +52,17 @@ import (
 // closes — a streaming fetch is in flight against the source for exactly
 // that window.
 type sourceScanIter struct {
-	e       *Executor
-	sess    *Session
-	w       wrapper.Wrapper
-	q       wrapper.SourceQuery
-	schema  relalg.Schema
-	ctx     context.Context
-	stream  wrapper.TupleStream
-	release func()
-	pulled  int
+	e         *Executor
+	sess      *Session
+	w         wrapper.Wrapper
+	q         wrapper.SourceQuery
+	schema    relalg.Schema
+	act       *StepActuals // non-nil under EXPLAIN ANALYZE
+	ctx       context.Context
+	stream    wrapper.TupleStream
+	release   func()
+	pulled    int
+	exhausted bool
 }
 
 func (s *sourceScanIter) Schema() relalg.Schema { return s.schema }
@@ -69,18 +72,24 @@ func (s *sourceScanIter) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	stream, err := wrapper.QueryStream(ctx, s.w, s.q)
 	if err != nil {
 		release()
 		return err
 	}
+	s.e.observeLatency(s.sess, s.w.Source(), time.Since(start))
 	s.ctx = ctx
 	s.stream = stream
 	s.release = release
 	s.pulled = 0
+	s.exhausted = false
 	s.e.mu.Lock()
 	s.e.stats.SourceQueries++
 	s.e.mu.Unlock()
+	if s.act != nil {
+		s.act.Queries.Add(1)
+	}
 	return nil
 }
 
@@ -102,10 +111,18 @@ func (s *sourceScanIter) Next() (relalg.Tuple, bool, error) {
 	}
 	t, ok, err := s.stream.Next()
 	if err != nil || !ok {
+		if err == nil {
+			// The source delivered its whole answer: the observed
+			// cardinality is a fact worth learning.
+			s.exhausted = true
+		}
 		s.freeSlot()
 		return nil, false, err
 	}
 	s.pulled++
+	if s.act != nil {
+		s.act.Rows.Add(1)
+	}
 	if err := s.sess.chargeTuples(1); err != nil {
 		s.freeSlot()
 		return nil, false, err
@@ -121,6 +138,9 @@ func (s *sourceScanIter) Close() error {
 	s.e.mu.Lock()
 	s.e.stats.TuplesTransferred += s.pulled
 	s.e.mu.Unlock()
+	if s.exhausted {
+		s.e.observeAccess(s.sess, s.q.Relation, s.q.Filters, s.pulled)
+	}
 	s.pulled = 0
 	err := s.stream.Close()
 	s.stream = nil
@@ -134,7 +154,7 @@ func (s *sourceScanIter) Close() error {
 // step: chunked fetch with pushed filters, columns qualified with the
 // step binding, then the engine-local filters the source could not
 // evaluate.
-func (e *Executor) sourceIter(sess *Session, step *PlanStep) (relalg.Iterator, error) {
+func (e *Executor) sourceIter(sess *Session, step *PlanStep, act *StepActuals) (relalg.Iterator, error) {
 	w, err := e.Catalog.WrapperFor(step.Relation)
 	if err != nil {
 		return nil, err
@@ -147,6 +167,7 @@ func (e *Executor) sourceIter(sess *Session, step *PlanStep) (relalg.Iterator, e
 		e: e, sess: sess, w: w,
 		q:      wrapper.SourceQuery{Relation: step.Relation, Filters: step.Pushed},
 		schema: schema,
+		act:    act,
 	}
 	qualified := schema.Qualify(step.Binding)
 	var it relalg.Iterator = relalg.NewRename(leaf, qualified)
@@ -231,10 +252,11 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 	var cur relalg.Iterator
 	for i := range plan.Steps {
 		step := &plan.Steps[i]
+		act := plan.stepActuals(i)
 		var next relalg.Iterator
 		var err error
 		if len(step.BindJoins) == 0 {
-			if next, err = e.sourceIter(sess, step); err != nil {
+			if next, err = e.sourceIter(sess, step, act); err != nil {
 				return nil, err
 			}
 			if cur == nil {
@@ -269,7 +291,7 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 				if curRel, err = stageIfSet(e.stagerFor(sess), curRel); err != nil {
 					return nil, err
 				}
-				fetched, err := e.fetchBindStep(ctx, sess, step, curRel)
+				fetched, err := e.fetchBindStep(ctx, sess, step, act, curRel)
 				if err != nil {
 					return nil, err
 				}
@@ -278,6 +300,11 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 		}
 		if len(step.AfterPreds) > 0 {
 			cur = relalg.NewFilter(cur, sqlparse.AndAll(step.AfterPreds))
+		}
+		if act != nil {
+			// Count the step's downstream output (after joins and local
+			// predicates) for the act_out column of EXPLAIN ANALYZE.
+			cur = relalg.NewCounted(cur, &act.Out)
 		}
 		if e.Temp != nil {
 			// Staging mode: materialize every step boundary through the
@@ -322,6 +349,9 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 		}
 	}
 	out = relalg.NewLimit(out, plan.Limit)
+	if plan.Actuals != nil {
+		out = relalg.NewCounted(out, &plan.Actuals.Rows)
+	}
 	return relalg.NewOnOpen(out, func() {
 		e.mu.Lock()
 		e.stats.BranchesRun++

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/sqlparse"
@@ -428,4 +429,29 @@ func TestIteratorLifecycleBalanced(t *testing.T) {
 		}
 		reg.assertBalanced(t)
 	})
+}
+
+// TestCountedIter: the EXPLAIN ANALYZE counter sees exactly the tuples
+// the consumer pulls, and an early exit stops the count with it.
+func TestCountedIter(t *testing.T) {
+	rel := NewRelation("d", NewSchema(Column{Name: "n", Type: KindNumber}))
+	for i := 0; i < 10; i++ {
+		rel.Tuples = append(rel.Tuples, Tuple{NumV(float64(i))})
+	}
+	var n atomic.Int64
+	got, err := Collect(context.Background(), NewCounted(NewScan(rel), &n), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10 || n.Load() != 10 {
+		t.Errorf("rows = %d, counted = %d, want 10", got.Len(), n.Load())
+	}
+	n.Store(0)
+	lim, err := Collect(context.Background(), NewLimit(NewCounted(NewScan(rel), &n), 3), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim.Len() != 3 || n.Load() != 3 {
+		t.Errorf("limited rows = %d, counted = %d, want 3", lim.Len(), n.Load())
+	}
 }

@@ -58,6 +58,7 @@ type Service interface {
 	QueryNaiveCtx(ctx context.Context, sql string, opts planner.Limits) (*relalg.Relation, error)
 	QueryStream(ctx context.Context, sql, receiver string, naive bool, opts planner.Limits) (RowStream, error)
 	Explain(sql, receiver string) (string, error)
+	ExplainAnalyzeCtx(ctx context.Context, sql, receiver string, opts planner.Limits) (string, error)
 	Contexts() []string
 	Relations() []string
 	Schema(relation string) (relalg.Schema, error)
@@ -86,6 +87,11 @@ type QueryRequest struct {
 	// against any single source, below the server's own per-source
 	// dispatcher pools. Zero: the dispatcher defaults alone apply.
 	MaxConcurrentPerSource int `json:"max_concurrent_per_source,omitempty"`
+	// Analyze turns /api/explain into EXPLAIN ANALYZE: the branches are
+	// actually executed (inside a session bound to the request, honoring
+	// the governor fields above) and the rendered plans carry measured
+	// rows, queries and cost next to the estimates.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // limits converts the request's governor fields to planner.Limits.
@@ -128,13 +134,13 @@ type QueryResponse struct {
 // Values), "stats" (trailing success record) or "error" (trailing failure
 // record; the stream ends there).
 type StreamRecord struct {
-	Type        string          `json:"type"`
-	Columns     []ColumnInfo    `json:"columns,omitempty"`
-	MediatedSQL string          `json:"mediatedSQL,omitempty"`
-	Branches    int             `json:"branches,omitempty"`
-	Values      []interface{}   `json:"values,omitempty"`
-	Rows        int             `json:"rows,omitempty"`
-	Error       string          `json:"error,omitempty"`
+	Type        string        `json:"type"`
+	Columns     []ColumnInfo  `json:"columns,omitempty"`
+	MediatedSQL string        `json:"mediatedSQL,omitempty"`
+	Branches    int           `json:"branches,omitempty"`
+	Values      []interface{} `json:"values,omitempty"`
+	Rows        int           `json:"rows,omitempty"`
+	Error       string        `json:"error,omitempty"`
 }
 
 // MediateResponse is the body returned by /api/mediate.
@@ -363,9 +369,22 @@ func (s *srv) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	plan, err := s.svc.Explain(req.SQL, req.Context)
+	var (
+		plan string
+		err  error
+	)
+	if req.Analyze {
+		var opts planner.Limits
+		if opts, err = req.limits(); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		plan, err = s.svc.ExplainAnalyzeCtx(r.Context(), req.SQL, req.Context, opts)
+	} else {
+		plan, err = s.svc.Explain(req.SQL, req.Context)
+	}
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ExplainResponse{Plan: plan})

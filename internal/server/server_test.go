@@ -1,8 +1,10 @@
 package server_test
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -169,5 +171,46 @@ func TestConcurrencyKnobOverWire(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("negative max_concurrent_per_source: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestExplainAnalyzeOverWire: /api/explain with analyze=true executes the
+// branches and returns plans carrying measured columns; governor fields
+// still validate.
+func TestExplainAnalyzeOverWire(t *testing.T) {
+	sys := coin.Figure2System()
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+
+	body := `{"sql": ` + strconv.Quote(coin.PaperQ1) + `, "context": "c2", "analyze": true}`
+	resp, err := http.Post(ts.URL+"/api/explain", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	var er struct {
+		Plan string `json:"plan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"act_rows=", "act_queries=", "est_cost="} {
+		if !strings.Contains(er.Plan, want) {
+			t.Errorf("analyzed plan missing %q:\n%s", want, er.Plan)
+		}
+	}
+
+	// Bad governor fields reject before executing anything.
+	bad := `{"sql": "SELECT r1.cname FROM r1", "context": "c2", "analyze": true, "timeout": "yes"}`
+	resp2, err := http.Post(ts.URL+"/api/explain", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad timeout status = %s, want 400", resp2.Status)
 	}
 }

@@ -3,6 +3,7 @@ package wrapper
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/relalg"
 	"repro/internal/store"
@@ -26,7 +27,14 @@ type Relational struct {
 	// planner then feeds those columns through bind joins — which, since
 	// the source is InList-capable, arrive batched.
 	Require map[string][]string
+
+	// distinct caches per-column distinct counts (Statser), invalidated
+	// by table growth.
+	distinctMu sync.Mutex
+	distinct   map[string]distinctEntry
 }
+
+type distinctEntry struct{ rows, distinct int }
 
 // NewRelational wraps a database.
 func NewRelational(db *store.DB) *Relational {
@@ -78,6 +86,40 @@ func (r *Relational) Cost() Cost {
 		return Cost{PerQuery: 10, PerTuple: 0.1}
 	}
 	return r.CostParams
+}
+
+// DistinctCount implements the optional Statser extension: the number of
+// distinct values in a column, computed from the table and cached until
+// the table's cardinality changes.
+func (r *Relational) DistinctCount(relation, column string) (int, bool) {
+	t, err := r.DB.Table(relation)
+	if err != nil {
+		return 0, false
+	}
+	ci := t.Schema.Index(column)
+	if ci < 0 {
+		return 0, false
+	}
+	rows := t.Len()
+	key := relation + "\x00" + column
+	r.distinctMu.Lock()
+	if e, ok := r.distinct[key]; ok && e.rows == rows {
+		r.distinctMu.Unlock()
+		return e.distinct, true
+	}
+	r.distinctMu.Unlock()
+	seen := map[string]bool{}
+	for _, tup := range t.Scan().Tuples {
+		seen[tup[ci].Key()] = true
+	}
+	n := len(seen)
+	r.distinctMu.Lock()
+	if r.distinct == nil {
+		r.distinct = map[string]distinctEntry{}
+	}
+	r.distinct[key] = distinctEntry{rows: rows, distinct: n}
+	r.distinctMu.Unlock()
+	return n, true
 }
 
 // scanFor snapshots the candidate rows for q — an index lookup when the

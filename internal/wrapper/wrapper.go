@@ -170,6 +170,17 @@ type Wrapper interface {
 	Query(ctx context.Context, q SourceQuery) (*relalg.Relation, error)
 }
 
+// Statser is an optional Wrapper extension exposing column statistics.
+// Sources that know their data (the relational wrapper; a real DBMS's
+// dictionary) answer distinct counts, which the planner's cost model
+// turns into join selectivities (1/max(distinct)) instead of a fixed
+// guess. Wrappers without statistics simply do not implement it.
+type Statser interface {
+	// DistinctCount returns the number of distinct values of a column,
+	// ok=false when unknown.
+	DistinctCount(relation, column string) (int, bool)
+}
+
 // ApplyFilters evaluates filters over a relation locally; wrappers use it
 // to honor Selection capability, and the engine uses it to compensate for
 // sources without it.

@@ -19,6 +19,14 @@ type Counter struct {
 	wrapper.Wrapper
 	// Delay is the simulated per-query source latency.
 	Delay time.Duration
+	// RowEstimates overrides the inner wrapper's static EstimateRows per
+	// relation, so planner-ordering tests can shape cost landscapes (for
+	// instance, a source that badly misestimates its own cardinality)
+	// without building real sources of those sizes.
+	RowEstimates map[string]int
+	// CostParams overrides the inner wrapper's Cost() when non-nil, for
+	// the same reason.
+	CostParams *wrapper.Cost
 
 	mu          sync.Mutex
 	queries     int
@@ -64,6 +72,32 @@ func (c *Counter) sleep(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// DistinctCount forwards the optional wrapper.Statser extension of the
+// inner wrapper; embedding the Wrapper interface alone would hide it
+// from the planner's type assertion.
+func (c *Counter) DistinctCount(relation, column string) (int, bool) {
+	if st, ok := c.Wrapper.(wrapper.Statser); ok {
+		return st.DistinctCount(relation, column)
+	}
+	return 0, false
+}
+
+// EstimateRows implements wrapper.Wrapper, honoring RowEstimates.
+func (c *Counter) EstimateRows(relation string) int {
+	if n, ok := c.RowEstimates[relation]; ok {
+		return n
+	}
+	return c.Wrapper.EstimateRows(relation)
+}
+
+// Cost implements wrapper.Wrapper, honoring CostParams.
+func (c *Counter) Cost() wrapper.Cost {
+	if c.CostParams != nil {
+		return *c.CostParams
+	}
+	return c.Wrapper.Cost()
 }
 
 // Query implements wrapper.Wrapper.
