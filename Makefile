@@ -5,11 +5,11 @@ PKGS      ?= ./...
 # Benchmarks that gate solver-, source-access- and optimizer-performance
 # work (see internal/datalog/README.md and ARCHITECTURE.md "Source access
 # layer" / "Optimizer & statistics").
-BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_MediationOnly|BenchmarkUnify|BenchmarkBindJoinBatched|BenchmarkJoinOrderAdaptive
+BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_MediationOnly|BenchmarkUnify|BenchmarkBindJoinBatched|BenchmarkJoinOrderAdaptive|BenchmarkFaultFreeOverhead
 BENCHDIR  ?= .bench
 COUNT     ?= 6
 
-.PHONY: all build test test-race vet docs-check examples bench bench-base bench-compare clean
+.PHONY: all build test test-race test-chaos vet docs-check examples bench bench-base bench-compare clean
 
 all: vet docs-check test
 
@@ -26,6 +26,15 @@ test: build
 # this as its own job).
 test-race:
 	$(GO) test -race ./internal/server/ ./internal/planner/ ./coin/ ./internal/relalg/ ./internal/wrapper/ ./internal/client/
+
+# Fault-injection (chaos) suite under the race detector, twice, so the
+# deterministic fault scripts are also exercised against scheduling
+# variation: retry/breaker/partial-results behavior across the planner,
+# wrapper, coin, server and client layers (see ARCHITECTURE.md "Fault
+# tolerance").
+test-chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Breaker|Retry|Partial|Flaky|FaultFree|Fault' \
+		./internal/planner/ ./internal/wrapper/... ./coin/ ./internal/server/ ./internal/client/
 
 # Documentation gate: vet plus a package-comment check over every package
 # (see internal/tools/docscheck).

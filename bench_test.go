@@ -81,6 +81,27 @@ func BenchmarkE1c_ExecutionOnly(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultFreeOverhead is E1c with the fault-tolerance machinery
+// armed (retry policy on, circuit breakers on — both are on the per-query
+// and per-tuple paths) but no fault injected. It gates the cost of the
+// robustness layer on healthy executions: the numbers must stay within
+// noise of BenchmarkE1c_ExecutionOnly.
+func BenchmarkFaultFreeOverhead(b *testing.B) {
+	sys := coin.Figure2System()
+	ex := sys.Executor()
+	ex.Retry = planner.RetryPolicy{MaxAttempts: 3}
+	med, err := sys.Mediate(coin.PaperQ1, "c2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(med); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- E3: Figure 1 architecture over HTTP --------------------------------
 
 // BenchmarkE3_EndToEndHTTP runs the paper's query through the whole

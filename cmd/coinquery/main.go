@@ -14,6 +14,8 @@
 //	coinquery -max-rows 100 '...'    # truncate the answer
 //	coinquery -max-concurrent-per-source 2 '...'  # bound per-source fetch concurrency
 //	coinquery -stream '...'          # NDJSON wire path: rows print as they arrive
+//	coinquery -partial '...'         # degrade on source faults: drop failed branches, warn on stderr
+//	coinquery -retry-budget 10 '...' # cap retries the session may spend across sources
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 
 	"repro/coin"
 	"repro/internal/client"
+	"repro/internal/planner"
 )
 
 // queryConfig carries the per-query knobs from flags to run.
@@ -38,6 +41,8 @@ type queryConfig struct {
 	maxRows      int
 	maxPerSource int
 	stream       bool
+	partial      bool
+	retryBudget  int
 }
 
 func main() {
@@ -51,6 +56,8 @@ func main() {
 	maxRows := flag.Int("max-rows", 0, "cap on result rows; the answer is truncated (0: unlimited)")
 	maxPerSource := flag.Int("max-concurrent-per-source", 0, "cap on the session's concurrent fetches per source (0: dispatcher defaults)")
 	stream := flag.Bool("stream", false, "stream rows as they are produced instead of buffering the answer")
+	partial := flag.Bool("partial", false, "return partial results when a source fails: drop the failed branches, print warnings to stderr")
+	retryBudget := flag.Int("retry-budget", 0, "cap on retries the query session may spend across all sources (0: per-operation policy only)")
 	flag.Parse()
 
 	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
@@ -61,6 +68,7 @@ func main() {
 	cfg := queryConfig{
 		naive: *naive, showMediated: *showMediated, explain: *explain, analyze: *analyze,
 		timeout: *timeout, maxRows: *maxRows, maxPerSource: *maxPerSource, stream: *stream,
+		partial: *partial, retryBudget: *retryBudget,
 	}
 	if err := run(*serverURL, *contextName, sql, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "coinquery:", err)
@@ -80,7 +88,8 @@ func runRemote(serverURL, receiverCtx, sql string, cfg queryConfig) error {
 	if err != nil {
 		return err
 	}
-	opts := client.Options{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource}
+	opts := client.Options{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource,
+		RetryBudget: cfg.retryBudget, Partial: cfg.partial}
 	if cfg.explain || cfg.analyze {
 		var plan string
 		if cfg.analyze {
@@ -115,6 +124,7 @@ func runRemote(serverURL, receiverCtx, sql string, cfg queryConfig) error {
 			}
 			fmt.Println(strings.Join(cells, "\t"))
 		}
+		printWarnings(cur.Warnings())
 		return cur.Err()
 	}
 	if cfg.naive {
@@ -133,12 +143,26 @@ func runRemote(serverURL, receiverCtx, sql string, cfg queryConfig) error {
 		fmt.Printf("-- mediated into %d branch(es):\n%s\n\n", res.Branches, res.MediatedSQL)
 	}
 	fmt.Print(res.String())
+	printWarnings(res.Warnings)
 	return nil
+}
+
+// printWarnings reports dropped mediation branches of a partial answer on
+// stderr, keeping stdout a clean table.
+func printWarnings(warns []planner.Warning) {
+	for _, w := range warns {
+		if w.Source != "" {
+			fmt.Fprintf(os.Stderr, "coinquery: warning: branch %d dropped (source %s): %s\n", w.Branch, w.Source, w.Message)
+		} else {
+			fmt.Fprintf(os.Stderr, "coinquery: warning: branch %d dropped: %s\n", w.Branch, w.Message)
+		}
+	}
 }
 
 func runLocal(receiverCtx, sql string, cfg queryConfig) error {
 	sys := coin.Figure2System()
-	opts := coin.QueryOptions{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource}
+	opts := coin.QueryOptions{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource,
+		RetryBudget: cfg.retryBudget, PartialResults: cfg.partial}
 	if cfg.explain || cfg.analyze {
 		var (
 			plan string
@@ -177,9 +201,11 @@ func runLocal(receiverCtx, sql string, cfg queryConfig) error {
 		for {
 			t, ok, err := rs.Next()
 			if err != nil {
+				printWarnings(rs.Warnings())
 				return err
 			}
 			if !ok {
+				printWarnings(rs.Warnings())
 				return nil
 			}
 			cells := make([]string, len(t))
@@ -204,10 +230,11 @@ func runLocal(receiverCtx, sql string, cfg queryConfig) error {
 	if cfg.showMediated {
 		fmt.Printf("-- mediated into %d branch(es):\n%s\n\n", len(med.Branches), med.SQL())
 	}
-	rows, err := sys.ExecuteCtx(context.Background(), med, opts)
+	rows, warns, err := sys.ExecuteWarnCtx(context.Background(), med, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rows.String())
+	printWarnings(warns)
 	return nil
 }

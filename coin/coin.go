@@ -68,6 +68,9 @@ type (
 	WrapSpec = wrapper.Spec
 	// ExecStats counts source queries and transferred tuples.
 	ExecStats = planner.ExecStats
+	// Warning records one mediation branch dropped by a partial-results
+	// run (see QueryOptions.PartialResults).
+	Warning = planner.Warning
 )
 
 // Re-exported constructors.
@@ -243,6 +246,13 @@ func (s *System) ExplainAnalyzeCtx(ctx context.Context, sql, receiver string, op
 	for i, br := range med.Branches {
 		plan, err := s.executor.AnalyzeSelect(sess, br)
 		if err != nil {
+			if opts.PartialResults && planner.Degradable(err) {
+				// Mirror execution's degradation: the branch is reported as
+				// dropped, the remaining branches still get analyzed.
+				fmt.Fprintf(&b, "branch %d: %s\n  FAILED: %v (branch dropped; partial results)\n",
+					i+1, br.String(), err)
+				continue
+			}
 			return "", fmt.Errorf("coin: analyzing branch %d: %w", i+1, err)
 		}
 		fmt.Fprintf(&b, "branch %d: %s\n%s", i+1, br.String(), plan.Explain())
@@ -309,6 +319,14 @@ func (v serverView) QueryStream(ctx context.Context, sql, receiver string, naive
 // by a [Qu96]-style specification, contexts c1 and c2, and the domain
 // model with the scaleFactor and currency conversions.
 func Figure2System() *System {
+	return Figure2SystemWith(fixtureCurrencySite())
+}
+
+// Figure2SystemWith is Figure2System with the currency-exchange site
+// served through the given fetcher instead of the built-in simulation —
+// point it at a live HTTP site (wrapper.NewHTTPFetcher) or at a failing
+// fetcher to demonstrate partial-results degradation.
+func Figure2SystemWith(currency wrapper.Fetcher) *System {
 	sys := New(fixture.Model())
 	must := func(err error) {
 		if err != nil {
@@ -340,8 +358,7 @@ func Figure2System() *System {
 		},
 	}))
 
-	site := fixtureCurrencySite()
-	must(sys.AddWebSource("currencyweb", site,
+	must(sys.AddWebSource("currencyweb", currency,
 		[]*WrapSpec{wrapper.MustParseSpec(wrapper.CurrencySpecCrawl)}, nil))
 	must(sys.AddAncillary("rate", "r3"))
 	return sys

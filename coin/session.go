@@ -17,9 +17,11 @@ import (
 // QueryOptions bound one query session: a wall-clock timeout, a cap on
 // result rows delivered (truncation), caps on tuples transferred from
 // sources and bytes staged through the temp store (both abort the query
-// when exceeded), and a cap on the session's concurrent fetches per
-// source (admission waits, it does not fail). The zero value is
-// ungoverned.
+// when exceeded), a cap on the session's concurrent fetches per source
+// (admission waits, it does not fail), a session-wide retry budget, and
+// the PartialResults degradation switch (failed mediation branches are
+// dropped with warnings instead of failing the query). The zero value is
+// ungoverned and fail-fast.
 type QueryOptions = planner.Limits
 
 // Tuple is one result row.
@@ -36,15 +38,30 @@ func (s *System) QueryCtx(ctx context.Context, sql, receiver string, opts QueryO
 	return s.ExecuteCtx(ctx, med, opts)
 }
 
-// ExecuteCtx runs an already-mediated query under ctx and opts.
+// ExecuteCtx runs an already-mediated query under ctx and opts. Warnings
+// a partial-results run accumulates are dropped here; use ExecuteWarnCtx
+// when the receiver needs them.
 func (s *System) ExecuteCtx(ctx context.Context, med *Mediation, opts QueryOptions) (*Relation, error) {
+	rel, _, err := s.ExecuteWarnCtx(ctx, med, opts)
+	return rel, err
+}
+
+// ExecuteWarnCtx runs an already-mediated query under ctx and opts,
+// additionally returning the degraded-branch warnings of a
+// partial-results run (nil when the answer is complete — in particular,
+// always nil unless opts.PartialResults is set).
+func (s *System) ExecuteWarnCtx(ctx context.Context, med *Mediation, opts QueryOptions) (*Relation, []Warning, error) {
 	sess := s.executor.NewSession(ctx, opts)
 	defer sess.Close()
 	it, err := s.executor.MediationStream(sess, med)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return relalg.Collect(sess.Context(), capRows(it, opts), "")
+	rel, err := relalg.Collect(sess.Context(), capRows(it, opts), "")
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel, sess.Warnings(), nil
 }
 
 // QueryNaiveCtx executes SQL without mediation under ctx and opts — the
@@ -144,6 +161,11 @@ func (r *RowStream) Next() (Tuple, bool, error) {
 	}
 	return r.it.Next()
 }
+
+// Warnings returns the degraded-branch warnings accumulated so far on a
+// partial-results stream (nil otherwise). Branches may degrade mid-stream,
+// so the set is only final once Next has returned ok=false.
+func (r *RowStream) Warnings() []Warning { return r.sess.Warnings() }
 
 // Cancel aborts the query session, releasing a Next blocked on a slow
 // source. Unlike Close it is safe to call from another goroutine while

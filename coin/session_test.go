@@ -7,6 +7,7 @@ package coin_test
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -208,5 +209,96 @@ func TestMaxConcurrentPerSourceAtCoinLayer(t *testing.T) {
 	}
 	if rows.Len() != 1 || rows.Tuples[0][0].S != "NTT" {
 		t.Errorf("capped answer = %s", rows)
+	}
+}
+
+// downFetcher fails every page fetch with a transient source fault: the
+// currency site is unreachable.
+type downFetcher struct{}
+
+func (downFetcher) Get(ctx context.Context, url string) (string, error) {
+	return "", wrapper.Transient(errors.New("currency site unreachable"))
+}
+
+// TestPartialResultsQuery: with the currency site down, the paper query
+// fails by default but degrades under QueryOptions.PartialResults — the
+// conversion branches are dropped with warnings naming currencyweb.
+func TestPartialResultsQuery(t *testing.T) {
+	sys := coin.Figure2SystemWith(downFetcher{})
+
+	if _, err := sys.QueryCtx(context.Background(), coin.PaperQ1, "c2",
+		coin.QueryOptions{}); err == nil || !strings.Contains(err.Error(), "currencyweb") {
+		t.Fatalf("fail-fast err = %v, want failure naming currencyweb", err)
+	}
+
+	med, err := sys.Mediate(coin.PaperQ1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, warns, err := sys.ExecuteWarnCtx(context.Background(), med,
+		coin.QueryOptions{PartialResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The NTT answer needs the JPY conversion, so the partial answer
+	// loses it — the warnings are what tell the receiver why.
+	if rows.Len() != 0 {
+		t.Errorf("partial rows = %s, want none without the currency source", rows)
+	}
+	if len(warns) == 0 {
+		t.Fatal("partial answer carried no warnings")
+	}
+	for _, w := range warns {
+		if w.Source != "currencyweb" || w.Branch == 0 || w.Message == "" {
+			t.Errorf("warning %+v, want branch-scoped currencyweb attribution", w)
+		}
+	}
+}
+
+// TestPartialResultsRowStream: the streaming path surfaces the same
+// warnings once the stream is drained.
+func TestPartialResultsRowStream(t *testing.T) {
+	sys := coin.Figure2SystemWith(downFetcher{})
+	rs, err := sys.QueryStreamCtx(context.Background(), coin.PaperQ1, "c2",
+		coin.QueryOptions{PartialResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	for {
+		_, ok, err := rs.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	warns := rs.Warnings()
+	if len(warns) == 0 {
+		t.Fatal("drained stream carried no warnings")
+	}
+	for _, w := range warns {
+		if w.Source != "currencyweb" {
+			t.Errorf("warning %+v does not name currencyweb", w)
+		}
+	}
+}
+
+// TestPartialResultsExplainAnalyze: EXPLAIN ANALYZE marks dropped
+// branches instead of failing.
+func TestPartialResultsExplainAnalyze(t *testing.T) {
+	sys := coin.Figure2SystemWith(downFetcher{})
+	if _, err := sys.ExplainAnalyzeCtx(context.Background(), coin.PaperQ1, "c2",
+		coin.QueryOptions{}); err == nil {
+		t.Fatal("fail-fast EXPLAIN ANALYZE succeeded against a dead source")
+	}
+	out, err := sys.ExplainAnalyzeCtx(context.Background(), coin.PaperQ1, "c2",
+		coin.QueryOptions{PartialResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "branch dropped; partial results") {
+		t.Errorf("EXPLAIN ANALYZE output lacks the degraded-branch marker:\n%s", out)
 	}
 }

@@ -16,17 +16,23 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/planner"
 	"repro/internal/server"
 )
 
 // Options bound one query: a server-side session timeout, a cap on
-// result rows (the server truncates, not fails), and a cap on the
-// session's concurrent fetches per source (the server's dispatcher
-// defaults apply when zero). The zero value is ungoverned.
+// result rows (the server truncates, not fails), a cap on the session's
+// concurrent fetches per source (the server's dispatcher defaults apply
+// when zero), a session-wide retry budget, and the Partial degradation
+// switch (the server drops failed mediation branches with warnings
+// instead of failing the query). The zero value is ungoverned and
+// fail-fast.
 type Options struct {
 	Timeout                time.Duration
 	MaxRows                int
 	MaxConcurrentPerSource int
+	RetryBudget            int
+	Partial                bool
 }
 
 // Conn is an open connection to a mediation server.
@@ -106,6 +112,9 @@ type Result struct {
 	Rows        [][]interface{}
 	MediatedSQL string
 	Branches    int
+	// Warnings lists mediation branches the server dropped under
+	// Options.Partial; empty when the answer is complete.
+	Warnings []planner.Warning
 }
 
 // String renders the result as an aligned table.
@@ -201,6 +210,8 @@ func queryRequest(sql, context string, naive bool, opts Options) server.QueryReq
 		SQL: sql, Context: context, Naive: naive,
 		MaxRows:                opts.MaxRows,
 		MaxConcurrentPerSource: opts.MaxConcurrentPerSource,
+		RetryBudget:            opts.RetryBudget,
+		Partial:                opts.Partial,
 	}
 	if opts.Timeout > 0 {
 		req.Timeout = opts.Timeout.String()
@@ -225,7 +236,8 @@ func (c *Conn) QueryCtx(ctx context.Context, sql, context_ string, opts Options)
 	if err := c.postQuery(ctx, "/api/query", queryRequest(sql, context_, false, opts), opts, &resp); err != nil {
 		return nil, err
 	}
-	return &Result{Columns: resp.Columns, Rows: resp.Rows, MediatedSQL: resp.MediatedSQL, Branches: resp.Branches}, nil
+	return &Result{Columns: resp.Columns, Rows: resp.Rows, MediatedSQL: resp.MediatedSQL,
+		Branches: resp.Branches, Warnings: resp.Warnings}, nil
 }
 
 // QueryNaive executes SQL without mediation.
@@ -300,11 +312,12 @@ type RowCursor struct {
 	mediatedSQL string
 	branches    int
 
-	cur    []interface{}
-	rows   int
-	err    error
-	done   bool
-	closed bool
+	cur      []interface{}
+	rows     int
+	err      error
+	warnings []planner.Warning
+	done     bool
+	closed   bool
 }
 
 // Columns describes the result columns (from the stream header).
@@ -334,10 +347,12 @@ func (c *RowCursor) Next() bool {
 		c.rows++
 		return true
 	case "stats":
+		c.warnings = rec.Warnings
 		c.end()
 		return false
 	case "error":
 		c.err = fmt.Errorf("client: %s", rec.Error)
+		c.warnings = rec.Warnings
 		c.end()
 		return false
 	default:
@@ -373,6 +388,11 @@ func (c *RowCursor) Rows() int { return c.rows }
 // Err returns the terminal error, if the stream ended on one (including
 // server-side session errors carried in the trailing error record).
 func (c *RowCursor) Err() error { return c.err }
+
+// Warnings returns the degraded-branch warnings from the stream's
+// trailing record — populated only after Next has returned false on a
+// partial-results query whose branches were dropped.
+func (c *RowCursor) Warnings() []planner.Warning { return c.warnings }
 
 // Close releases the cursor's connection. Closing before exhaustion
 // abandons the stream, which cancels the server-side query session.

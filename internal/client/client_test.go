@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/coin"
 	"repro/internal/client"
 	"repro/internal/server"
+	"repro/internal/wrapper"
 
 	"net/http/httptest"
 )
@@ -119,5 +121,76 @@ func TestExplainAnalyzeOverHTTP(t *testing.T) {
 	}
 	if _, err := conn.ExplainAnalyze(context.Background(), "SELECT nope FROM nosuch", "c2", client.Options{}); err == nil {
 		t.Error("bad analyze succeeded")
+	}
+}
+
+// downFetcher fails every currency-page fetch with a transient fault.
+type downFetcher struct{}
+
+func (downFetcher) Get(ctx context.Context, url string) (string, error) {
+	return "", wrapper.Transient(errors.New("currency site unreachable"))
+}
+
+func brokenConn(t *testing.T) *client.Conn {
+	t.Helper()
+	sys := coin.Figure2SystemWith(downFetcher{})
+	ts := httptest.NewServer(sys.Handler())
+	t.Cleanup(ts.Close)
+	conn, err := client.Open(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestPartialOptionSurfacesWarnings: Options.Partial degrades a query
+// whose currency source is dead, and the client surfaces the dropped
+// branches on Result.Warnings.
+func TestPartialOptionSurfacesWarnings(t *testing.T) {
+	conn := brokenConn(t)
+
+	if _, err := conn.QueryCtx(context.Background(), coin.PaperQ1, "c2",
+		client.Options{}); err == nil {
+		t.Fatal("fail-fast query against a dead source succeeded")
+	}
+
+	res, err := conn.QueryCtx(context.Background(), coin.PaperQ1, "c2",
+		client.Options{Partial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) == 0 {
+		t.Fatal("partial result carried no warnings")
+	}
+	for _, w := range res.Warnings {
+		if w.Source != "currencyweb" || w.Branch == 0 {
+			t.Errorf("warning %+v", w)
+		}
+	}
+}
+
+// TestPartialCursorWarnings: on the streaming path the warnings arrive
+// with the trailer; RowCursor.Warnings is final once Next returns false.
+func TestPartialCursorWarnings(t *testing.T) {
+	conn := brokenConn(t)
+	cur, err := conn.QueryStream(context.Background(), coin.PaperQ1, "c2", false,
+		client.Options{Partial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for cur.Next() {
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	warns := cur.Warnings()
+	if len(warns) == 0 {
+		t.Fatal("drained cursor carried no warnings")
+	}
+	for _, w := range warns {
+		if w.Source != "currencyweb" {
+			t.Errorf("warning %+v does not name currencyweb", w)
+		}
 	}
 }

@@ -35,9 +35,19 @@ import (
 const DefaultMaxConcurrentPerSource = 4
 
 // dispatcher is a bounded admission pool for one source: at most
-// cap(slots) queries are in flight against it at once.
+// cap(slots) queries are in flight against it at once. The executor-level
+// dispatcher additionally carries the source's circuit breaker
+// (breaker.go) — admission and health tracking want the same per-source
+// scope.
 type dispatcher struct {
 	slots chan struct{}
+
+	// circuit-breaker state (methods in breaker.go)
+	bmu        sync.Mutex
+	bstate     int // breakerClosed / breakerOpen / breakerHalfOpen
+	bfails     int // consecutive failures while closed
+	bopenUntil time.Time
+	bprobing   bool // half-open probe in flight
 }
 
 func newDispatcher(n int) *dispatcher {
@@ -57,7 +67,16 @@ func (d *dispatcher) acquire(ctx context.Context) error {
 	}
 }
 
-func (d *dispatcher) release() { <-d.slots }
+// release frees one acquired slot. Releasing more than was acquired is a
+// slot-accounting bug in the caller (a double release would silently
+// widen the pool), so it panics rather than corrupting admission.
+func (d *dispatcher) release() {
+	select {
+	case <-d.slots:
+	default:
+		panic("planner: dispatcher release without acquire")
+	}
+}
 
 // dispatcherPool lazily keeps one dispatcher per source; the executor
 // (source-level pools) and the session (per-query allowances) share it.
@@ -193,21 +212,35 @@ func (e *Executor) fetchSource(ctx context.Context, sess *Session, w wrapper.Wra
 	return ent.rel, ent.err
 }
 
-// querySource runs one materialized source query under admission,
-// counting it, charging the session's transfer governor, and feeding the
-// adaptive statistics (observed cardinality and query latency).
+// querySource runs one materialized source query under admission and the
+// retry/breaker machinery (retry.go), counting it, charging the session's
+// transfer governor, and feeding the adaptive statistics (observed
+// cardinality and query latency). Each attempt re-acquires admission, so
+// no slot is held through a backoff sleep; governor charges happen once,
+// after the attempt that succeeded.
 func (e *Executor) querySource(ctx context.Context, sess *Session, w wrapper.Wrapper, q wrapper.SourceQuery) (*relalg.Relation, error) {
-	release, err := e.acquireSource(ctx, sess, w)
+	var rel *relalg.Relation
+	err := e.withRetry(ctx, sess, w, func() error {
+		release, err := e.acquireSource(ctx, sess, w)
+		if err != nil {
+			return err
+		}
+		defer release()
+		start := time.Now()
+		rel, err = w.Query(ctx, q)
+		if err != nil {
+			return err
+		}
+		e.observeLatency(sess, w.Source(), time.Since(start))
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer release()
-	start := time.Now()
-	rel, err := w.Query(ctx, q)
-	if err != nil {
-		return nil, err
-	}
-	e.observeLatency(sess, w.Source(), time.Since(start))
+	// Governor and accounting effects stay outside the retry loop: a
+	// budget violation is the query's fault, not the source's, so it must
+	// not feed the breaker or come back source-attributed (it stays fatal
+	// even in partial-results mode).
 	e.observeAccess(sess, q.Relation, q.Filters, rel.Len())
 	e.countQuery(rel.Len())
 	if err := sess.chargeTuples(rel.Len()); err != nil {
@@ -295,10 +328,11 @@ func (e *Executor) fetchAll(ctx context.Context, sess *Session, w wrapper.Wrappe
 }
 
 // firstRealError picks the error to report from a cancelled-as-a-group
-// fan-out: the first (by order) that is not a context cancellation —
-// those are usually just the echo of a sibling's failure — falling back
-// to the first error of any kind (the whole group may have been
-// cancelled from above). nil when every slot succeeded.
+// fan-out: the first (by order) that is not a context error — Canceled
+// and DeadlineExceeded alike are usually just the echo of the group
+// cancellation a sibling's failure triggered — falling back to the first
+// error of any kind (the whole group may have been cancelled or timed
+// out from above). nil when every slot succeeded.
 func firstRealError(errs []error) error {
 	var first error
 	for _, err := range errs {
@@ -308,7 +342,7 @@ func firstRealError(errs []error) error {
 		if first == nil {
 			first = err
 		}
-		if !errors.Is(err, context.Canceled) {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
 	}

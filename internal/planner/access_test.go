@@ -441,3 +441,85 @@ func TestUnionArmsShareAdmissionSlot(t *testing.T) {
 		t.Fatal("union arms deadlocked on the per-source admission slot")
 	}
 }
+
+// TestFirstRealErrorPrefersNonContext is the regression test for the
+// sibling-echo bug: a branch killed by the shared deadline (or the
+// branch-scoped cancel) reports a context error, and that echo must not
+// mask the sibling failure that actually caused it — for deadlines just
+// as for cancellation.
+func TestFirstRealErrorPrefersNonContext(t *testing.T) {
+	boom := errors.New("boom")
+	cases := []struct {
+		name string
+		errs []error
+		want error
+	}{
+		{"cause after canceled echo", []error{context.Canceled, boom}, boom},
+		{"cause after deadline echo", []error{context.DeadlineExceeded, boom}, boom},
+		{"cause after wrapped deadline", []error{fmt.Errorf("branch: %w", context.DeadlineExceeded), boom}, boom},
+		{"all context: first wins", []error{context.Canceled, context.DeadlineExceeded}, context.Canceled},
+		{"nil holes skipped", []error{nil, boom, nil}, boom},
+		{"all nil", []error{nil, nil}, nil},
+	}
+	for _, tc := range cases {
+		if got := firstRealError(tc.errs); !errors.Is(got, tc.want) {
+			t.Errorf("%s: firstRealError = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestChaosSlotAccountingUnderFailure: every failure path of the access
+// layer — materialized probe, stream open, bind-join probe — must hand
+// its dispatcher slot back. A leak here is invisible to a single query
+// and deadly to the next one.
+func TestChaosSlotAccountingUnderFailure(t *testing.T) {
+	// Failing scan stream.
+	bad := store.NewDB("badsrc")
+	bad.MustCreateTable("bad", relalg.NewSchema(
+		relalg.Column{Name: "n", Type: relalg.KindNumber}))
+	cat := NewCatalog()
+	cat.MustAddSource(&failingWrapper{Wrapper: wrapper.NewRelational(bad)})
+	ex := NewExecutor(cat)
+	if _, err := ex.ExecuteCtx(context.Background(),
+		sqlparse.MustParse("SELECT bad.n FROM bad")); !errors.Is(err, errInjected) {
+		t.Fatalf("scan err = %v", err)
+	}
+	assertNoLeakedSlots(t, ex)
+
+	// Failing bind-join probe: the feeder succeeds, the target fails.
+	keys := keysOf(4)
+	cat2, _ := buildBindCatalog(t, keys, targetFor(keys, 1), 0, false)
+	w, err := cat2.WrapperFor("tgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat3 := NewCatalog()
+	cat3.MustAddSource(&failingWrapper{Wrapper: w})
+	feed, err := cat2.WrapperFor("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat3.MustAddSource(feed)
+	ex = NewExecutor(cat3)
+	if _, err := ex.ExecuteCtx(context.Background(),
+		sqlparse.MustParse(bindQ)); !errors.Is(err, errInjected) {
+		t.Fatalf("bind-join err = %v", err)
+	}
+	assertNoLeakedSlots(t, ex)
+
+	// The same shape with retries on: the retry loop re-acquires per
+	// attempt and must not leak across attempts either. errInjected is
+	// unclassified, hence not retryable — wrap the target in a Flaky
+	// scripting transient faults instead.
+	fl := wrappertest.NewFlaky(w)
+	fl.FailAlways(wrapper.Transient(errors.New("down")))
+	cat4 := NewCatalog()
+	cat4.MustAddSource(fl)
+	cat4.MustAddSource(feed)
+	ex = NewExecutor(cat4)
+	ex.Retry = RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}
+	if _, err := ex.ExecuteCtx(context.Background(), sqlparse.MustParse(bindQ)); err == nil {
+		t.Fatal("bind-join against dead source succeeded")
+	}
+	assertNoLeakedSlots(t, ex)
+}

@@ -1,0 +1,137 @@
+package planner
+
+// Per-source circuit breakers, layered on the dispatchers of the source
+// access layer (access.go) — the executor-level dispatcher is the one
+// object already keyed by source and shared by every session, which is
+// exactly the scope a breaker needs: a source that is down is down for
+// everyone.
+//
+// State machine (the classic three states):
+//
+//	closed ──(Threshold consecutive failures)──▶ open
+//	open ──(Cooldown elapsed)──▶ half-open (one probe admitted)
+//	half-open probe succeeds ──▶ closed;  probe fails ──▶ open again
+//
+// While open, allow rejects with ErrSourceTripped immediately — mediation
+// branches probing a dead source fail fast instead of each burning the
+// full source timeout. ErrSourceTripped is deliberately not retryable
+// (retrying against a tripped breaker is busy-waiting) but it is
+// source-attributed, so partial-results mode can degrade the branch.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// BreakerPolicy configures the per-source circuit breakers. The zero
+// value means defaults; Executor.DisableBreaker turns breaking off.
+type BreakerPolicy struct {
+	// Threshold is the consecutive-failure count that trips the breaker;
+	// 0 means DefaultBreakerThreshold.
+	Threshold int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// half-open probe; 0 means DefaultBreakerCooldown.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerThreshold trips a source after this many consecutive
+// failures.
+const DefaultBreakerThreshold = 5
+
+// DefaultBreakerCooldown is how long a tripped source rests before a
+// probe is allowed through.
+const DefaultBreakerCooldown = 2 * time.Second
+
+// ErrSourceTripped rejects an operation because the source's circuit
+// breaker is open (or its single half-open probe is already in flight).
+var ErrSourceTripped = errors.New("planner: source circuit breaker open")
+
+func (p BreakerPolicy) params() (threshold int, cooldown time.Duration) {
+	threshold = p.Threshold
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	cooldown = p.Cooldown
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return threshold, cooldown
+}
+
+// breaker states, held on the dispatcher (access.go).
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// allow admits one attempt against the source, or rejects it with
+// ErrSourceTripped while the breaker is open (transitioning open →
+// half-open once the cooldown has elapsed, and admitting exactly one
+// probe in half-open).
+func (d *dispatcher) allow(pol BreakerPolicy) error {
+	_, cooldown := pol.params()
+	d.bmu.Lock()
+	defer d.bmu.Unlock()
+	switch d.bstate {
+	case breakerOpen:
+		wait := time.Until(d.bopenUntil)
+		if wait > 0 {
+			return fmt.Errorf("%w (cooling down %v)", ErrSourceTripped, wait.Round(time.Millisecond))
+		}
+		d.bstate = breakerHalfOpen
+		d.bprobing = true
+		return nil
+	case breakerHalfOpen:
+		if d.bprobing {
+			return fmt.Errorf("%w (probe in flight)", ErrSourceTripped)
+		}
+		d.bprobing = true
+		return nil
+	default:
+		_ = cooldown
+		return nil
+	}
+}
+
+// succeed records a successful source operation: the consecutive-failure
+// count resets and a half-open probe's success closes the breaker.
+func (d *dispatcher) succeed() {
+	d.bmu.Lock()
+	d.bfails = 0
+	d.bstate = breakerClosed
+	d.bprobing = false
+	d.bmu.Unlock()
+}
+
+// fail records a source failure, reporting true when this failure tripped
+// the breaker (closed past the threshold, or a half-open probe failing
+// back to open).
+func (d *dispatcher) fail(pol BreakerPolicy) bool {
+	threshold, cooldown := pol.params()
+	d.bmu.Lock()
+	defer d.bmu.Unlock()
+	d.bfails++
+	switch d.bstate {
+	case breakerHalfOpen:
+		d.bstate = breakerOpen
+		d.bopenUntil = time.Now().Add(cooldown)
+		d.bprobing = false
+		return true
+	case breakerClosed:
+		if d.bfails >= threshold {
+			d.bstate = breakerOpen
+			d.bopenUntil = time.Now().Add(cooldown)
+			return true
+		}
+	}
+	return false
+}
+
+// breakerState snapshots the breaker for tests and introspection.
+func (d *dispatcher) breakerState() int {
+	d.bmu.Lock()
+	defer d.bmu.Unlock()
+	return d.bstate
+}

@@ -46,6 +46,18 @@ type Executor struct {
 	// the dynamic-programming enumerator — the join-order ablation.
 	DisableReorder bool
 
+	// Retry bounds per-operation retries of faulted source accesses
+	// (retry.go). The zero value keeps the pre-retry semantics: one
+	// attempt per operation.
+	Retry RetryPolicy
+	// Breaker configures the per-source circuit breakers (breaker.go);
+	// the zero value uses the defaults. Breaking is on unless
+	// DisableBreaker is set.
+	Breaker BreakerPolicy
+	// DisableBreaker turns per-source circuit breaking off (every attempt
+	// is admitted regardless of the source's recent health).
+	DisableBreaker bool
+
 	// AdaptiveStats is the executor's feedback store: completed source
 	// accesses record their observed cardinalities and latencies here
 	// (via the session, at close), and subsequent plans price with them
@@ -75,6 +87,18 @@ type ExecStats struct {
 	// without contacting the source; they are deliberately not part of
 	// SourceQueries, which stays a faithful communication count.
 	CacheHits int
+	// Retries counts source-operation retries actually performed (each
+	// one a fresh attempt after a backoff sleep); the first attempt of an
+	// operation is not a retry.
+	Retries int
+	// BreakerTrips counts circuit-breaker openings: a closed breaker
+	// passing its failure threshold, or a half-open probe failing back to
+	// open.
+	BreakerTrips int
+	// BranchesFailed counts mediation branches dropped by partial-results
+	// degradation (Limits.PartialResults); each dropped branch also
+	// produces a Warning on the session.
+	BranchesFailed int
 }
 
 // NewExecutor creates an executor over a catalog, with an empty adaptive

@@ -11,6 +11,7 @@ package planner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,19 @@ type Limits struct {
 	// size (see internal/planner/access.go). Zero leaves the session
 	// bounded only by the per-source dispatchers.
 	MaxConcurrentPerSource int
+	// RetryBudget caps the retries the whole session may consume across
+	// all source operations — the per-operation bound is the executor's
+	// RetryPolicy. Zero means unbudgeted (the per-operation policy alone
+	// governs).
+	RetryBudget int
+	// PartialResults degrades instead of failing when a mediation branch
+	// is felled by a source fault (after retries and the breaker have had
+	// their say): the branch is dropped, the answer is computed from the
+	// surviving branches, and a Warning per dropped branch reaches the
+	// receiver. Failures that are not source-attributed — governor
+	// violations, cancellation, planning errors — stay fatal. Default
+	// (false) is fail-fast: any branch failure fails the query.
+	PartialResults bool
 }
 
 // ErrTuplesExceeded aborts a session that transferred more source tuples
@@ -60,6 +74,15 @@ type sessGov struct {
 	// pulled from a source, and parallel branch pipelines share the
 	// session — a lock here would serialize them per tuple.
 	tuples atomic.Int64
+
+	// retries counts retries consumed session-wide against
+	// Limits.RetryBudget.
+	retries atomic.Int64
+
+	// warnings collects the degraded-branch warnings of a partial answer;
+	// parallel branches append concurrently.
+	warnMu   sync.Mutex
+	warnings []Warning
 
 	// probe is the session-scoped source-result cache (access.go).
 	probe probeCache
@@ -222,6 +245,52 @@ func (s *Session) chargeTuples(n int) error {
 		return fmt.Errorf("%w (%d > %d)", ErrTuplesExceeded, total, s.limits.MaxTuples)
 	}
 	return nil
+}
+
+// chargeRetry asks the session for permission to retry one more source
+// operation, charging its RetryBudget. A nil session or a zero budget is
+// unbudgeted.
+func (s *Session) chargeRetry() bool {
+	if s == nil {
+		return true
+	}
+	n := s.gov.retries.Add(1)
+	return s.limits.RetryBudget <= 0 || n <= int64(s.limits.RetryBudget)
+}
+
+// warn records one degraded-branch warning on the session.
+func (s *Session) warn(w Warning) {
+	if s == nil {
+		return
+	}
+	s.gov.warnMu.Lock()
+	s.gov.warnings = append(s.gov.warnings, w)
+	s.gov.warnMu.Unlock()
+}
+
+// warnBranch records branch (1-based) as dropped for err, attributing the
+// source when err carries one.
+func (s *Session) warnBranch(branch int, err error) {
+	w := Warning{Branch: branch, Message: err.Error()}
+	var se *SourceError
+	if errors.As(err, &se) {
+		w.Source = se.Source
+	}
+	s.warn(w)
+}
+
+// Warnings returns the degraded-branch warnings accumulated so far (nil
+// when the answer is complete). The copy is safe to retain.
+func (s *Session) Warnings() []Warning {
+	if s == nil {
+		return nil
+	}
+	s.gov.warnMu.Lock()
+	defer s.gov.warnMu.Unlock()
+	if len(s.gov.warnings) == 0 {
+		return nil
+	}
+	return append([]Warning(nil), s.gov.warnings...)
 }
 
 // probeCacheRef returns the session's source-result cache (nil for a nil

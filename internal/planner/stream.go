@@ -51,6 +51,23 @@ import (
 // and the slot is held until the stream is exhausted, fails, or the scan
 // closes — a streaming fetch is in flight against the source for exactly
 // that window.
+//
+// Faults are handled through the retry machinery (retry.go). A failed
+// Open retries whole (acquire + stream open per attempt, no slot held
+// through a backoff). A stream that dies AFTER delivering tuples is
+// harder: those tuples are already downstream and cannot be recalled, so
+// a replacement stream may only be used when its replay of them can be
+// deduplicated away. The scan tracks the multiset of delivered tuples
+// (bounded by maxReplayTracked) and, on a retryable mid-stream fault,
+// re-opens the source query and suppresses previously-delivered tuples by
+// multiset key — consulted for every tuple, not as a prefix, since the
+// replacement may answer in a different order. This is correct exactly
+// when the source's answer multiset is stable across the retry; if the
+// replacement stream ends while suppressed tuples remain unmatched, the
+// answer changed mid-retry and the scan fails rather than emit a multiset
+// that no single consistent answer contains. Suppressed replays still
+// count as pulled and are charged to the transfer governor — they did
+// cross the wire again.
 type sourceScanIter struct {
 	e         *Executor
 	sess      *Session
@@ -63,27 +80,57 @@ type sourceScanIter struct {
 	release   func()
 	pulled    int
 	exhausted bool
+
+	// mid-stream recovery state (see the type comment)
+	emitted    []relalg.Tuple // delivered-downstream tuples, in order
+	skip       map[string]int // replay suppression for the current re-opened stream
+	delivered  int            // tuples handed downstream
+	trackOK    bool           // emitted is complete (under the bound)
+	recovered  bool           // at least one mid-stream re-open happened
+	recoveries int            // consecutive recoveries without new progress
 }
+
+// maxReplayTracked bounds the delivered-tuple multiset a scan keeps for
+// replay deduplication; past it, a mid-stream fault is no longer
+// recoverable (the scan cannot prove a replacement stream clean).
+const maxReplayTracked = 4096
 
 func (s *sourceScanIter) Schema() relalg.Schema { return s.schema }
 
+// openStream acquires admission and opens the source stream, under the
+// retry/breaker machinery; shared by Open and mid-stream recovery.
+func (s *sourceScanIter) openStream(ctx context.Context) error {
+	return s.e.withRetry(ctx, s.sess, s.w, func() error {
+		release, err := s.e.acquireSource(ctx, s.sess, s.w)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		stream, err := wrapper.QueryStream(ctx, s.w, s.q)
+		if err != nil {
+			release()
+			return err
+		}
+		s.e.observeLatency(s.sess, s.w.Source(), time.Since(start))
+		s.stream = stream
+		s.release = release
+		return nil
+	})
+}
+
 func (s *sourceScanIter) Open(ctx context.Context) error {
-	release, err := s.e.acquireSource(ctx, s.sess, s.w)
-	if err != nil {
-		return err
-	}
-	start := time.Now()
-	stream, err := wrapper.QueryStream(ctx, s.w, s.q)
-	if err != nil {
-		release()
-		return err
-	}
-	s.e.observeLatency(s.sess, s.w.Source(), time.Since(start))
 	s.ctx = ctx
-	s.stream = stream
-	s.release = release
+	if err := s.openStream(ctx); err != nil {
+		return err
+	}
 	s.pulled = 0
 	s.exhausted = false
+	s.emitted = nil
+	s.skip = nil
+	s.delivered = 0
+	s.trackOK = s.e.Retry.enabled()
+	s.recovered = false
+	s.recoveries = 0
 	s.e.mu.Lock()
 	s.e.stats.SourceQueries++
 	s.e.mu.Unlock()
@@ -101,40 +148,157 @@ func (s *sourceScanIter) freeSlot() {
 	}
 }
 
+// track records a tuple as delivered downstream (for replay dedup) and
+// resets the consecutive-recovery counter: the stream made progress.
+func (s *sourceScanIter) track(t relalg.Tuple) {
+	s.recoveries = 0
+	if !s.trackOK {
+		return
+	}
+	if len(s.emitted) >= maxReplayTracked {
+		s.trackOK = false
+		s.emitted = nil
+		return
+	}
+	// A reference append, not a hash: the per-tuple cost of an armed but
+	// idle retry policy stays negligible. Keys are computed only when a
+	// recovery actually needs the suppression multiset.
+	s.emitted = append(s.emitted, t)
+}
+
 func (s *sourceScanIter) Next() (relalg.Tuple, bool, error) {
-	if s.stream == nil {
-		return nil, false, nil
-	}
-	if err := s.ctx.Err(); err != nil {
-		s.freeSlot()
-		return nil, false, err
-	}
-	t, ok, err := s.stream.Next()
-	if err != nil || !ok {
-		if err == nil {
-			// The source delivered its whole answer: the observed
-			// cardinality is a fact worth learning.
-			s.exhausted = true
+	for {
+		if s.stream == nil {
+			return nil, false, nil
 		}
-		s.freeSlot()
-		return nil, false, err
+		if err := s.ctx.Err(); err != nil {
+			s.freeSlot()
+			return nil, false, err
+		}
+		t, ok, err := s.stream.Next()
+		if err != nil {
+			if rerr := s.recover(err); rerr != nil {
+				return nil, false, rerr
+			}
+			continue
+		}
+		if !ok {
+			if n := remaining(s.skip); n > 0 {
+				// The replacement stream never replayed tuples the original
+				// delivered: the answer multiset changed mid-retry, so no
+				// single consistent answer contains what went downstream.
+				s.freeSlot()
+				return nil, false, &SourceError{Source: s.w.Source(), Err: fmt.Errorf(
+					"wrapper: replay after mid-stream retry is missing %d previously delivered tuple(s): source answer changed", n)}
+			}
+			if !s.recovered {
+				// The source delivered its whole answer in one stream: the
+				// observed cardinality is a fact worth learning. A stitched
+				// (recovered) answer is not — replays were suppressed, so
+				// pulled is not the relation's cardinality.
+				s.exhausted = true
+			}
+			s.freeSlot()
+			return nil, false, nil
+		}
+		s.pulled++
+		if s.act != nil {
+			s.act.Rows.Add(1)
+		}
+		if err := s.sess.chargeTuples(1); err != nil {
+			s.freeSlot()
+			return nil, false, err
+		}
+		if n := s.skip[t.FullKey()]; n > 0 {
+			// Already delivered downstream before the fault; swallow the
+			// replay (it was still transferred — charged above).
+			if n == 1 {
+				delete(s.skip, t.FullKey())
+			} else {
+				s.skip[t.FullKey()] = n - 1
+			}
+			continue
+		}
+		s.track(t)
+		s.delivered++
+		return t, true, nil
 	}
-	s.pulled++
+}
+
+// remaining sums a replay-suppression multiset.
+func remaining(m map[string]int) int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+// recover handles a mid-stream source fault: tear down the dead stream,
+// feed the breaker, and — when the fault is retryable, the policy allows
+// it, and any already-delivered tuples can be deduplicated on replay —
+// re-open the source query. A nil return means s.stream is live again.
+func (s *sourceScanIter) recover(orig error) error {
+	s.stream.Close()
+	s.stream = nil
+	s.freeSlot()
+	if s.ctx.Err() != nil {
+		// The query died, the source did not.
+		return orig
+	}
+	e := s.e
+	if !e.DisableBreaker && e.dispatcherFor(s.w).fail(e.Breaker) {
+		e.mu.Lock()
+		e.stats.BreakerTrips++
+		e.mu.Unlock()
+	}
+	werr := &SourceError{Source: s.w.Source(), Err: orig}
+	if !e.Retry.enabled() || !wrapper.Retryable(orig) {
+		return werr
+	}
+	if s.delivered > 0 && !s.trackOK {
+		// Tuples are already downstream and the replay cannot be proven
+		// clean (tracking overflowed): re-opening would risk duplicates.
+		return werr
+	}
+	if s.recoveries >= e.Retry.attempts()-1 {
+		return werr
+	}
+	if !s.sess.chargeRetry() {
+		return werr
+	}
+	s.recoveries++
+	hint, _ := wrapper.RetryAfter(orig)
+	if !sleepCtx(s.ctx, e.Retry.backoff(s.recoveries, hint)) {
+		return werr
+	}
+	e.mu.Lock()
+	e.stats.Retries++
+	e.mu.Unlock()
+	if err := s.openStream(s.ctx); err != nil {
+		return err
+	}
+	s.recovered = true
+	e.mu.Lock()
+	e.stats.SourceQueries++
+	e.mu.Unlock()
 	if s.act != nil {
-		s.act.Rows.Add(1)
+		s.act.Queries.Add(1)
 	}
-	if err := s.sess.chargeTuples(1); err != nil {
-		s.freeSlot()
-		return nil, false, err
+	if s.delivered > 0 {
+		s.skip = make(map[string]int, len(s.emitted))
+		for _, t := range s.emitted {
+			s.skip[t.FullKey()]++
+		}
+	} else {
+		s.skip = nil
 	}
-	return t, true, nil
+	return nil
 }
 
 func (s *sourceScanIter) Close() error {
-	if s.stream == nil {
-		s.freeSlot()
-		return nil
-	}
+	// Flush transfer stats unconditionally: a scan torn down after a
+	// terminal mid-stream fault (stream already nil) still moved tuples.
 	s.e.mu.Lock()
 	s.e.stats.TuplesTransferred += s.pulled
 	s.e.mu.Unlock()
@@ -142,8 +306,11 @@ func (s *sourceScanIter) Close() error {
 		s.e.observeAccess(s.sess, s.q.Relation, s.q.Filters, s.pulled)
 	}
 	s.pulled = 0
-	err := s.stream.Close()
-	s.stream = nil
+	var err error
+	if s.stream != nil {
+		err = s.stream.Close()
+		s.stream = nil
+	}
 	// Release the slot only after the stream is closed: the fetch stays
 	// "in flight" against the source until its stream is torn down.
 	s.freeSlot()
@@ -484,18 +651,32 @@ func (e *Executor) aggregateStream(sess *Session, sel *sqlparse.Select) (relalg.
 // branches run concurrently to materialized results (deterministic branch
 // order is preserved) and the union streams over those; the branches share
 // the session, so canceling it stops every one of them.
+//
+// Under Limits.PartialResults, a branch felled by a source fault (a
+// Degradable error, after retries and the breaker) is dropped with a
+// session Warning instead of failing the query; the answer is the union
+// of the surviving branches. In parallel mode a degradable failure does
+// not cancel its siblings (they are the answer now), and only when every
+// branch degrades does the query fail. In lazy mode the failing branch is
+// silenced in-stream (degradedIter); an all-branches-degraded lazy query
+// yields an empty answer plus warnings rather than an error — the stream
+// is already in the receiver's hands when the last branch dies, so there
+// is no error channel left. That asymmetry is inherent to streaming.
 func (e *Executor) MediationStream(sess *Session, med *core.Mediation) (relalg.Iterator, error) {
 	if len(med.Branches) == 0 {
 		return nil, fmt.Errorf("planner: mediation has no branches")
 	}
-	children := make([]relalg.Iterator, len(med.Branches))
+	partial := sess.Limits().PartialResults
+	var children []relalg.Iterator
 	if e.Parallel && len(med.Branches) > 1 {
 		// Branches share a branch-scoped context cancelled on the first
-		// failure, so when one branch dies its siblings stop fetching from
-		// their sources promptly instead of running to completion against
-		// answers nobody will see. The derived session shares the parent's
-		// governors (tuple counter, staging budget, probe cache, admission
-		// pools); only the context differs.
+		// fatal failure, so when one branch dies its siblings stop fetching
+		// from their sources promptly instead of running to completion
+		// against answers nobody will see. (A degradable failure in partial
+		// mode is not fatal: the siblings ARE the answer, so they keep
+		// running.) The derived session shares the parent's governors
+		// (tuple counter, staging budget, probe cache, admission pools);
+		// only the context differs.
 		bctx, bcancel := context.WithCancel(sess.Context())
 		defer bcancel()
 		bsess := sess.withContext(bctx)
@@ -507,19 +688,48 @@ func (e *Executor) MediationStream(sess *Session, med *core.Mediation) (relalg.I
 			go func(i int, b *sqlparse.Select) {
 				defer wg.Done()
 				results[i], errs[i] = e.executeSelect(bsess, b)
-				if errs[i] != nil {
+				if errs[i] != nil && !(partial && Degradable(errs[i])) {
 					bcancel()
 				}
 			}(i, b)
 		}
 		wg.Wait()
-		// Report the first branch (by order) that failed for its own
-		// reasons, not with the cancellation derived from a sibling.
-		if err := firstRealError(errs); err != nil {
-			return nil, err
-		}
-		for i, res := range results {
-			children[i] = relalg.NewScan(res)
+		if partial {
+			fatals := make([]error, len(errs))
+			var firstDegraded error
+			for i, err := range errs {
+				switch {
+				case err == nil:
+					children = append(children, relalg.NewScan(results[i]))
+				case Degradable(err):
+					if firstDegraded == nil {
+						firstDegraded = err
+					}
+					sess.warnBranch(i+1, err)
+					e.mu.Lock()
+					e.stats.BranchesFailed++
+					e.mu.Unlock()
+				default:
+					fatals[i] = err
+				}
+			}
+			// A non-degradable failure (governor, cancellation, planning)
+			// stays fatal even in partial mode; report the first real one.
+			if err := firstRealError(fatals); err != nil {
+				return nil, err
+			}
+			if len(children) == 0 {
+				return nil, firstDegraded
+			}
+		} else {
+			// Report the first branch (by order) that failed for its own
+			// reasons, not with the cancellation derived from a sibling.
+			if err := firstRealError(errs); err != nil {
+				return nil, err
+			}
+			for _, res := range results {
+				children = append(children, relalg.NewScan(res))
+			}
 		}
 	} else {
 		for i, b := range med.Branches {
@@ -527,7 +737,10 @@ func (e *Executor) MediationStream(sess *Session, med *core.Mediation) (relalg.I
 			if err != nil {
 				return nil, err
 			}
-			children[i] = it
+			if partial {
+				it = &degradedIter{inner: it, e: e, sess: sess, branch: i + 1}
+			}
+			children = append(children, it)
 		}
 	}
 
@@ -538,14 +751,76 @@ func (e *Executor) MediationStream(sess *Session, med *core.Mediation) (relalg.I
 			return nil, err
 		}
 		united = u
-		if !med.UnionAll {
-			united = relalg.NewDistinct(united)
-		}
+	}
+	if !med.UnionAll && len(med.Branches) > 1 {
+		// Keyed on the mediation's branch count, not the survivors': a
+		// partial answer must dedup exactly like the no-fault union
+		// restricted to the surviving branches would (even when a single
+		// branch survives).
+		united = relalg.NewDistinct(united)
 	}
 	if med.Post == nil {
 		return united, nil
 	}
 	return e.postStream(sess, med.Post, united)
+}
+
+// degradedIter silences a mediation branch under partial-results mode: a
+// Degradable failure at Open or mid-stream warns the session, counts the
+// branch as failed, and presents as an empty (or prematurely ended)
+// stream instead of an error; everything else passes through. Tuples the
+// branch delivered before dying stay in the answer — they are correct
+// rows, and the warning tells the receiver the branch is incomplete.
+type degradedIter struct {
+	inner  relalg.Iterator
+	e      *Executor
+	sess   *Session
+	branch int
+	opened bool
+	done   bool
+}
+
+func (d *degradedIter) Schema() relalg.Schema { return d.inner.Schema() }
+
+func (d *degradedIter) Open(ctx context.Context) error {
+	err := d.inner.Open(ctx)
+	if err == nil {
+		d.opened = true
+		return nil
+	}
+	if Degradable(err) {
+		d.degrade(err)
+		return nil
+	}
+	return err
+}
+
+func (d *degradedIter) Next() (relalg.Tuple, bool, error) {
+	if d.done {
+		return nil, false, nil
+	}
+	t, ok, err := d.inner.Next()
+	if err != nil && Degradable(err) {
+		d.degrade(err)
+		return nil, false, nil
+	}
+	return t, ok, err
+}
+
+func (d *degradedIter) degrade(err error) {
+	d.done = true
+	d.sess.warnBranch(d.branch, err)
+	d.e.mu.Lock()
+	d.e.stats.BranchesFailed++
+	d.e.mu.Unlock()
+}
+
+func (d *degradedIter) Close() error {
+	if !d.opened {
+		return nil
+	}
+	d.opened = false
+	return d.inner.Close()
 }
 
 // postStream applies a mediation's post-union step to the union stream.

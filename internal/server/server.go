@@ -43,6 +43,10 @@ type RowStream interface {
 	Mediation() *core.Mediation
 	// Next returns the next row, ok=false at end, or the terminal error.
 	Next() (relalg.Tuple, bool, error)
+	// Warnings returns the degraded-branch warnings of a partial-results
+	// stream accumulated so far (nil otherwise); final once Next returned
+	// ok=false.
+	Warnings() []planner.Warning
 	// Close releases the stream and its query session.
 	Close() error
 }
@@ -55,6 +59,7 @@ type Service interface {
 	Mediate(sql, receiver string) (*core.Mediation, error)
 	QueryCtx(ctx context.Context, sql, receiver string, opts planner.Limits) (*relalg.Relation, error)
 	ExecuteCtx(ctx context.Context, med *core.Mediation, opts planner.Limits) (*relalg.Relation, error)
+	ExecuteWarnCtx(ctx context.Context, med *core.Mediation, opts planner.Limits) (*relalg.Relation, []planner.Warning, error)
 	QueryNaiveCtx(ctx context.Context, sql string, opts planner.Limits) (*relalg.Relation, error)
 	QueryStream(ctx context.Context, sql, receiver string, naive bool, opts planner.Limits) (RowStream, error)
 	Explain(sql, receiver string) (string, error)
@@ -92,6 +97,15 @@ type QueryRequest struct {
 	// the governor fields above) and the rendered plans carry measured
 	// rows, queries and cost next to the estimates.
 	Analyze bool `json:"analyze,omitempty"`
+	// Partial degrades instead of failing when a mediation branch is
+	// felled by a source fault: the answer comes from the surviving
+	// branches and the response carries a warning per dropped branch.
+	// Default is fail-fast.
+	Partial bool `json:"partial,omitempty"`
+	// RetryBudget caps the retries the query session may spend across all
+	// source operations. Zero: the server's per-operation retry policy
+	// alone applies.
+	RetryBudget int `json:"retry_budget,omitempty"`
 }
 
 // limits converts the request's governor fields to planner.Limits.
@@ -112,6 +126,11 @@ func (r *QueryRequest) limits() (planner.Limits, error) {
 		return lim, fmt.Errorf("server: bad max_concurrent_per_source %d", r.MaxConcurrentPerSource)
 	}
 	lim.MaxConcurrentPerSource = r.MaxConcurrentPerSource
+	if r.RetryBudget < 0 {
+		return lim, fmt.Errorf("server: bad retry_budget %d", r.RetryBudget)
+	}
+	lim.RetryBudget = r.RetryBudget
+	lim.PartialResults = r.Partial
 	return lim, nil
 }
 
@@ -127,6 +146,9 @@ type QueryResponse struct {
 	Rows        [][]interface{} `json:"rows"`
 	MediatedSQL string          `json:"mediatedSQL,omitempty"`
 	Branches    int             `json:"branches,omitempty"`
+	// Warnings lists mediation branches dropped by a partial-results run;
+	// absent when the answer is complete.
+	Warnings []planner.Warning `json:"warnings,omitempty"`
 }
 
 // StreamRecord is one NDJSON line of /api/query/stream. Type is "header"
@@ -141,6 +163,9 @@ type StreamRecord struct {
 	Values      []interface{} `json:"values,omitempty"`
 	Rows        int           `json:"rows,omitempty"`
 	Error       string        `json:"error,omitempty"`
+	// Warnings rides the trailing stats (or error) record of a
+	// partial-results stream: one entry per mediation branch dropped.
+	Warnings []planner.Warning `json:"warnings,omitempty"`
 }
 
 // MediateResponse is the body returned by /api/mediate.
@@ -227,8 +252,9 @@ func (s *srv) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	var (
-		rel *relalg.Relation
-		med *core.Mediation
+		rel   *relalg.Relation
+		med   *core.Mediation
+		warns []planner.Warning
 	)
 	if req.Naive {
 		rel, err = s.svc.QueryNaiveCtx(ctx, req.SQL, opts)
@@ -237,7 +263,7 @@ func (s *srv) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// (which would re-run the abductive rewriting for the same SQL).
 		med, err = s.svc.Mediate(req.SQL, req.Context)
 		if err == nil {
-			rel, err = s.svc.ExecuteCtx(ctx, med, opts)
+			rel, warns, err = s.svc.ExecuteWarnCtx(ctx, med, opts)
 		}
 	}
 	if err != nil {
@@ -249,6 +275,7 @@ func (s *srv) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.MediatedSQL = med.SQL()
 		resp.Branches = len(med.Branches)
 	}
+	resp.Warnings = warns
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -303,7 +330,7 @@ func (s *srv) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	for {
 		t, ok, err := rs.Next()
 		if err != nil {
-			_ = enc.Encode(StreamRecord{Type: "error", Rows: rows, Error: err.Error()})
+			_ = enc.Encode(StreamRecord{Type: "error", Rows: rows, Error: err.Error(), Warnings: rs.Warnings()})
 			flush()
 			return
 		}
@@ -320,7 +347,9 @@ func (s *srv) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		rows++
 		flush()
 	}
-	_ = enc.Encode(StreamRecord{Type: "stats", Rows: rows})
+	// The warnings ride the trailer: branches can degrade mid-stream, so
+	// only after the last row is the set final.
+	_ = enc.Encode(StreamRecord{Type: "stats", Rows: rows, Warnings: rs.Warnings()})
 	flush()
 }
 

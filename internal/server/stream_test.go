@@ -8,8 +8,11 @@ package server_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -256,5 +259,90 @@ func waitForStats(t *testing.T, sys *coin.System, ok func(coin.ExecStats) bool) 
 			t.Fatalf("stats never settled: %+v", st)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// downFetcher fails every currency-page fetch with a transient fault.
+type downFetcher struct{}
+
+func (downFetcher) Get(ctx context.Context, url string) (string, error) {
+	return "", wrapper.Transient(errInjectedDown)
+}
+
+var errInjectedDown = errors.New("currency site unreachable")
+
+// TestPartialWireFormat pins the partial-results wire protocol on the
+// raw JSON, not through the client: /api/query carries warnings in the
+// response object, /api/query/stream carries them on the stats trailer
+// (branches can degrade mid-stream, so they cannot ride the header).
+func TestPartialWireFormat(t *testing.T) {
+	sys := coin.Figure2SystemWith(downFetcher{})
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (*http.Response, string) {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		return resp, b.String()
+	}
+
+	q := `"sql": ` + strconv.Quote(coin.PaperQ1) + `, "context": "c2"`
+
+	// Fail-fast default: the query errors.
+	resp, body := post("/api/query", `{`+q+`}`)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("fail-fast query returned 200:\n%s", body)
+	}
+
+	// Partial: 200 with warnings naming the source on the response.
+	resp, body = post("/api/query", `{`+q+`, "partial": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial query status %d:\n%s", resp.StatusCode, body)
+	}
+	var qr struct {
+		Warnings []struct {
+			Branch int    `json:"branch"`
+			Source string `json:"source"`
+			Error  string `json:"error"`
+		} `json:"warnings"`
+	}
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Warnings) == 0 {
+		t.Fatalf("no warnings on partial response:\n%s", body)
+	}
+	for _, w := range qr.Warnings {
+		if w.Source != "currencyweb" || w.Branch == 0 || w.Error == "" {
+			t.Errorf("wire warning %+v", w)
+		}
+	}
+
+	// Streaming: warnings ride the terminating stats record.
+	resp, body = post("/api/query/stream", `{`+q+`, "partial": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial stream status %d:\n%s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	var last struct {
+		Type     string `json:"type"`
+		Warnings []struct {
+			Source string `json:"source"`
+		} `json:"warnings"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "stats" || len(last.Warnings) == 0 {
+		t.Fatalf("stream trailer = %s", lines[len(lines)-1])
+	}
+	if last.Warnings[0].Source != "currencyweb" {
+		t.Errorf("trailer warning = %+v", last.Warnings[0])
 	}
 }

@@ -1,0 +1,152 @@
+package wrapper
+
+// The fault taxonomy of the source access layer. Autonomous sources fail
+// in recognizably different ways — a reset connection is worth retrying,
+// an HTTP 429 is worth retrying after the server's hint, a 404 never is —
+// and the engine's retry and circuit-breaker machinery keys off these
+// classes. Wrappers classify at the point where the protocol knowledge
+// lives (HTTP status codes in httpfetch.go, crawl failures in web.go);
+// the planner only asks Retryable and RetryAfter.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// The three fault classes, matched with errors.Is. A classified error
+// wraps its cause, so the original message and any deeper sentinel stay
+// reachable through errors.Is/As.
+var (
+	// ErrTransient marks a fault likely to clear on its own: timeouts,
+	// dropped connections, 5xx responses. Retrying (with backoff) is
+	// worthwhile.
+	ErrTransient = errors.New("wrapper: transient source fault")
+	// ErrRateLimited marks a source that refused the query to shed load
+	// (HTTP 429). Retrying is worthwhile after the server's Retry-After
+	// hint, when it gave one.
+	ErrRateLimited = errors.New("wrapper: source rate limited")
+	// ErrPermanent marks a fault retrying cannot fix: client errors,
+	// missing relations, pages whose shape no longer matches the wrapping
+	// spec.
+	ErrPermanent = errors.New("wrapper: permanent source fault")
+)
+
+// classified attaches a fault class (and, for rate limits, the server's
+// wait hint) to a cause.
+type classified struct {
+	class error // one of the sentinels above
+	after time.Duration
+	err   error
+}
+
+func (c *classified) Error() string { return c.err.Error() }
+
+func (c *classified) Unwrap() error { return c.err }
+
+// Is matches the fault-class sentinel, so errors.Is(err, ErrTransient)
+// works without unwrapping into the cause.
+func (c *classified) Is(target error) bool { return target == c.class }
+
+// Transient marks err as a transient source fault. nil stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{class: ErrTransient, err: err}
+}
+
+// Permanent marks err as a permanent source fault. nil stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{class: ErrPermanent, err: err}
+}
+
+// RateLimited marks err as a rate-limit rejection carrying the source's
+// Retry-After hint (0: none). nil stays nil.
+func RateLimited(err error, after time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{class: ErrRateLimited, after: after, err: err}
+}
+
+// Retryable reports whether a source fault is worth retrying: explicitly
+// transient or rate-limited faults, plus unclassified errors that smell
+// like network weather (timeouts, refused/reset/broken connections, a
+// response cut short). Permanent faults, context cancellation and
+// everything unrecognized are not — an unknown failure repeated is an
+// unknown failure twice.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrPermanent) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) || errors.Is(err, ErrRateLimited) {
+		return true
+	}
+	// A network-level timeout (dial, TLS, response header) is weather worth
+	// retrying even though net/http surfaces it wrapping
+	// context.DeadlineExceeded. The bare sentinel is different: it IS a
+	// net.Error with Timeout() = true, but it means the query's own
+	// deadline fired, so it must not match here.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() && error(ne) != context.DeadlineExceeded {
+		return true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	return false
+}
+
+// RetryAfter extracts a rate-limited fault's server-provided wait hint;
+// ok is false when the error carries none.
+func RetryAfter(err error) (time.Duration, bool) {
+	var c *classified
+	if errors.As(err, &c) && c.class == ErrRateLimited && c.after > 0 {
+		return c.after, true
+	}
+	return 0, false
+}
+
+// ClassifyHTTPStatus classifies a non-2xx HTTP response: 429 is
+// rate-limited (honoring a Retry-After header in seconds), 5xx and 408
+// are transient, every other client error is permanent. cause carries
+// the human-readable failure.
+func ClassifyHTTPStatus(status int, retryAfter string, cause error) error {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return RateLimited(cause, ParseRetryAfter(retryAfter))
+	case status >= 500 || status == http.StatusRequestTimeout:
+		return Transient(cause)
+	default:
+		return Permanent(cause)
+	}
+}
+
+// ParseRetryAfter parses a Retry-After header's delay-seconds form; 0 for
+// absent, malformed, or HTTP-date values (a conservative "no hint").
+func ParseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,173 @@
+package wrapper
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestFaultClassSentinels(t *testing.T) {
+	cause := errors.New("boom")
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"transient", Transient(cause), ErrTransient},
+		{"permanent", Permanent(cause), ErrPermanent},
+		{"ratelimited", RateLimited(cause, time.Second), ErrRateLimited},
+	}
+	for _, tc := range cases {
+		if !errors.Is(tc.err, tc.want) {
+			t.Errorf("%s: errors.Is(%v, class) = false", tc.name, tc.err)
+		}
+		if !errors.Is(tc.err, cause) {
+			t.Errorf("%s: cause unreachable through the class wrapper", tc.name)
+		}
+		if tc.err.Error() != "boom" {
+			t.Errorf("%s: Error() = %q, want the cause's message", tc.name, tc.err.Error())
+		}
+		// A classified error carries exactly one class.
+		for _, other := range []error{ErrTransient, ErrPermanent, ErrRateLimited} {
+			if other != tc.want && errors.Is(tc.err, other) {
+				t.Errorf("%s: also matches %v", tc.name, other)
+			}
+		}
+	}
+	for name, f := range map[string]func(error) error{
+		"Transient": Transient,
+		"Permanent": Permanent,
+	} {
+		if f(nil) != nil {
+			t.Errorf("%s(nil) != nil", name)
+		}
+	}
+	if RateLimited(nil, time.Second) != nil {
+		t.Error("RateLimited(nil) != nil")
+	}
+}
+
+func TestClassSurvivesWrapping(t *testing.T) {
+	err := fmt.Errorf("crawl r3: %w", Transient(errors.New("conn reset")))
+	if !errors.Is(err, ErrTransient) {
+		t.Error("class lost through fmt.Errorf %w wrapping")
+	}
+	if !Retryable(err) {
+		t.Error("wrapped transient fault not retryable")
+	}
+}
+
+// timeoutErr is a net.Error that reports Timeout() = true while also
+// wrapping context.DeadlineExceeded — the shape net/http produces for a
+// per-request deadline. Retryable must treat it as network weather, not
+// as the query's own context dying.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+func (timeoutErr) Unwrap() error   { return context.DeadlineExceeded }
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"transient", Transient(errors.New("x")), true},
+		{"ratelimited", RateLimited(errors.New("x"), 0), true},
+		{"permanent", Permanent(errors.New("x")), false},
+		// A permanent classification beats a retryable-looking cause.
+		{"permanent wrapping reset", Permanent(syscall.ECONNRESET), false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"wrapped canceled", fmt.Errorf("branch: %w", context.Canceled), false},
+		// net.Error timeouts win over the context sentinels they may wrap.
+		{"net timeout over deadline", timeoutErr{}, true},
+		{"op timeout", &net.OpError{Op: "dial", Err: timeoutErr{}}, true},
+		{"refused", syscall.ECONNREFUSED, true},
+		{"reset", syscall.ECONNRESET, true},
+		{"epipe", syscall.EPIPE, true},
+		{"short body", io.ErrUnexpectedEOF, true},
+		{"plain eof", io.EOF, false},
+		{"unknown", errors.New("mystery"), false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRetryAfter(t *testing.T) {
+	if d, ok := RetryAfter(RateLimited(errors.New("x"), 3*time.Second)); !ok || d != 3*time.Second {
+		t.Errorf("RetryAfter(hint 3s) = %v, %v", d, ok)
+	}
+	if _, ok := RetryAfter(RateLimited(errors.New("x"), 0)); ok {
+		t.Error("RetryAfter(no hint) reported a hint")
+	}
+	if _, ok := RetryAfter(Transient(errors.New("x"))); ok {
+		t.Error("RetryAfter(transient) reported a hint")
+	}
+	wrapped := fmt.Errorf("fetch: %w", RateLimited(errors.New("x"), time.Second))
+	if d, ok := RetryAfter(wrapped); !ok || d != time.Second {
+		t.Errorf("RetryAfter(wrapped) = %v, %v", d, ok)
+	}
+}
+
+func TestClassifyHTTPStatus(t *testing.T) {
+	cause := errors.New("status")
+	cases := []struct {
+		status     int
+		retryAfter string
+		class      error
+		hint       time.Duration
+	}{
+		{429, "2", ErrRateLimited, 2 * time.Second},
+		{429, "", ErrRateLimited, 0},
+		{500, "", ErrTransient, 0},
+		{503, "", ErrTransient, 0},
+		{408, "", ErrTransient, 0},
+		{404, "", ErrPermanent, 0},
+		{403, "", ErrPermanent, 0},
+		{418, "", ErrPermanent, 0},
+	}
+	for _, tc := range cases {
+		err := ClassifyHTTPStatus(tc.status, tc.retryAfter, cause)
+		if !errors.Is(err, tc.class) {
+			t.Errorf("status %d: class = %v, want %v", tc.status, err, tc.class)
+		}
+		d, ok := RetryAfter(err)
+		if tc.hint > 0 && (!ok || d != tc.hint) {
+			t.Errorf("status %d: hint = %v, %v, want %v", tc.status, d, ok, tc.hint)
+		}
+		if tc.hint == 0 && ok {
+			t.Errorf("status %d: unexpected hint %v", tc.status, d)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"5", 5 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"soon", 0},
+		{"Wed, 21 Oct 2026 07:28:00 GMT", 0},
+	}
+	for _, tc := range cases {
+		if got := ParseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("ParseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -33,12 +33,22 @@ func NewHTTPFetcher(baseURL string) *HTTPFetcher {
 	return &HTTPFetcher{BaseURL: strings.TrimRight(baseURL, "/")}
 }
 
+// defaultHTTPClient backs every fetcher whose Client is nil. One shared
+// client means one shared connection pool: consecutive page fetches
+// against the same site reuse the keep-alive connection instead of
+// re-dialing per page (a per-call client would discard its pool each
+// time, and a crawl fetches many pages).
+var defaultHTTPClient = &http.Client{Timeout: DefaultHTTPTimeout}
+
 // Get implements Fetcher: the request carries ctx, so canceling the
-// query aborts the page fetch at the socket.
+// query aborts the page fetch at the socket. Failures are classified for
+// the engine's retry machinery: transport errors and 5xx/408 responses
+// as transient, 429 as rate-limited (honoring Retry-After), other
+// non-200 statuses as permanent.
 func (h *HTTPFetcher) Get(ctx context.Context, url string) (string, error) {
 	client := h.Client
 	if client == nil {
-		client = &http.Client{Timeout: DefaultHTTPTimeout}
+		client = defaultHTTPClient
 	}
 	full := url
 	if strings.HasPrefix(url, "/") {
@@ -50,11 +60,16 @@ func (h *HTTPFetcher) Get(ctx context.Context, url string) (string, error) {
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return "", fmt.Errorf("wrapper: GET %s: %w", full, err)
+		if ctx.Err() != nil {
+			// The query died, the source did not: no fault class.
+			return "", fmt.Errorf("wrapper: GET %s: %w", full, err)
+		}
+		return "", Transient(fmt.Errorf("wrapper: GET %s: %w", full, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("wrapper: GET %s: %s", full, resp.Status)
+		cause := fmt.Errorf("wrapper: GET %s: %s", full, resp.Status)
+		return "", ClassifyHTTPStatus(resp.StatusCode, resp.Header.Get("Retry-After"), cause)
 	}
 	limit := h.MaxBodyBytes
 	if limit == 0 {
@@ -62,7 +77,10 @@ func (h *HTTPFetcher) Get(ctx context.Context, url string) (string, error) {
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
 	if err != nil {
-		return "", fmt.Errorf("wrapper: reading %s: %w", full, err)
+		if ctx.Err() != nil {
+			return "", fmt.Errorf("wrapper: reading %s: %w", full, err)
+		}
+		return "", Transient(fmt.Errorf("wrapper: reading %s: %w", full, err))
 	}
 	return string(body), nil
 }

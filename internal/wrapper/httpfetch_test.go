@@ -2,9 +2,14 @@ package wrapper
 
 import (
 	"context"
+	"errors"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/web"
 )
@@ -40,6 +45,83 @@ func TestHTTPFetcherErrors(t *testing.T) {
 	dead := NewHTTPFetcher("http://127.0.0.1:1")
 	if _, err := dead.Get(context.Background(), "/rates"); err == nil {
 		t.Error("dead server accepted")
+	}
+}
+
+// TestHTTPFetcherReusesConnections pins the shared-client fix: two Gets
+// through a fetcher with no explicit Client must ride one keep-alive
+// connection. (The old code built a fresh http.Client per call, so every
+// page fetch of a crawl re-dialed the site.)
+func TestHTTPFetcherReusesConnections(t *testing.T) {
+	var dials atomic.Int64
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			dials.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	f := NewHTTPFetcher(ts.URL)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Get(context.Background(), "/page"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := dials.Load(); n != 1 {
+		t.Errorf("two Gets opened %d connections, want 1 (keep-alive reuse)", n)
+	}
+}
+
+// TestHTTPFetcherClassifiesFaults checks the fetcher attaches the fault
+// taxonomy at the protocol boundary: 5xx transient, 429 rate-limited with
+// the server's Retry-After hint, 4xx permanent, refused dial transient.
+func TestHTTPFetcherClassifiesFaults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/busy":
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "/flaky":
+			w.WriteHeader(http.StatusBadGateway)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	f := NewHTTPFetcher(ts.URL)
+	_, err := f.Get(context.Background(), "/flaky")
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("502 classified as %v, want transient", err)
+	}
+	_, err = f.Get(context.Background(), "/busy")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Errorf("429 classified as %v, want rate-limited", err)
+	}
+	if d, ok := RetryAfter(err); !ok || d != time.Second {
+		t.Errorf("429 Retry-After hint = %v, %v, want 1s", d, ok)
+	}
+	_, err = f.Get(context.Background(), "/nope")
+	if !errors.Is(err, ErrPermanent) {
+		t.Errorf("404 classified as %v, want permanent", err)
+	}
+
+	dead := NewHTTPFetcher("http://127.0.0.1:1")
+	_, err = dead.Get(context.Background(), "/rates")
+	if !Retryable(err) {
+		t.Errorf("refused dial not retryable: %v", err)
+	}
+
+	// A canceled query is not a source fault.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = f.Get(ctx, "/flaky")
+	if Retryable(err) || errors.Is(err, ErrTransient) {
+		t.Errorf("canceled fetch classified as source fault: %v", err)
 	}
 }
 

@@ -157,7 +157,9 @@ func (c *crawl) visit(url, stateName string, inherited map[string]string) error 
 		max = DefaultMaxPages
 	}
 	if c.pages >= max {
-		return fmt.Errorf("wrapper: %s: crawl exceeded %d pages", c.w.Name, max)
+		// The transition network is bigger than the budget allows; another
+		// crawl of the same site will overrun it again.
+		return Permanent(fmt.Errorf("wrapper: %s: crawl exceeded %d pages", c.w.Name, max))
 	}
 	if c.seen == nil {
 		c.seen = map[string]bool{}
@@ -186,8 +188,11 @@ func (c *crawl) visit(url, stateName string, inherited map[string]string) error 
 		}
 		groups := m.Pattern.FindStringSubmatch(subject)
 		if groups == nil {
-			return fmt.Errorf("wrapper: %s: state %s: pattern for %s matched nothing on %s",
-				c.w.Name, state.Name, m.Column, url)
+			// The page's shape no longer matches the wrapping spec — a
+			// stale spec, not network weather; retrying re-fetches the
+			// same mismatched page.
+			return Permanent(fmt.Errorf("wrapper: %s: state %s: pattern for %s matched nothing on %s",
+				c.w.Name, state.Name, m.Column, url))
 		}
 		vals[m.Column] = groups[1]
 	}

@@ -1,0 +1,155 @@
+package wrappertest
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/relalg"
+	"repro/internal/wrapper"
+)
+
+// Flaky wraps a source with a deterministic fault script, so tests of the
+// engine's retry, circuit-breaker and partial-results machinery can
+// reproduce exact failure sequences: fail the next N queries then
+// recover, fail every query forever, or fail mid-stream after delivering
+// K tuples. Faults are consumed from the script in query arrival order
+// under a mutex, so a scripted run behaves identically under -race and
+// arbitrary scheduling (for one source; multi-source interleavings are
+// serialized per source).
+//
+// Compose it under a Counter to pin attempt counts:
+//
+//	flaky := wrappertest.NewFlaky(inner)
+//	flaky.FailNext(2, wrapper.Transient(errors.New("boom")))
+//	counted := wrappertest.NewCounter(flaky)   // Counter sees every attempt
+type Flaky struct {
+	wrapper.Wrapper
+
+	mu     sync.Mutex
+	script []Fault
+	always *Fault
+	served int
+}
+
+// Fault scripts one query's failure.
+type Fault struct {
+	// Err is the failure the query reports; classify it with
+	// wrapper.Transient / wrapper.Permanent / wrapper.RateLimited to
+	// exercise specific retry behavior.
+	Err error
+	// AtTuple, when positive, makes a streamed query succeed at open and
+	// fail after delivering this many tuples — the mid-stream fault. Zero
+	// fails the whole query up front (stream open included).
+	AtTuple int
+}
+
+// NewFlaky wraps inner with an empty script (every query passes through).
+func NewFlaky(inner wrapper.Wrapper) *Flaky {
+	return &Flaky{Wrapper: inner}
+}
+
+// FailNext scripts the next n queries to fail with err, then recover.
+func (f *Flaky) FailNext(n int, err error) *Flaky {
+	f.mu.Lock()
+	for i := 0; i < n; i++ {
+		f.script = append(f.script, Fault{Err: err})
+	}
+	f.mu.Unlock()
+	return f
+}
+
+// FailAtTuple scripts the next streamed query to deliver k tuples and
+// then fail with err.
+func (f *Flaky) FailAtTuple(k int, err error) *Flaky {
+	f.mu.Lock()
+	f.script = append(f.script, Fault{Err: err, AtTuple: k})
+	f.mu.Unlock()
+	return f
+}
+
+// FailAlways makes every query fail with err once the script (if any) is
+// consumed — the permanently dead source.
+func (f *Flaky) FailAlways(err error) *Flaky {
+	f.mu.Lock()
+	f.always = &Fault{Err: err}
+	f.mu.Unlock()
+	return f
+}
+
+// Served reports how many queries have consumed a scripted (or always)
+// fault or passed through cleanly.
+func (f *Flaky) Served() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.served
+}
+
+// next consumes the fault for one arriving query (nil: pass through).
+func (f *Flaky) next() *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.served++
+	if len(f.script) > 0 {
+		ft := f.script[0]
+		f.script = f.script[1:]
+		return &ft
+	}
+	return f.always
+}
+
+// DistinctCount forwards the optional wrapper.Statser extension of the
+// inner wrapper, like Counter does.
+func (f *Flaky) DistinctCount(relation, column string) (int, bool) {
+	if st, ok := f.Wrapper.(wrapper.Statser); ok {
+		return st.DistinctCount(relation, column)
+	}
+	return 0, false
+}
+
+// Query implements wrapper.Wrapper. A scripted mid-stream fault (AtTuple
+// > 0) on a materialized query fails it whole — there is no "partially
+// materialized" answer to hand back.
+func (f *Flaky) Query(ctx context.Context, q wrapper.SourceQuery) (*relalg.Relation, error) {
+	if ft := f.next(); ft != nil {
+		return nil, ft.Err
+	}
+	return f.Wrapper.Query(ctx, q)
+}
+
+// QueryStream implements wrapper.Streamer: an AtTuple fault opens the
+// inner stream and injects the failure after delivering that many tuples;
+// any other fault fails the open.
+func (f *Flaky) QueryStream(ctx context.Context, q wrapper.SourceQuery) (wrapper.TupleStream, error) {
+	ft := f.next()
+	if ft != nil && ft.AtTuple <= 0 {
+		return nil, ft.Err
+	}
+	st, err := wrapper.QueryStream(ctx, f.Wrapper, q)
+	if err != nil {
+		return nil, err
+	}
+	if ft == nil {
+		return st, nil
+	}
+	return &flakyStream{TupleStream: st, failAt: ft.AtTuple, err: ft.Err}, nil
+}
+
+// flakyStream delivers failAt tuples, then reports err.
+type flakyStream struct {
+	wrapper.TupleStream
+	failAt    int
+	delivered int
+	err       error
+}
+
+func (s *flakyStream) Next() (relalg.Tuple, bool, error) {
+	if s.delivered >= s.failAt {
+		return nil, false, s.err
+	}
+	t, ok, err := s.TupleStream.Next()
+	if err != nil || !ok {
+		return t, ok, err
+	}
+	s.delivered++
+	return t, true, nil
+}

@@ -1,0 +1,107 @@
+package wrappertest
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/relalg"
+	"repro/internal/store"
+	"repro/internal/wrapper"
+)
+
+func flakyFixture(rows int) (*Flaky, wrapper.SourceQuery) {
+	db := store.NewDB("src")
+	tab := db.MustCreateTable("t", relalg.NewSchema(
+		relalg.Column{Name: "n", Type: relalg.KindNumber}))
+	for i := 0; i < rows; i++ {
+		tab.MustInsert(relalg.NumV(float64(i)))
+	}
+	return NewFlaky(wrapper.NewRelational(db)), wrapper.SourceQuery{Relation: "t"}
+}
+
+func TestFlakyScriptOrder(t *testing.T) {
+	boom := errors.New("boom")
+	f, q := flakyFixture(2)
+	f.FailNext(2, boom)
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Query(ctx, q); !errors.Is(err, boom) {
+			t.Fatalf("query %d: err = %v, want scripted fault", i+1, err)
+		}
+	}
+	rel, err := f.Query(ctx, q)
+	if err != nil || rel.Len() != 2 {
+		t.Fatalf("post-script query = %v, %v, want clean pass-through", rel, err)
+	}
+	if f.Served() != 3 {
+		t.Errorf("Served = %d, want 3", f.Served())
+	}
+}
+
+func TestFlakyAlwaysAfterScript(t *testing.T) {
+	scripted := errors.New("scripted")
+	forever := errors.New("forever")
+	f, q := flakyFixture(1)
+	f.FailNext(1, scripted).FailAlways(forever)
+
+	ctx := context.Background()
+	if _, err := f.Query(ctx, q); !errors.Is(err, scripted) {
+		t.Fatalf("first query err = %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Query(ctx, q); !errors.Is(err, forever) {
+			t.Fatalf("always query err = %v", err)
+		}
+	}
+}
+
+func TestFlakyMidStreamFault(t *testing.T) {
+	boom := errors.New("mid-stream")
+	f, q := flakyFixture(5)
+	f.FailAtTuple(3, boom)
+
+	st, err := wrapper.QueryStream(context.Background(), f, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 3; i++ {
+		if _, ok, err := st.Next(); !ok || err != nil {
+			t.Fatalf("tuple %d: ok=%v err=%v", i+1, ok, err)
+		}
+	}
+	if _, ok, err := st.Next(); ok || !errors.Is(err, boom) {
+		t.Fatalf("after 3 tuples: ok=%v err=%v, want the injected fault", ok, err)
+	}
+
+	// The same fault on a materialized query fails it whole: there is no
+	// partially materialized answer.
+	f2, q2 := flakyFixture(5)
+	f2.FailAtTuple(3, boom)
+	if _, err := f2.Query(context.Background(), q2); !errors.Is(err, boom) {
+		t.Fatalf("materialized mid-stream fault err = %v", err)
+	}
+}
+
+// TestFlakyComposesUnderCounter: the Counter sees every attempt the
+// engine makes against the flaky source — the layering the chaos suite
+// relies on to pin retry counts.
+func TestFlakyComposesUnderCounter(t *testing.T) {
+	boom := errors.New("boom")
+	f, q := flakyFixture(2)
+	f.FailNext(1, boom)
+	ctr := NewCounter(f)
+
+	ctx := context.Background()
+	if _, err := ctr.Query(ctx, q); !errors.Is(err, boom) {
+		t.Fatalf("first attempt err = %v", err)
+	}
+	if rel, err := ctr.Query(ctx, q); err != nil || rel.Len() != 2 {
+		t.Fatalf("second attempt = %v, %v", rel, err)
+	}
+	if n := ctr.Queries(); n != 2 {
+		t.Errorf("Counter saw %d queries, want 2 (failed attempts count)", n)
+	}
+}
