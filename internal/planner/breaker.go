@@ -10,13 +10,25 @@ package planner
 //
 //	closed ──(Threshold consecutive failures)──▶ open
 //	open ──(Cooldown elapsed)──▶ half-open (one probe admitted)
-//	half-open probe succeeds ──▶ closed;  probe fails ──▶ open again
+//	half-open probe succeeds ──▶ closed;  probe fails ──▶ open again;
+//	probe abandoned (its query died mid-flight) ──▶ open again
 //
 // While open, allow rejects with ErrSourceTripped immediately — mediation
 // branches probing a dead source fail fast instead of each burning the
 // full source timeout. ErrSourceTripped is deliberately not retryable
 // (retrying against a tripped breaker is busy-waiting) but it is
 // source-attributed, so partial-results mode can degrade the branch.
+//
+// Only the half-open probe's own verdict moves the breaker out of
+// half-open, and only a probe's success closes an opened breaker: allow
+// tells the caller whether the attempt it admitted is the probe, and the
+// caller reports the outcome with that flag. An operation admitted while
+// the breaker was still closed may finish long after a trip; its late
+// success must not bypass the cooldown, and its late failure is not the
+// probe's answer. The dispatcher (and thus the breaker) is executor-level
+// state shared by every session, so every admitted attempt must resolve —
+// succeed, fail, or abandon — or the single probe slot would wedge the
+// source for the life of the process.
 
 import (
 	"errors"
@@ -69,57 +81,68 @@ const (
 // allow admits one attempt against the source, or rejects it with
 // ErrSourceTripped while the breaker is open (transitioning open →
 // half-open once the cooldown has elapsed, and admitting exactly one
-// probe in half-open).
-func (d *dispatcher) allow(pol BreakerPolicy) error {
-	_, cooldown := pol.params()
+// probe in half-open). probe reports whether the admitted attempt is that
+// half-open probe; the caller must resolve a probe with succeed, fail, or
+// abandon, passing the flag back.
+func (d *dispatcher) allow(pol BreakerPolicy) (probe bool, err error) {
 	d.bmu.Lock()
 	defer d.bmu.Unlock()
 	switch d.bstate {
 	case breakerOpen:
 		wait := time.Until(d.bopenUntil)
 		if wait > 0 {
-			return fmt.Errorf("%w (cooling down %v)", ErrSourceTripped, wait.Round(time.Millisecond))
+			return false, fmt.Errorf("%w (cooling down %v)", ErrSourceTripped, wait.Round(time.Millisecond))
 		}
 		d.bstate = breakerHalfOpen
 		d.bprobing = true
-		return nil
+		return true, nil
 	case breakerHalfOpen:
 		if d.bprobing {
-			return fmt.Errorf("%w (probe in flight)", ErrSourceTripped)
+			return false, fmt.Errorf("%w (probe in flight)", ErrSourceTripped)
 		}
 		d.bprobing = true
-		return nil
+		return true, nil
 	default:
-		_ = cooldown
-		return nil
+		return false, nil
 	}
 }
 
-// succeed records a successful source operation: the consecutive-failure
-// count resets and a half-open probe's success closes the breaker.
-func (d *dispatcher) succeed() {
+// succeed records a successful source operation: while closed the
+// consecutive-failure count resets, and the half-open probe's success
+// closes the breaker. A success landing while the breaker is open (an
+// operation admitted before the trip that finished late) is ignored — it
+// must not cut the cooldown short.
+func (d *dispatcher) succeed(probe bool) {
 	d.bmu.Lock()
-	d.bfails = 0
-	d.bstate = breakerClosed
-	d.bprobing = false
-	d.bmu.Unlock()
+	defer d.bmu.Unlock()
+	if probe {
+		d.bprobing = false
+		d.bfails = 0
+		d.bstate = breakerClosed
+		return
+	}
+	if d.bstate == breakerClosed {
+		d.bfails = 0
+	}
 }
 
 // fail records a source failure, reporting true when this failure tripped
-// the breaker (closed past the threshold, or a half-open probe failing
-// back to open).
-func (d *dispatcher) fail(pol BreakerPolicy) bool {
+// the breaker (closed past the threshold, or the half-open probe failing
+// back to open). Failures landing while open, or non-probe failures
+// landing while half-open (stale operations admitted before the trip),
+// change nothing — only the probe's verdict resolves half-open.
+func (d *dispatcher) fail(pol BreakerPolicy, probe bool) bool {
 	threshold, cooldown := pol.params()
 	d.bmu.Lock()
 	defer d.bmu.Unlock()
-	d.bfails++
-	switch d.bstate {
-	case breakerHalfOpen:
+	if probe {
+		d.bprobing = false
 		d.bstate = breakerOpen
 		d.bopenUntil = time.Now().Add(cooldown)
-		d.bprobing = false
 		return true
-	case breakerClosed:
+	}
+	if d.bstate == breakerClosed {
+		d.bfails++
 		if d.bfails >= threshold {
 			d.bstate = breakerOpen
 			d.bopenUntil = time.Now().Add(cooldown)
@@ -127,6 +150,27 @@ func (d *dispatcher) fail(pol BreakerPolicy) bool {
 		}
 	}
 	return false
+}
+
+// abandon resolves an admitted attempt whose outcome will never be
+// reported — the query's context died mid-flight, which says nothing
+// about the source's health. For the half-open probe that still must
+// release the probe slot: the breaker returns to open with a fresh
+// cooldown so a later query can probe again, instead of "probe in
+// flight" wedging the source forever. Abandoning a non-probe attempt is
+// a no-op.
+func (d *dispatcher) abandon(pol BreakerPolicy, probe bool) {
+	if !probe {
+		return
+	}
+	_, cooldown := pol.params()
+	d.bmu.Lock()
+	defer d.bmu.Unlock()
+	d.bprobing = false
+	if d.bstate == breakerHalfOpen {
+		d.bstate = breakerOpen
+		d.bopenUntil = time.Now().Add(cooldown)
+	}
 }
 
 // breakerState snapshots the breaker for tests and introspection.

@@ -474,6 +474,145 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	assertNoLeakedSlots(t, ex)
 }
 
+// TestBreakerProbeAbandonedOnContextDeath: the breaker is executor-level
+// state shared by every session, so a query whose context dies while its
+// attempt holds the half-open probe slot must release it. The breaker
+// returns to open with a fresh cooldown — not wedged in "probe in
+// flight" forever — and a later query probes and recovers the source.
+func TestBreakerProbeAbandonedOnContextDeath(t *testing.T) {
+	const cooldown = 25 * time.Millisecond
+	f := newChaosFixture(t)
+	f.flaky["srcA"].FailNext(1, wrapper.Transient(errors.New("down")))
+	ex := NewExecutor(f.cat)
+	ex.Breaker = BreakerPolicy{Threshold: 1, Cooldown: cooldown}
+	w := f.counter["srcA"]
+	d := ex.dispatcherFor(w)
+
+	if _, err := ex.ExecuteCtx(context.Background(), f.med.Branches[0]); err == nil {
+		t.Fatal("tripping query unexpectedly succeeded")
+	}
+	if d.breakerState() != breakerOpen {
+		t.Fatalf("breaker state = %d, want open after trip", d.breakerState())
+	}
+
+	// After the cooldown the next attempt is admitted as the half-open
+	// probe; its query context dies mid-flight, so its verdict never
+	// arrives.
+	time.Sleep(cooldown + 10*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := ex.NewSession(ctx, Limits{})
+	err := ex.withRetry(ctx, sess, w, func() error {
+		cancel()
+		return wrapper.Transient(errors.New("cut off mid-flight"))
+	})
+	sess.Close()
+	if err == nil {
+		t.Fatal("dead-context probe unexpectedly succeeded")
+	}
+	if Degradable(err) {
+		t.Errorf("context-death error = %v, want raw (not source-attributed)", err)
+	}
+	if d.breakerState() != breakerOpen {
+		t.Fatalf("breaker state after abandoned probe = %d, want open with a fresh cooldown", d.breakerState())
+	}
+
+	// The probe slot was released: after another cooldown a new probe is
+	// admitted (the fault script is exhausted) and closes the breaker.
+	time.Sleep(cooldown + 10*time.Millisecond)
+	got, err := ex.ExecuteCtx(context.Background(), f.med.Branches[0])
+	if err != nil {
+		t.Fatalf("probe after abandonment: %v", err)
+	}
+	if got.Len() != 3 {
+		t.Errorf("recovered answer = %s, want ta's 3 rows", got)
+	}
+	if d.breakerState() != breakerClosed {
+		t.Errorf("final breaker state = %d, want closed", d.breakerState())
+	}
+	assertNoLeakedSlots(t, ex)
+}
+
+// TestBreakerStaleOutcomesDoNotMoveBreaker: an operation admitted while
+// the breaker was still closed may finish after a trip. Its late success
+// must not short the cooldown by closing the open breaker, and its late
+// failure while another attempt holds the half-open probe is not the
+// probe's verdict.
+func TestBreakerStaleOutcomesDoNotMoveBreaker(t *testing.T) {
+	pol := BreakerPolicy{Threshold: 1, Cooldown: time.Minute}
+	d := newDispatcher(1)
+
+	// A slow operation is admitted while closed...
+	slowProbe, err := d.allow(pol)
+	if err != nil || slowProbe {
+		t.Fatalf("closed-state admission = (probe=%v, err=%v), want plain admission", slowProbe, err)
+	}
+	// ...then a sibling's failure trips the breaker...
+	if !d.fail(pol, false) {
+		t.Fatal("threshold failure did not trip")
+	}
+	if d.breakerState() != breakerOpen {
+		t.Fatalf("state = %d, want open", d.breakerState())
+	}
+	// ...and the slow operation's late success must not bypass the
+	// cooldown.
+	d.succeed(slowProbe)
+	if d.breakerState() != breakerOpen {
+		t.Errorf("stale success closed an open breaker (state = %d)", d.breakerState())
+	}
+
+	// Half-open with the probe in flight: a stale failure is not the
+	// probe's verdict and must not re-open (or count as a trip).
+	d.bmu.Lock()
+	d.bstate = breakerHalfOpen
+	d.bprobing = true
+	d.bmu.Unlock()
+	if d.fail(pol, false) {
+		t.Error("stale failure during half-open counted as a trip")
+	}
+	if d.breakerState() != breakerHalfOpen {
+		t.Errorf("stale failure moved half-open breaker (state = %d)", d.breakerState())
+	}
+	// The real probe's verdict still resolves the state.
+	d.succeed(true)
+	if d.breakerState() != breakerClosed {
+		t.Errorf("probe success did not close (state = %d)", d.breakerState())
+	}
+}
+
+// TestBreakerTripShortCircuitsRetry: when an attempt's own failure trips
+// the breaker, retrying is a guaranteed ErrSourceTripped rejection — the
+// loop must stop immediately, charging no retry, burning no backoff, and
+// reporting the actual source fault rather than the breaker rejection.
+func TestBreakerTripShortCircuitsRetry(t *testing.T) {
+	f := newChaosFixture(t)
+	f.flaky["srcA"].FailAlways(wrapper.Transient(errors.New("down")))
+	ex := NewExecutor(f.cat)
+	ex.Retry = RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}
+	ex.Breaker = BreakerPolicy{Threshold: 1, Cooldown: time.Minute}
+
+	_, err := ex.ExecuteCtx(context.Background(), f.med.Branches[0])
+	if err == nil {
+		t.Fatal("query against dead source unexpectedly succeeded")
+	}
+	if errors.Is(err, ErrSourceTripped) {
+		t.Errorf("err = %v, want the underlying source fault, not the breaker rejection", err)
+	}
+	if !strings.Contains(err.Error(), "down") {
+		t.Errorf("err = %v does not carry the source fault", err)
+	}
+	if q := f.counter["srcA"].Queries(); q != 1 {
+		t.Errorf("source saw %d attempts, want 1 (no retry into the breaker this failure just opened)", q)
+	}
+	st := ex.Stats()
+	if st.Retries != 0 {
+		t.Errorf("Retries = %d, want 0", st.Retries)
+	}
+	if st.BreakerTrips != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", st.BreakerTrips)
+	}
+	assertNoLeakedSlots(t, ex)
+}
+
 // TestBreakerDegradesUnderPartial: a branch rejected by an open breaker
 // degrades like any other source fault — partial answers keep flowing
 // while the source cools down, without contacting it.

@@ -18,7 +18,9 @@ package planner
 //
 // Context death is never a source fault: when the session (or branch)
 // context is done the raw error propagates unwrapped, feeding neither the
-// breaker nor the retry loop.
+// breaker's verdict counts nor the retry loop — though an attempt that
+// was admitted as the breaker's half-open probe is still released
+// (abandoned) so the shared probe slot cannot leak.
 
 import (
 	"context"
@@ -135,30 +137,43 @@ type Warning struct {
 func (e *Executor) withRetry(ctx context.Context, sess *Session, w wrapper.Wrapper, op func() error) error {
 	d := e.dispatcherFor(w)
 	for attempt := 1; ; attempt++ {
+		probe := false
 		if !e.DisableBreaker {
-			if err := d.allow(e.Breaker); err != nil {
-				return &SourceError{Source: w.Source(), Err: err}
+			var aerr error
+			if probe, aerr = d.allow(e.Breaker); aerr != nil {
+				return &SourceError{Source: w.Source(), Err: aerr}
 			}
 		}
 		err := op()
 		if err == nil {
 			if !e.DisableBreaker {
-				d.succeed()
+				d.succeed(probe)
 			}
 			return nil
 		}
 		if ctx.Err() != nil {
 			// The query died, the source did not: report the raw error and
-			// leave the breaker alone.
+			// pass no verdict to the breaker — but release the half-open
+			// probe slot if this attempt held it, or the source would be
+			// stuck "probe in flight" forever.
+			if !e.DisableBreaker {
+				d.abandon(e.Breaker, probe)
+			}
 			return err
 		}
-		if !e.DisableBreaker && d.fail(e.Breaker) {
-			e.mu.Lock()
-			e.stats.BreakerTrips++
-			e.mu.Unlock()
+		tripped := false
+		if !e.DisableBreaker {
+			if tripped = d.fail(e.Breaker, probe); tripped {
+				e.mu.Lock()
+				e.stats.BreakerTrips++
+				e.mu.Unlock()
+			}
 		}
 		werr := &SourceError{Source: w.Source(), Err: err}
-		if attempt >= e.Retry.attempts() || !wrapper.Retryable(err) {
+		if tripped || attempt >= e.Retry.attempts() || !wrapper.Retryable(err) {
+			// When this very failure tripped the breaker, retrying is a
+			// guaranteed ErrSourceTripped rejection: stop here, without
+			// charging the budget, and report the actual source fault.
 			return werr
 		}
 		if !sess.chargeRetry() {

@@ -247,13 +247,20 @@ func (s *sourceScanIter) recover(orig error) error {
 		return orig
 	}
 	e := s.e
-	if !e.DisableBreaker && e.dispatcherFor(s.w).fail(e.Breaker) {
-		e.mu.Lock()
-		e.stats.BreakerTrips++
-		e.mu.Unlock()
+	tripped := false
+	if !e.DisableBreaker {
+		// Not the half-open probe: the stream's open resolved its own
+		// admission when it succeeded; this is a later, mid-stream fault.
+		if tripped = e.dispatcherFor(s.w).fail(e.Breaker, false); tripped {
+			e.mu.Lock()
+			e.stats.BreakerTrips++
+			e.mu.Unlock()
+		}
 	}
 	werr := &SourceError{Source: s.w.Source(), Err: orig}
-	if !e.Retry.enabled() || !wrapper.Retryable(orig) {
+	if tripped || !e.Retry.enabled() || !wrapper.Retryable(orig) {
+		// A trip makes the re-open a guaranteed ErrSourceTripped
+		// rejection: report the actual fault without burning a retry.
 		return werr
 	}
 	if s.delivered > 0 && !s.trackOK {
