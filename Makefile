@@ -9,7 +9,9 @@ BENCH     ?= BenchmarkSolveJoin|BenchmarkAbductiveCaseSplit|BenchmarkE1b_Mediati
 BENCHDIR  ?= .bench
 COUNT     ?= 6
 
-.PHONY: all build test test-race test-chaos vet docs-check examples bench bench-base bench-compare clean
+FUZZTIME  ?= 10s
+
+.PHONY: all build test test-race test-chaos vet docs-check examples bench bench-base bench-compare golden golden-update fuzz clean
 
 all: vet docs-check test
 
@@ -25,7 +27,7 @@ test: build
 # Race detector over the session/concurrency-sensitive packages (CI runs
 # this as its own job).
 test-race:
-	$(GO) test -race ./internal/server/ ./internal/planner/ ./coin/ ./internal/relalg/ ./internal/wrapper/ ./internal/client/
+	$(GO) test -race ./internal/server/ ./internal/planner/ ./coin/ ./internal/relalg/ ./internal/wrapper/... ./internal/client/ ./internal/golden/
 
 # Fault-injection (chaos) suite under the race detector, twice, so the
 # deterministic fault scripts are also exercised against scheduling
@@ -35,6 +37,23 @@ test-race:
 test-chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Breaker|Retry|Partial|Flaky|FaultFree|Fault' \
 		./internal/planner/ ./internal/wrapper/... ./coin/ ./internal/server/ ./internal/client/
+
+# Golden query-regression suite: every corpus query's results and EXPLAIN
+# plan against testdata/golden baselines, twice, so nondeterministic plans
+# fail here instead of in review (see internal/golden).
+golden:
+	$(GO) test -count=2 ./internal/golden/
+
+# Regenerate the golden baselines after an intentional plan or result
+# change. Deterministic: running it twice leaves the tree clean.
+golden-update:
+	$(GO) test ./internal/golden/ -run TestGoldenCorpus -update
+
+# Short fuzzing smoke over the two hand-written parsers (SQL and wrapping
+# specs); CI runs this with a small FUZZTIME, longer runs are manual.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sqlparse/
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime $(FUZZTIME) ./internal/wrapper/
 
 # Documentation gate: vet plus a package-comment check over every package
 # (see internal/tools/docscheck).

@@ -1,12 +1,16 @@
-// Command coinwrap runs a Web-wrapping specification against one of the
-// simulated sites and prints the extracted relation as CSV — the [Qu96]
-// wrapping technology demonstrated standalone.
+// Command coinwrap exercises a source wrapper standalone and prints the
+// extracted relation as CSV: a Web-wrapping specification against one of
+// the simulated sites (the [Qu96] wrapping technology), a directory of
+// CSV/JSON files, or a remote REST backend.
 //
 // Usage:
 //
 //	coinwrap -builtin currency-crawl
 //	coinwrap -builtin stocks
 //	coinwrap -spec my.spec -site currency
+//	coinwrap -files ./data            # list the directory's relations
+//	coinwrap -files ./data -rel earnings
+//	coinwrap -rest http://host:8080 -rel quotes
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"repro/internal/store"
 	"repro/internal/web"
 	"repro/internal/wrapper"
+	"repro/internal/wrapper/filesrc"
+	"repro/internal/wrapper/restsrc"
 )
 
 func main() {
@@ -27,12 +33,58 @@ func main() {
 	siteName := flag.String("site", "", "simulated site: currency, stocks, profiles (inferred for -builtin)")
 	from := flag.String("from", "JPY", "fromCur binding for currency-lookup")
 	to := flag.String("to", "USD", "toCur binding for currency-lookup")
+	filesDir := flag.String("files", "", "serve a directory of *.csv / *.json files instead of a wrapping spec")
+	restURL := flag.String("rest", "", "dial a REST backend's base URL instead of a wrapping spec")
+	rel := flag.String("rel", "", "relation to dump for -files / -rest (omit to list relations)")
 	flag.Parse()
 
-	if err := run(*builtin, *specPath, *siteName, *from, *to); err != nil {
+	var err error
+	switch {
+	case *filesDir != "" || *restURL != "":
+		err = runBackend(*filesDir, *restURL, *rel)
+	default:
+		err = run(*builtin, *specPath, *siteName, *from, *to)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "coinwrap:", err)
 		os.Exit(1)
 	}
+}
+
+// runBackend dumps one relation (or the relation list) from a file- or
+// REST-backed source, sharing the CSV output path with the spec modes.
+func runBackend(filesDir, restURL, rel string) error {
+	var (
+		w   wrapper.Wrapper
+		err error
+	)
+	switch {
+	case filesDir != "" && restURL != "":
+		return fmt.Errorf("-files and -rest are mutually exclusive")
+	case filesDir != "":
+		w, err = filesrc.New("files", filesDir)
+	default:
+		w, err = restsrc.Dial("rest", restURL, nil)
+	}
+	if err != nil {
+		return err
+	}
+	if rel == "" {
+		for _, r := range w.Relations() {
+			schema, err := w.Schema(r)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s (%d est. rows): %v\n", r, w.EstimateRows(r), schema.Names())
+		}
+		return nil
+	}
+	out, err := w.Query(context.Background(), wrapper.SourceQuery{Relation: rel})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "-- %s: %d tuple(s)\n", rel, out.Len())
+	return store.WriteCSV(out, os.Stdout)
 }
 
 func run(builtin, specPath, siteName, from, to string) error {

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/relalg"
+	"repro/internal/store"
 	"repro/internal/wrapper"
+	"repro/internal/wrapper/restsrc"
 )
 
 func TestRunBuiltins(t *testing.T) {
@@ -38,5 +42,39 @@ func TestRunSpecFile(t *testing.T) {
 	}
 	if err := run("", filepath.Join(t.TempDir(), "missing.spec"), "currency", "", ""); err == nil {
 		t.Error("missing spec file accepted")
+	}
+}
+
+func TestRunBackendModes(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "earnings.csv"),
+		[]byte("cname:str,revenue:num\nIBM,62700000\nNTT,9600000000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBackend(dir, "", ""); err != nil {
+		t.Errorf("list relations: %v", err)
+	}
+	if err := runBackend(dir, "", "earnings"); err != nil {
+		t.Errorf("dump relation: %v", err)
+	}
+	if err := runBackend(dir, "", "ghost"); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := runBackend(dir, "http://x", ""); err == nil {
+		t.Error("-files with -rest accepted")
+	}
+
+	db := store.NewDB("m")
+	q := db.MustCreateTable("quotes", relalg.NewSchema(
+		relalg.Column{Name: "cname", Type: relalg.KindString},
+		relalg.Column{Name: "price", Type: relalg.KindNumber}))
+	q.MustInsert(relalg.StrV("IBM"), relalg.NumV(145.5))
+	hs := httptest.NewServer(restsrc.NewServer(db))
+	defer hs.Close()
+	if err := runBackend("", hs.URL, "quotes"); err != nil {
+		t.Errorf("REST dump: %v", err)
+	}
+	if err := runBackend("", "http://127.0.0.1:1/nope", ""); err == nil {
+		t.Error("dead REST endpoint accepted")
 	}
 }

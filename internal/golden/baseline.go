@@ -1,0 +1,123 @@
+package golden
+
+// Baseline files. One .golden file per corpus entry, sectioned:
+//
+//	== sql
+//	SELECT ...
+//	== plan
+//	step 1: ...
+//	total est_cost=123
+//	== results unordered        (or "ordered")
+//	cname:str | price:num
+//	'IBM' | 145.5
+//	== warnings                 (only when the run degraded)
+//	branch 2: source currencyweb dropped
+//
+// Render is the single serialization point: the update path writes
+// exactly what Render returns, and the determinism test re-renders and
+// byte-compares, so `make golden-update` twice is provably a no-op.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Baseline is a parsed .golden file — structurally identical to Result.
+type Baseline = Result
+
+// Render serializes a result to its baseline file form.
+func Render(r *Result) string {
+	var b strings.Builder
+	b.WriteString("== sql\n")
+	b.WriteString(strings.TrimRight(r.SQL, "\n"))
+	b.WriteString("\n== plan\n")
+	b.WriteString(strings.TrimRight(r.Plan, "\n"))
+	if r.Ordered {
+		b.WriteString("\n== results ordered\n")
+	} else {
+		b.WriteString("\n== results unordered\n")
+	}
+	b.WriteString(r.Header)
+	for _, row := range r.Rows {
+		b.WriteString("\n")
+		b.WriteString(row)
+	}
+	if len(r.Warnings) > 0 {
+		b.WriteString("\n== warnings")
+		for _, w := range r.Warnings {
+			b.WriteString("\n")
+			b.WriteString(w)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// ParseBaseline parses a .golden file body.
+func ParseBaseline(name, body string) (*Baseline, error) {
+	b := &Baseline{Name: name}
+	section := ""
+	sawHeader := false
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "== "); ok {
+			section = rest
+			switch {
+			case section == "sql" || section == "plan" || section == "warnings":
+			case section == "results ordered":
+				b.Ordered = true
+			case section == "results unordered":
+			default:
+				return nil, fmt.Errorf("golden: %s: unknown section %q", name, section)
+			}
+			continue
+		}
+		switch {
+		case section == "sql":
+			if b.SQL != "" {
+				b.SQL += "\n"
+			}
+			b.SQL += line
+		case section == "plan":
+			b.Plan += line + "\n"
+		case strings.HasPrefix(section, "results"):
+			if !sawHeader {
+				b.Header = line
+				sawHeader = true
+			} else {
+				b.Rows = append(b.Rows, line)
+			}
+		case section == "warnings":
+			b.Warnings = append(b.Warnings, line)
+		default:
+			return nil, fmt.Errorf("golden: %s: content before first section", name)
+		}
+	}
+	if b.SQL == "" || b.Plan == "" || !sawHeader {
+		return nil, fmt.Errorf("golden: %s: missing sql, plan or results section", name)
+	}
+	return b, nil
+}
+
+// GoldenPath is the baseline file for a corpus entry name.
+func GoldenPath(dir, name string) string {
+	return filepath.Join(dir, name+".golden")
+}
+
+// ReadBaseline loads one entry's baseline.
+func ReadBaseline(dir, name string) (*Baseline, error) {
+	raw, err := os.ReadFile(GoldenPath(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	return ParseBaseline(name, string(raw))
+}
+
+// WriteBaseline renders and writes one entry's baseline.
+func WriteBaseline(dir string, r *Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(GoldenPath(dir, r.Name), []byte(Render(r)), 0o644)
+}

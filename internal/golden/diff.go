@@ -1,0 +1,134 @@
+package golden
+
+// The semantic diff. Plans are compared structurally: every line keeps
+// its operator shape — step order, relation, source, pushed filters,
+// local filter counts, bind joins, batch widths, join keys — while the
+// volatile digits (est_*/act_* estimates, total cost) are masked, so
+// re-pricing a plan is invisible but reordering it, losing a pushdown or
+// changing a batch width fails loudly. Results compare as multisets
+// unless the query orders its rows.
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// volatileDigits matches the cost-model numbers in plan text: any
+// est_/act_-prefixed counter, and the total line's cost.
+var volatileDigits = regexp.MustCompile(`\b((?:est|act)_[a-z_]+=)-?[0-9.]+`)
+
+// NormalizePlan reduces plan text to its structural lines: volatile
+// digits masked to '#', trailing whitespace dropped, empty lines removed.
+func NormalizePlan(plan string) []string {
+	var out []string
+	for _, line := range strings.Split(plan, "\n") {
+		line = strings.TrimRight(line, " \t")
+		if line == "" {
+			continue
+		}
+		out = append(out, volatileDigits.ReplaceAllString(line, "${1}#"))
+	}
+	return out
+}
+
+// Compare diffs a current result against its baseline, returning
+// human-readable findings (empty: the run matches).
+func Compare(base *Baseline, got *Result) []string {
+	var diffs []string
+	diffs = append(diffs, comparePlans(base.Plan, got.Plan)...)
+	if base.Ordered != got.Ordered {
+		diffs = append(diffs, fmt.Sprintf("result ordering changed: baseline %s, current %s",
+			orderWord(base.Ordered), orderWord(got.Ordered)))
+	}
+	diffs = append(diffs, compareResults(base, got)...)
+	diffs = append(diffs, compareLines("warnings", base.Warnings, got.Warnings)...)
+	return diffs
+}
+
+func orderWord(ordered bool) string {
+	if ordered {
+		return "ordered"
+	}
+	return "unordered"
+}
+
+// comparePlans diffs two plans structurally.
+func comparePlans(base, got string) []string {
+	b, g := NormalizePlan(base), NormalizePlan(got)
+	var diffs []string
+	if len(b) != len(g) {
+		diffs = append(diffs, fmt.Sprintf("plan shape changed: baseline has %d lines, current has %d", len(b), len(g)))
+	}
+	n := len(b)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != g[i] {
+			diffs = append(diffs, fmt.Sprintf("plan line %d differs:\n  baseline: %s\n  current:  %s", i+1, b[i], g[i]))
+		}
+	}
+	for i := n; i < len(b); i++ {
+		diffs = append(diffs, fmt.Sprintf("plan line %d missing from current: %s", i+1, b[i]))
+	}
+	for i := n; i < len(g); i++ {
+		diffs = append(diffs, fmt.Sprintf("plan line %d new in current: %s", i+1, g[i]))
+	}
+	return diffs
+}
+
+// compareResults diffs the row sets: exact sequence when ordered,
+// multiset otherwise.
+func compareResults(base *Baseline, got *Result) []string {
+	var diffs []string
+	if base.Header != got.Header {
+		diffs = append(diffs, fmt.Sprintf("result schema changed:\n  baseline: %s\n  current:  %s", base.Header, got.Header))
+	}
+	if base.Ordered && got.Ordered {
+		return append(diffs, compareLines("row", base.Rows, got.Rows)...)
+	}
+	counts := map[string]int{}
+	for _, r := range base.Rows {
+		counts[r]++
+	}
+	for _, r := range got.Rows {
+		counts[r]--
+	}
+	// Iterate baseline-then-current order so messages come out stable.
+	seen := map[string]bool{}
+	for _, r := range append(append([]string{}, base.Rows...), got.Rows...) {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		switch d := counts[r]; {
+		case d > 0:
+			diffs = append(diffs, fmt.Sprintf("row missing from current (x%d): %s", d, r))
+		case d < 0:
+			diffs = append(diffs, fmt.Sprintf("row new in current (x%d): %s", -d, r))
+		}
+	}
+	return diffs
+}
+
+// compareLines diffs two line sequences positionally.
+func compareLines(what string, base, got []string) []string {
+	var diffs []string
+	n := len(base)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if base[i] != got[i] {
+			diffs = append(diffs, fmt.Sprintf("%s %d differs:\n  baseline: %s\n  current:  %s", what, i+1, base[i], got[i]))
+		}
+	}
+	for i := n; i < len(base); i++ {
+		diffs = append(diffs, fmt.Sprintf("%s %d missing from current: %s", what, i+1, base[i]))
+	}
+	for i := n; i < len(got); i++ {
+		diffs = append(diffs, fmt.Sprintf("%s %d new in current: %s", what, i+1, got[i]))
+	}
+	return diffs
+}

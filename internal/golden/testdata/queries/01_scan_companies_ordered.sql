@@ -1,0 +1,2 @@
+-- full scan of the in-memory relational source, order pinned
+SELECT companies.cname, companies.country FROM companies ORDER BY companies.cname

@@ -1,0 +1,2 @@
+-- paginated REST scan with ORDER BY + LIMIT
+SELECT indices.iname FROM indices ORDER BY indices.iname LIMIT 4

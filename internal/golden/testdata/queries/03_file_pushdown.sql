@@ -1,0 +1,2 @@
+-- equality filter pushed into the CSV file wrapper
+SELECT earnings.cname, earnings.revenue FROM earnings WHERE earnings.currency = 'JPY'

@@ -1,0 +1,2 @@
+-- JSON file scan carrying a NULL through to the answer
+SELECT sectors.cname, sectors.employees FROM sectors

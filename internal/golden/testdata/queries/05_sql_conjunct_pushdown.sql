@@ -1,0 +1,2 @@
+-- two conjuncts compiled to SQL WHERE on the database backend
+SELECT accounts.cname FROM accounts WHERE accounts.expenses > 1600000 AND accounts.currency <> 'JPY'

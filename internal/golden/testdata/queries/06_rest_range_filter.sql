@@ -1,0 +1,2 @@
+-- range filter evaluated server-side by the REST service
+SELECT indices.iname, indices.level FROM indices WHERE indices.level >= 1005

@@ -1,0 +1,2 @@
+-- arithmetic predicate the filter protocol cannot ship: engine-local
+SELECT earnings.cname FROM earnings WHERE earnings.revenue > earnings.year * 1000000

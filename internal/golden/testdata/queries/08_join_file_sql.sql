@@ -1,0 +1,2 @@
+-- equi-join across the file and SQL backends
+SELECT earnings.cname, earnings.revenue, accounts.expenses FROM earnings, accounts WHERE accounts.cname = earnings.cname

@@ -1,0 +1,2 @@
+-- equi-join across relational and JSON file backends
+SELECT companies.cname, companies.country, sectors.sector FROM companies, sectors WHERE sectors.cname = companies.cname

@@ -1,0 +1,2 @@
+-- quotes requires cname bound: bind join feeds the REST source per value
+SELECT companies.cname, quotes.price FROM companies, quotes WHERE quotes.cname = companies.cname

@@ -1,0 +1,2 @@
+-- fx requires cur bound; the SQL backend takes IN-lists, so probes batch 4-wide
+SELECT accounts.cname, fx.usd FROM accounts, fx WHERE fx.cur = accounts.currency

@@ -1,0 +1,4 @@
+-- file >< sql >< keyed-sql chain: converted expenses per company
+SELECT earnings.cname, earnings.revenue, accounts.expenses * fx.usd AS usd_expenses
+FROM earnings, accounts, fx
+WHERE accounts.cname = earnings.cname AND fx.cur = accounts.currency

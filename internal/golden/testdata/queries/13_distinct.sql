@@ -1,0 +1,2 @@
+-- DISTINCT over the SQL backend
+SELECT DISTINCT accounts.currency FROM accounts

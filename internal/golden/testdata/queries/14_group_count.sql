@@ -1,0 +1,2 @@
+-- GROUP BY with COUNT over the JSON file backend
+SELECT sectors.sector, COUNT(*) AS n FROM sectors GROUP BY sectors.sector

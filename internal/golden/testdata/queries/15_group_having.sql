@@ -1,0 +1,2 @@
+-- HAVING prunes singleton groups
+SELECT sectors.sector, COUNT(*) AS n FROM sectors GROUP BY sectors.sector HAVING COUNT(*) > 1

@@ -1,0 +1,5 @@
+-- aggregate over a cross-backend join: expenses by country
+SELECT companies.country, SUM(accounts.expenses) AS total
+FROM companies, accounts
+WHERE accounts.cname = companies.cname
+GROUP BY companies.country

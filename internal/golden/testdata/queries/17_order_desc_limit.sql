@@ -1,0 +1,2 @@
+-- top-3 by expenses, descending
+SELECT accounts.cname, accounts.expenses FROM accounts ORDER BY accounts.expenses DESC LIMIT 3

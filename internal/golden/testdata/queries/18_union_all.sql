@@ -1,0 +1,4 @@
+-- UNION ALL across relational and file backends (duplicates kept)
+SELECT companies.cname FROM companies WHERE companies.country = 'JP'
+UNION ALL
+SELECT sectors.cname FROM sectors WHERE sectors.sector = 'Telecom'

@@ -1,0 +1,4 @@
+-- UNION dedups the same two branches
+SELECT companies.cname FROM companies WHERE companies.country = 'JP'
+UNION
+SELECT sectors.cname FROM sectors WHERE sectors.sector = 'Telecom'

@@ -1,0 +1,2 @@
+-- computed projection over the file backend
+SELECT earnings.cname, earnings.revenue / 1000000 AS mrev FROM earnings WHERE earnings.currency = 'USD'

@@ -1,0 +1,4 @@
+-- all four backends in one query
+SELECT companies.cname, earnings.revenue, accounts.expenses, quotes.price
+FROM companies, earnings, accounts, quotes
+WHERE earnings.cname = companies.cname AND accounts.cname = companies.cname AND quotes.cname = companies.cname

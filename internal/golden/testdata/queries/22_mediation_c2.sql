@@ -1,0 +1,5 @@
+-- mode: mediate
+-- receiver: c2
+SELECT rl.cname, rl.revenue FROM r1 rl, r2
+WHERE rl.cname = r2.cname
+AND rl.revenue > r2.expenses

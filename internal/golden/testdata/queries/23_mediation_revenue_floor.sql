@@ -1,0 +1,4 @@
+-- mode: mediate
+-- receiver: c2
+SELECT r1.cname, r1.revenue FROM r1
+WHERE r1.revenue > 1000000

@@ -46,12 +46,13 @@ type Stats interface {
 type costModel struct {
 	stats    Stats          // nil: static estimates only
 	distinct map[string]int // "binding.col" -> distinct count; -1 unknown
+	hook     func(source string, perQuery float64) float64
 }
 
 // costModelFor builds the executor's cost model: backed by the adaptive
 // statistics store when the executor has one.
 func (e *Executor) costModelFor() *costModel {
-	cm := &costModel{distinct: map[string]int{}}
+	cm := &costModel{distinct: map[string]int{}, hook: e.PerQueryCostHook}
 	if e.AdaptiveStats != nil {
 		cm.stats = e.AdaptiveStats
 	}
@@ -142,6 +143,9 @@ func (cm *costModel) perQueryCost(b *relBinding) float64 {
 				pq = ms
 			}
 		}
+	}
+	if cm.hook != nil {
+		pq = cm.hook(b.w.Source(), pq)
 	}
 	return pq
 }

@@ -58,6 +58,14 @@ type Executor struct {
 	// is admitted regardless of the source's recent health).
 	DisableBreaker bool
 
+	// PerQueryCostHook, when non-nil, rescales the cost model's per-query
+	// price of one access against the named source. It is a test seam for
+	// plan-regression harnesses (internal/golden): flipping a cost
+	// constant through it seeds a deliberate, deterministic plan change
+	// that the golden semantic diff must catch. Production code leaves it
+	// nil.
+	PerQueryCostHook func(source string, perQuery float64) float64
+
 	// AdaptiveStats is the executor's feedback store: completed source
 	// accesses record their observed cardinalities and latencies here
 	// (via the session, at close), and subsequent plans price with them

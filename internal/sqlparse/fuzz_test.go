@@ -1,9 +1,15 @@
 package sqlparse
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // FuzzParse checks the parser never panics and that accepted statements
-// round-trip through the printer.
+// round-trip through the printer. Seeds mix hand-picked regressions with
+// the golden regression corpus, so every query shape the harness pins is
+// also a fuzzing starting point.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"SELECT a FROM t",
@@ -21,6 +27,21 @@ func FuzzParse(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	// The golden corpus (directive comments included — the parser skips
+	// `--` lines). Best-effort: absent when the package is built outside
+	// the repo tree.
+	if entries, err := os.ReadDir("../golden/testdata/queries"); err == nil {
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".sql" {
+				continue
+			}
+			body, err := os.ReadFile(filepath.Join("../golden/testdata/queries", e.Name()))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(body))
+		}
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		stmt, err := Parse(src)

@@ -1,0 +1,294 @@
+package restsrc
+
+// The fixture half of the REST backend: an http.Handler speaking the
+// wrapper's wire protocol over a store.DB. Golden-harness and unit tests
+// mount it on httptest servers; its fault scripting returns genuine 429
+// and 5xx responses (with Retry-After headers) over real sockets, so the
+// engine's retry, circuit-breaker and partial-answer machinery is
+// exercised by an actual HTTP backend rather than an in-process stub.
+//
+// Protocol:
+//
+//	GET /schema
+//	  -> {"relations": {"quotes": {"columns": ["cname:str", ...],
+//	      "rows": 6, "require": ["cname"], "distinct": {"cname": 6}}}}
+//	GET /query?rel=R&page=K&filters=<JSON array>
+//	  -> {"rows": [[...], ...], "next": K+1}       ("next" absent on last page)
+//
+// Filters arrive as [{"col": "c", "op": "=", "val": v}] with "vals" for
+// IN lists; the server evaluates them with the same shared Matcher every
+// in-process wrapper uses, and enforces required bindings with a 400 —
+// a permanent fault class — when a query arrives unbound.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/relalg"
+	"repro/internal/store"
+	"repro/internal/wrapper"
+)
+
+// DefaultPageSize is the server's page width when none is configured.
+const DefaultPageSize = 5
+
+// Server serves a store.DB over the REST wire protocol.
+type Server struct {
+	db *store.DB
+	// PageSize is the number of rows per /query page; zero means
+	// DefaultPageSize.
+	PageSize int
+	// Require maps relation name to columns that every query must bind,
+	// mirroring the paper's capability records for form-bound sources.
+	Require map[string][]string
+
+	mu             sync.Mutex
+	hits           int
+	failLeft       int
+	failStatus     int
+	failRetryAfter string
+}
+
+// NewServer wraps db.
+func NewServer(db *store.DB) *Server {
+	return &Server{db: db, PageSize: DefaultPageSize}
+}
+
+// FailNext scripts the next n /query requests to fail with the given
+// HTTP status; retryAfter, when non-empty, is sent as a Retry-After
+// header. Scheduled failures still count as hits.
+func (s *Server) FailNext(n, status int, retryAfter string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failLeft = n
+	s.failStatus = status
+	s.failRetryAfter = retryAfter
+}
+
+// Hits returns the number of /query requests served (including scripted
+// failures).
+func (s *Server) Hits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// schemaDoc is the /schema response body.
+type schemaDoc struct {
+	Relations map[string]relationDoc `json:"relations"`
+}
+
+// relationDoc describes one relation in the /schema response.
+type relationDoc struct {
+	Columns  []string       `json:"columns"`
+	Rows     int            `json:"rows"`
+	Require  []string       `json:"require,omitempty"`
+	Distinct map[string]int `json:"distinct,omitempty"`
+}
+
+// queryDoc is the /query response body.
+type queryDoc struct {
+	Rows [][]any `json:"rows"`
+	Next *int    `json:"next,omitempty"`
+}
+
+// wireFilter is one filter term on the wire.
+type wireFilter struct {
+	Col  string `json:"col"`
+	Op   string `json:"op"`
+	Val  any    `json:"val,omitempty"`
+	Vals []any  `json:"vals,omitempty"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/schema":
+		s.serveSchema(w)
+	case "/query":
+		s.serveQuery(w, r)
+	default:
+		http.Error(w, "no such endpoint", http.StatusNotFound)
+	}
+}
+
+func (s *Server) serveSchema(w http.ResponseWriter) {
+	doc := schemaDoc{Relations: map[string]relationDoc{}}
+	for _, name := range s.db.TableNames() {
+		t, err := s.db.Table(name)
+		if err != nil {
+			continue
+		}
+		cols := make([]string, len(t.Schema.Columns))
+		for i, c := range t.Schema.Columns {
+			cols[i] = c.Name + ":" + kindTag(c.Type)
+		}
+		st := t.Stats()
+		doc.Relations[name] = relationDoc{
+			Columns:  cols,
+			Rows:     st.Rows,
+			Require:  s.Require[name],
+			Distinct: st.Distinct,
+		}
+	}
+	writeJSON(w, doc)
+}
+
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.hits++
+	if s.failLeft > 0 {
+		s.failLeft--
+		status, after := s.failStatus, s.failRetryAfter
+		s.mu.Unlock()
+		if after != "" {
+			w.Header().Set("Retry-After", after)
+		}
+		http.Error(w, fmt.Sprintf("scripted fault %d", status), status)
+		return
+	}
+	s.mu.Unlock()
+
+	rel := r.URL.Query().Get("rel")
+	t, err := s.db.Table(rel)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	page := 0
+	if p := r.URL.Query().Get("page"); p != "" {
+		page, err = strconv.Atoi(p)
+		if err != nil || page < 0 {
+			http.Error(w, "bad page", http.StatusBadRequest)
+			return
+		}
+	}
+	filters, err := decodeFilters(r.URL.Query().Get("filters"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	caps := wrapper.Capabilities{RequiredBindings: s.Require[rel]}
+	if _, err := wrapper.CheckRequiredBindings(caps, wrapper.SourceQuery{Relation: rel, Filters: filters}); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	match, err := wrapper.Matcher(t.Schema, filters)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var kept []relalg.Tuple
+	for _, tup := range t.Scan().Tuples {
+		ok, err := match(tup)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if ok {
+			kept = append(kept, tup)
+		}
+	}
+	size := s.PageSize
+	if size <= 0 {
+		size = DefaultPageSize
+	}
+	start := page * size
+	end := start + size
+	if start > len(kept) {
+		start = len(kept)
+	}
+	if end > len(kept) {
+		end = len(kept)
+	}
+	doc := queryDoc{Rows: make([][]any, 0, end-start)}
+	for _, tup := range kept[start:end] {
+		row := make([]any, len(tup))
+		for i, v := range tup {
+			row[i] = valueToJSON(v)
+		}
+		doc.Rows = append(doc.Rows, row)
+	}
+	if end < len(kept) {
+		next := page + 1
+		doc.Next = &next
+	}
+	writeJSON(w, doc)
+}
+
+func writeJSON(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		// The response is already committed; nothing useful remains.
+		return
+	}
+}
+
+// decodeFilters parses the wire filter array into wrapper.Filters.
+func decodeFilters(raw string) ([]wrapper.Filter, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	var wire []wireFilter
+	if err := json.Unmarshal([]byte(raw), &wire); err != nil {
+		return nil, fmt.Errorf("restsrc: bad filters: %w", err)
+	}
+	out := make([]wrapper.Filter, 0, len(wire))
+	for _, f := range wire {
+		wf := wrapper.Filter{Column: f.Col, Op: f.Op}
+		if f.Op == wrapper.OpIn {
+			for _, v := range f.Vals {
+				wf.Values = append(wf.Values, jsonToValue(v))
+			}
+		} else {
+			wf.Value = jsonToValue(f.Val)
+		}
+		out = append(out, wf)
+	}
+	return out, nil
+}
+
+// jsonToValue converts a decoded JSON scalar to a relalg.Value.
+func jsonToValue(v any) relalg.Value {
+	switch v := v.(type) {
+	case nil:
+		return relalg.Null
+	case float64:
+		return relalg.NumV(v)
+	case bool:
+		return relalg.BoolV(v)
+	case string:
+		return relalg.StrV(v)
+	default:
+		return relalg.StrV(fmt.Sprint(v))
+	}
+}
+
+// valueToJSON converts a relalg.Value to its JSON wire form.
+func valueToJSON(v relalg.Value) any {
+	switch v.K {
+	case relalg.KindNull:
+		return nil
+	case relalg.KindNumber:
+		return v.N
+	case relalg.KindBool:
+		return v.B
+	default:
+		return v.S
+	}
+}
+
+// kindTag renders a column kind as the schema-doc type tag.
+func kindTag(k relalg.Kind) string {
+	switch k {
+	case relalg.KindNumber:
+		return "num"
+	case relalg.KindBool:
+		return "bool"
+	default:
+		return "str"
+	}
+}

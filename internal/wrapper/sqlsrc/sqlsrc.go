@@ -1,0 +1,401 @@
+// Package sqlsrc wraps a database/sql backend as a COIN source. It is the
+// "capable relational server" point in the backend matrix: pushed filters,
+// IN-lists from bind-join batching, and Statser distinct-count probes are
+// all compiled to SQL text and executed on the database, so the mediator
+// ships predicates instead of rows. Results stream straight off *sql.Rows.
+//
+// The wrapper speaks a deliberately small SQL dialect — single-relation
+// SELECT with ?-placeholder conjuncts, plus COUNT(*) and COUNT(DISTINCT)
+// probes — which keeps it portable across drivers and lets the hermetic
+// in-process fixture (memdriver.go) parse everything it emits.
+package sqlsrc
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/relalg"
+	"repro/internal/wrapper"
+)
+
+// DefaultCost models a networked database server: each round trip costs
+// real latency, but the server filters cheaply and streams rows fast.
+var DefaultCost = wrapper.Cost{PerQuery: 25, PerTuple: 0.05, MaxConcurrent: 4}
+
+// The source speaks the full wrapper protocol: streaming and statistics
+// on top of the materialized core.
+var (
+	_ wrapper.Wrapper  = (*Source)(nil)
+	_ wrapper.Streamer = (*Source)(nil)
+	_ wrapper.Statser  = (*Source)(nil)
+)
+
+// DefaultBatch is the IN-list width advertised to the bind-join planner.
+const DefaultBatch = 8
+
+// Source adapts one *sql.DB to the wrapper protocol. Relations must be
+// declared up front with AddRelation; schema discovery is out of scope
+// for the restricted dialect.
+type Source struct {
+	name string
+	db   *sql.DB
+
+	// CostParams and Batch may be adjusted before the source is registered.
+	CostParams wrapper.Cost
+	Batch      int
+	// Require maps relation name to columns every query must bind — the
+	// capability record of a keyed lookup service. The planner satisfies
+	// required bindings by bind join, and because the source takes
+	// IN-lists, probes arrive batched Batch-wide.
+	Require map[string][]string
+
+	mu       sync.Mutex
+	rels     map[string]relalg.Schema
+	rowEst   map[string]int
+	distinct map[string]int
+}
+
+// New wraps db under the given source name.
+func New(name string, db *sql.DB) *Source {
+	return &Source{
+		name:       name,
+		db:         db,
+		CostParams: DefaultCost,
+		Batch:      DefaultBatch,
+		rels:       map[string]relalg.Schema{},
+		rowEst:     map[string]int{},
+		distinct:   map[string]int{},
+	}
+}
+
+// AddRelation declares a relation and its schema. Returns the source for
+// chaining.
+func (s *Source) AddRelation(name string, schema relalg.Schema) *Source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rels[name] = schema
+	return s
+}
+
+// Source implements wrapper.Wrapper.
+func (s *Source) Source() string { return s.name }
+
+// Relations implements wrapper.Wrapper.
+func (s *Source) Relations() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema implements wrapper.Wrapper.
+func (s *Source) Schema(relation string) (relalg.Schema, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	schema, ok := s.rels[relation]
+	if !ok {
+		return relalg.Schema{}, fmt.Errorf("sqlsrc: source %s has no relation %s", s.name, relation)
+	}
+	return schema, nil
+}
+
+// Capabilities implements wrapper.Wrapper: the server evaluates pushed
+// conjuncts, projects columns, and accepts IN-lists for batched bind joins.
+func (s *Source) Capabilities(relation string) (wrapper.Capabilities, error) {
+	if _, err := s.Schema(relation); err != nil {
+		return wrapper.Capabilities{}, err
+	}
+	return wrapper.Capabilities{
+		Selection:        true,
+		Projection:       true,
+		InList:           true,
+		BatchSize:        s.Batch,
+		RequiredBindings: append([]string(nil), s.Require[relation]...),
+	}, nil
+}
+
+// Cost implements wrapper.Wrapper.
+func (s *Source) Cost() wrapper.Cost { return s.CostParams }
+
+// EstimateRows implements wrapper.Wrapper via a cached COUNT(*) probe.
+// Estimation is best-effort: probe failures report zero rows rather than
+// failing planning.
+func (s *Source) EstimateRows(relation string) int {
+	s.mu.Lock()
+	if n, ok := s.rowEst[relation]; ok {
+		s.mu.Unlock()
+		return n
+	}
+	s.mu.Unlock()
+	if _, err := s.Schema(relation); err != nil {
+		return 0
+	}
+	n, err := s.countProbe(context.Background(), relation, "*")
+	if err != nil {
+		return 0
+	}
+	s.mu.Lock()
+	s.rowEst[relation] = n
+	s.mu.Unlock()
+	return n
+}
+
+// DistinctCount implements wrapper.Statser via a cached COUNT(DISTINCT)
+// probe, giving the optimizer real join selectivities from the server.
+// Probe failures report unknown rather than failing planning.
+func (s *Source) DistinctCount(relation, column string) (int, bool) {
+	key := relation + "\x00" + column
+	s.mu.Lock()
+	if n, ok := s.distinct[key]; ok {
+		s.mu.Unlock()
+		return n, true
+	}
+	s.mu.Unlock()
+	schema, err := s.Schema(relation)
+	if err != nil || schema.Index(column) < 0 {
+		return 0, false
+	}
+	n, err := s.countProbe(context.Background(), relation, column)
+	if err != nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	s.distinct[key] = n
+	s.mu.Unlock()
+	return n, true
+}
+
+// countProbe runs COUNT(*) (col == "*") or COUNT(DISTINCT col).
+func (s *Source) countProbe(ctx context.Context, relation, col string) (int, error) {
+	target := "*"
+	if col != "*" {
+		q, err := quoteIdent(col)
+		if err != nil {
+			return 0, err
+		}
+		target = "DISTINCT " + q
+	}
+	rq, err := quoteIdent(relation)
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	row := s.db.QueryRowContext(ctx, fmt.Sprintf("SELECT COUNT(%s) FROM %s", target, rq))
+	if err := row.Scan(&n); err != nil {
+		return 0, fmt.Errorf("sqlsrc: source %s: count probe on %s: %w", s.name, relation, err)
+	}
+	return n, nil
+}
+
+// Query implements wrapper.Wrapper by draining QueryStream.
+func (s *Source) Query(ctx context.Context, q wrapper.SourceQuery) (*relalg.Relation, error) {
+	st, err := s.QueryStream(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	rel := relalg.NewRelation(q.Relation, st.Schema())
+	for {
+		tup, ok, err := st.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rel, nil
+		}
+		rel.Tuples = append(rel.Tuples, tup)
+	}
+}
+
+// QueryStream implements wrapper.Streamer: compile the source query to
+// SQL, execute it on the server, and stream rows off the cursor.
+func (s *Source) QueryStream(ctx context.Context, q wrapper.SourceQuery) (wrapper.TupleStream, error) {
+	schema, err := s.Schema(q.Relation)
+	if err != nil {
+		return nil, err
+	}
+	caps, err := s.Capabilities(q.Relation)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := wrapper.CheckRequiredBindings(caps, q); err != nil {
+		return nil, err
+	}
+	text, args, outSchema, err := compileQuery(schema, q)
+	if err != nil {
+		return nil, fmt.Errorf("sqlsrc: source %s: %w", s.name, err)
+	}
+	rows, err := s.db.QueryContext(ctx, text, args...)
+	if err != nil {
+		return nil, fmt.Errorf("sqlsrc: source %s: %w", s.name, err)
+	}
+	return &sqlStream{rows: rows, schema: outSchema}, nil
+}
+
+// compileQuery renders a SourceQuery in the restricted dialect. Returned
+// args are bound positionally to the ? placeholders.
+func compileQuery(schema relalg.Schema, q wrapper.SourceQuery) (string, []any, relalg.Schema, error) {
+	outSchema := schema
+	cols := q.Columns
+	if len(cols) == 0 {
+		cols = schema.Names()
+	} else {
+		picked := make([]relalg.Column, 0, len(cols))
+		for _, c := range cols {
+			i := schema.Index(c)
+			if i < 0 {
+				return "", nil, relalg.Schema{}, fmt.Errorf("relation %s has no column %s", q.Relation, c)
+			}
+			picked = append(picked, schema.Columns[i])
+		}
+		outSchema = relalg.NewSchema(picked...)
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		qc, err := quoteIdent(c)
+		if err != nil {
+			return "", nil, relalg.Schema{}, err
+		}
+		b.WriteString(qc)
+	}
+	rq, err := quoteIdent(q.Relation)
+	if err != nil {
+		return "", nil, relalg.Schema{}, err
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(rq)
+	var args []any
+	for i, f := range q.Filters {
+		if schema.Index(f.Column) < 0 {
+			return "", nil, relalg.Schema{}, fmt.Errorf("relation %s has no column %s", q.Relation, f.Column)
+		}
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		fc, err := quoteIdent(f.Column)
+		if err != nil {
+			return "", nil, relalg.Schema{}, err
+		}
+		b.WriteString(fc)
+		if f.Op == wrapper.OpIn {
+			if len(f.Values) == 0 {
+				return "", nil, relalg.Schema{}, fmt.Errorf("empty IN list on %s", f.Column)
+			}
+			b.WriteString(" IN (")
+			for j, v := range f.Values {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString("?")
+				args = append(args, sqlArg(v))
+			}
+			b.WriteString(")")
+			continue
+		}
+		switch f.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+		default:
+			return "", nil, relalg.Schema{}, fmt.Errorf("operator %q not supported", f.Op)
+		}
+		b.WriteString(" ")
+		b.WriteString(f.Op)
+		b.WriteString(" ?")
+		args = append(args, sqlArg(f.Value))
+	}
+	return b.String(), args, outSchema, nil
+}
+
+// sqlArg converts a relalg.Value to a driver-bindable argument.
+func sqlArg(v relalg.Value) any {
+	switch v.K {
+	case relalg.KindNumber:
+		return v.N
+	case relalg.KindBool:
+		return v.B
+	case relalg.KindNull:
+		return nil
+	default:
+		return v.S
+	}
+}
+
+// quoteIdent double-quotes an identifier, rejecting names that would
+// escape the quoting.
+func quoteIdent(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "\"\x00") {
+		return "", fmt.Errorf("invalid identifier %q", name)
+	}
+	return `"` + name + `"`, nil
+}
+
+// sqlStream adapts *sql.Rows to wrapper.TupleStream, coercing driver
+// values to the declared column kinds.
+type sqlStream struct {
+	rows   *sql.Rows
+	schema relalg.Schema
+}
+
+func (s *sqlStream) Schema() relalg.Schema { return s.schema }
+
+func (s *sqlStream) Next() (relalg.Tuple, bool, error) {
+	if !s.rows.Next() {
+		if err := s.rows.Err(); err != nil {
+			return nil, false, fmt.Errorf("sqlsrc: cursor: %w", err)
+		}
+		return nil, false, nil
+	}
+	raw := make([]any, len(s.schema.Columns))
+	ptrs := make([]any, len(raw))
+	for i := range raw {
+		ptrs[i] = &raw[i]
+	}
+	if err := s.rows.Scan(ptrs...); err != nil {
+		return nil, false, fmt.Errorf("sqlsrc: scan: %w", err)
+	}
+	tup := make(relalg.Tuple, len(raw))
+	for i, v := range raw {
+		tup[i] = fromDBValue(v, s.schema.Columns[i].Type)
+	}
+	return tup, true, nil
+}
+
+func (s *sqlStream) Close() error { return s.rows.Close() }
+
+// fromDBValue coerces one scanned database value to a relalg.Value of the
+// declared kind, tolerating the representations real drivers use (int64
+// for numbers, []byte for text, 0/1 for booleans).
+func fromDBValue(v any, want relalg.Kind) relalg.Value {
+	switch v := v.(type) {
+	case nil:
+		return relalg.Null
+	case int64:
+		if want == relalg.KindBool {
+			return relalg.BoolV(v != 0)
+		}
+		return relalg.NumV(float64(v))
+	case float64:
+		return relalg.NumV(v)
+	case bool:
+		return relalg.BoolV(v)
+	case []byte:
+		return relalg.StrV(string(v))
+	case string:
+		return relalg.StrV(v)
+	default:
+		return relalg.StrV(fmt.Sprint(v))
+	}
+}
