@@ -11,7 +11,7 @@ COUNT     ?= 6
 
 FUZZTIME  ?= 10s
 
-.PHONY: all build test test-race test-chaos vet docs-check examples bench bench-base bench-compare golden golden-update fuzz clean
+.PHONY: all build test test-race test-chaos vet docs-check examples bench bench-smoke bench-base bench-compare golden golden-update fuzz clean
 
 all: vet docs-check test
 
@@ -72,6 +72,13 @@ examples:
 # Run the gating benchmarks once, with allocation stats.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count 1 ./internal/datalog/ .
+
+# One iteration of every gating benchmark plus the batch-execution set
+# (E1c, E9 scale, fault-free overhead): a compile-and-run smoke so CI
+# catches a benchmark that breaks or asserts, not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH)|BenchmarkE1c_ExecutionOnly|BenchmarkE9_MediatedExecutionScale' \
+		-benchmem -benchtime 1x -count 1 ./internal/datalog/ .
 
 # Record a baseline for bench-compare (run on the commit you compare against).
 bench-base:

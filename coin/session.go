@@ -101,6 +101,8 @@ type RowStream struct {
 	med    *Mediation // nil for naive streams
 	schema Schema
 	closed bool
+	buf    []relalg.Tuple // current batch, consumed row-at-a-time by Next
+	pos    int
 }
 
 // QueryStreamCtx mediates sql and opens a governed row stream over the
@@ -154,12 +156,47 @@ func (r *RowStream) Mediation() *Mediation { return r.med }
 
 // Next returns the next row, ok=false at end of stream, or an error
 // (including context.Canceled / context.DeadlineExceeded when the session
-// dies, and governor errors when a budget is exceeded).
+// dies, and governor errors when a budget is exceeded). It pulls whole
+// batches from the executor and hands them out row by row; use NextBatch
+// to consume the stream block-at-a-time instead (don't mix the two
+// mid-batch — Next's buffered remainder would be skipped).
 func (r *RowStream) Next() (Tuple, bool, error) {
 	if r.closed {
 		return nil, false, nil
 	}
-	return r.it.Next()
+	if r.pos >= len(r.buf) {
+		b, err := r.it.Next(relalg.DefaultBatchSize)
+		if err != nil {
+			return nil, false, err
+		}
+		if b.Empty() {
+			return nil, false, nil
+		}
+		r.buf, r.pos = b.Rows, 0
+	}
+	t := r.buf[r.pos]
+	r.pos++
+	return t, true, nil
+}
+
+// NextBatch returns the next block of rows: 1..max rows, or (nil, nil)
+// at end of stream. The returned slice is only valid until the next
+// NextBatch/Next/Close call; the Tuples inside it are durable. Any rows
+// a prior Next buffered are drained first.
+func (r *RowStream) NextBatch(max int) ([]Tuple, error) {
+	if r.closed {
+		return nil, nil
+	}
+	if r.pos < len(r.buf) {
+		rows := r.buf[r.pos:]
+		r.buf, r.pos = nil, 0
+		return rows, nil
+	}
+	b, err := r.it.Next(max)
+	if err != nil {
+		return nil, err
+	}
+	return b.Rows, nil
 }
 
 // Warnings returns the degraded-branch warnings accumulated so far on a

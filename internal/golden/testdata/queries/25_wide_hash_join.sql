@@ -1,0 +1,6 @@
+-- wide hash join: every column of both sides survives into the output,
+-- exercising the join builder's arena sizing for wide concatenated rows
+SELECT companies.cname, companies.country, companies.founded,
+       accounts.expenses, accounts.currency, accounts.audited
+FROM companies, accounts
+WHERE companies.cname = accounts.cname

@@ -1,0 +1,4 @@
+-- DISTINCT over a high-cardinality string column (every row unique, so
+-- the dedup set grows by one per row) fed by the paginated REST backend,
+-- whose 5-row pages land the batch boundaries mid-stream
+SELECT DISTINCT indices.iname FROM indices

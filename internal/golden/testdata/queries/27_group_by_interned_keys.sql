@@ -1,0 +1,6 @@
+-- GROUP BY on a string key fed by a cross-backend hash join: the group
+-- keys are interned strings flowing out of the join's recycled batches
+SELECT companies.country, COUNT(*) AS n, SUM(accounts.expenses) AS spend
+FROM companies, accounts
+WHERE companies.cname = accounts.cname
+GROUP BY companies.country

@@ -1,0 +1,3 @@
+-- LIMIT landing mid-batch (and mid-REST-page: indices pages 5 rows at a
+-- time): the scan must transfer exactly 7 tuples from the source
+SELECT indices.iname, indices.level FROM indices LIMIT 7

@@ -235,6 +235,9 @@ func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanS
 	}
 
 	// Distinct non-NULL feeder combinations, in first-appearance order.
+	// The interned encoder keeps dedup allocation-free per tuple: only a
+	// new distinct combination copies its key into the map.
+	enc := relalg.NewKeyEncoder(nil)
 	seen := map[string]bool{}
 	var combos []relalg.Tuple
 	for _, t := range cur.Tuples {
@@ -251,11 +254,11 @@ func (e *Executor) fetchBindStep(ctx context.Context, sess *Session, step *PlanS
 		if hasNull {
 			continue
 		}
-		key := t.Key(feedIdx)
-		if seen[key] {
+		key := enc.Key(t, feedIdx)
+		if seen[string(key)] {
 			continue
 		}
-		seen[key] = true
+		seen[string(key)] = true
 		vals := make(relalg.Tuple, len(feedIdx))
 		for i, fi := range feedIdx {
 			vals[i] = t[fi]
@@ -367,19 +370,36 @@ func (e *Executor) fetchBindBatched(ctx context.Context, sess *Session, w wrappe
 		return nil, err
 	}
 	out := make([]*relalg.Relation, 0, len(combos))
+	enc := relalg.NewKeyEncoder(nil)
+	idx := map[string]int{}
+	var buckets [][]relalg.Tuple
 	for qi, part := range parts {
 		vals := groups[qi]
 		if len(vals) == 1 {
 			out = append(out, part)
 			continue
 		}
-		buckets := map[string][]relalg.Tuple{}
+		// Regroup through an interned index: the per-row map probe reuses
+		// the encoder's scratch key, so only distinct feeder values (the
+		// map inserts) allocate.
+		clear(idx)
+		buckets = buckets[:0]
 		for _, t := range part.Tuples {
-			k := t[colIdx].Key()
-			buckets[k] = append(buckets[k], t)
+			k := enc.ValueKey(t[colIdx])
+			bi, ok := idx[string(k)]
+			if !ok {
+				bi = len(buckets)
+				idx[string(k)] = bi
+				buckets = append(buckets, nil)
+			}
+			buckets[bi] = append(buckets[bi], t)
 		}
 		for _, v := range vals {
-			out = append(out, &relalg.Relation{Name: part.Name, Schema: part.Schema, Tuples: buckets[v.Key()]})
+			var rows []relalg.Tuple
+			if bi, ok := idx[string(enc.ValueKey(v))]; ok {
+				rows = buckets[bi]
+			}
+			out = append(out, &relalg.Relation{Name: part.Name, Schema: part.Schema, Tuples: rows})
 		}
 	}
 	return out, nil

@@ -247,6 +247,41 @@ func (s *Session) chargeTuples(n int) error {
 	return nil
 }
 
+// tupleBudget reports the session's remaining transfer budget; capped is
+// false when the session is ungoverned. Scans use it to size batch
+// requests so a governed stream never overshoots the limit by more than
+// the one tuple that proves the limit was crossed.
+func (s *Session) tupleBudget() (int, bool) {
+	if s == nil || s.limits.MaxTuples <= 0 {
+		return 0, false
+	}
+	rem := int64(s.limits.MaxTuples) - s.gov.tuples.Load()
+	if rem < 0 {
+		rem = 0
+	}
+	return int(rem), true
+}
+
+// chargeTupleBatch records n source tuples against the session's transfer
+// budget in one atomic add. When the batch crosses the limit it reports
+// how many of the n tuples still fit — the remainder accounting that lets
+// a scan deliver the allowed prefix downstream before surfacing
+// ErrTuplesExceeded, exactly matching what per-tuple charging delivered.
+func (s *Session) chargeTupleBatch(n int) (int, error) {
+	if s == nil {
+		return n, nil
+	}
+	total := s.gov.tuples.Add(int64(n))
+	if s.limits.MaxTuples > 0 && total > int64(s.limits.MaxTuples) {
+		allowed := n - int(total-int64(s.limits.MaxTuples))
+		if allowed < 0 {
+			allowed = 0
+		}
+		return allowed, fmt.Errorf("%w (%d > %d)", ErrTuplesExceeded, total, s.limits.MaxTuples)
+	}
+	return n, nil
+}
+
 // chargeRetry asks the session for permission to retry one more source
 // operation, charging its RetryBudget. A nil session or a zero budget is
 // unbudgeted.

@@ -75,11 +75,16 @@ type sourceScanIter struct {
 	q         wrapper.SourceQuery
 	schema    relalg.Schema
 	act       *StepActuals // non-nil under EXPLAIN ANALYZE
+	est       int          // planner's transfer estimate (presize hint)
 	ctx       context.Context
 	stream    wrapper.TupleStream
+	batch     wrapper.BatchStream // non-nil when the stream block-fetches
 	release   func()
 	pulled    int
 	exhausted bool
+	one       [1]relalg.Tuple // degenerate batch for per-tuple streams
+	out       []relalg.Tuple  // reused buffer for replay-filtered batches
+	pend      error           // error held back behind an allowed prefix
 
 	// mid-stream recovery state (see the type comment)
 	emitted    []relalg.Tuple // delivered-downstream tuples, in order
@@ -97,6 +102,12 @@ const maxReplayTracked = 4096
 
 func (s *sourceScanIter) Schema() relalg.Schema { return s.schema }
 
+// RowCountHint implements relalg.RowCountHint with the plan step's
+// transfer estimate, so drains that materialize this scan (hash-join
+// build sides, staging) presize instead of regrowing. After the adaptive
+// statistics warm up, the estimate is the learned exact cardinality.
+func (s *sourceScanIter) RowCountHint() int { return s.est }
+
 // openStream acquires admission and opens the source stream, under the
 // retry/breaker machinery; shared by Open and mid-stream recovery.
 func (s *sourceScanIter) openStream(ctx context.Context) error {
@@ -113,6 +124,10 @@ func (s *sourceScanIter) openStream(ctx context.Context) error {
 		}
 		s.e.observeLatency(s.sess, s.w.Source(), time.Since(start))
 		s.stream = stream
+		// Block fetch is an optional stream capability: per-tuple streams
+		// (gated test wrappers, fault injectors) fall back to degenerate
+		// one-row batches so their per-tuple semantics survive unchanged.
+		s.batch, _ = stream.(wrapper.BatchStream)
 		s.release = release
 		return nil
 	})
@@ -125,6 +140,7 @@ func (s *sourceScanIter) Open(ctx context.Context) error {
 	}
 	s.pulled = 0
 	s.exhausted = false
+	s.pend = nil
 	s.emitted = nil
 	s.skip = nil
 	s.delivered = 0
@@ -148,14 +164,15 @@ func (s *sourceScanIter) freeSlot() {
 	}
 }
 
-// track records a tuple as delivered downstream (for replay dedup) and
-// resets the consecutive-recovery counter: the stream made progress.
-func (s *sourceScanIter) track(t relalg.Tuple) {
+// track records a block of tuples as delivered downstream (for replay
+// dedup) and resets the consecutive-recovery counter: the stream made
+// progress.
+func (s *sourceScanIter) track(rows []relalg.Tuple) {
 	s.recoveries = 0
 	if !s.trackOK {
 		return
 	}
-	if len(s.emitted) >= maxReplayTracked {
+	if len(s.emitted)+len(rows) > maxReplayTracked {
 		s.trackOK = false
 		s.emitted = nil
 		return
@@ -163,32 +180,63 @@ func (s *sourceScanIter) track(t relalg.Tuple) {
 	// A reference append, not a hash: the per-tuple cost of an armed but
 	// idle retry policy stays negligible. Keys are computed only when a
 	// recovery actually needs the suppression multiset.
-	s.emitted = append(s.emitted, t)
+	s.emitted = append(s.emitted, rows...)
 }
 
-func (s *sourceScanIter) Next() (relalg.Tuple, bool, error) {
+// fetchRows pulls one block from the source stream: natively when the
+// stream block-fetches, else a degenerate one-row batch (so per-tuple
+// gating and fault-injection wrappers keep their exact semantics).
+func (s *sourceScanIter) fetchRows(req int) ([]relalg.Tuple, error) {
+	if s.batch != nil {
+		return s.batch.NextBatch(req)
+	}
+	t, ok, err := s.stream.Next()
+	if err != nil || !ok {
+		return nil, err
+	}
+	s.one[0] = t
+	return s.one[:1], nil
+}
+
+func (s *sourceScanIter) Next(max int) (relalg.Batch, error) {
+	if err := s.pend; err != nil {
+		s.pend = nil
+		s.freeSlot()
+		return relalg.Batch{}, err
+	}
+	if max <= 0 {
+		max = relalg.DefaultBatchSize
+	}
 	for {
 		if s.stream == nil {
-			return nil, false, nil
+			return relalg.Batch{}, nil
 		}
 		if err := s.ctx.Err(); err != nil {
 			s.freeSlot()
-			return nil, false, err
+			return relalg.Batch{}, err
 		}
-		t, ok, err := s.stream.Next()
+		// Cap the request at the governor's remaining budget + 1: the
+		// tuple that crosses the limit must still be pulled (that is what
+		// proves the limit was crossed, as under per-tuple charging), but
+		// the stream must not overshoot by a whole block.
+		req := max
+		if rem, capped := s.sess.tupleBudget(); capped && req > rem+1 {
+			req = rem + 1
+		}
+		rows, err := s.fetchRows(req)
 		if err != nil {
 			if rerr := s.recover(err); rerr != nil {
-				return nil, false, rerr
+				return relalg.Batch{}, rerr
 			}
 			continue
 		}
-		if !ok {
+		if len(rows) == 0 {
 			if n := remaining(s.skip); n > 0 {
 				// The replacement stream never replayed tuples the original
 				// delivered: the answer multiset changed mid-retry, so no
 				// single consistent answer contains what went downstream.
 				s.freeSlot()
-				return nil, false, &SourceError{Source: s.w.Source(), Err: fmt.Errorf(
+				return relalg.Batch{}, &SourceError{Source: s.w.Source(), Err: fmt.Errorf(
 					"wrapper: replay after mid-stream retry is missing %d previously delivered tuple(s): source answer changed", n)}
 			}
 			if !s.recovered {
@@ -199,29 +247,56 @@ func (s *sourceScanIter) Next() (relalg.Tuple, bool, error) {
 				s.exhausted = true
 			}
 			s.freeSlot()
-			return nil, false, nil
+			return relalg.Batch{}, nil
 		}
-		s.pulled++
+		s.pulled += len(rows)
 		if s.act != nil {
-			s.act.Rows.Add(1)
+			s.act.Rows.Add(int64(len(rows)))
 		}
-		if err := s.sess.chargeTuples(1); err != nil {
-			s.freeSlot()
-			return nil, false, err
+		allowed, gerr := s.sess.chargeTupleBatch(len(rows))
+		if gerr != nil {
+			// Remainder accounting: the tuples that still fit go downstream
+			// now; the governor error surfaces on the following call.
+			if allowed <= 0 {
+				s.freeSlot()
+				return relalg.Batch{}, gerr
+			}
+			rows = rows[:allowed]
+			s.pend = gerr
 		}
-		if n := s.skip[t.FullKey()]; n > 0 {
-			// Already delivered downstream before the fault; swallow the
-			// replay (it was still transferred — charged above).
-			if n == 1 {
-				delete(s.skip, t.FullKey())
-			} else {
-				s.skip[t.FullKey()] = n - 1
+		if len(s.skip) > 0 {
+			// Replay suppression after a mid-stream recovery: drop tuples
+			// already delivered downstream (they were still transferred —
+			// charged above).
+			kept := s.out[:0]
+			for _, t := range rows {
+				k := t.FullKey()
+				if n := s.skip[k]; n > 0 {
+					if n == 1 {
+						delete(s.skip, k)
+					} else {
+						s.skip[k] = n - 1
+					}
+					continue
+				}
+				kept = append(kept, t)
+			}
+			s.out = kept
+			rows = kept
+		}
+		if len(rows) == 0 {
+			// The whole block was replay; pull again (or surface a held
+			// governor error).
+			if err := s.pend; err != nil {
+				s.pend = nil
+				s.freeSlot()
+				return relalg.Batch{}, err
 			}
 			continue
 		}
-		s.track(t)
-		s.delivered++
-		return t, true, nil
+		s.track(rows)
+		s.delivered += len(rows)
+		return relalg.Batch{Rows: rows}, nil
 	}
 }
 
@@ -342,6 +417,7 @@ func (e *Executor) sourceIter(sess *Session, step *PlanStep, act *StepActuals) (
 		q:      wrapper.SourceQuery{Relation: step.Relation, Filters: step.Pushed},
 		schema: schema,
 		act:    act,
+		est:    int(step.EstRows),
 	}
 	qualified := schema.Qualify(step.Binding)
 	var it relalg.Iterator = relalg.NewRename(leaf, qualified)
@@ -372,7 +448,11 @@ func (e *Executor) sourceIter(sess *Session, step *PlanStep, act *StepActuals) (
 // flip sides from EstRows is future work. Merge join breaks both sides;
 // nested loop materializes the inner (fetched) side and streams the
 // outer.
-func (e *Executor) joinIter(sess *Session, cur, next relalg.Iterator, keys []JoinKey, binding string) (relalg.Iterator, error) {
+// residual, when non-nil, is the conjunction of the step's AfterPreds:
+// every join algorithm applies it to the joined row before emitting, so
+// rejected rows never leave the join (and their arena slots are
+// reclaimed) instead of being materialized and filtered above.
+func (e *Executor) joinIter(sess *Session, pool *relalg.Interner, cur, next relalg.Iterator, keys []JoinKey, binding string, residual sqlparse.Expr) (relalg.Iterator, error) {
 	if len(keys) > 0 && !e.ForceNestedLoop {
 		aKeys := make([]string, len(keys))
 		bKeys := make([]string, len(keys))
@@ -381,21 +461,38 @@ func (e *Executor) joinIter(sess *Session, cur, next relalg.Iterator, keys []Joi
 			bKeys[i] = binding + "." + k.NewColumn
 		}
 		if e.ForceMergeJoin {
-			return relalg.NewMergeJoin(cur, next, aKeys, bKeys, nil, e.stagerFor(sess))
+			return relalg.NewMergeJoin(cur, next, aKeys, bKeys, residual, e.stagerFor(sess))
 		}
-		return relalg.NewHashJoin(cur, next, aKeys, bKeys, nil, false /* build the fetched side */, e.stagerFor(sess))
+		hj, err := relalg.NewHashJoin(cur, next, aKeys, bKeys, residual, false /* build the fetched side */, e.stagerFor(sess))
+		if err != nil {
+			return nil, err
+		}
+		hj.Intern = pool
+		// cur streams through the probe side: every probe row is either
+		// dropped or re-copied into the join's own output arena before
+		// the next batch is pulled, so cur's rows need not stay alive.
+		relalg.MarkTransient(cur)
+		return hj, nil
 	}
 	var pred sqlparse.Expr
 	if len(keys) > 0 {
-		preds := make([]sqlparse.Expr, len(keys))
-		for i, k := range keys {
-			preds[i] = sqlparse.Bin("=",
+		preds := make([]sqlparse.Expr, 0, len(keys)+1)
+		for _, k := range keys {
+			preds = append(preds, sqlparse.Bin("=",
 				colRefFromQualified(k.CurQualified),
-				colRefFromQualified(binding+"."+k.NewColumn))
+				colRefFromQualified(binding+"."+k.NewColumn)))
+		}
+		if residual != nil {
+			preds = append(preds, residual)
 		}
 		pred = sqlparse.AndAll(preds)
+	} else {
+		pred = residual
 	}
-	// The inner side is drained at Open; the outer streams.
+	// The inner side is drained at Open; the outer streams — like the
+	// hash-join probe side, its rows are re-copied row by row and need
+	// not stay alive across batches.
+	relalg.MarkTransient(cur)
 	schema := cur.Schema().Concat(next.Schema())
 	nl := cur
 	return relalg.NewDeferred(schema, func(ctx context.Context) (relalg.Iterator, error) {
@@ -423,10 +520,21 @@ func stageIfSet(st relalg.Stager, rel *relalg.Relation) (*relalg.Relation, error
 // with the session's context; Collect it (or use Run) for a materialized
 // answer. The tree is single-use.
 func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator, error) {
+	// One interning pool per compiled pipeline: the tree is single-use and
+	// pulled by one goroutine, so every key-hashing operator in it (hash
+	// joins, DISTINCT) can share string handles without locking. Handles
+	// never cross the pool boundary — staged relations and probe-cache
+	// entries carry full Value.Key forms.
+	pool := relalg.NewInterner()
 	var cur relalg.Iterator
 	for i := range plan.Steps {
 		step := &plan.Steps[i]
 		act := plan.stepActuals(i)
+		var after sqlparse.Expr
+		if len(step.AfterPreds) > 0 {
+			after = sqlparse.AndAll(step.AfterPreds)
+		}
+		afterConsumed := false
 		var next relalg.Iterator
 		var err error
 		if len(step.BindJoins) == 0 {
@@ -435,8 +543,10 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 			}
 			if cur == nil {
 				cur = next
-			} else if cur, err = e.joinIter(sess, cur, next, step.JoinKeys, step.Binding); err != nil {
+			} else if cur, err = e.joinIter(sess, pool, cur, next, step.JoinKeys, step.Binding, after); err != nil {
 				return nil, err
+			} else {
+				afterConsumed = after != nil
 			}
 		} else {
 			// A bind join is a pipeline breaker on the feeding side: every
@@ -469,11 +579,12 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 				if err != nil {
 					return nil, err
 				}
-				return e.joinIter(sess, relalg.NewScan(curRel), relalg.NewScan(fetched), step.JoinKeys, step.Binding)
+				return e.joinIter(sess, pool, relalg.NewScan(curRel), relalg.NewScan(fetched), step.JoinKeys, step.Binding, after)
 			})
+			afterConsumed = after != nil
 		}
-		if len(step.AfterPreds) > 0 {
-			cur = relalg.NewFilter(cur, sqlparse.AndAll(step.AfterPreds))
+		if after != nil && !afterConsumed {
+			cur = relalg.NewFilter(cur, after)
 		}
 		if act != nil {
 			// Count the step's downstream output (after joins and local
@@ -514,9 +625,15 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 		// including its quirk of skipping DISTINCT on this path).
 		out = relalg.NewProject(relalg.NewSort(cur, keys, e.stagerFor(sess)), items)
 	} else {
+		// The projection re-copies every surviving value per batch, so
+		// the operator feeding it may recycle its output batches. (The
+		// sort-first branch above must NOT mark: Sort retains cur's rows.)
+		relalg.MarkTransient(cur)
 		out = relalg.NewProject(cur, items)
 		if plan.Distinct {
-			out = relalg.NewDistinct(out)
+			d := relalg.NewDistinct(out)
+			d.Intern = pool
+			out = d
 		}
 		if len(plan.OrderBy) > 0 {
 			out = relalg.NewSort(out, keys, e.stagerFor(sess))
@@ -634,7 +751,12 @@ func (e *Executor) aggregateStream(sess *Session, sel *sqlparse.Select) (relalg.
 		}
 		items[i] = relalg.AggItem{Name: n, Expr: it.Expr}
 	}
-	var out relalg.Iterator = relalg.NewGroupBy(wide, sel.GroupBy, items, sel.Having, e.stagerFor(sess))
+	// GroupBy and a trailing DISTINCT share one interning pool: both hash
+	// the same value domain, and the tree has a single consumer.
+	pool := relalg.NewInterner()
+	gb := relalg.NewGroupBy(wide, sel.GroupBy, items, sel.Having, e.stagerFor(sess))
+	gb.Intern = pool
+	var out relalg.Iterator = gb
 	if len(sel.OrderBy) > 0 {
 		keys := make([]relalg.OrderKey, len(sel.OrderBy))
 		for i, o := range sel.OrderBy {
@@ -643,7 +765,9 @@ func (e *Executor) aggregateStream(sess *Session, sel *sqlparse.Select) (relalg.
 		out = relalg.NewSort(out, keys, e.stagerFor(sess))
 	}
 	if sel.Distinct {
-		out = relalg.NewDistinct(out)
+		d := relalg.NewDistinct(out)
+		d.Intern = pool
+		out = d
 	}
 	return relalg.NewLimit(out, sel.Limit), nil
 }
@@ -802,16 +926,19 @@ func (d *degradedIter) Open(ctx context.Context) error {
 	return err
 }
 
-func (d *degradedIter) Next() (relalg.Tuple, bool, error) {
+func (d *degradedIter) Next(max int) (relalg.Batch, error) {
 	if d.done {
-		return nil, false, nil
+		return relalg.Batch{}, nil
 	}
-	t, ok, err := d.inner.Next()
+	b, err := d.inner.Next(max)
 	if err != nil && Degradable(err) {
+		// Operators flush buffered rows before surfacing an error, so by
+		// the time the fault reaches here every good row is already
+		// downstream; presenting EOF loses nothing.
 		d.degrade(err)
-		return nil, false, nil
+		return relalg.Batch{}, nil
 	}
-	return t, ok, err
+	return b, err
 }
 
 func (d *degradedIter) degrade(err error) {
@@ -832,6 +959,7 @@ func (d *degradedIter) Close() error {
 
 // postStream applies a mediation's post-union step to the union stream.
 func (e *Executor) postStream(sess *Session, post *core.Post, in relalg.Iterator) (relalg.Iterator, error) {
+	pool := relalg.NewInterner()
 	out := in
 	if len(post.GroupBy) > 0 || anyAggItems(post.Items) {
 		items := make([]relalg.AggItem, len(post.Items))
@@ -841,7 +969,9 @@ func (e *Executor) postStream(sess *Session, post *core.Post, in relalg.Iterator
 				items[i].Name = "col" + strconv.Itoa(i+1)
 			}
 		}
-		out = relalg.NewGroupBy(out, post.GroupBy, items, post.Having, e.stagerFor(sess))
+		gb := relalg.NewGroupBy(out, post.GroupBy, items, post.Having, e.stagerFor(sess))
+		gb.Intern = pool
+		out = gb
 	} else if len(post.Items) > 0 {
 		items := make([]relalg.ProjectItem, len(post.Items))
 		for i, it := range post.Items {
@@ -857,7 +987,9 @@ func (e *Executor) postStream(sess *Session, post *core.Post, in relalg.Iterator
 		out = relalg.NewProject(out, items)
 	}
 	if post.Distinct {
-		out = relalg.NewDistinct(out)
+		d := relalg.NewDistinct(out)
+		d.Intern = pool
+		out = d
 	}
 	if len(post.OrderBy) > 0 {
 		keys := make([]relalg.OrderKey, len(post.OrderBy))

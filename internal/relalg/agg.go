@@ -18,14 +18,23 @@ type AggItem struct {
 // aggregation); an empty input then yields one row of aggregate identity
 // values (COUNT=0, SUM/AVG/MIN/MAX=NULL), matching SQL.
 func GroupBy(r *Relation, keys []sqlparse.Expr, items []AggItem, having sqlparse.Expr) (*Relation, error) {
+	return groupByInterned(r, keys, items, having, nil)
+}
+
+// groupByInterned is the grouping core. Group keys are hashed as interned
+// fixed-width encodings (KeyEncoder over the given pool, or a private one
+// when in is nil); group output order is first appearance, exactly as
+// before. Handles stay inside this call — the returned relation carries
+// plain Values only.
+func groupByInterned(r *Relation, keys []sqlparse.Expr, items []AggItem, having sqlparse.Expr, in *Interner) (*Relation, error) {
 	type group struct {
-		key    []Value
 		tuples []Tuple
 	}
-	var order []string
-	groups := map[string]*group{}
+	enc := NewKeyEncoder(in)
+	index := map[string]int{}
+	var order []*group
+	kv := make([]Value, len(keys))
 	for _, t := range r.Tuples {
-		kv := make([]Value, len(keys))
 		for i, k := range keys {
 			v, err := Eval(k, r.Schema, t)
 			if err != nil {
@@ -33,18 +42,17 @@ func GroupBy(r *Relation, keys []sqlparse.Expr, items []AggItem, having sqlparse
 			}
 			kv[i] = v
 		}
-		hk := Tuple(kv).FullKey()
-		g, ok := groups[hk]
+		hk := enc.FullKey(kv)
+		idx, ok := index[string(hk)]
 		if !ok {
-			g = &group{key: kv}
-			groups[hk] = g
-			order = append(order, hk)
+			idx = len(order)
+			index[string(hk)] = idx
+			order = append(order, &group{})
 		}
-		g.tuples = append(g.tuples, t)
+		order[idx].tuples = append(order[idx].tuples, t)
 	}
 	if len(keys) == 0 && len(order) == 0 {
-		groups[""] = &group{}
-		order = append(order, "")
+		order = append(order, &group{})
 	}
 
 	cols := make([]Column, len(items))
@@ -52,8 +60,7 @@ func GroupBy(r *Relation, keys []sqlparse.Expr, items []AggItem, having sqlparse
 		cols[i] = Column{Name: it.Name, Type: aggType(it.Expr, r.Schema)}
 	}
 	out := NewRelation(r.Name, Schema{Columns: cols})
-	for _, hk := range order {
-		g := groups[hk]
+	for _, g := range order {
 		row := make(Tuple, len(items))
 		for i, it := range items {
 			v, err := evalAgg(it.Expr, r.Schema, g.tuples)

@@ -1,0 +1,232 @@
+package relalg
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+)
+
+// CompiledExpr is an expression specialized against one schema. Compile
+// resolves every column reference to its position once, so per-row
+// evaluation does no name lookups, no qualified-name string building and
+// no tree dispatch beyond a closure call per node. Semantics — including
+// which inputs produce errors, and that errors surface per row rather
+// than at compile time — match Eval exactly; batch operators compile
+// their predicates at Open and run the closure per row.
+type CompiledExpr func(Tuple) (Value, error)
+
+// Compile specializes e against schema.
+func Compile(e sqlparse.Expr, schema Schema) CompiledExpr {
+	switch e := e.(type) {
+	case *sqlparse.ColRef:
+		idx := schema.Index(e.String())
+		if idx < 0 {
+			idx = schema.Index(e.Column)
+		}
+		if idx < 0 {
+			err := fmt.Errorf("relalg: unknown column %s (schema %v)", e, schema.Names())
+			return func(Tuple) (Value, error) { return Null, err }
+		}
+		return func(t Tuple) (Value, error) { return t[idx], nil }
+	case sqlparse.NumberLit:
+		v := NumV(float64(e))
+		return func(Tuple) (Value, error) { return v, nil }
+	case sqlparse.StringLit:
+		v := StrV(string(e))
+		return func(Tuple) (Value, error) { return v, nil }
+	case sqlparse.BoolLit:
+		v := BoolV(bool(e))
+		return func(Tuple) (Value, error) { return v, nil }
+	case sqlparse.NullLit:
+		return func(Tuple) (Value, error) { return Null, nil }
+	case *sqlparse.IsNull:
+		x := Compile(e.X, schema)
+		not := e.Not
+		return func(t Tuple) (Value, error) {
+			v, err := x(t)
+			if err != nil {
+				return Null, err
+			}
+			return BoolV(v.IsNull() != not), nil
+		}
+	case *sqlparse.UnaryExpr:
+		x := Compile(e.X, schema)
+		switch e.Op {
+		case "NOT":
+			return func(t Tuple) (Value, error) {
+				v, err := x(t)
+				if err != nil {
+					return Null, err
+				}
+				if v.K != KindBool {
+					if v.IsNull() {
+						return Null, nil
+					}
+					return Null, fmt.Errorf("relalg: NOT applied to %v", v.K)
+				}
+				return BoolV(!v.B), nil
+			}
+		case "-":
+			return func(t Tuple) (Value, error) {
+				v, err := x(t)
+				if err != nil {
+					return Null, err
+				}
+				if v.IsNull() {
+					return Null, nil
+				}
+				if v.K != KindNumber {
+					return Null, fmt.Errorf("relalg: unary minus applied to %v", v.K)
+				}
+				return NumV(-v.N), nil
+			}
+		}
+		err := fmt.Errorf("relalg: unknown unary op %q", e.Op)
+		return func(Tuple) (Value, error) { return Null, err }
+	case *sqlparse.BinaryExpr:
+		return compileBinary(e, schema)
+	case *sqlparse.FuncCall:
+		err := fmt.Errorf("relalg: aggregate %s outside GROUP BY context", e.Name)
+		return func(Tuple) (Value, error) { return Null, err }
+	}
+	err := fmt.Errorf("relalg: cannot evaluate %T", e)
+	return func(Tuple) (Value, error) { return Null, err }
+}
+
+func compileBinary(e *sqlparse.BinaryExpr, schema Schema) CompiledExpr {
+	l := Compile(e.L, schema)
+	r := Compile(e.R, schema)
+	switch e.Op {
+	case "AND":
+		return func(t Tuple) (Value, error) {
+			lv, err := l(t)
+			if err != nil {
+				return Null, err
+			}
+			if !(lv.K == KindBool && lv.B) {
+				// Short circuit.
+				return BoolV(false), nil
+			}
+			rv, err := r(t)
+			if err != nil {
+				return Null, err
+			}
+			return BoolV(rv.K == KindBool && rv.B), nil
+		}
+	case "OR":
+		return func(t Tuple) (Value, error) {
+			lv, err := l(t)
+			if err != nil {
+				return Null, err
+			}
+			if lv.K == KindBool && lv.B {
+				// Short circuit.
+				return BoolV(true), nil
+			}
+			rv, err := r(t)
+			if err != nil {
+				return Null, err
+			}
+			return BoolV(rv.K == KindBool && rv.B), nil
+		}
+	case "+", "-", "*", "/":
+		op := e.Op
+		return func(t Tuple) (Value, error) {
+			lv, err := l(t)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(t)
+			if err != nil {
+				return Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null, nil
+			}
+			if lv.K != KindNumber || rv.K != KindNumber {
+				return Null, fmt.Errorf("relalg: arithmetic %q on %v and %v", op, lv.K, rv.K)
+			}
+			switch op {
+			case "+":
+				return NumV(lv.N + rv.N), nil
+			case "-":
+				return NumV(lv.N - rv.N), nil
+			case "*":
+				return NumV(lv.N * rv.N), nil
+			default:
+				if rv.N == 0 {
+					return Null, fmt.Errorf("relalg: division by zero")
+				}
+				return NumV(lv.N / rv.N), nil
+			}
+		}
+	case "=":
+		return func(t Tuple) (Value, error) {
+			lv, err := l(t)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(t)
+			if err != nil {
+				return Null, err
+			}
+			return BoolV(lv.Equal(rv)), nil
+		}
+	case "<>":
+		return func(t Tuple) (Value, error) {
+			lv, err := l(t)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(t)
+			if err != nil {
+				return Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return BoolV(false), nil
+			}
+			return BoolV(!lv.Equal(rv)), nil
+		}
+	case "<", ">", "<=", ">=":
+		op := e.Op
+		return func(t Tuple) (Value, error) {
+			lv, err := l(t)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(t)
+			if err != nil {
+				return Null, err
+			}
+			c, ok := lv.Compare(rv)
+			if !ok {
+				return BoolV(false), nil
+			}
+			switch op {
+			case "<":
+				return BoolV(c < 0), nil
+			case ">":
+				return BoolV(c > 0), nil
+			case "<=":
+				return BoolV(c <= 0), nil
+			default:
+				return BoolV(c >= 0), nil
+			}
+		}
+	}
+	err := fmt.Errorf("relalg: unknown binary op %q", e.Op)
+	return func(Tuple) (Value, error) { return Null, err }
+}
+
+// CompileBool specializes a predicate: NULL and non-bool results count as
+// false, as in EvalBool.
+func CompileBool(e sqlparse.Expr, schema Schema) func(Tuple) (bool, error) {
+	fn := Compile(e, schema)
+	return func(t Tuple) (bool, error) {
+		v, err := fn(t)
+		if err != nil {
+			return false, err
+		}
+		return v.K == KindBool && v.B, nil
+	}
+}

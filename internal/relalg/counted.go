@@ -27,13 +27,21 @@ func (c *CountedIter) Schema() Schema { return c.child.Schema() }
 func (c *CountedIter) Open(ctx context.Context) error { return c.child.Open(ctx) }
 
 // Next implements Iterator.
-func (c *CountedIter) Next() (Tuple, bool, error) {
-	t, ok, err := c.child.Next()
-	if ok && err == nil {
-		c.n.Add(1)
+func (c *CountedIter) Next(max int) (Batch, error) {
+	b, err := c.child.Next(max)
+	if err == nil && !b.Empty() {
+		c.n.Add(int64(len(b.Rows)))
 	}
-	return t, ok, err
+	return b, err
 }
 
 // Close implements Iterator.
 func (c *CountedIter) Close() error { return c.child.Close() }
+
+// RowCountHint forwards the child's hint (counting preserves rows).
+func (c *CountedIter) RowCountHint() int {
+	if h, ok := c.child.(RowCountHint); ok {
+		return h.RowCountHint()
+	}
+	return 0
+}

@@ -17,6 +17,16 @@ func mustExpr(s string) sqlparse.Expr {
 	return sel.Where
 }
 
+// next1 pulls a single tuple through the batch contract (its degenerate
+// one-tuple form) — the shim for tests asserting per-row behavior.
+func next1(it Iterator) (Tuple, bool, error) {
+	b, err := it.Next(1)
+	if err != nil || b.Empty() {
+		return nil, false, err
+	}
+	return b.Rows[0], true, nil
+}
+
 // countingScan wraps a scan and counts how many tuples consumers pull
 // and whether it was opened — the instrument for early-termination and
 // laziness tests.
@@ -35,12 +45,43 @@ func (c *countingScan) Open(ctx context.Context) error {
 	return c.ScanIter.Open(ctx)
 }
 
-func (c *countingScan) Next() (Tuple, bool, error) {
-	t, ok, err := c.ScanIter.Next()
-	if ok {
-		c.pulls++
+func (c *countingScan) Next(max int) (Batch, error) {
+	b, err := c.ScanIter.Next(max)
+	c.pulls += len(b.Rows)
+	return b, err
+}
+
+// raggedScan serves a relation in batches whose sizes cycle through a
+// fixed pattern (clamped to the consumer's max and the rows remaining),
+// so the final batch is ragged and operators see uneven block shapes —
+// the adversarial leaf for batch-contract tests.
+type raggedScan struct {
+	*ScanIter
+	sizes []int
+	i     int
+}
+
+func newRaggedScan(rel *Relation, sizes []int) *raggedScan {
+	return &raggedScan{ScanIter: NewScan(rel), sizes: sizes}
+}
+
+func (r *raggedScan) Next(max int) (Batch, error) {
+	n := r.sizes[r.i%len(r.sizes)]
+	r.i++
+	if max <= 0 || max > n {
+		max = n
 	}
-	return t, ok, err
+	return r.ScanIter.Next(max)
+}
+
+// oversizeScan violates the contract by returning more rows than max —
+// the adversarial child for LIMIT's defensive truncation.
+type oversizeScan struct {
+	*ScanIter
+}
+
+func (o *oversizeScan) Next(max int) (Batch, error) {
+	return o.ScanIter.Next(max * 3)
 }
 
 // randomRelation builds a deterministic pseudo-random relation of n rows
@@ -86,7 +127,8 @@ func sameRows(t *testing.T, op string, got, want *Relation) {
 
 // TestIteratorMaterializedEquivalence is the property test of the
 // tentpole refactor: on randomized inputs, every streaming operator must
-// produce exactly the tuples and order of its materialized counterpart.
+// produce exactly the tuples and order of its materialized counterpart —
+// both over plain scans and over ragged batch shapes.
 func TestIteratorMaterializedEquivalence(t *testing.T) {
 	pred := mustExpr("v >= 30")
 	joinPred := mustExpr("a.k = b.k")
@@ -102,6 +144,7 @@ func TestIteratorMaterializedEquivalence(t *testing.T) {
 		{Name: "s", Expr: mustExpr("s")},
 		{Name: "total", Expr: mustExpr("SUM(v)")},
 	}
+	ragged := []int{3, 1, 7, 2}
 
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed))
@@ -127,12 +170,15 @@ func TestIteratorMaterializedEquivalence(t *testing.T) {
 
 		wf, ef := Filter(r, pred)
 		check("filter", NewFilter(NewScan(r), pred), nil, wf, ef)
+		check("filter-ragged", NewFilter(newRaggedScan(r, ragged), pred), nil, wf, ef)
 
 		wp, ep := Project(r, items)
 		check("project", NewProject(NewScan(r), items), nil, wp, ep)
+		check("project-ragged", NewProject(newRaggedScan(r, ragged), items), nil, wp, ep)
 
 		wnl, enl := NestedLoopJoin(a, b, joinPred)
 		check("nested-loop", NewNestedLoop(NewScan(a), b, joinPred), nil, wnl, enl)
+		check("nested-loop-ragged", NewNestedLoop(newRaggedScan(a, ragged), b, joinPred), nil, wnl, enl)
 
 		check("cross", NewNestedLoop(NewScan(a), b, nil), nil, CrossJoin(a, b), nil)
 
@@ -140,6 +186,8 @@ func TestIteratorMaterializedEquivalence(t *testing.T) {
 		buildLeft := !(len(b.Tuples) < len(a.Tuples))
 		hj, err := NewHashJoin(NewScan(a), NewScan(b), []string{"a.k"}, []string{"b.k"}, nil, buildLeft, nil)
 		check("hash-join", hj, err, whj, ehj)
+		hjr, err := NewHashJoin(newRaggedScan(a, ragged), newRaggedScan(b, ragged), []string{"a.k"}, []string{"b.k"}, nil, buildLeft, nil)
+		check("hash-join-ragged", hjr, err, whj, ehj)
 
 		// Whichever side builds, a hash join must produce the same bag.
 		hjo, err := NewHashJoin(NewScan(a), NewScan(b), []string{"a.k"}, []string{"b.k"}, nil, !buildLeft, nil)
@@ -159,6 +207,7 @@ func TestIteratorMaterializedEquivalence(t *testing.T) {
 		check("merge-join", mj, err, wmj, emj)
 
 		check("distinct", NewDistinct(NewScan(r)), nil, Distinct(r), nil)
+		check("distinct-ragged", NewDistinct(newRaggedScan(r, ragged)), nil, Distinct(r), nil)
 
 		wu, eu := Union(a.Qualify(""), b, false)
 		ua, err := NewUnionAll(NewScan(a), NewScan(b))
@@ -168,19 +217,24 @@ func TestIteratorMaterializedEquivalence(t *testing.T) {
 		ual, err := NewUnionAll(NewScan(a), NewScan(b))
 		check("union-all", ual, err, wua, eua)
 
+		uar, err := NewUnionAll(newRaggedScan(a, ragged), newRaggedScan(b, ragged))
+		check("union-all-ragged", uar, err, wua, eua)
+
 		ws, es := Sort(r, orderKeys)
 		check("sort", NewSort(NewScan(r), orderKeys, nil), nil, ws, es)
 
 		check("limit", NewLimit(NewScan(r), n/2), nil, Limit(r, n/2), nil)
+		check("limit-ragged", NewLimit(newRaggedScan(r, ragged), n/2), nil, Limit(r, n/2), nil)
 
 		wg, eg := GroupBy(r, []sqlparse.Expr{mustExpr("s")}, aggItems, nil)
 		check("group-by", NewGroupBy(NewScan(r), []sqlparse.Expr{mustExpr("s")}, aggItems, nil, nil), nil, wg, eg)
+		check("group-by-ragged", NewGroupBy(newRaggedScan(r, ragged), []sqlparse.Expr{mustExpr("s")}, aggItems, nil, nil), nil, wg, eg)
 	}
 }
 
 // TestLimitStopsPulling proves the early-exit property at the operator
 // level: LIMIT n pulls exactly n tuples from its source, regardless of
-// source size.
+// source size — batch demand propagation caps what the leaf serves.
 func TestLimitStopsPulling(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	src := newCountingScan(randomRelation("big", 5000, rng))
@@ -193,6 +247,91 @@ func TestLimitStopsPulling(t *testing.T) {
 	}
 	if src.pulls != 7 {
 		t.Errorf("source pulls = %d, want exactly 7", src.pulls)
+	}
+}
+
+// TestLimitMidBatch: a LIMIT landing in the middle of what a source
+// would happily serve as one large batch still transfers exactly the
+// limit — and keeps doing so when the source's own batch shape is
+// ragged, so the boundary falls mid-batch.
+func TestLimitMidBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rel := randomRelation("big", 5000, rng)
+	want := Limit(rel, 700)
+
+	src := newCountingScan(rel)
+	out, err := Collect(context.Background(), NewLimit(src, 700), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "limit-mid-batch", out, want)
+	if src.pulls != 700 {
+		t.Errorf("source pulls = %d, want exactly 700", src.pulls)
+	}
+
+	// Ragged shape: sizes don't divide 700, so the last demand lands
+	// mid-cycle; the leaf must still never overshoot the remainder.
+	rsrc := newCountingScan(rel)
+	ragged := NewLimit(&raggedWrap{inner: rsrc, sizes: []int{256, 13, 300}}, 700)
+	out, err = Collect(context.Background(), ragged, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "limit-mid-batch-ragged", out, want)
+	if rsrc.pulls != 700 {
+		t.Errorf("ragged source pulls = %d, want exactly 700", rsrc.pulls)
+	}
+}
+
+// raggedWrap imposes a ragged batch-size cycle on any iterator.
+type raggedWrap struct {
+	inner Iterator
+	sizes []int
+	i     int
+}
+
+func (r *raggedWrap) Schema() Schema                { return r.inner.Schema() }
+func (r *raggedWrap) Open(ctx context.Context) error { return r.inner.Open(ctx) }
+func (r *raggedWrap) Close() error                  { return r.inner.Close() }
+func (r *raggedWrap) Next(max int) (Batch, error) {
+	n := r.sizes[r.i%len(r.sizes)]
+	r.i++
+	if max <= 0 || max > n {
+		max = n
+	}
+	return r.inner.Next(max)
+}
+
+// TestLimitTruncatesOversizedBatch: a child that violates the contract
+// by returning more rows than asked is clipped by LIMIT — the governor
+// of last resort for row transfer.
+func TestLimitTruncatesOversizedBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rel := randomRelation("r", 100, rng)
+	out, err := Collect(context.Background(), NewLimit(&oversizeScan{NewScan(rel)}, 5), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "limit-oversize", out, Limit(rel, 5))
+}
+
+// TestFilterSkipsEmptyBatches: when whole child batches filter down to
+// zero survivors, the filter must keep pulling instead of surfacing an
+// empty batch — an empty batch means EOF to every consumer, and a
+// premature one would silently truncate the stream.
+func TestFilterSkipsEmptyBatches(t *testing.T) {
+	rel := NewRelation("t", NewSchema(Column{Name: "n", Type: KindNumber}))
+	for i := 0; i < 50; i++ {
+		rel.MustAdd(NumV(float64(i)))
+	}
+	// Batches of 5: the first 8 batches (n < 40) drop entirely.
+	it := NewFilter(newRaggedScan(rel, []int{5}), mustExpr("n >= 40"))
+	out, err := Collect(context.Background(), it, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("got %d tuples after empty-batch runs, want 10", out.Len())
 	}
 }
 
@@ -245,8 +384,8 @@ func TestUnionOpensLazily(t *testing.T) {
 	}
 }
 
-// TestIteratorContractAfterExhaustion: Next keeps reporting done after
-// the stream ends, as the documented contract requires.
+// TestIteratorContractAfterExhaustion: Next keeps reporting an empty
+// batch after the stream ends, as the documented contract requires.
 func TestIteratorContractAfterExhaustion(t *testing.T) {
 	rel := NewRelation("t", NewSchema(Column{Name: "n", Type: KindNumber}))
 	rel.MustAdd(NumV(1))
@@ -254,12 +393,12 @@ func TestIteratorContractAfterExhaustion(t *testing.T) {
 	if err := it.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := it.Next(); !ok {
+	if _, ok, _ := next1(it); !ok {
 		t.Fatal("first Next should produce the tuple")
 	}
 	for i := 0; i < 3; i++ {
-		if _, ok, err := it.Next(); ok || err != nil {
-			t.Fatalf("Next after exhaustion: ok=%v err=%v", ok, err)
+		if b, err := it.Next(DefaultBatchSize); !b.Empty() || err != nil {
+			t.Fatalf("Next after exhaustion: rows=%d err=%v", b.Len(), err)
 		}
 	}
 	if err := it.Close(); err != nil {
@@ -269,7 +408,9 @@ func TestIteratorContractAfterExhaustion(t *testing.T) {
 
 // TestScanCancellationMidStream: canceling the Open context makes a leaf
 // report ctx.Err() from Next, even with tuples remaining — the property
-// that lets a whole pipeline stop mid-stream.
+// that lets a whole pipeline stop between batches. The first pull is a
+// one-row batch, so the cancellation lands mid-batch from the source's
+// point of view.
 func TestScanCancellationMidStream(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	src := NewScan(randomRelation("r", 100, rng))
@@ -278,12 +419,12 @@ func TestScanCancellationMidStream(t *testing.T) {
 	if err := pipe.Open(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := pipe.Next(); !ok || err != nil {
+	if _, ok, err := next1(pipe); !ok || err != nil {
 		t.Fatalf("first Next: ok=%v err=%v", ok, err)
 	}
 	cancel()
-	if _, ok, err := pipe.Next(); ok || !errors.Is(err, context.Canceled) {
-		t.Fatalf("Next after cancel: ok=%v err=%v, want context.Canceled", ok, err)
+	if b, err := pipe.Next(DefaultBatchSize); !b.Empty() || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next after cancel: rows=%d err=%v, want context.Canceled", b.Len(), err)
 	}
 	if err := pipe.Close(); err != nil {
 		t.Fatal(err)
@@ -321,11 +462,15 @@ func TestCollectPropagatesCancellation(t *testing.T) {
 // lifecycle instruments an iterator with Open/Close accounting; a
 // registry of them fails the test if any node's successful Opens are not
 // matched one-for-one by Closes — the leak detector for operator
-// composition (the stream-level twin lives in the planner tests).
+// composition (the stream-level twin lives in the planner tests). A
+// positive failNextAfter injects an error after exactly that many rows:
+// when the boundary falls inside a batch, the allowed prefix is served
+// and the error surfaces on the following call — the mid-batch failure
+// shape.
 type lifecycle struct {
 	Iterator
 	opened, closed int
-	failNextAfter  int // inject an error after this many Next calls (>0)
+	failNextAfter  int
 	served         int
 }
 
@@ -337,15 +482,16 @@ func (l *lifecycle) Open(ctx context.Context) error {
 	return err
 }
 
-func (l *lifecycle) Next() (Tuple, bool, error) {
+func (l *lifecycle) Next(max int) (Batch, error) {
 	if l.failNextAfter > 0 && l.served >= l.failNextAfter {
-		return nil, false, fmt.Errorf("lifecycle: injected failure after %d tuples", l.served)
+		return Batch{}, fmt.Errorf("lifecycle: injected failure after %d tuples", l.served)
 	}
-	t, ok, err := l.Iterator.Next()
-	if ok {
-		l.served++
+	b, err := l.Iterator.Next(max)
+	if l.failNextAfter > 0 && l.served+len(b.Rows) > l.failNextAfter {
+		b.Rows = b.Rows[:l.failNextAfter-l.served]
 	}
-	return t, ok, err
+	l.served += len(b.Rows)
+	return b, err
 }
 
 func (l *lifecycle) Close() error {
@@ -374,7 +520,7 @@ func (r lifecycleRegistry) assertBalanced(t *testing.T) {
 }
 
 // TestIteratorLifecycleBalanced: across full drains, early exits and
-// injected mid-stream failures, every node whose Open succeeded is
+// injected mid-batch failures, every node whose Open succeeded is
 // closed exactly once.
 func TestIteratorLifecycleBalanced(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
@@ -429,6 +575,56 @@ func TestIteratorLifecycleBalanced(t *testing.T) {
 		}
 		reg.assertBalanced(t)
 	})
+}
+
+// TestFlushBeforeFail: an accumulating operator whose child dies
+// mid-batch delivers the rows it had already assembled before surfacing
+// the error — no tuple the per-row contract would have delivered is
+// lost to batching.
+func TestFlushBeforeFail(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomRelation("x", 30, rng).Qualify("a")
+	b := randomRelation("y", 20, rng).Qualify("b")
+
+	// Reference: rows the join yields before the probe side's 5th row.
+	failAfter := 5
+	ref, err := NewHashJoin(NewScan(Limit(a, failAfter)), NewScan(b), []string{"a.k"}, []string{"b.k"}, nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Collect(context.Background(), ref, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := &lifecycle{Iterator: NewScan(a), failNextAfter: failAfter}
+	hj, err := NewHashJoin(probe, NewScan(b), []string{"a.k"}, []string{"b.k"}, nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hj.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := NewRelation("", hj.Schema())
+	var sawErr error
+	for {
+		batch, err := hj.Next(DefaultBatchSize)
+		if err != nil {
+			sawErr = err
+			break
+		}
+		if batch.Empty() {
+			break
+		}
+		got.Tuples = append(got.Tuples, batch.Rows...)
+	}
+	if sawErr == nil {
+		t.Fatal("expected the injected failure to surface")
+	}
+	if err := hj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "flush-before-fail", got, want)
 }
 
 // TestCountedIter: the EXPLAIN ANALYZE counter sees exactly the tuples

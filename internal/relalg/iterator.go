@@ -7,13 +7,14 @@ package relalg
 // materialized functions are thin wrappers that build a small iterator
 // tree and drain it, so the two forms cannot drift apart; the planner
 // composes the iterators directly so that tuples flow through a branch
-// plan one at a time and a LIMIT (or any other early exit) stops pulling
+// plan in batches and a LIMIT (or any other early exit) stops pulling
 // from the sources as soon as it is satisfied.
 //
 // # The Iterator contract
 //
-// An Iterator produces a finite stream of tuples, all conforming to the
-// schema reported by Schema(). The life cycle is strict:
+// An Iterator produces a finite stream of tuples, delivered in batches
+// (see Batch), all conforming to the schema reported by Schema(). The
+// life cycle is strict:
 //
 //  1. Schema() may be called at any time, including before Open; it is
 //     cheap and must always return the same value.
@@ -22,25 +23,43 @@ package relalg
 //     operators pass it to their children, leaves retain it and check it
 //     while producing, and breakers check it while draining, so canceling
 //     the context (or exceeding its deadline) makes Next return ctx.Err()
-//     promptly even mid-stream. Opening is where pipeline breakers (Sort,
-//     GroupBy, the build side of HashJoin, both sides of MergeJoin)
-//     consume their children and materialize; a non-breaker operator opens
-//     its children and does no tuple work.
-//  3. Next() returns (tuple, true, nil) while tuples remain, then
-//     (nil, false, nil) once exhausted. After it has returned false or an
-//     error, further calls keep returning (nil, false, err?) — callers may
-//     rely on that but must not rely on anything stronger.
+//     promptly even mid-stream (cancellation is observed per batch, not
+//     per tuple). Opening is where pipeline breakers (Sort, GroupBy, the
+//     build side of HashJoin, both sides of MergeJoin) consume their
+//     children and materialize; a non-breaker operator opens its children
+//     and does no tuple work.
+//  3. Next(max) returns a batch of 1..max(*) tuples while tuples remain,
+//     then an empty batch once exhausted — an empty batch with a nil
+//     error always and only means exhaustion, and an error always comes
+//     with an empty batch. max <= 0 requests DefaultBatchSize. After Next
+//     has returned an empty batch or an error, further calls keep
+//     returning (empty, err?) — callers may rely on that but must not
+//     rely on anything stronger. (*) Operators must never return more
+//     than max rows — LIMIT and the governors rely on it to bound what
+//     leaves pull from sources — but they return fewer freely: an
+//     operator hands back what one child batch yielded rather than
+//     looping to fill, so row-gated sources (and the wire path flushing
+//     per batch) keep their streaming latency; the final batch of a
+//     stream is ragged.
 //  4. Close() releases resources. It must be called exactly once after
 //     Open succeeded, even when Next returned an error; it closes the
 //     operator's children. Close after a failed Open is a no-op: an
 //     operator whose Open fails must release whatever it had already
 //     acquired before returning the error.
 //
-// Returned tuples are owned by the consumer until the next call to
-// Next(): operators either hand out freshly built tuples or tuples
-// aliasing an underlying materialized relation, and never overwrite a
-// tuple they have already handed out. Consumers that buffer tuples across
-// Next calls (breakers do) may therefore keep them without cloning.
+// Batch ownership is asymmetric: the batch itself (the Rows slice) is
+// valid only until the consumer's next call to Next or Close — producers
+// reuse the backing array. The tuples inside are durable: operators
+// either hand out freshly built tuples or tuples aliasing an underlying
+// materialized relation, and never overwrite a tuple they have already
+// handed out, so consumers that buffer tuples across calls (breakers do)
+// keep them without cloning.
+//
+// Operators that accumulate an output batch across several child pulls
+// (joins) flush before failing: when a child errors after rows were
+// already assembled, they return the partial batch first and re-surface
+// the error on the following call, so a mid-stream fault loses no rows
+// that the tuple-at-a-time contract would have delivered.
 //
 // Iterators are single-use and not safe for concurrent use. A consumer
 // that stops early (LIMIT) simply stops calling Next and calls Close;
@@ -48,7 +67,7 @@ package relalg
 
 import "context"
 
-// Iterator is the pull-based tuple stream every streaming operator
+// Iterator is the pull-based batch stream every streaming operator
 // implements. See the package comment above for the full contract.
 type Iterator interface {
 	// Schema describes the tuples this iterator produces.
@@ -57,8 +76,9 @@ type Iterator interface {
 	// context bounds the pipeline's run; cancellation surfaces as an
 	// error from Next (or from Open itself in pipeline breakers).
 	Open(ctx context.Context) error
-	// Next returns the next tuple, or ok=false when the stream is done.
-	Next() (Tuple, bool, error)
+	// Next returns the next batch of at most max tuples (max <= 0:
+	// DefaultBatchSize); an empty batch means the stream is done.
+	Next(max int) (Batch, error)
 	// Close releases resources; it closes children.
 	Close() error
 }
@@ -68,7 +88,9 @@ type Iterator interface {
 // merge-join side). The engine passes a store.TempStore-backed Stager so
 // large intermediates spill to local secondary storage instead of
 // occupying memory (and so per-session staging budgets are enforced at
-// the staging point); a nil Stager keeps everything resident.
+// the staging point); a nil Stager keeps everything resident. Staged
+// relations cross an interner pool boundary: they are encoded with the
+// collision-proof Value.Key forms, never with interned handles.
 type Stager interface {
 	// Stage parks rel and returns the relation to continue with (the
 	// same value, or a disk-backed reload of it).
@@ -83,29 +105,63 @@ func stage(st Stager, rel *Relation) (*Relation, error) {
 	return st.Stage(rel)
 }
 
+// RowCountHint is optionally implemented by iterators that can estimate
+// how many rows they will yield. Full drains (Collect, breakers) use it
+// only to presize their buffers, so a wrong hint costs memory or a
+// regrow, never correctness. It is queried after Open; row-preserving
+// wrappers forward their child's hint, row-reducing ones (filters,
+// limits) must not.
+type RowCountHint interface {
+	RowCountHint() int
+}
+
+// maxHintRows caps how far a hint may presize a drain buffer: a wildly
+// wrong estimate (a cold cost model) must not allocate unbounded memory
+// up front. Past the cap, growth proceeds by the normal append ladder.
+const maxHintRows = 1 << 20
+
+// presizeHint returns the presize capacity for draining it, or 0.
+func presizeHint(it Iterator) int {
+	h, ok := it.(RowCountHint)
+	if !ok {
+		return 0
+	}
+	n := h.RowCountHint()
+	if n < 0 {
+		return 0
+	}
+	if n > maxHintRows {
+		n = maxHintRows
+	}
+	return n
+}
+
 // Collect drains it into a materialized relation named name. It runs the
 // full Open/Next/Close cycle and is the bridge from the streaming world
-// back to *Relation. The drain loop checks ctx, so a canceled context
-// stops a breaker's buffering (and any other full drain) mid-way.
+// back to *Relation. The drain loop checks ctx per batch, so a canceled
+// context stops a breaker's buffering (and any other full drain) mid-way.
 func Collect(ctx context.Context, it Iterator, name string) (*Relation, error) {
 	if err := it.Open(ctx); err != nil {
 		return nil, err
 	}
 	out := NewRelation(name, it.Schema())
+	if n := presizeHint(it); n > 0 {
+		out.Tuples = make([]Tuple, 0, n)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			it.Close()
 			return nil, err
 		}
-		t, ok, err := it.Next()
+		b, err := it.Next(DefaultBatchSize)
 		if err != nil {
 			it.Close()
 			return nil, err
 		}
-		if !ok {
+		if b.Empty() {
 			break
 		}
-		out.Tuples = append(out.Tuples, t)
+		out.Tuples = append(out.Tuples, b.Rows...)
 	}
 	if err := it.Close(); err != nil {
 		return nil, err
@@ -113,9 +169,10 @@ func Collect(ctx context.Context, it Iterator, name string) (*Relation, error) {
 	return out, nil
 }
 
-// ScanIter streams the tuples of a materialized relation in order. It is
-// the leaf of every iterator tree built over in-memory data; as a leaf it
-// retains the Open context and reports its cancellation from Next.
+// ScanIter streams the tuples of a materialized relation in order,
+// serving each batch as a zero-copy subslice of the relation. It is the
+// leaf of every iterator tree built over in-memory data; as a leaf it
+// retains the Open context and checks it per batch.
 type ScanIter struct {
 	rel *Relation
 	ctx context.Context
@@ -136,20 +193,30 @@ func (s *ScanIter) Open(ctx context.Context) error {
 }
 
 // Next implements Iterator.
-func (s *ScanIter) Next() (Tuple, bool, error) {
+func (s *ScanIter) Next(max int) (Batch, error) {
 	if s.pos >= len(s.rel.Tuples) {
-		return nil, false, nil
+		return Batch{}, nil
 	}
 	if err := s.ctx.Err(); err != nil {
-		return nil, false, err
+		return Batch{}, err
 	}
-	t := s.rel.Tuples[s.pos]
-	s.pos++
-	return t, true, nil
+	if max <= 0 {
+		max = DefaultBatchSize
+	}
+	end := s.pos + max
+	if end > len(s.rel.Tuples) {
+		end = len(s.rel.Tuples)
+	}
+	b := Batch{Rows: s.rel.Tuples[s.pos:end]}
+	s.pos = end
+	return b, nil
 }
 
 // Close implements Iterator.
 func (s *ScanIter) Close() error { return nil }
+
+// RowCountHint implements RowCountHint: a scan's yield is exact.
+func (s *ScanIter) RowCountHint() int { return len(s.rel.Tuples) }
 
 // DeferredIter delays building its child until Open: the planner uses it
 // to keep whole mediation branches unplanned and unexecuted until the
@@ -157,9 +224,10 @@ func (s *ScanIter) Close() error { return nil }
 // branches entirely). The Open context is handed to the build function so
 // deferred work (bind-join fetches, staging drains) stays cancellable.
 type DeferredIter struct {
-	schema Schema
-	build  func(ctx context.Context) (Iterator, error)
-	child  Iterator
+	schema    Schema
+	build     func(ctx context.Context) (Iterator, error)
+	child     Iterator
+	transient bool // forward MarkTransient to the built child
 }
 
 // NewDeferred returns an iterator with the given schema whose child is
@@ -177,6 +245,9 @@ func (d *DeferredIter) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if d.transient {
+		MarkTransient(child)
+	}
 	if err := child.Open(ctx); err != nil {
 		return err
 	}
@@ -185,11 +256,11 @@ func (d *DeferredIter) Open(ctx context.Context) error {
 }
 
 // Next implements Iterator.
-func (d *DeferredIter) Next() (Tuple, bool, error) {
+func (d *DeferredIter) Next(max int) (Batch, error) {
 	if d.child == nil {
-		return nil, false, nil
+		return Batch{}, nil
 	}
-	return d.child.Next()
+	return d.child.Next(max)
 }
 
 // Close implements Iterator.
@@ -200,6 +271,15 @@ func (d *DeferredIter) Close() error {
 	err := d.child.Close()
 	d.child = nil
 	return err
+}
+
+// RowCountHint forwards the built child's hint (only meaningful after
+// Open, which is when drains query it).
+func (d *DeferredIter) RowCountHint() int {
+	if h, ok := d.child.(RowCountHint); ok {
+		return h.RowCountHint()
+	}
+	return 0
 }
 
 // RenameIter presents its child under a different schema (same arity and
@@ -222,10 +302,18 @@ func (r *RenameIter) Schema() Schema { return r.schema }
 func (r *RenameIter) Open(ctx context.Context) error { return r.child.Open(ctx) }
 
 // Next implements Iterator.
-func (r *RenameIter) Next() (Tuple, bool, error) { return r.child.Next() }
+func (r *RenameIter) Next(max int) (Batch, error) { return r.child.Next(max) }
 
 // Close implements Iterator.
 func (r *RenameIter) Close() error { return r.child.Close() }
+
+// RowCountHint forwards the child's hint (renaming preserves rows).
+func (r *RenameIter) RowCountHint() int {
+	if h, ok := r.child.(RowCountHint); ok {
+		return h.RowCountHint()
+	}
+	return 0
+}
 
 // OnOpenIter invokes a callback the first time Open is called; the
 // planner uses it to count how many branch pipelines actually start
@@ -253,7 +341,7 @@ func (o *OnOpenIter) Open(ctx context.Context) error {
 }
 
 // Next implements Iterator.
-func (o *OnOpenIter) Next() (Tuple, bool, error) { return o.child.Next() }
+func (o *OnOpenIter) Next(max int) (Batch, error) { return o.child.Next(max) }
 
 // Close implements Iterator.
 func (o *OnOpenIter) Close() error { return o.child.Close() }

@@ -7,10 +7,14 @@ import (
 	"repro/internal/sqlparse"
 )
 
-// FilterIter streams the child tuples satisfying a predicate.
+// FilterIter streams the child tuples satisfying a predicate. When every
+// row of a child batch passes, the batch is handed through untouched;
+// otherwise the survivors are gathered into a reused row buffer, so the
+// filter allocates nothing in steady state.
 type FilterIter struct {
 	child Iterator
 	pred  func(Tuple) (bool, error)
+	out   []Tuple
 }
 
 // NewFilterFunc filters child by an arbitrary per-tuple predicate.
@@ -25,10 +29,7 @@ func NewFilter(child Iterator, pred sqlparse.Expr) *FilterIter {
 	if pred == nil {
 		return &FilterIter{child: child, pred: func(Tuple) (bool, error) { return true, nil }}
 	}
-	schema := child.Schema()
-	return &FilterIter{child: child, pred: func(t Tuple) (bool, error) {
-		return EvalBool(pred, schema, t)
-	}}
+	return &FilterIter{child: child, pred: CompileBool(pred, child.Schema())}
 }
 
 // Schema implements Iterator.
@@ -38,18 +39,34 @@ func (f *FilterIter) Schema() Schema { return f.child.Schema() }
 func (f *FilterIter) Open(ctx context.Context) error { return f.child.Open(ctx) }
 
 // Next implements Iterator.
-func (f *FilterIter) Next() (Tuple, bool, error) {
+func (f *FilterIter) Next(max int) (Batch, error) {
 	for {
-		t, ok, err := f.child.Next()
-		if err != nil || !ok {
-			return nil, false, err
+		b, err := f.child.Next(max)
+		if err != nil || b.Empty() {
+			return Batch{}, err
 		}
-		keep, err := f.pred(t)
-		if err != nil {
-			return nil, false, err
+		keep := f.out[:0]
+		dropped := false
+		for i, t := range b.Rows {
+			ok, err := f.pred(t)
+			if err != nil {
+				f.out = keep
+				return Batch{}, err
+			}
+			switch {
+			case ok && dropped:
+				keep = append(keep, t)
+			case !ok && !dropped:
+				dropped = true
+				keep = append(keep, b.Rows[:i]...)
+			}
 		}
-		if keep {
-			return t, true, nil
+		if !dropped {
+			return b, nil
+		}
+		f.out = keep
+		if len(keep) > 0 {
+			return Batch{Rows: keep}, nil
 		}
 	}
 }
@@ -57,12 +74,16 @@ func (f *FilterIter) Next() (Tuple, bool, error) {
 // Close implements Iterator.
 func (f *FilterIter) Close() error { return f.child.Close() }
 
-// ProjectIter computes one output column per item for every child tuple.
+// ProjectIter computes one output column per item for every child tuple,
+// assembling each output batch in a value arena (one allocation per
+// batch, not one tuple allocation per row).
 type ProjectIter struct {
 	child  Iterator
 	items  []ProjectItem
 	in     Schema // child schema, resolved once
 	schema Schema
+	fns    []CompiledExpr // compiled items, one per output column
+	bb     *BatchBuilder
 }
 
 // ProjectionSchema computes the output schema of projecting items over
@@ -86,23 +107,33 @@ func NewProject(child Iterator, items []ProjectItem) *ProjectIter {
 func (p *ProjectIter) Schema() Schema { return p.schema }
 
 // Open implements Iterator.
-func (p *ProjectIter) Open(ctx context.Context) error { return p.child.Open(ctx) }
+func (p *ProjectIter) Open(ctx context.Context) error {
+	p.bb = NewBatchBuilder(len(p.items))
+	p.fns = make([]CompiledExpr, len(p.items))
+	for i, it := range p.items {
+		p.fns[i] = Compile(it.Expr, p.in)
+	}
+	return p.child.Open(ctx)
+}
 
 // Next implements Iterator.
-func (p *ProjectIter) Next() (Tuple, bool, error) {
-	t, ok, err := p.child.Next()
-	if err != nil || !ok {
-		return nil, false, err
+func (p *ProjectIter) Next(max int) (Batch, error) {
+	b, err := p.child.Next(max)
+	if err != nil || b.Empty() {
+		return Batch{}, err
 	}
-	row := make(Tuple, len(p.items))
-	for i, it := range p.items {
-		v, err := Eval(it.Expr, p.in, t)
-		if err != nil {
-			return nil, false, err
+	p.bb.Reset(len(b.Rows))
+	for _, t := range b.Rows {
+		row := p.bb.Row()
+		for i, fn := range p.fns {
+			v, err := fn(t)
+			if err != nil {
+				return Batch{}, err
+			}
+			row[i] = v
 		}
-		row[i] = v
 	}
-	return row, true, nil
+	return p.bb.Batch(), nil
 }
 
 // Close implements Iterator.
@@ -110,7 +141,10 @@ func (p *ProjectIter) Close() error { return p.child.Close() }
 
 // LimitIter passes through the first n tuples and then reports
 // exhaustion without pulling from its child again — the early-exit
-// operator that makes the streaming executor worthwhile.
+// operator that makes the streaming executor worthwhile. It propagates
+// its remainder as the child's max, so the batch below it (and every
+// batch down to the source leaf) never carries more rows than the limit
+// still needs.
 type LimitIter struct {
 	child  Iterator
 	n      int
@@ -141,16 +175,26 @@ func (l *LimitIter) Open(ctx context.Context) error {
 }
 
 // Next implements Iterator.
-func (l *LimitIter) Next() (Tuple, bool, error) {
-	if l.n >= 0 && l.seen >= l.n {
-		return nil, false, nil
+func (l *LimitIter) Next(max int) (Batch, error) {
+	if max <= 0 {
+		max = DefaultBatchSize
 	}
-	t, ok, err := l.child.Next()
-	if err != nil || !ok {
-		return nil, false, err
+	if l.n >= 0 {
+		if rem := l.n - l.seen; rem <= 0 {
+			return Batch{}, nil
+		} else if max > rem {
+			max = rem
+		}
 	}
-	l.seen++
-	return t, true, nil
+	b, err := l.child.Next(max)
+	if err != nil || b.Empty() {
+		return Batch{}, err
+	}
+	if len(b.Rows) > max {
+		b.Rows = b.Rows[:max]
+	}
+	l.seen += len(b.Rows)
+	return b, nil
 }
 
 // Close implements Iterator.
@@ -165,9 +209,16 @@ func (l *LimitIter) Close() error {
 // DistinctIter streams the child tuples, dropping duplicates of tuples
 // already emitted (first occurrence wins). It holds the set of seen keys,
 // not the tuples, so it streams without being a full pipeline breaker.
+// Keys are interned fixed-width encodings (see KeyEncoder): probing the
+// seen-set allocates nothing; only genuinely new rows insert a key.
 type DistinctIter struct {
 	child Iterator
-	seen  map[string]bool
+	// Intern optionally shares a pipeline-wide interner pool; set it
+	// before Open (nil: the operator builds a private pool).
+	Intern *Interner
+	seen   map[string]struct{}
+	enc    *KeyEncoder
+	out    []Tuple
 }
 
 // NewDistinct deduplicates child.
@@ -178,27 +229,46 @@ func (d *DistinctIter) Schema() Schema { return d.child.Schema() }
 
 // Open implements Iterator.
 func (d *DistinctIter) Open(ctx context.Context) error {
-	d.seen = make(map[string]bool)
+	d.seen = make(map[string]struct{})
+	d.enc = NewKeyEncoder(d.Intern)
 	return d.child.Open(ctx)
 }
 
 // Next implements Iterator.
-func (d *DistinctIter) Next() (Tuple, bool, error) {
+func (d *DistinctIter) Next(max int) (Batch, error) {
 	for {
-		t, ok, err := d.child.Next()
-		if err != nil || !ok {
-			return nil, false, err
+		b, err := d.child.Next(max)
+		if err != nil || b.Empty() {
+			return Batch{}, err
 		}
-		k := t.FullKey()
-		if !d.seen[k] {
-			d.seen[k] = true
-			return t, true, nil
+		keep := d.out[:0]
+		dropped := false
+		for i, t := range b.Rows {
+			k := d.enc.FullKey(t)
+			if _, dup := d.seen[string(k)]; dup {
+				if !dropped {
+					dropped = true
+					keep = append(keep, b.Rows[:i]...)
+				}
+				continue
+			}
+			d.seen[string(k)] = struct{}{}
+			if dropped {
+				keep = append(keep, t)
+			}
+		}
+		if !dropped {
+			return b, nil
+		}
+		d.out = keep
+		if len(keep) > 0 {
+			return Batch{Rows: keep}, nil
 		}
 	}
 }
 
 // Close implements Iterator.
-func (d *DistinctIter) Close() error { d.seen = nil; return d.child.Close() }
+func (d *DistinctIter) Close() error { d.seen, d.enc = nil, nil; return d.child.Close() }
 
 // UnionAllIter concatenates its children's streams in order, opening each
 // child only when the previous one is exhausted (so with an upstream
@@ -248,29 +318,29 @@ func (u *UnionAllIter) Open(ctx context.Context) error {
 }
 
 // Next implements Iterator.
-func (u *UnionAllIter) Next() (Tuple, bool, error) {
+func (u *UnionAllIter) Next(max int) (Batch, error) {
 	for u.cur < len(u.children) {
-		t, ok, err := u.children[u.cur].Next()
+		b, err := u.children[u.cur].Next(max)
 		if err != nil {
-			return nil, false, err
+			return Batch{}, err
 		}
-		if ok {
-			return t, true, nil
+		if !b.Empty() {
+			return b, nil
 		}
 		// Done with this child: release it before the next one opens.
 		u.closed = u.cur + 1
 		if err := u.children[u.cur].Close(); err != nil {
-			return nil, false, err
+			return Batch{}, err
 		}
 		u.cur++
 		if u.cur < len(u.children) {
 			if err := u.children[u.cur].Open(u.ctx); err != nil {
-				return nil, false, err
+				return Batch{}, err
 			}
 			u.opened = u.cur + 1
 		}
 	}
-	return nil, false, nil
+	return Batch{}, nil
 }
 
 // Close implements Iterator.
@@ -288,17 +358,25 @@ func (u *UnionAllIter) Close() error {
 // NestedLoopIter joins a streaming outer side against a materialized
 // inner relation, emitting concatenated rows where pred holds (nil pred:
 // cross product). The outer side streams; the inner is re-scanned per
-// outer tuple. Candidate rows are assembled in a reused scratch buffer
-// and cloned only when kept, so allocation is O(matches), not O(pairs).
+// outer tuple. Candidate rows are assembled directly in the output
+// batch's arena and rolled back when the predicate rejects them, so
+// allocation is O(batches of matches), not O(pairs).
 type NestedLoopIter struct {
 	outer  Iterator
 	inner  *Relation
 	pred   sqlparse.Expr
 	schema Schema
+	predFn func(Tuple) (bool, error) // pred compiled against schema
+	// TransientOutput recycles the output arena between batches; set
+	// only via MarkTransient (see its contract).
+	TransientOutput bool
 
-	cur     Tuple // current outer tuple, nil before first
-	pos     int   // next inner index
-	scratch Tuple
+	ob   Batch // current outer batch
+	oi   int   // next outer row within ob
+	cur  Tuple // current outer tuple, nil before first
+	pos  int   // next inner index
+	bb   *BatchBuilder
+	pend error // error to surface after a flushed partial batch
 }
 
 // NewNestedLoop joins outer against inner on pred.
@@ -316,37 +394,66 @@ func (n *NestedLoopIter) Schema() Schema { return n.schema }
 
 // Open implements Iterator.
 func (n *NestedLoopIter) Open(ctx context.Context) error {
-	n.cur, n.pos = nil, 0
-	n.scratch = make(Tuple, len(n.schema.Columns))
+	n.ob, n.oi, n.cur, n.pos, n.pend = Batch{}, 0, nil, 0, nil
+	n.bb = NewBatchBuilder(len(n.schema.Columns))
+	n.bb.Transient = n.TransientOutput
+	if n.pred != nil {
+		n.predFn = CompileBool(n.pred, n.schema)
+	}
 	return n.outer.Open(ctx)
 }
 
+// fail flushes an accumulated partial batch before surfacing err.
+func (n *NestedLoopIter) fail(err error) (Batch, error) {
+	if n.bb.Len() > 0 {
+		n.pend = err
+		return n.bb.Batch(), nil
+	}
+	return Batch{}, err
+}
+
 // Next implements Iterator.
-func (n *NestedLoopIter) Next() (Tuple, bool, error) {
-	for {
+func (n *NestedLoopIter) Next(max int) (Batch, error) {
+	if n.pend != nil {
+		err := n.pend
+		n.pend = nil
+		return Batch{}, err
+	}
+	if max <= 0 {
+		max = DefaultBatchSize
+	}
+	n.bb.Reset(max)
+	for n.bb.Len() < max {
 		if n.cur == nil || n.pos >= len(n.inner.Tuples) {
-			t, ok, err := n.outer.Next()
-			if err != nil || !ok {
-				return nil, false, err
+			if n.oi >= len(n.ob.Rows) {
+				b, err := n.outer.Next(max)
+				if err != nil {
+					return n.fail(err)
+				}
+				if b.Empty() {
+					break
+				}
+				n.ob, n.oi = b, 0
 			}
-			n.cur, n.pos = t, 0
-			copy(n.scratch, t)
+			n.cur, n.pos = n.ob.Rows[n.oi], 0
+			n.oi++
 			continue
 		}
 		it := n.inner.Tuples[n.pos]
 		n.pos++
-		copy(n.scratch[len(n.cur):], it)
-		if n.pred != nil {
-			ok, err := EvalBool(n.pred, n.schema, n.scratch)
+		row := n.bb.Concat(n.cur, it)
+		if n.predFn != nil {
+			ok, err := n.predFn(row)
 			if err != nil {
-				return nil, false, err
+				n.bb.DropLast()
+				return n.fail(err)
 			}
 			if !ok {
-				continue
+				n.bb.DropLast()
 			}
 		}
-		return n.scratch.Clone(), true, nil
 	}
+	return n.bb.Batch(), nil
 }
 
 // Close implements Iterator.
@@ -357,19 +464,48 @@ func (n *NestedLoopIter) Close() error { return n.outer.Close() }
 // set), the probe side streams. Output columns are always
 // left.Schema ++ right.Schema regardless of which side builds; output
 // order follows the probe stream, with matches in build-insertion order.
+// Single string keys map the raw string straight to a bucket index (the
+// table doubles as the interner: bucket index = dense handle); other key
+// shapes use the pool-backed fixed-width encoding. Probing allocates
+// nothing and build-side insertion allocates per distinct key, not per
+// row.
 type HashJoinIter struct {
 	left, right Iterator
 	leftIdx     []int // key positions in left schema
 	rightIdx    []int // key positions in right schema
 	residual    sqlparse.Expr
+	resFn       func(Tuple) (bool, error) // residual compiled against schema
 	buildLeft   bool
 	stager      Stager
 	schema      Schema
+	// Intern optionally shares a pipeline-wide interner pool; set it
+	// before Open (nil: the operator builds a private pool).
+	Intern *Interner
+	// TransientOutput recycles the output arena between batches; set
+	// only via MarkTransient (see its contract).
+	TransientOutput bool
 
-	table   map[string][]Tuple
+	table   map[string]int
+	stable  map[string]int // single string-column fast path: raw key string → bucket
+	single  bool           // exactly one key column
+	buckets []hjBucket
+	enc     *KeyEncoder
 	probe   Iterator
-	cur     Tuple   // current probe tuple
-	matches []Tuple // remaining build matches for cur
+	pb      Batch // current probe batch
+	pi      int   // next probe row within pb
+	cur     Tuple // current probe tuple
+	mb      int   // bucket index of cur's matches, -1 when none pending
+	mi      int   // next match within bucket mb (0 = first, n = rest[n-1])
+	bb      *BatchBuilder
+	pend    error
+}
+
+// hjBucket holds the build tuples sharing one key, in insertion order.
+// The first tuple is inline so unique keys (the common case) cost no
+// per-key slice allocation; only duplicates spill into rest.
+type hjBucket struct {
+	first Tuple
+	rest  []Tuple
 }
 
 // NewHashJoin prepares a hash join of left and right on pairwise equal
@@ -394,7 +530,7 @@ func NewHashJoin(left, right Iterator, leftKeys, rightKeys []string, residual sq
 		left: left, right: right,
 		leftIdx: li, rightIdx: ri,
 		residual: residual, buildLeft: buildLeft, stager: st,
-		schema: ls.Concat(rs),
+		schema: ls.Concat(rs), mb: -1,
 	}, nil
 }
 
@@ -414,7 +550,24 @@ func (h *HashJoinIter) Open(ctx context.Context) error {
 	if rel, err = stage(h.stager, rel); err != nil {
 		return err
 	}
-	h.table = make(map[string][]Tuple, len(rel.Tuples))
+	h.enc = NewKeyEncoder(h.Intern)
+	if h.residual != nil {
+		h.resFn = CompileBool(h.residual, h.schema)
+	}
+	h.single = len(buildIdx) == 1
+	if h.single {
+		// Single string join keys (the common case) map the raw string
+		// straight to its bucket index: the table itself is the interner
+		// (bucket index = dense handle), so there is no second hop
+		// through the shared pool and no pool growth per build row.
+		h.stable = make(map[string]int, len(rel.Tuples))
+	} else {
+		h.table = make(map[string]int, len(rel.Tuples))
+	}
+	h.buckets = h.buckets[:0]
+	if cap(h.buckets) < len(rel.Tuples) {
+		h.buckets = make([]hjBucket, 0, len(rel.Tuples))
+	}
 	for _, t := range rel.Tuples {
 		// SQL equality: NULL keys never join.
 		hasNull := false
@@ -427,59 +580,140 @@ func (h *HashJoinIter) Open(ctx context.Context) error {
 		if hasNull {
 			continue
 		}
-		k := t.Key(buildIdx)
-		h.table[k] = append(h.table[k], t)
+		var idx int
+		var ok bool
+		if h.single && t[buildIdx[0]].K == KindString {
+			s := t[buildIdx[0]].S
+			if idx, ok = h.stable[s]; !ok {
+				idx = len(h.buckets)
+				h.buckets = append(h.buckets, hjBucket{})
+				h.stable[s] = idx
+			}
+		} else {
+			if h.table == nil {
+				// Single-key build with a non-string value: fall back to
+				// the generic encoded table for this row.
+				h.table = make(map[string]int)
+			}
+			k := h.enc.Key(t, buildIdx)
+			if idx, ok = h.table[string(k)]; !ok {
+				idx = len(h.buckets)
+				h.buckets = append(h.buckets, hjBucket{})
+				h.table[string(k)] = idx
+			}
+		}
+		if b := &h.buckets[idx]; b.first == nil {
+			b.first = t
+		} else {
+			b.rest = append(b.rest, t)
+		}
 	}
 	h.probe = h.left
 	if h.buildLeft {
 		h.probe = h.right
 	}
-	h.cur, h.matches = nil, nil
+	h.pb, h.pi, h.cur, h.mb, h.mi, h.pend = Batch{}, 0, nil, -1, 0, nil
+	h.bb = NewBatchBuilder(len(h.schema.Columns))
+	h.bb.Transient = h.TransientOutput
 	return h.probe.Open(ctx)
 }
 
+// lookup finds the bucket for a probe tuple's key, if any. Single string
+// keys probe the raw-string table directly — no encoding, no pool
+// traffic; only multi-column or non-string keys pay for the generic
+// encoded form.
+func (h *HashJoinIter) lookup(t Tuple, probeIdx []int) (int, bool) {
+	if h.single {
+		if v := t[probeIdx[0]]; v.K == KindString {
+			idx, ok := h.stable[v.S]
+			return idx, ok
+		}
+	}
+	if h.table == nil {
+		return 0, false
+	}
+	idx, ok := h.table[string(h.enc.Key(t, probeIdx))]
+	return idx, ok
+}
+
+// fail flushes an accumulated partial batch before surfacing err.
+func (h *HashJoinIter) fail(err error) (Batch, error) {
+	if h.bb.Len() > 0 {
+		h.pend = err
+		return h.bb.Batch(), nil
+	}
+	return Batch{}, err
+}
+
 // Next implements Iterator.
-func (h *HashJoinIter) Next() (Tuple, bool, error) {
+func (h *HashJoinIter) Next(max int) (Batch, error) {
+	if h.pend != nil {
+		err := h.pend
+		h.pend = nil
+		return Batch{}, err
+	}
+	if max <= 0 {
+		max = DefaultBatchSize
+	}
 	probeIdx := h.leftIdx
 	if h.buildLeft {
 		probeIdx = h.rightIdx
 	}
-	for {
-		for len(h.matches) == 0 {
-			t, ok, err := h.probe.Next()
-			if err != nil || !ok {
-				return nil, false, err
+	h.bb.Reset(max)
+	for h.bb.Len() < max {
+		if h.mb < 0 {
+			if h.pi >= len(h.pb.Rows) {
+				b, err := h.probe.Next(max)
+				if err != nil {
+					return h.fail(err)
+				}
+				if b.Empty() {
+					break
+				}
+				h.pb, h.pi = b, 0
 			}
-			h.cur = t
-			h.matches = h.table[t.Key(probeIdx)]
+			t := h.pb.Rows[h.pi]
+			h.pi++
+			if idx, ok := h.lookup(t, probeIdx); ok {
+				h.cur, h.mb, h.mi = t, idx, 0
+			}
+			continue
 		}
-		bt := h.matches[0]
-		h.matches = h.matches[1:]
+		bkt := &h.buckets[h.mb]
+		var bt Tuple
+		if h.mi == 0 {
+			bt = bkt.first
+		} else {
+			bt = bkt.rest[h.mi-1]
+		}
+		h.mi++
+		if h.mi > len(bkt.rest) {
+			h.mb = -1
+		}
 		// Assemble in left ++ right order: bt came from the build side,
 		// h.cur from the probe side.
 		l, r := h.cur, bt
 		if h.buildLeft {
 			l, r = bt, h.cur
 		}
-		row := make(Tuple, 0, len(l)+len(r))
-		row = append(row, l...)
-		row = append(row, r...)
-		if h.residual != nil {
-			ok, err := EvalBool(h.residual, h.schema, row)
+		row := h.bb.Concat(l, r)
+		if h.resFn != nil {
+			ok, err := h.resFn(row)
 			if err != nil {
-				return nil, false, err
+				h.bb.DropLast()
+				return h.fail(err)
 			}
 			if !ok {
-				continue
+				h.bb.DropLast()
 			}
 		}
-		return row, true, nil
 	}
+	return h.bb.Batch(), nil
 }
 
 // Close implements Iterator.
 func (h *HashJoinIter) Close() error {
-	h.table, h.matches = nil, nil
+	h.table, h.stable, h.buckets, h.enc, h.mb = nil, nil, nil, nil, -1
 	if h.probe == nil {
 		return nil
 	}
@@ -495,13 +729,19 @@ type MergeJoinIter struct {
 	leftIdx     []int
 	rightIdx    []int
 	residual    sqlparse.Expr
+	resFn       func(Tuple) (bool, error) // residual compiled against schema
 	stager      Stager
 	schema      Schema
+	// TransientOutput recycles the output arena between batches; set
+	// only via MarkTransient (see its contract).
+	TransientOutput bool
 
 	sa, sb []Tuple
 	// Merge state: [i,iEnd) × [j,jEnd) is the active equal-key run pair,
 	// (ii,jj) the next pair inside it; iEnd==i means no active run.
 	i, j, iEnd, jEnd, ii, jj int
+	bb                       *BatchBuilder
+	pend                     error
 }
 
 // NewMergeJoin prepares a sort-merge join of left and right on pairwise
@@ -551,6 +791,12 @@ func (m *MergeJoinIter) Open(ctx context.Context) error {
 		return err
 	}
 	m.i, m.j, m.iEnd, m.jEnd = 0, 0, 0, 0
+	m.bb = NewBatchBuilder(len(m.schema.Columns))
+	m.bb.Transient = m.TransientOutput
+	if m.residual != nil {
+		m.resFn = CompileBool(m.residual, m.schema)
+	}
+	m.pend = nil
 	return nil
 }
 
@@ -573,10 +819,19 @@ func sameKeyRun(tuples []Tuple, idx []int, i, j int) bool {
 }
 
 // Next implements Iterator.
-func (m *MergeJoinIter) Next() (Tuple, bool, error) {
-	for {
+func (m *MergeJoinIter) Next(max int) (Batch, error) {
+	if m.pend != nil {
+		err := m.pend
+		m.pend = nil
+		return Batch{}, err
+	}
+	if max <= 0 {
+		max = DefaultBatchSize
+	}
+	m.bb.Reset(max)
+	for m.bb.Len() < max {
 		// Emit from the active run pair, if any.
-		for m.ii < m.iEnd {
+		if m.ii < m.iEnd {
 			if m.jj >= m.jEnd {
 				m.ii++
 				m.jj = m.j
@@ -595,19 +850,22 @@ func (m *MergeJoinIter) Next() (Tuple, bool, error) {
 			if nullKey {
 				continue
 			}
-			row := make(Tuple, 0, len(ta)+len(tb))
-			row = append(row, ta...)
-			row = append(row, tb...)
-			if m.residual != nil {
-				ok, err := EvalBool(m.residual, m.schema, row)
+			row := m.bb.Concat(ta, tb)
+			if m.resFn != nil {
+				ok, err := m.resFn(row)
 				if err != nil {
-					return nil, false, err
+					m.bb.DropLast()
+					if m.bb.Len() > 0 {
+						m.pend = err
+						return m.bb.Batch(), nil
+					}
+					return Batch{}, err
 				}
 				if !ok {
-					continue
+					m.bb.DropLast()
 				}
 			}
-			return row, true, nil
+			continue
 		}
 		if m.iEnd > m.i {
 			// Run pair exhausted; advance past it.
@@ -616,7 +874,7 @@ func (m *MergeJoinIter) Next() (Tuple, bool, error) {
 		}
 		// Find the next pair of equal-key runs.
 		if m.i >= len(m.sa) || m.j >= len(m.sb) {
-			return nil, false, nil
+			break
 		}
 		switch c := m.cmpKeys(m.sa[m.i], m.sb[m.j]); {
 		case c < 0:
@@ -635,14 +893,15 @@ func (m *MergeJoinIter) Next() (Tuple, bool, error) {
 			m.ii, m.jj = m.i, m.j
 		}
 	}
+	return m.bb.Batch(), nil
 }
 
 // Close implements Iterator.
-func (m *MergeJoinIter) Close() error { m.sa, m.sb = nil, nil; return nil }
+func (m *MergeJoinIter) Close() error { m.sa, m.sb, m.bb = nil, nil, nil; return nil }
 
 // SortIter is the canonical pipeline breaker: Open drains the child,
 // stages the buffer, sorts it with the materialized sort core, and then
-// streams the sorted result.
+// streams the sorted result (zero-copy batches over the sorted buffer).
 type SortIter struct {
 	child  Iterator
 	keys   []OrderKey
@@ -676,11 +935,11 @@ func (s *SortIter) Open(ctx context.Context) error {
 }
 
 // Next implements Iterator.
-func (s *SortIter) Next() (Tuple, bool, error) {
+func (s *SortIter) Next(max int) (Batch, error) {
 	if s.out == nil {
-		return nil, false, nil
+		return Batch{}, nil
 	}
-	return s.out.Next()
+	return s.out.Next(max)
 }
 
 // Close implements Iterator.
@@ -695,6 +954,9 @@ type GroupByIter struct {
 	having sqlparse.Expr
 	stager Stager
 	schema Schema
+	// Intern optionally shares a pipeline-wide interner pool with the
+	// grouping core; set it before Open.
+	Intern *Interner
 	out    *ScanIter
 }
 
@@ -723,7 +985,7 @@ func (g *GroupByIter) Open(ctx context.Context) error {
 	if rel, err = stage(g.stager, rel); err != nil {
 		return err
 	}
-	grouped, err := GroupBy(rel, g.keys, g.items, g.having)
+	grouped, err := groupByInterned(rel, g.keys, g.items, g.having, g.Intern)
 	if err != nil {
 		return err
 	}
@@ -732,11 +994,11 @@ func (g *GroupByIter) Open(ctx context.Context) error {
 }
 
 // Next implements Iterator.
-func (g *GroupByIter) Next() (Tuple, bool, error) {
+func (g *GroupByIter) Next(max int) (Batch, error) {
 	if g.out == nil {
-		return nil, false, nil
+		return Batch{}, nil
 	}
-	return g.out.Next()
+	return g.out.Next(max)
 }
 
 // Close implements Iterator.

@@ -43,6 +43,11 @@ type RowStream interface {
 	Mediation() *core.Mediation
 	// Next returns the next row, ok=false at end, or the terminal error.
 	Next() (relalg.Tuple, bool, error)
+	// NextBatch returns the next block of rows (1..max; nil at end, or
+	// the terminal error). The slice is valid until the next call. The
+	// stream handler drains blocks so encode+flush overhead is paid per
+	// batch, not per row.
+	NextBatch(max int) ([]relalg.Tuple, error)
 	// Warnings returns the degraded-branch warnings of a partial-results
 	// stream accumulated so far (nil otherwise); final once Next returned
 	// ok=false.
@@ -328,23 +333,28 @@ func (s *srv) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 
 	rows := 0
 	for {
-		t, ok, err := rs.Next()
+		// One flush per batch: a gated or trickling source yields one-row
+		// batches (each row still reaches the receiver as it arrives),
+		// while a bulk source pays the flush once per 1024 rows.
+		batch, err := rs.NextBatch(relalg.DefaultBatchSize)
 		if err != nil {
 			_ = enc.Encode(StreamRecord{Type: "error", Rows: rows, Error: err.Error(), Warnings: rs.Warnings()})
 			flush()
 			return
 		}
-		if !ok {
+		if len(batch) == 0 {
 			break
 		}
-		vals := make([]interface{}, len(t))
-		for i, v := range t {
-			vals[i] = valueJSON(v)
+		for _, t := range batch {
+			vals := make([]interface{}, len(t))
+			for i, v := range t {
+				vals[i] = valueJSON(v)
+			}
+			if err := enc.Encode(StreamRecord{Type: "row", Values: vals}); err != nil {
+				return // receiver gone; rs.Close (deferred) cancels the session
+			}
+			rows++
 		}
-		if err := enc.Encode(StreamRecord{Type: "row", Values: vals}); err != nil {
-			return // receiver gone; rs.Close (deferred) cancels the session
-		}
-		rows++
 		flush()
 	}
 	// The warnings ride the trailer: branches can degrade mid-stream, so

@@ -90,12 +90,16 @@ func (t *Table) HasIndex(column string) bool {
 	return ok
 }
 
-// Scan snapshots the table as a relation (tuples shared copy).
+// Scan snapshots the table as a relation. The snapshot aliases the
+// table's tuple slice with its capacity capped at the snapshot length:
+// existing rows are never mutated in place (Insert only appends, past
+// the cap the snapshot can see), and a caller appending to the snapshot
+// reallocates instead of writing into the table, so no copy is needed.
 func (t *Table) Scan() *relalg.Relation {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := relalg.NewRelation(t.Name, t.Schema)
-	out.Tuples = append(out.Tuples, t.tuples...)
+	out.Tuples = t.tuples[:len(t.tuples):len(t.tuples)]
 	return out
 }
 

@@ -265,6 +265,12 @@ type filteredStream struct {
 	match   func(relalg.Tuple) (bool, error)
 	projIdx []int
 	schema  relalg.Schema
+
+	// Batch-mode state: reused row buffer / projection arena, and an
+	// error held back behind already-buffered rows.
+	out  []relalg.Tuple
+	bb   *relalg.BatchBuilder
+	pend error
 }
 
 func (f *filteredStream) Schema() relalg.Schema { return f.schema }
@@ -294,6 +300,68 @@ func (f *filteredStream) Next() (relalg.Tuple, bool, error) {
 		}
 		return row, true, nil
 	}
+}
+
+// NextBatch implements wrapper.BatchStream: one context check and one
+// parse/filter/project sweep per block of rows. A parse error hit after
+// rows were buffered is held back until the following call, preserving
+// the per-tuple contract's rows-before-error delivery.
+func (f *filteredStream) NextBatch(max int) ([]relalg.Tuple, error) {
+	if err := f.pend; err != nil {
+		f.pend = nil
+		return nil, err
+	}
+	if err := f.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if max <= 0 {
+		max = relalg.DefaultBatchSize
+	}
+	if f.projIdx != nil && f.bb == nil {
+		f.bb = relalg.NewBatchBuilder(len(f.projIdx))
+	}
+	if f.projIdx == nil {
+		f.out = f.out[:0]
+	} else {
+		f.bb.Reset(max)
+	}
+	n := 0
+	for n < max {
+		t, ok, err := f.raw.Next()
+		if err != nil {
+			f.pend = err
+			break
+		}
+		if !ok {
+			break
+		}
+		keep, err := f.match(t)
+		if err != nil {
+			f.pend = err
+			break
+		}
+		if !keep {
+			continue
+		}
+		n++
+		if f.projIdx == nil {
+			f.out = append(f.out, t)
+			continue
+		}
+		row := f.bb.Row()
+		for i, ci := range f.projIdx {
+			row[i] = t[ci]
+		}
+	}
+	if n == 0 && f.pend != nil {
+		err := f.pend
+		f.pend = nil
+		return nil, err
+	}
+	if f.projIdx == nil {
+		return f.out, nil
+	}
+	return f.bb.Batch().Rows, nil
 }
 
 func (f *filteredStream) Close() error { return f.raw.Close() }

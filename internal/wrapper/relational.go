@@ -251,6 +251,8 @@ type relationalStream struct {
 	projIdx []int
 	schema  relalg.Schema
 	pos     int
+	out     []relalg.Tuple       // reused row buffer for filtered batches
+	bb      *relalg.BatchBuilder // arena for projected batches
 }
 
 func (s *relationalStream) Schema() relalg.Schema { return s.schema }
@@ -279,6 +281,59 @@ func (s *relationalStream) Next() (relalg.Tuple, bool, error) {
 		return row, true, nil
 	}
 	return nil, false, nil
+}
+
+// NextBatch implements BatchStream: one context check and one
+// filter/projection sweep per block of rows, with projected rows built in
+// a per-batch value arena.
+func (s *relationalStream) NextBatch(max int) ([]relalg.Tuple, error) {
+	if s.pos >= len(s.rel.Tuples) {
+		return nil, nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if max <= 0 {
+		max = relalg.DefaultBatchSize
+	}
+	if s.projIdx != nil && s.bb == nil {
+		s.bb = relalg.NewBatchBuilder(len(s.projIdx))
+	}
+	for s.pos < len(s.rel.Tuples) {
+		if s.projIdx == nil {
+			s.out = s.out[:0]
+		} else {
+			s.bb.Reset(max)
+		}
+		n := 0
+		for s.pos < len(s.rel.Tuples) && n < max {
+			t := s.rel.Tuples[s.pos]
+			s.pos++
+			ok, err := s.match(t)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			n++
+			if s.projIdx == nil {
+				s.out = append(s.out, t)
+				continue
+			}
+			row := s.bb.Row()
+			for i, ci := range s.projIdx {
+				row[i] = t[ci]
+			}
+		}
+		if n > 0 {
+			if s.projIdx == nil {
+				return s.out, nil
+			}
+			return s.bb.Batch().Rows, nil
+		}
+	}
+	return nil, nil
 }
 
 func (s *relationalStream) Close() error { return nil }

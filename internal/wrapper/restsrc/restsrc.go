@@ -303,6 +303,7 @@ type pageStream struct {
 	pos    int
 	done   bool
 	closed bool
+	bb     *relalg.BatchBuilder // arena for projected batches
 }
 
 func (p *pageStream) Schema() relalg.Schema { return p.out }
@@ -332,6 +333,50 @@ func (p *pageStream) Next() (relalg.Tuple, bool, error) {
 		tup = narrow
 	}
 	return tup, true, nil
+}
+
+// NextBatch implements wrapper.BatchStream: a batch is (at most) the
+// remainder of the already-fetched page — the stream never fetches the
+// next page just to fill a batch, so pagination round trips still track
+// consumer demand.
+func (p *pageStream) NextBatch(max int) ([]relalg.Tuple, error) {
+	if p.closed {
+		return nil, fmt.Errorf("restsrc: stream closed")
+	}
+	if err := p.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if max <= 0 {
+		max = relalg.DefaultBatchSize
+	}
+	for p.pos >= len(p.buf) {
+		if p.done {
+			return nil, nil
+		}
+		if err := p.fetchPage(); err != nil {
+			return nil, err
+		}
+	}
+	end := p.pos + max
+	if end > len(p.buf) {
+		end = len(p.buf)
+	}
+	rows := p.buf[p.pos:end]
+	p.pos = end
+	if p.project == nil {
+		return rows, nil
+	}
+	if p.bb == nil {
+		p.bb = relalg.NewBatchBuilder(len(p.project))
+	}
+	p.bb.Reset(len(rows))
+	for _, tup := range rows {
+		narrow := p.bb.Row()
+		for i, ci := range p.project {
+			narrow[i] = tup[ci]
+		}
+	}
+	return p.bb.Batch().Rows, nil
 }
 
 func (p *pageStream) Close() error {

@@ -347,6 +347,13 @@ func quoteIdent(name string) (string, error) {
 type sqlStream struct {
 	rows   *sql.Rows
 	schema relalg.Schema
+
+	// Batch-mode state: reused scan destinations, per-batch arena, and an
+	// error held back behind already-buffered rows.
+	bb   *relalg.BatchBuilder
+	raw  []any
+	ptrs []any
+	pend error
 }
 
 func (s *sqlStream) Schema() relalg.Schema { return s.schema }
@@ -371,6 +378,52 @@ func (s *sqlStream) Next() (relalg.Tuple, bool, error) {
 		tup[i] = fromDBValue(v, s.schema.Columns[i].Type)
 	}
 	return tup, true, nil
+}
+
+// NextBatch implements wrapper.BatchStream: one cursor sweep per block,
+// reusing the scan destinations across rows and building tuples in a
+// per-batch value arena. A cursor or scan error after rows were buffered
+// is held back until the following call, so no fetched row is lost.
+func (s *sqlStream) NextBatch(max int) ([]relalg.Tuple, error) {
+	if err := s.pend; err != nil {
+		s.pend = nil
+		return nil, err
+	}
+	if max <= 0 {
+		max = relalg.DefaultBatchSize
+	}
+	arity := len(s.schema.Columns)
+	if s.bb == nil {
+		s.bb = relalg.NewBatchBuilder(arity)
+		s.raw = make([]any, arity)
+		s.ptrs = make([]any, arity)
+		for i := range s.raw {
+			s.ptrs[i] = &s.raw[i]
+		}
+	}
+	s.bb.Reset(max)
+	for s.bb.Len() < max {
+		if !s.rows.Next() {
+			if err := s.rows.Err(); err != nil {
+				s.pend = fmt.Errorf("sqlsrc: cursor: %w", err)
+			}
+			break
+		}
+		if err := s.rows.Scan(s.ptrs...); err != nil {
+			s.pend = fmt.Errorf("sqlsrc: scan: %w", err)
+			break
+		}
+		tup := s.bb.Row()
+		for i, v := range s.raw {
+			tup[i] = fromDBValue(v, s.schema.Columns[i].Type)
+		}
+	}
+	if s.bb.Len() == 0 && s.pend != nil {
+		err := s.pend
+		s.pend = nil
+		return nil, err
+	}
+	return s.bb.Batch().Rows, nil
 }
 
 func (s *sqlStream) Close() error { return s.rows.Close() }

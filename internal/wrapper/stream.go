@@ -46,6 +46,41 @@ func QueryStream(ctx context.Context, w Wrapper, q SourceQuery) (TupleStream, er
 	return NewRelationStream(rel), nil
 }
 
+// BatchStream is optionally implemented by TupleStreams that can deliver
+// whole blocks of tuples per call — the streaming counterpart of a
+// chunked fetch protocol. The engine's scan leaf probes for it and falls
+// back to per-tuple Next (a degenerate one-row batch) when absent, so
+// per-tuple gating wrappers (test gates, fault injectors) keep their
+// exact semantics.
+//
+// Contract: NextBatch returns 1..max rows, or (nil, nil) at end of
+// stream. An error comes with no rows: an implementation that hits a
+// fault after buffering rows returns the buffered rows first and
+// re-surfaces the error on the following call, so no delivered tuple is
+// lost. The returned slice is valid until the next NextBatch/Close; the
+// tuples inside are durable.
+type BatchStream interface {
+	NextBatch(max int) ([]relalg.Tuple, error)
+}
+
+// NextBatch implements BatchStream as a zero-copy subslice of the
+// materialized relation.
+func (r *RelationStream) NextBatch(max int) ([]relalg.Tuple, error) {
+	if r.pos >= len(r.rel.Tuples) {
+		return nil, nil
+	}
+	if max <= 0 {
+		max = relalg.DefaultBatchSize
+	}
+	end := r.pos + max
+	if end > len(r.rel.Tuples) {
+		end = len(r.rel.Tuples)
+	}
+	rows := r.rel.Tuples[r.pos:end]
+	r.pos = end
+	return rows, nil
+}
+
 // RelationStream adapts a materialized relation to the TupleStream
 // interface.
 type RelationStream struct {
@@ -83,16 +118,18 @@ func Matcher(schema relalg.Schema, filters []Filter) (func(relalg.Tuple) (bool, 
 		return func(relalg.Tuple) (bool, error) { return true, nil }, nil
 	}
 	idx := make([]int, len(filters))
+	fns := make([]func(relalg.Value) (bool, error), len(filters))
 	for i, f := range filters {
 		ci := schema.Index(f.Column)
 		if ci < 0 {
 			return nil, fmt.Errorf("wrapper: filter on unknown column %s", f.Column)
 		}
 		idx[i] = ci
+		fns[i] = f.Compile()
 	}
 	return func(t relalg.Tuple) (bool, error) {
-		for i, f := range filters {
-			ok, err := f.Match(t[idx[i]])
+		for i, fn := range fns {
+			ok, err := fn(t[idx[i]])
 			if err != nil {
 				return false, err
 			}

@@ -53,6 +53,79 @@ func (f Filter) Match(v relalg.Value) (bool, error) {
 	return evalFilter(v, f.Op, f.Value)
 }
 
+// Compile resolves the filter operator once, returning the per-value
+// predicate Match applies row by row (same semantics, including errors —
+// an unknown operator errors on first use, not at compile time). All-
+// string IN lists — the shape bind-join batching produces — probe a set
+// instead of scanning the value list per row.
+func (f Filter) Compile() func(relalg.Value) (bool, error) {
+	if f.Op == OpIn {
+		allStr := len(f.Values) > 0
+		for _, c := range f.Values {
+			if c.K != relalg.KindString {
+				allStr = false
+				break
+			}
+		}
+		if allStr {
+			set := make(map[string]struct{}, len(f.Values))
+			for _, c := range f.Values {
+				set[c.S] = struct{}{}
+			}
+			return func(v relalg.Value) (bool, error) {
+				if v.K != relalg.KindString {
+					return false, nil
+				}
+				_, ok := set[v.S]
+				return ok, nil
+			}
+		}
+		vals := f.Values
+		return func(v relalg.Value) (bool, error) {
+			for _, c := range vals {
+				if v.Equal(c) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+	}
+	c := f.Value
+	switch f.Op {
+	case "=":
+		return func(v relalg.Value) (bool, error) { return v.Equal(c), nil }
+	case "<>":
+		return func(v relalg.Value) (bool, error) {
+			if v.IsNull() || c.IsNull() {
+				return false, nil
+			}
+			return !v.Equal(c), nil
+		}
+	case "<":
+		return func(v relalg.Value) (bool, error) {
+			cmp, ok := v.Compare(c)
+			return ok && cmp < 0, nil
+		}
+	case "<=":
+		return func(v relalg.Value) (bool, error) {
+			cmp, ok := v.Compare(c)
+			return ok && cmp <= 0, nil
+		}
+	case ">":
+		return func(v relalg.Value) (bool, error) {
+			cmp, ok := v.Compare(c)
+			return ok && cmp > 0, nil
+		}
+	case ">=":
+		return func(v relalg.Value) (bool, error) {
+			cmp, ok := v.Compare(c)
+			return ok && cmp >= 0, nil
+		}
+	}
+	err := fmt.Errorf("wrapper: unknown filter operator %q", f.Op)
+	return func(relalg.Value) (bool, error) { return false, err }
+}
+
 // SourceQuery is a single-relation query in the wrapper protocol.
 type SourceQuery struct {
 	Relation string

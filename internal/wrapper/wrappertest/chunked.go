@@ -94,4 +94,26 @@ func (s *chunkStream) fetchChunk() {
 	s.next = end
 }
 
+// NextBatch implements wrapper.BatchStream: a batch is (at most) the
+// remainder of the current chunk — chunk boundaries survive as batch
+// boundaries, and the final empty fetch still happens before EOF.
+func (s *chunkStream) NextBatch(max int) ([]relalg.Tuple, error) {
+	if max <= 0 {
+		max = relalg.DefaultBatchSize
+	}
+	for s.pos >= len(s.buf) {
+		if s.done {
+			return nil, nil
+		}
+		s.fetchChunk()
+	}
+	end := s.pos + max
+	if end > len(s.buf) {
+		end = len(s.buf)
+	}
+	rows := s.buf[s.pos:end]
+	s.pos = end
+	return rows, nil
+}
+
 func (s *chunkStream) Close() error { return nil }

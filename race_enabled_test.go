@@ -1,0 +1,8 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc-budget tests skip under it because instrumentation inflates
+// allocation counts far past the budgets they pin.
+const raceEnabled = true
