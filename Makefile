@@ -11,9 +11,9 @@ COUNT     ?= 6
 
 FUZZTIME  ?= 10s
 
-.PHONY: all build test test-race test-chaos vet docs-check examples bench bench-smoke bench-base bench-compare golden golden-update fuzz clean
+.PHONY: all build test test-race test-chaos test-invariants vet lint docs-check examples bench bench-smoke bench-base bench-compare golden golden-update fuzz clean
 
-all: vet docs-check test
+all: vet lint test
 
 build:
 	$(GO) build $(PKGS)
@@ -55,8 +55,25 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/sqlparse/
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime $(FUZZTIME) ./internal/wrapper/
 
+# Static-analysis gate: vet, the package-comment check, and the
+# engine-invariant analyzer suite (batchretain, ctxflow, sourcefunnel,
+# closebalance, errclass — see internal/analysis and cmd/coinlint).
+# Findings are suppressed only by a reasoned //lint:allow annotation.
+lint:
+	$(GO) vet $(PKGS)
+	$(GO) run ./internal/tools/docscheck
+	$(GO) run ./cmd/coinlint $(PKGS)
+
+# Runtime-assertion build: the relalg invariants layer (transient-arena
+# poisoning, iterator-lifecycle shims, interner handle validation) armed
+# via the build tag, under the race detector (see
+# internal/relalg/invariants_on.go).
+test-invariants:
+	$(GO) test -tags invariants -race ./internal/relalg/ ./internal/planner/ ./coin/ ./internal/golden/
+
 # Documentation gate: vet plus a package-comment check over every package
-# (see internal/tools/docscheck).
+# (see internal/tools/docscheck). Kept as an alias; `make lint` is the CI
+# gate and supersedes it.
 docs-check:
 	$(GO) vet $(PKGS)
 	$(GO) run ./internal/tools/docscheck

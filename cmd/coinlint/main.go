@@ -1,0 +1,117 @@
+// Command coinlint is the engine-invariant multichecker: it runs the
+// internal/analysis suite (batchretain, ctxflow, sourcefunnel,
+// closebalance, errclass) over the module and exits non-zero on any
+// finding. It is part of the `make lint` CI gate.
+//
+// Usage:
+//
+//	go run ./cmd/coinlint [flags] [packages]
+//
+// Packages default to ./...; the working directory must be inside the
+// module. Findings print as file:line:col: message (analyzer). A finding
+// is suppressed by `//lint:allow <analyzer> <reason>` on the flagged line
+// or alone on the line above it; the reason is mandatory, and an allow
+// that suppresses nothing is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		disable = flag.String("disable", "", "comma-separated analyzer names to skip")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite, err := selectAnalyzers(*only, *disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coinlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coinlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coinlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "coinlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only / -disable flags against the suite.
+func selectAnalyzers(only, disable string) ([]*analysis.Analyzer, error) {
+	if only != "" && disable != "" {
+		return nil, fmt.Errorf("-only and -disable are mutually exclusive")
+	}
+	named := func(csv string) (map[string]bool, error) {
+		set := map[string]bool{}
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if analysis.ByName(n) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", n)
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	switch {
+	case only != "":
+		set, err := named(only)
+		if err != nil {
+			return nil, err
+		}
+		var suite []*analysis.Analyzer
+		for _, a := range analysis.All() {
+			if set[a.Name] {
+				suite = append(suite, a)
+			}
+		}
+		return suite, nil
+	case disable != "":
+		set, err := named(disable)
+		if err != nil {
+			return nil, err
+		}
+		var suite []*analysis.Analyzer
+		for _, a := range analysis.All() {
+			if !set[a.Name] {
+				suite = append(suite, a)
+			}
+		}
+		return suite, nil
+	}
+	return analysis.All(), nil
+}

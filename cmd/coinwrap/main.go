@@ -69,17 +69,18 @@ func runBackend(filesDir, restURL, rel string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	if rel == "" {
 		for _, r := range w.Relations() {
 			schema, err := w.Schema(r)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%s (%d est. rows): %v\n", r, w.EstimateRows(r), schema.Names())
+			fmt.Printf("%s (%d est. rows): %v\n", r, w.EstimateRows(ctx, r), schema.Names())
 		}
 		return nil
 	}
-	out, err := w.Query(context.Background(), wrapper.SourceQuery{Relation: rel})
+	out, err := w.Query(ctx, wrapper.SourceQuery{Relation: rel})
 	if err != nil {
 		return err
 	}

@@ -188,12 +188,14 @@ func (s *System) Mediate(sql, receiver string) (*Mediation, error) {
 // context. It is the ungoverned form of QueryCtx: background context, no
 // limits.
 func (s *System) Query(sql, receiver string) (*Relation, error) {
+	//lint:allow ctxflow Query is the documented ungoverned convenience; governed callers use QueryCtx
 	return s.QueryCtx(context.Background(), sql, receiver, QueryOptions{})
 }
 
 // QueryNaive executes SQL without mediation — the paper's "incorrect
 // answer" baseline. The ungoverned form of QueryNaiveCtx.
 func (s *System) QueryNaive(sql string) (*Relation, error) {
+	//lint:allow ctxflow QueryNaive is the documented ungoverned convenience; governed callers use QueryNaiveCtx
 	return s.QueryNaiveCtx(context.Background(), sql, QueryOptions{})
 }
 
@@ -228,6 +230,7 @@ func (s *System) Explain(sql, receiver string) (string, error) {
 // like any execution, so an EXPLAIN ANALYZE followed by EXPLAIN shows
 // the optimizer learning. The ungoverned form of ExplainAnalyzeCtx.
 func (s *System) ExplainAnalyze(sql, receiver string) (string, error) {
+	//lint:allow ctxflow ExplainAnalyze is the documented ungoverned convenience; governed callers use ExplainAnalyzeCtx
 	return s.ExplainAnalyzeCtx(context.Background(), sql, receiver, QueryOptions{})
 }
 
@@ -266,6 +269,7 @@ func (s *System) ExplainAnalyzeCtx(ctx context.Context, sql, receiver string, op
 // Execute runs an already-mediated query. The ungoverned form of
 // ExecuteCtx.
 func (s *System) Execute(med *Mediation) (*Relation, error) {
+	//lint:allow ctxflow Execute is the documented ungoverned convenience; governed callers use ExecuteCtx
 	return s.ExecuteCtx(context.Background(), med, QueryOptions{})
 }
 

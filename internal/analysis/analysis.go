@@ -1,0 +1,150 @@
+// Package analysis is the engine-invariant linter suite: a set of static
+// passes that mechanically enforce the contracts PRs 2–8 established in
+// comments and runtime tests — the Volcano batch-ownership rule, session
+// context propagation, the "all source communication flows through the
+// dispatcher" funnel, leak-balanced Open/Close, and fault classification
+// at the wrapper layer. The cmd/coinlint multichecker runs every pass
+// over ./... as the `make lint` CI gate; the `//go:build invariants`
+// runtime-assertion layer in internal/relalg pins the same contracts
+// dynamically, so each invariant is checked from both sides.
+//
+// The package is a deliberately small, self-contained reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass,
+// Diagnostic, a `// want` fixture harness) over the standard library
+// only: packages load through `go list -export -deps -json` and
+// type-check against the build cache's export data, so the suite needs no
+// module dependencies and no network.
+//
+// # Suppression
+//
+// A finding is suppressed by a comment on the flagged line, or on the
+// line immediately above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory: an allow without one is itself reported. Each
+// allow suppresses only diagnostics of the named analyzer on its own
+// line, so a suppression can never hide a neighboring violation.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static pass: a name (used in diagnostics and in
+// //lint:allow comments), a doc string, and the function that runs the
+// pass over one package.
+type Analyzer struct {
+	// Name identifies the pass; lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the pass enforces.
+	Doc string
+	// Run reports findings on pass; the error is for analysis failure
+	// (a pass that cannot run), not for findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked form to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and object resolutions.
+	Info *types.Info
+
+	// imports maps import path -> package for every package the loader
+	// knows (the whole module plus dependencies), so a pass can reach
+	// contract types (relalg.Iterator, wrapper.Wrapper) even when the
+	// package under analysis imports them indirectly.
+	imports map[string]*types.Package
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// LookupImport returns the named package if the loader saw it (directly
+// imported or as a transitive dependency), nil otherwise. Passes use it
+// to resolve the contract-owning packages. When the package under
+// analysis IS the contract package, its source-checked form is returned —
+// the export-data copy would be a distinct types.Package and type
+// identity against the pass's own expressions would silently fail.
+func (p *Pass) LookupImport(path string) *types.Package {
+	if p.Pkg != nil && p.Pkg.Path() == path {
+		return p.Pkg
+	}
+	return p.imports[path]
+}
+
+// namedInterface resolves an interface type declared in the package at
+// path (e.g. repro/internal/relalg's Iterator). nil when the package is
+// not in the import graph or the name is not an interface.
+func (p *Pass) namedInterface(path, name string) *types.Interface {
+	pkg := p.LookupImport(path)
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// namedType resolves a (non-interface) named type declared in the package
+// at path. nil when unknown.
+func (p *Pass) namedType(path, name string) types.Type {
+	pkg := p.LookupImport(path)
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}
+
+// sortDiagnostics orders findings by file, line, column, then analyzer,
+// so output (and golden comparisons) are deterministic.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

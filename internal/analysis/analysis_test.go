@@ -1,0 +1,150 @@
+package analysis
+
+// Fixture-driven tests for the five passes plus the //lint:allow
+// mechanics. Fixtures live under testdata/src and are loaded under
+// chosen import paths so they can sit inside or outside a pass's
+// allowlist at will.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	testLoader *Loader
+)
+
+// loader shares one Loader (and thus one `go list -export` sweep and one
+// FileSet) across all tests.
+func loader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		testLoader = NewLoader("../..")
+	})
+	return testLoader
+}
+
+// runFixture applies one analyzer to a fixture dir and reports every
+// mismatch against its `// want` comments.
+func runFixture(t *testing.T, dir, asPath string, a *Analyzer) {
+	t.Helper()
+	problems, err := CheckFixture(loader(t), "testdata/src/"+dir, asPath, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestBatchRetainFixtures(t *testing.T) {
+	runFixture(t, "batchretain_bad", "repro/internal/fixture/batchretain", BatchRetainAnalyzer)
+	runFixture(t, "batchretain_good", "repro/internal/fixture/batchretain", BatchRetainAnalyzer)
+}
+
+func TestCtxFlowFixtures(t *testing.T) {
+	runFixture(t, "ctxflow_bad", "repro/internal/fixture/ctxflow", CtxFlowAnalyzer)
+	runFixture(t, "ctxflow_good", "repro/internal/fixture/ctxflow", CtxFlowAnalyzer)
+	// package main owns its lifecycle roots: no findings.
+	runFixture(t, "ctxflow_main", "repro/cmd/fixture", CtxFlowAnalyzer)
+}
+
+func TestSourceFunnelFixtures(t *testing.T) {
+	runFixture(t, "sourcefunnel_bad", "repro/internal/fixture/funnel", SourceFunnelAnalyzer)
+	runFixture(t, "sourcefunnel_good", "repro/internal/fixture/funnel", SourceFunnelAnalyzer)
+}
+
+// TestSourceFunnelAllowlist loads the seeded-violation fixture under the
+// planner's own import path: the identical code must produce zero
+// findings there.
+func TestSourceFunnelAllowlist(t *testing.T) {
+	pkg, err := loader(t).LoadDir("testdata/src/sourcefunnel_bad", "repro/internal/planner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{SourceFunnelAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("allowlisted path still flagged: %s", d)
+	}
+}
+
+func TestCloseBalanceFixtures(t *testing.T) {
+	runFixture(t, "closebalance_bad", "repro/internal/fixture/closebalance", CloseBalanceAnalyzer)
+	runFixture(t, "closebalance_good", "repro/internal/fixture/closebalance", CloseBalanceAnalyzer)
+}
+
+func TestErrClassFixtures(t *testing.T) {
+	runFixture(t, "errclass_bad", "repro/internal/wrapper/fixturesrc", ErrClassAnalyzer)
+	runFixture(t, "errclass_good", "repro/internal/wrapper/fixturesrc", ErrClassAnalyzer)
+}
+
+// TestErrClassScopedToWrapperLayer loads the seeded-violation fixture
+// outside the wrapper tree: classification is the wrapper layer's duty,
+// so nothing may be flagged elsewhere.
+func TestErrClassScopedToWrapperLayer(t *testing.T) {
+	pkg, err := loader(t).LoadDir("testdata/src/errclass_bad", "repro/internal/fixture/errclass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{ErrClassAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("non-wrapper path still flagged: %s", d)
+	}
+}
+
+// TestAllowMechanics pins the suppression semantics: a standalone allow
+// covers exactly the next line (the neighboring violation survives), a
+// same-line allow covers its own line, a stale allow and a reason-less
+// allow are themselves findings.
+func TestAllowMechanics(t *testing.T) {
+	pkg, err := loader(t).LoadDir("testdata/src/allowtest", "repro/internal/fixture/allowtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{CtxFlowAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		analyzer string
+		substr   string
+	}{
+		{"ctxflow", "severs session cancellation"}, // the unsuppressed neighbor
+		{"lint", "unused //lint:allow ctxflow"},    // the stale allow
+		{"lint", "malformed //lint:allow"},         // the reason-less allow
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		if diags[i].Analyzer != w.analyzer || !strings.Contains(diags[i].Message, w.substr) {
+			t.Errorf("diag %d = %s; want analyzer %s message containing %q",
+				i, diags[i], w.analyzer, w.substr)
+		}
+	}
+}
+
+// TestSuiteRoster pins the analyzer set `make lint` runs.
+func TestSuiteRoster(t *testing.T) {
+	names := []string{"batchretain", "ctxflow", "sourcefunnel", "closebalance", "errclass"}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(names))
+	}
+	for i, n := range names {
+		if all[i].Name != n {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].Name, n)
+		}
+		if ByName(n) != all[i] {
+			t.Errorf("ByName(%s) did not resolve", n)
+		}
+	}
+}

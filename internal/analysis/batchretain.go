@@ -1,0 +1,422 @@
+package analysis
+
+// batchretain: the Volcano batch contract (relalg/iterator.go) makes the
+// Rows slice of a Batch valid only until the consumer's next Next or
+// Close call — producers reuse the backing array, and transient-marked
+// pipelines (PR 8) recycle the tuple arena itself. Retaining the batch,
+// its Rows slice, or an individual row across a subsequent Next without
+// an explicit copy is therefore a latent use-after-recycle: exactly the
+// PR-8 bug class where a buffering consumer saw its buffered tuples
+// rewritten in place. Because the linter cannot prove whether a given
+// pipeline will be marked transient, every uncopied retention is flagged;
+// sites that deliberately rely on tuple durability (breakers draining a
+// known-durable input) carry a //lint:allow batchretain stating why.
+//
+// The pass flags, per function:
+//
+//   - storing a batch-derived value (Batch, []Tuple, or a single Tuple)
+//     into a destination declared outside a loop that also calls Next,
+//     including via append — spreading a Tuple (append(dst, row...))
+//     copies Values and is safe; spreading []Tuple (append(dst,
+//     b.Rows...)) copies only the slice headers and is retention;
+//   - using a batch-derived value after a non-deferred Close of the
+//     iterator it came from.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var BatchRetainAnalyzer = &Analyzer{
+	Name: "batchretain",
+	Doc: "flag Batch rows or Value slices retained across Next or past " +
+		"Close without an explicit copy",
+	Run: runBatchRetain,
+}
+
+// batchTypes bundles the resolved relalg types the pass matches against.
+type batchTypes struct {
+	batch   types.Type // relalg.Batch
+	tuple   types.Type // relalg.Tuple
+	rows    types.Type // []relalg.Tuple
+	iterIfc *types.Interface
+}
+
+func resolveBatchTypes(pass *Pass) *batchTypes {
+	b := pass.namedType(relalgPath, "Batch")
+	t := pass.namedType(relalgPath, "Tuple")
+	if b == nil || t == nil {
+		return nil
+	}
+	return &batchTypes{
+		batch:   b,
+		tuple:   t,
+		rows:    types.NewSlice(t),
+		iterIfc: pass.namedInterface(relalgPath, "Iterator"),
+	}
+}
+
+// taint records that an object aliases batch storage, and which iterator
+// object (if known) produced the batch.
+type taint struct {
+	iter types.Object
+}
+
+func runBatchRetain(pass *Pass) error {
+	bt := resolveBatchTypes(pass)
+	if bt == nil {
+		return nil // package cannot reach relalg
+	}
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			checkBatchRetain(pass, bt, fb.body)
+		}
+	}
+	return nil
+}
+
+// isNextCall reports whether call is it.Next(n) per the iterator
+// contract: a method named Next whose first result is relalg.Batch.
+func isNextCall(pass *Pass, bt *batchTypes, call *ast.CallExpr) (recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Next" {
+		return nil, false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return nil, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Results().Len() == 0 {
+		return nil, false
+	}
+	if !types.Identical(sig.Results().At(0).Type(), bt.batch) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// derivedKind classifies an expression as batch-derived storage: the
+// Batch itself, the []Tuple rows slice, or a single Tuple. Value-typed
+// expressions (a field of a row) are copies and never tainted.
+func derivedType(pass *Pass, bt *batchTypes, e ast.Expr) (types.Type, bool) {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return nil, false
+	}
+	switch {
+	case types.Identical(t, bt.batch), types.Identical(t, bt.rows), types.Identical(t, bt.tuple):
+		return t, true
+	}
+	return nil, false
+}
+
+// checkBatchRetain analyzes one function body.
+func checkBatchRetain(pass *Pass, bt *batchTypes, body *ast.BlockStmt) {
+	tainted := map[types.Object]*taint{}
+
+	// taintedExpr reports whether e is batch-derived: its type is one of
+	// the batch storage types and its root identifier is tainted.
+	taintedExpr := func(e ast.Expr) (*taint, bool) {
+		if _, ok := derivedType(pass, bt, e); !ok {
+			return nil, false
+		}
+		root := rootIdent(ast.Unparen(e))
+		if root == nil {
+			return nil, false
+		}
+		obj := objOf(pass.Info, root)
+		tn, ok := tainted[obj]
+		return tn, ok
+	}
+
+	// Seed + propagate taints to a fixed point. Two sweeps handle the
+	// chains that occur in practice (b := it.Next; rows := b.Rows;
+	// row := rows[i]); deeper chains converge in later sweeps.
+	for sweep := 0; sweep < 4; sweep++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				// Seed: b, err := it.Next(max)
+				if len(st.Rhs) == 1 {
+					if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+						if recv, ok := isNextCall(pass, bt, call); ok && len(st.Lhs) >= 1 {
+							if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+								obj := objOf(pass.Info, id)
+								if obj != nil && tainted[obj] == nil {
+									var iterObj types.Object
+									if r := rootIdent(recv); r != nil {
+										iterObj = objOf(pass.Info, r)
+									}
+									tainted[obj] = &taint{iter: iterObj}
+									changed = true
+								}
+							}
+							return true
+						}
+					}
+				}
+				// Propagate: x := taintedExpr (parallel-assign aware)
+				if len(st.Lhs) == len(st.Rhs) {
+					for i, rhs := range st.Rhs {
+						tn, ok := taintedExpr(rhs)
+						if !ok {
+							continue
+						}
+						if id, isID := st.Lhs[i].(*ast.Ident); isID && id.Name != "_" {
+							obj := objOf(pass.Info, id)
+							if obj != nil && tainted[obj] == nil {
+								tainted[obj] = tn
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// for _, row := range b.Rows — the value var aliases a row.
+				if st.Value == nil {
+					return true
+				}
+				tn, ok := taintedExpr(st.X)
+				if !ok {
+					return true
+				}
+				if id, isID := st.Value.(*ast.Ident); isID && id.Name != "_" {
+					obj := objOf(pass.Info, id)
+					if obj != nil && tainted[obj] == nil {
+						tainted[obj] = tn
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	// Record every Next call position (to know which loops re-pull) and
+	// every non-deferred Close per iterator object, together with its
+	// innermost enclosing block: a Close only invalidates uses later in
+	// that same block (an error-path Close inside an if must not poison
+	// the happy path after it — that is Collect's exact shape).
+	type closeSite struct {
+		iter  types.Object
+		pos   token.Pos
+		block ast.Node
+	}
+	var nextPositions []token.Pos
+	var closeSites []closeSite
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := isNextCall(pass, bt, call); ok {
+			nextPositions = append(nextPositions, call.Pos())
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+			return true
+		}
+		if len(stack) > 0 {
+			if _, isDefer := stack[len(stack)-1].(*ast.DeferStmt); isDefer {
+				return true // deferred Close runs at return; textual order is moot
+			}
+		}
+		root := rootIdent(sel.X)
+		if root == nil {
+			return true
+		}
+		obj := objOf(pass.Info, root)
+		if obj == nil {
+			return true
+		}
+		var block ast.Node = body
+		for i := len(stack) - 1; i >= 0; i-- {
+			if b, isBlock := stack[i].(*ast.BlockStmt); isBlock {
+				block = b
+				break
+			}
+		}
+		closeSites = append(closeSites, closeSite{iter: obj, pos: call.Pos(), block: block})
+		return true
+	})
+
+	loopHasNext := func(loop ast.Node) bool {
+		for _, p := range nextPositions {
+			if posWithin(p, loop) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// pullLoops returns every enclosing loop that re-pulls (contains a
+	// Next call) — a store must be checked against each: ranging over
+	// b.Rows nests a loop without Next inside the pulling loop, and the
+	// retention happens relative to the outer one.
+	pullLoops := func(stack []ast.Node) []ast.Node {
+		var loops []ast.Node
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if loopHasNext(stack[i]) {
+					loops = append(loops, stack[i])
+				}
+			}
+		}
+		return loops
+	}
+
+	// retentionDest reports whether the assignment destination outlives the
+	// loop: an identifier declared outside it, or a selector/index store
+	// whose base is (field and package-level destinations always outlive).
+	retentionDest := func(lhs ast.Expr, loop ast.Node) bool {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj := objOf(pass.Info, x)
+			return obj != nil && !declaredWithin(obj, loop)
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			root := rootIdent(lhs)
+			if root == nil {
+				return true // conservatively outer
+			}
+			obj := objOf(pass.Info, root)
+			return obj == nil || !declaredWithin(obj, loop)
+		}
+		return false
+	}
+
+	report := func(pos token.Pos, t types.Type, how string) {
+		kind := "batch"
+		hint := "copy the rows before storing"
+		switch {
+		case types.Identical(t, bt.tuple):
+			kind = "batch row"
+			hint = "copy it first (append(relalg.Tuple(nil), row...))"
+		case types.Identical(t, bt.rows):
+			kind = "batch rows slice"
+		}
+		pass.Reportf(pos,
+			"%s retained %s: rows are valid only until the next Next/Close "+
+				"(transient pipelines recycle the arena); %s or annotate //lint:allow batchretain",
+			kind, how, hint)
+	}
+
+	// outlivesAnyPullLoop reports whether the destination is declared
+	// outside at least one re-pulling loop enclosing the store.
+	outlivesAnyPullLoop := func(lhs ast.Expr, loops []ast.Node) bool {
+		for _, loop := range loops {
+			if retentionDest(lhs, loop) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// checkStored flags rhs if it is batch-derived and the store outlives
+	// an enclosing re-pulling loop.
+	checkStored := func(lhs, rhs ast.Expr, stack []ast.Node) {
+		loops := pullLoops(stack)
+		if len(loops) == 0 {
+			return
+		}
+		// Direct store: outer = taintedExpr
+		if _, ok := taintedExpr(rhs); ok {
+			if outlivesAnyPullLoop(lhs, loops) {
+				t, _ := derivedType(pass, bt, rhs)
+				report(rhs.Pos(), t, "across Next")
+			}
+			return
+		}
+		// append form: outer = append(dst, elems...)
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, isID := ast.Unparen(call.Fun).(*ast.Ident); !isID || id.Name != "append" ||
+			pass.Info.Uses[id] != types.Universe.Lookup("append") {
+			return
+		}
+		if !outlivesAnyPullLoop(lhs, loops) {
+			return
+		}
+		for i, arg := range call.Args {
+			if i == 0 {
+				continue // the destination slice
+			}
+			tn, ok := taintedExpr(arg)
+			if !ok || tn == nil {
+				continue
+			}
+			t, _ := derivedType(pass, bt, arg)
+			if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+				// append(dst, x...): spreading a Tuple copies Values (safe);
+				// spreading []Tuple copies only slice headers (retention).
+				if types.Identical(t, bt.tuple) {
+					continue
+				}
+			}
+			report(arg.Pos(), t, "across Next")
+		}
+	}
+
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Rhs {
+					checkStored(st.Lhs[i], st.Rhs[i], stack)
+				}
+			}
+		case *ast.SendStmt:
+			// ch <- row hands the alias to another goroutine's timeline.
+			if len(pullLoops(stack)) > 0 {
+				if _, ok := taintedExpr(st.Value); ok {
+					t, _ := derivedType(pass, bt, st.Value)
+					report(st.Value.Pos(), t, "across Next (sent on a channel)")
+				}
+			}
+		case *ast.Ident:
+			// Use after Close: a batch-derived read past the iterator's
+			// non-deferred Close.
+			obj := pass.Info.Uses[st]
+			tn, ok := tainted[obj]
+			if !ok || tn == nil || tn.iter == nil {
+				return true
+			}
+			afterClose := false
+			for _, cs := range closeSites {
+				if cs.iter == tn.iter && st.Pos() > cs.pos && posWithin(st.Pos(), cs.block) {
+					afterClose = true
+					break
+				}
+			}
+			if !afterClose {
+				return true
+			}
+			// Skip pure stores (LHS of assignment) — overwriting is fine.
+			if len(stack) > 0 {
+				if as, isAssign := stack[len(stack)-1].(*ast.AssignStmt); isAssign {
+					for _, l := range as.Lhs {
+						if l == ast.Expr(st) {
+							return true
+						}
+					}
+				}
+			}
+			pass.Reportf(st.Pos(),
+				"batch %s used after its iterator's Close: rows are invalid past Close; "+
+					"copy before closing or annotate //lint:allow batchretain", st.Name)
+		}
+		return true
+	})
+}

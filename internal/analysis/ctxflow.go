@@ -1,0 +1,119 @@
+package analysis
+
+// ctxflow: context.Background() / context.TODO() in library code severs
+// the session-cancellation chain — the exact hole PR 9 closes in the
+// sqlsrc stat probes, where a killed session kept issuing COUNT queries
+// because the probe path minted its own root context. Library packages
+// must thread the caller's context; only package main owns lifecycle
+// roots. Deliberate background work (detached convenience wrappers,
+// long-lived dialers) carries a //lint:allow ctxflow with the reason.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/context.TODO() in library packages, " +
+		"where the session context should be threaded instead",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		// Commands own their lifecycle roots.
+		return nil
+	}
+	ctxType := pass.namedType("context", "Context")
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() != "Background" && fn.Name() != "TODO" {
+				return true
+			}
+			if ctxInScope(pass, stack, ctxType) {
+				pass.Reportf(call.Pos(),
+					"context.%s() discards the context already in scope; thread it through instead",
+					fn.Name())
+			} else {
+				pass.Reportf(call.Pos(),
+					"context.%s() in library code severs session cancellation; "+
+						"accept a context.Context or annotate //lint:allow ctxflow",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxInScope reports whether any enclosing function has a context.Context
+// parameter, or a receiver whose struct type carries a context.Context
+// field — either one means a better context than Background was available.
+func ctxInScope(pass *Pass, stack []ast.Node, ctxType types.Type) bool {
+	if ctxType == nil {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ftype *ast.FuncType
+		var recv *ast.FieldList
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			ftype = fn.Type
+		case *ast.FuncDecl:
+			ftype = fn.Type
+			recv = fn.Recv
+		default:
+			continue
+		}
+		if fieldListHasType(pass, ftype.Params, ctxType) {
+			return true
+		}
+		if recv != nil && len(recv.List) == 1 {
+			if t := pass.Info.TypeOf(recv.List[0].Type); t != nil && structFieldHasType(t, ctxType) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fieldListHasType reports whether any field in the list has exactly the
+// given type.
+func fieldListHasType(pass *Pass, fields *ast.FieldList, want types.Type) bool {
+	if fields == nil {
+		return false
+	}
+	for _, fld := range fields.List {
+		if t := pass.Info.TypeOf(fld.Type); t != nil && types.Identical(t, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// structFieldHasType reports whether t (deref'd) is a struct with a field
+// of exactly the given type.
+func structFieldHasType(t, want types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if types.Identical(st.Field(i).Type(), want) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package analysis
+
+// errclass: the fault taxonomy (PR 6, wrapper/errors.go) only works if
+// the wrapper layer classifies at the point of failure — the retry and
+// circuit-breaker machinery keys on Transient/RateLimited/Permanent, and
+// an unclassified error silently becomes non-retryable. The pass runs
+// over the wrapper packages only and tracks, within one function, errors
+// born from the fault-prone stdlib surfaces (net/http round trips,
+// io.ReadAll, database/sql queries and scans, net dials). Returning such
+// an error — directly or through fmt.Errorf("%w") wrapping — without
+// passing it through wrapper.Transient / Permanent / RateLimited /
+// ClassifyHTTPStatus is flagged. Returns guarded by a context-death check
+// (ctx.Err() != nil, errors.Is(err, context.Canceled)) are exempt: when
+// the query died, the source did not misbehave, and classifying would
+// wrongly charge the breaker.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var ErrClassAnalyzer = &Analyzer{
+	Name: "errclass",
+	Doc: "flag wrapper-layer HTTP/IO/DB errors returned without " +
+		"Transient/RateLimited/Permanent classification",
+	Run: runErrClass,
+}
+
+// faultSources maps package path -> function/method names whose error
+// results need classification before leaving the wrapper layer.
+var faultSources = map[string]map[string]bool{
+	"net/http": {"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true},
+	"io":       {"ReadAll": true, "Copy": true, "ReadFull": true},
+	"database/sql": {
+		"Query": true, "QueryContext": true, "Exec": true, "ExecContext": true,
+		"Ping": true, "PingContext": true, "Prepare": true, "PrepareContext": true,
+		"Scan": true, "Err": true,
+	},
+	"net": {"Dial": true, "DialTimeout": true, "DialContext": true},
+}
+
+// classifiers are the wrapper package's taxonomy entry points; routing an
+// error through any of them discharges the obligation.
+var classifiers = map[string]bool{
+	"Transient": true, "Permanent": true, "RateLimited": true,
+	"ClassifyHTTPStatus": true,
+}
+
+func runErrClass(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path != wrapperPath && !strings.HasPrefix(path, wrapperPath+"/") {
+		return nil // classification is the wrapper layer's duty
+	}
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			checkErrClass(pass, fb.body)
+		}
+	}
+	return nil
+}
+
+func isFaultSource(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	names, ok := faultSources[fn.Pkg().Path()]
+	return ok && names[fn.Name()]
+}
+
+func isClassifierCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == wrapperPath &&
+		classifiers[fn.Name()]
+}
+
+// checkErrClass walks the body once in source order, maintaining a live
+// taint state per error variable: a fault-source assignment taints, a
+// classifier or any other reassignment clears. Go reuses err variables
+// relentlessly, so a flow-insensitive taint set would flag early returns
+// that precede the fault source entirely; lexical order is the cheap
+// approximation of flow that matches how these functions read.
+func checkErrClass(pass *Pass, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+
+	anyArgTainted := func(call *ast.CallExpr) bool {
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && tainted[pass.Info.Uses[id]] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// setErrorLhs updates every error-typed destination of the assignment.
+	setErrorLhs := func(st *ast.AssignStmt, on bool) {
+		for _, lhs := range st.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objOf(pass.Info, id)
+			if obj == nil || obj.Type() == nil || obj.Type().String() != "error" {
+				continue
+			}
+			if on {
+				tainted[obj] = true
+			} else {
+				delete(tainted, obj)
+			}
+		}
+	}
+
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				setErrorLhs(st, false)
+				return true
+			}
+			call, isCall := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			switch {
+			case isCall && isFaultSource(pass, call):
+				setErrorLhs(st, true)
+			case isCall && isPkgFunc(pass.Info, call, "fmt", "Errorf") && anyArgTainted(call):
+				setErrorLhs(st, true)
+			case !isCall && func() bool {
+				id, isID := ast.Unparen(st.Rhs[0]).(*ast.Ident)
+				return isID && tainted[pass.Info.Uses[id]]
+			}():
+				setErrorLhs(st, true)
+			case isCall && isClassifierCall(pass, call):
+				setErrorLhs(st, false)
+			default:
+				// Every unrelated reassignment clears: the variable no
+				// longer holds the raw fault.
+				setErrorLhs(st, false)
+			}
+		case *ast.ReturnStmt:
+			if ctxDeathGuarded(pass, stack) {
+				return false
+			}
+			for _, res := range st.Results {
+				res = ast.Unparen(res)
+				if id, ok := res.(*ast.Ident); ok && tainted[pass.Info.Uses[id]] {
+					pass.Reportf(res.Pos(),
+						"unclassified fault %s returned from the wrapper layer; wrap with "+
+							"wrapper.Transient/Permanent/RateLimited or ClassifyHTTPStatus",
+						id.Name)
+					continue
+				}
+				if call, ok := res.(*ast.CallExpr); ok &&
+					isPkgFunc(pass.Info, call, "fmt", "Errorf") && anyArgTainted(call) {
+					pass.Reportf(res.Pos(),
+						"fmt.Errorf wraps an unclassified fault; classify with "+
+							"wrapper.Transient/Permanent/RateLimited (or ClassifyHTTPStatus) "+
+							"so retry and breaker logic can key on it")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ctxDeathGuarded reports whether an enclosing if tests for context
+// death: ctx.Err() != nil, or mentions context.Canceled /
+// context.DeadlineExceeded (typically via errors.Is).
+func ctxDeathGuarded(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifst, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifst.Cond, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Err" {
+					if t := pass.Info.TypeOf(sel.X); t != nil && t.String() == "context.Context" {
+						guarded = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if obj := pass.Info.Uses[x.Sel]; obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "context" &&
+					(obj.Name() == "Canceled" || obj.Name() == "DeadlineExceeded") {
+					guarded = true
+				}
+			}
+			return !guarded
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package analysis
+
+// Shared AST/type helpers for the analyzer passes.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Paths of the contract-owning packages, shared by the passes.
+const (
+	relalgPath  = "repro/internal/relalg"
+	wrapperPath = "repro/internal/wrapper"
+	plannerPath = "repro/internal/planner"
+)
+
+// inspectWithStack walks root in depth-first order, calling fn with each
+// node and its ancestor path (outermost first, not including n itself).
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// funcBodies yields every function body in the file: declarations and
+// literals, each with its type signature's parameter list and (for
+// declarations) receiver.
+type funcBody struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+}
+
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{decl: fn, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{lit: fn, body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// implementsIface reports whether t (or *t) satisfies iface.
+func implementsIface(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if types.Implements(types.NewPointer(t), iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function/method object of a call, nil
+// when the callee is not a named function (a func-typed variable, a
+// conversion, a builtin).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call resolves to the named package-level
+// function (or method, when recv is the method's receiver type name).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// rootIdent digs to the base identifier of an expression chain
+// (selectors, index, slice, parens, type asserts): the x of x.f[i].g.
+// nil when the chain does not bottom out in an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves the object an identifier denotes (use or def).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// declaredWithin reports whether obj's declaration position lies within
+// the node's source range — i.e. the variable is local to that node.
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && n != nil && obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// posWithin reports whether pos lies inside n's range.
+func posWithin(pos token.Pos, n ast.Node) bool {
+	return n != nil && pos >= n.Pos() && pos < n.End()
+}

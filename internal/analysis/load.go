@@ -1,0 +1,290 @@
+package analysis
+
+// Package loading without golang.org/x/tools: `go list -export -deps
+// -json` enumerates the packages (and produces export data in the build
+// cache), the target packages are re-parsed from source, and imports
+// resolve through go/importer's gc importer reading that export data.
+// This is the same layering go/packages uses, reduced to what the linter
+// needs: syntax + full type information for the packages under analysis,
+// export-data stubs for everything they import.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	imports map[string]*types.Package
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ForTest    string
+}
+
+// Loader resolves and type-checks packages of one module.
+type Loader struct {
+	// ModuleDir is the module root `go list` runs in.
+	ModuleDir string
+
+	fset     *token.FileSet
+	exports  map[string]string // import path -> export data file
+	listed   map[string]*listedPkg
+	imported map[string]*types.Package // packages materialized from export data
+	imp      types.Importer
+}
+
+// NewLoader prepares a loader rooted at moduleDir.
+func NewLoader(moduleDir string) *Loader {
+	l := &Loader{
+		ModuleDir: moduleDir,
+		fset:      token.NewFileSet(),
+		exports:   map[string]string{},
+		listed:    map[string]*listedPkg{},
+		imported:  map[string]*types.Package{},
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l
+}
+
+// list runs `go list -export -deps -json` over patterns and records the
+// results (export data locations in particular).
+func (l *Loader) list(patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModuleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		l.listed[p.ImportPath] = &p
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// lookupExport feeds the gc importer from the `go list -export` results.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Load lists patterns (e.g. "./..."), then parses and type-checks every
+// non-dependency match from source, returning them in deterministic
+// (import path) order. Test files are not analyzed.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.importModulePackages(); err != nil {
+		return nil, err
+	}
+	// -deps emits dependencies first and the named packages last; keep
+	// only packages actually matching the patterns: the ones inside the
+	// module (non-standard) that the deps closure didn't add for an
+	// outside package. `go list` marks pattern matches implicitly by
+	// order, so re-list without -deps to get the exact match set.
+	matchArgs := append([]string{"list", "-json=ImportPath"}, patterns...)
+	cmd := exec.Command("go", matchArgs...)
+	cmd.Dir = l.ModuleDir
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list (match set) %v: %v", patterns, err)
+	}
+	matches := map[string]bool{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding match set: %v", err)
+		}
+		matches[p.ImportPath] = true
+	}
+	var result []*Package
+	for _, lp := range listed {
+		if !matches[lp.ImportPath] || lp.Standard || lp.ForTest != "" {
+			continue
+		}
+		pkg, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		result = append(result, pkg)
+	}
+	return result, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (an
+// analysistest fixture), giving it the stated import path — fixtures can
+// thereby impersonate any package location (e.g. a path inside or outside
+// a pass's allowlist). Imports resolve against the module's packages, so
+// the module itself must have been listed first; the harness's Load of
+// "./..." does that.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	if len(l.exports) == 0 {
+		// Populate export data for the module's packages and the standard
+		// library dependencies fixtures may import.
+		if _, err := l.list([]string{"./..."}); err != nil {
+			return nil, err
+		}
+		if err := l.importModulePackages(); err != nil {
+			return nil, err
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: fixture dir %s has no Go files", dir)
+	}
+	return l.checkFiles(asPath, dir, files)
+}
+
+// check type-checks one listed package from source.
+func (l *Loader) check(lp *listedPkg) (*Package, error) {
+	files := make([]string, len(lp.GoFiles))
+	for i, f := range lp.GoFiles {
+		files[i] = filepath.Join(lp.Dir, f)
+	}
+	return l.checkFiles(lp.ImportPath, lp.Dir, files)
+}
+
+// checkFiles parses the given files and type-checks them as one package
+// under the given import path.
+func (l *Loader) checkFiles(path, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %v", f, err)
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l,
+		// Fixtures exercise contract violations, not soundness holes;
+		// anything that actually fails to compile should fail the load.
+		Error: nil,
+	}
+	tpkg, err := conf.Check(path, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      syntax,
+		Types:      tpkg,
+		Info:       info,
+		imports:    l.imported,
+	}, nil
+}
+
+// Import implements types.Importer over the export data. It always
+// delegates to the gc importer — whose internal cache guarantees one
+// types.Package per path, completing earlier dependency stubs in place —
+// and records the result for LookupImport. Memoizing here instead would
+// freeze incomplete stubs: the importer materializes a dependency's
+// package lazily, so the stub it hands back for a transitive import must
+// never shadow the real load.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	p, err := l.imp.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.register(p)
+	return p, nil
+}
+
+// register records p and its transitive imports, so a pass can resolve a
+// contract package (say, the wrapper interfaces) that the package under
+// analysis only reaches indirectly — e.g. a caller importing one concrete
+// source package and nothing else. A complete package replaces a
+// previously recorded stub.
+func (l *Loader) register(p *types.Package) {
+	if p == nil {
+		return
+	}
+	if prev, ok := l.imported[p.Path()]; ok && (prev.Complete() || !p.Complete()) {
+		return
+	}
+	l.imported[p.Path()] = p
+	for _, imp := range p.Imports() {
+		l.register(imp)
+	}
+}
+
+// importModulePackages force-imports every listed module package with
+// export data, so LookupImport serves complete contract packages (an
+// incomplete stub would resolve interface lookups to nothing).
+func (l *Loader) importModulePackages() error {
+	for path, lp := range l.listed {
+		if lp.Standard || lp.ForTest != "" || l.exports[path] == "" {
+			continue
+		}
+		if _, err := l.Import(path); err != nil {
+			return fmt.Errorf("analysis: importing %s: %v", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package analysis
+
+// Running analyzers over loaded packages and the `// want` fixture
+// harness (analysistest.go's moral equivalent) live here.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// All returns the full engine-invariant suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		BatchRetainAnalyzer,
+		CtxFlowAnalyzer,
+		SourceFunnelAnalyzer,
+		CloseBalanceAnalyzer,
+		ErrClassAnalyzer,
+	}
+}
+
+// ByName resolves an analyzer from All by name.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to each package, applies //lint:allow
+// suppression, and returns the surviving findings in deterministic order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				imports:  pkg.imports,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			diags = append(diags, pass.diags...)
+		}
+		allows := collectAllows(pkg.Fset, pkg.Files, func(d Diagnostic) {
+			diags = append(diags, d)
+		})
+		all = append(all, applyAllows(diags, allows, pkg.Fset, ran)...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// wantRx matches fixture expectations: `// want "regexp"`, repeatable on
+// one line for multiple expected findings.
+var wantRx = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` marker in a fixture.
+type expectation struct {
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// CheckFixture runs the analyzers over the fixture package in dir (loaded
+// under asPath) and compares suppressed-and-sorted findings against the
+// fixture's `// want "regexp"` comments: every finding must match a want
+// on its line, and every want must be hit exactly once. It returns a
+// human-readable list of mismatches (empty means the fixture passes).
+func CheckFixture(l *Loader, dir, asPath string, analyzers []*Analyzer) ([]string, error) {
+	pkg, err := l.LoadDir(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	// Collect wants from the fixture's comments.
+	wants := map[string][]*expectation{} // filename -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRx.FindAllStringSubmatch(c.Text, -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("analysis: bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants[pos.Filename] = append(wants[pos.Filename], &expectation{line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Pos.Filename] {
+			if !w.hit && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				problems = append(problems, fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none",
+					file, w.line, w.rx))
+			}
+		}
+	}
+	// Deterministic order for test output.
+	sort.Strings(problems)
+	return problems, nil
+}

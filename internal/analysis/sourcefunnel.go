@@ -1,0 +1,111 @@
+package analysis
+
+// sourcefunnel: every conversation with a source must flow through the
+// planner's access layer — the dispatcher applies admission control,
+// retries with backoff, circuit breakers, and cost accounting (PRs 5–6).
+// A direct wrapper.Query / QueryStream call anywhere else silently
+// bypasses all of it: no breaker protection, no fault classification, no
+// partial-answer bookkeeping. The allowlist is the access layer itself,
+// the wrapper packages (they implement the calls), and cmd/coinwrap (the
+// single-wrapper debugging tool, which talks to exactly one source by
+// design).
+
+import (
+	"go/ast"
+	"strings"
+)
+
+var SourceFunnelAnalyzer = &Analyzer{
+	Name: "sourcefunnel",
+	Doc: "flag direct wrapper Query/QueryStream calls outside the planner " +
+		"access layer and the wrapper packages themselves",
+	Run: runSourceFunnel,
+}
+
+// funnelAllowed reports whether the package path may talk to wrappers
+// directly.
+func funnelAllowed(path string) bool {
+	switch {
+	case path == plannerPath:
+		return true // the access layer lives here
+	case path == wrapperPath || strings.HasPrefix(path, wrapperPath+"/"):
+		return true // wrapper implementations and their shared helpers
+	case path == "repro/cmd/coinwrap":
+		return true // single-wrapper debugging tool
+	}
+	return false
+}
+
+func runSourceFunnel(pass *Pass) error {
+	if funnelAllowed(pass.Pkg.Path()) {
+		return nil
+	}
+	wrapperIface := pass.namedInterface(wrapperPath, "Wrapper")
+	streamerIface := pass.namedInterface(wrapperPath, "Streamer")
+	if wrapperIface == nil && streamerIface == nil {
+		// The package cannot reach the wrapper layer at all.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Package-level funnel bypass: wrapper.QueryStream(ctx, w, q).
+			if isPkgFunc(pass.Info, call, wrapperPath, "QueryStream") {
+				pass.Reportf(call.Pos(),
+					"direct wrapper.QueryStream bypasses the access layer "+
+						"(dispatcher admission, retries, breakers); route through the planner")
+				return true
+			}
+			// Method form: w.Query(...) / w.QueryStream(...) on a value
+			// satisfying the wrapper contracts.
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Query" && name != "QueryStream" {
+				return true
+			}
+			recvType := pass.Info.TypeOf(sel.X)
+			if recvType == nil {
+				return true
+			}
+			var hit bool
+			switch name {
+			case "Query":
+				hit = implementsIface(recvType, wrapperIface)
+			case "QueryStream":
+				hit = implementsIface(recvType, streamerIface)
+			}
+			if hit {
+				pass.Reportf(call.Pos(),
+					"direct source call %s.%s bypasses the access layer "+
+						"(dispatcher admission, retries, breakers); route through the planner",
+					exprString(sel.X), name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// exprString renders a short label for an expression (best effort; used
+// only in messages).
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	}
+	return "value"
+}

@@ -1,0 +1,119 @@
+package analysis
+
+// //lint:allow handling. A suppression names one analyzer and must give a
+// reason; it covers diagnostics of that analyzer on the comment's own
+// line, or — for a comment standing alone on its line — on the first
+// following line that holds code. Scoping to a single line keeps every
+// suppression reviewable next to the exact call it excuses.
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+const allowPrefix = "//lint:allow"
+
+// allowSite is one parsed //lint:allow comment.
+type allowSite struct {
+	analyzer string
+	reason   string
+	line     int // the line the allow covers
+	pos      token.Pos
+	used     bool
+}
+
+// collectAllows parses every //lint:allow comment in the files. Malformed
+// allows (no analyzer, or no reason) are reported as findings of the
+// pseudo-analyzer "lint" so the gate fails rather than silently ignoring
+// a suppression.
+func collectAllows(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*allowSite {
+	var sites []*allowSite
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := fset.Position(c.Pos())
+				if name == "" || reason == "" {
+					report(Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:allow: need `//lint:allow <analyzer> <reason>`",
+					})
+					continue
+				}
+				line := pos.Line
+				if standsAlone(pos) {
+					line++
+				}
+				sites = append(sites, &allowSite{
+					analyzer: name,
+					reason:   reason,
+					line:     line,
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// standsAlone reports whether the comment at pos occupies its source line
+// by itself (only whitespace before it), in which case it covers the next
+// line instead of its own.
+func standsAlone(pos token.Position) bool {
+	src, err := os.ReadFile(pos.Filename)
+	if err != nil {
+		return false
+	}
+	lines := strings.Split(string(src), "\n")
+	if pos.Line-1 >= len(lines) || pos.Column < 1 {
+		return false
+	}
+	prefix := lines[pos.Line-1]
+	if pos.Column-1 <= len(prefix) {
+		prefix = prefix[:pos.Column-1]
+	}
+	return strings.TrimSpace(prefix) == ""
+}
+
+// applyAllows filters diags through the allow sites: a diagnostic whose
+// analyzer and line match an allow is dropped (and the allow marked
+// used). Unused allows for analyzers that actually ran are reported — a
+// suppression that excuses nothing is stale and must be removed, so
+// allows cannot accumulate. Allows for analyzers outside the run set are
+// left alone (a partial run must not flag the full suite's annotations).
+func applyAllows(diags []Diagnostic, allows []*allowSite, fset *token.FileSet, ran map[string]bool) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.analyzer == d.Analyzer && a.line == d.Pos.Line &&
+				fset.Position(a.pos).Filename == d.Pos.Filename {
+				a.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		if !a.used && ran[a.analyzer] {
+			kept = append(kept, Diagnostic{
+				Analyzer: "lint",
+				Pos:      fset.Position(a.pos),
+				Message:  "unused //lint:allow " + a.analyzer + " (no diagnostic on its line); remove it",
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises the //lint:allow mechanics: a standalone
+// allow covering the next line, a same-line allow, an unsuppressed
+// violation right next to a suppressed one, a stale allow, and a
+// malformed allow. The test asserts the exact surviving diagnostics.
+package fixture
+
+import "context"
+
+func covered(rel string) int {
+	//lint:allow ctxflow fixture: deliberately detached work
+	c := context.Background()
+	_ = c
+	return estimate(context.TODO(), rel) // the neighbor is NOT suppressed
+}
+
+func sameLine(rel string) int {
+	return estimate(context.Background(), rel) //lint:allow ctxflow fixture: same-line suppression
+}
+
+//lint:allow ctxflow fixture: stale, excuses nothing
+func stale(rel string) int {
+	return len(rel)
+}
+
+//lint:allow ctxflow
+func malformed(rel string) int {
+	return len(rel)
+}
+
+func estimate(ctx context.Context, rel string) int {
+	_ = ctx
+	return len(rel)
+}

@@ -1,0 +1,85 @@
+// Package fixture seeds batchretain violations: every flagged line
+// retains batch storage across a Next or past Close without a copy.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/relalg"
+)
+
+// bufferRows is the PR-8 bug class: buffering row aliases while pulling.
+func bufferRows(ctx context.Context, it relalg.Iterator) ([]relalg.Tuple, error) {
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	var keep []relalg.Tuple
+	for {
+		b, err := it.Next(64)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if len(b.Rows) == 0 {
+			break
+		}
+		for _, row := range b.Rows {
+			keep = append(keep, row) // want "batch row retained across Next"
+		}
+	}
+	return keep, it.Close()
+}
+
+// spreadRows retains every row header of each batch.
+func spreadRows(ctx context.Context, it relalg.Iterator) ([]relalg.Tuple, error) {
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	var all []relalg.Tuple
+	for {
+		b, err := it.Next(0)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if len(b.Rows) == 0 {
+			break
+		}
+		all = append(all, b.Rows...) // want "batch rows slice retained across Next"
+	}
+	return all, it.Close()
+}
+
+// holdBatch stores the whole batch outside the pull loop.
+func holdBatch(ctx context.Context, it relalg.Iterator) (relalg.Batch, error) {
+	if err := it.Open(ctx); err != nil {
+		return relalg.Batch{}, err
+	}
+	var last relalg.Batch
+	for {
+		b, err := it.Next(32)
+		if err != nil {
+			it.Close()
+			return relalg.Batch{}, err
+		}
+		if len(b.Rows) == 0 {
+			break
+		}
+		last = b // want "batch retained across Next"
+	}
+	return last, it.Close()
+}
+
+// useAfterClose reads rows after the iterator was closed.
+func useAfterClose(ctx context.Context, it relalg.Iterator) []relalg.Tuple {
+	if err := it.Open(ctx); err != nil {
+		return nil
+	}
+	b, err := it.Next(16)
+	if err != nil {
+		it.Close()
+		return nil
+	}
+	it.Close()
+	return b.Rows // want "batch b used after its iterator's Close"
+}

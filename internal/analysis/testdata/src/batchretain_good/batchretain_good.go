@@ -1,0 +1,76 @@
+// Package fixture is the fixed twin of batchretain_bad: every retention
+// either copies first or stays within the batch's validity window.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/relalg"
+)
+
+// bufferRows copies each row before buffering it — spreading a Tuple
+// copies Values into a fresh array.
+func bufferRows(ctx context.Context, it relalg.Iterator) ([]relalg.Tuple, error) {
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	var keep []relalg.Tuple
+	for {
+		b, err := it.Next(64)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if len(b.Rows) == 0 {
+			break
+		}
+		for _, row := range b.Rows {
+			keep = append(keep, append(relalg.Tuple(nil), row...))
+		}
+	}
+	return keep, it.Close()
+}
+
+// countRows only inspects rows inside the validity window.
+func countRows(ctx context.Context, it relalg.Iterator) (int, error) {
+	if err := it.Open(ctx); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		b, err := it.Next(0)
+		if err != nil {
+			it.Close()
+			return 0, err
+		}
+		if len(b.Rows) == 0 {
+			break
+		}
+		rows := b.Rows // an alias local to the loop body never outlives the pull
+		n += len(rows)
+	}
+	return n, it.Close()
+}
+
+// lastValue copies a single Value out of the batch — Values are copied
+// by value, so nothing aliases the arena.
+func lastValue(ctx context.Context, it relalg.Iterator) (relalg.Value, error) {
+	if err := it.Open(ctx); err != nil {
+		return relalg.Value{}, err
+	}
+	var last relalg.Value
+	for {
+		b, err := it.Next(8)
+		if err != nil {
+			it.Close()
+			return relalg.Value{}, err
+		}
+		if len(b.Rows) == 0 {
+			break
+		}
+		for _, row := range b.Rows {
+			last = row[len(row)-1]
+		}
+	}
+	return last, it.Close()
+}

@@ -1,0 +1,43 @@
+// Package fixture seeds ctxflow violations: fresh root contexts minted
+// in library code, with and without a better context in scope.
+package fixture
+
+import "context"
+
+type session struct {
+	ctx context.Context
+	id  string
+}
+
+// probe has ctx as a parameter and discards it.
+func probe(ctx context.Context, rel string) int {
+	c := context.Background() // want "discards the context already in scope"
+	_ = c
+	return estimate(context.TODO(), rel) // want "discards the context already in scope"
+}
+
+// run has a receiver carrying a context field and ignores it.
+func (s *session) run() error {
+	c := context.Background() // want "discards the context already in scope"
+	_ = c
+	return nil
+}
+
+// detached has no context anywhere — still a violation in library code.
+func detached(rel string) int {
+	return estimate(context.Background(), rel) // want "severs session cancellation"
+}
+
+// inLiteral reaches the enclosing function's ctx from a closure.
+func inLiteral(ctx context.Context) func() int {
+	return func() int {
+		c := context.TODO() // want "discards the context already in scope"
+		_ = c
+		return 0
+	}
+}
+
+func estimate(ctx context.Context, rel string) int {
+	_ = ctx
+	return len(rel)
+}

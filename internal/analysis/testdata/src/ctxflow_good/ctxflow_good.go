@@ -1,0 +1,31 @@
+// Package fixture is the fixed twin of ctxflow_bad: contexts thread
+// through instead of being re-minted, and deliberate detachment carries
+// an allow.
+package fixture
+
+import "context"
+
+type session struct {
+	ctx context.Context
+	id  string
+}
+
+func probe(ctx context.Context, rel string) int {
+	return estimate(ctx, rel)
+}
+
+func (s *session) run() error {
+	_ = estimate(s.ctx, s.id)
+	return nil
+}
+
+// detach is deliberately background work and says so.
+func detach(rel string) int {
+	//lint:allow ctxflow fixture: deliberately detached maintenance work
+	return estimate(context.Background(), rel)
+}
+
+func estimate(ctx context.Context, rel string) int {
+	_ = ctx
+	return len(rel)
+}

@@ -1,0 +1,15 @@
+// Command fixture: package main owns its lifecycle roots, so minting a
+// root context is not a finding here.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = work(ctx)
+}
+
+func work(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

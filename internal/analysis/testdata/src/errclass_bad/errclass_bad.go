@@ -1,0 +1,50 @@
+// Package fixture seeds errclass violations: wrapper-layer faults
+// escaping without taxonomy classification. The harness loads it under a
+// path inside repro/internal/wrapper/, where the pass applies.
+package fixture
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// fetch leaks both the raw transport error and a fmt.Errorf-wrapped one.
+func fetch(ctx context.Context, c *http.Client, url string) ([]byte, error) {
+	req, reqErr := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if reqErr != nil {
+		return nil, reqErr // not a fault source: no classification duty
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err // the query died, not the source: exempt
+		}
+		return nil, fmt.Errorf("fetch %s: %w", url, err) // want "fmt.Errorf wraps an unclassified fault"
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err // want "unclassified fault err returned"
+	}
+	return body, nil
+}
+
+// countRows leaks a database error raw.
+func countRows(ctx context.Context, db *sql.DB, table string) (int, error) {
+	rows, err := db.QueryContext(ctx, "SELECT COUNT(*) FROM "+table)
+	if err != nil {
+		return 0, err // want "unclassified fault err returned"
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return 0, fmt.Errorf("cursor: %w", err) // want "fmt.Errorf wraps an unclassified fault"
+	}
+	return n, nil
+}

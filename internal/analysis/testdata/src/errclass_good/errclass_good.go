@@ -1,0 +1,53 @@
+// Package fixture is the fixed twin of errclass_bad: every fault leaves
+// through the taxonomy.
+package fixture
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/wrapper"
+)
+
+func fetch(ctx context.Context, c *http.Client, url string) ([]byte, error) {
+	req, reqErr := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if reqErr != nil {
+		return nil, reqErr
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err // the query died, not the source: exempt
+		}
+		return nil, wrapper.Transient(fmt.Errorf("fetch %s: %w", url, err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, wrapper.ClassifyHTTPStatus(resp.StatusCode, resp.Header.Get("Retry-After"),
+			fmt.Errorf("fetch %s: status %d", url, resp.StatusCode))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, wrapper.Transient(fmt.Errorf("fetch %s: read: %w", url, err))
+	}
+	return body, nil
+}
+
+func countRows(ctx context.Context, db *sql.DB, table string) (int, error) {
+	rows, err := db.QueryContext(ctx, "SELECT COUNT(*) FROM "+table)
+	if err != nil {
+		return 0, wrapper.Transient(fmt.Errorf("count %s: %w", table, err))
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return 0, wrapper.Transient(fmt.Errorf("cursor: %w", err))
+	}
+	return n, nil
+}

@@ -1,0 +1,36 @@
+// Package fixture seeds sourcefunnel violations: direct wrapper calls
+// from a package that is not the access layer. The harness loads it
+// under a non-allowlisted import path; the allowlist behavior itself is
+// exercised by loading this same package under the planner's path.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/wrapper"
+)
+
+func direct(ctx context.Context, w wrapper.Wrapper, q wrapper.SourceQuery) error {
+	rel, err := w.Query(ctx, q) // want "bypasses the access layer"
+	if err != nil {
+		return err
+	}
+	_ = rel
+	return nil
+}
+
+func directStream(ctx context.Context, w wrapper.Wrapper, q wrapper.SourceQuery) error {
+	st, err := wrapper.QueryStream(ctx, w, q) // want "bypasses the access layer"
+	if err != nil {
+		return err
+	}
+	return st.Close()
+}
+
+func directStreamer(ctx context.Context, s wrapper.Streamer, q wrapper.SourceQuery) error {
+	st, err := s.QueryStream(ctx, q) // want "bypasses the access layer"
+	if err != nil {
+		return err
+	}
+	return st.Close()
+}

@@ -1,0 +1,24 @@
+// Package fixture is the fixed twin of sourcefunnel_bad: no direct
+// wrapper calls — source access goes through whatever facade the planner
+// exposes, and look-alike Query methods on unrelated types stay silent.
+package fixture
+
+import (
+	"context"
+	"net/url"
+)
+
+// planner stands in for the access-layer facade the real code calls.
+type planner interface {
+	Execute(ctx context.Context, query string) error
+}
+
+func routed(ctx context.Context, p planner, query string) error {
+	return p.Execute(ctx, query)
+}
+
+// lookAlike calls url.Values.Query-style methods that must not trip the
+// wrapper-interface match.
+func lookAlike(u *url.URL) string {
+	return u.Query().Get("q")
+}

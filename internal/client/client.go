@@ -156,6 +156,7 @@ func (r *Result) String() string {
 }
 
 func (c *Conn) post(path string, req server.QueryRequest, out interface{}) error {
+	//lint:allow ctxflow post backs the context-free convenience API (Query/QueryNaive); ctx forms call postWith directly
 	return c.postWith(context.Background(), c.client, path, req, out)
 }
 
@@ -230,6 +231,7 @@ func (c *Conn) Query(sql, context string) (*Result, error) {
 // background.
 func (c *Conn) QueryCtx(ctx context.Context, sql, context_ string, opts Options) (*Result, error) {
 	if ctx == nil {
+		//lint:allow ctxflow documented nil-context fallback: a nil ctx means background by API contract
 		ctx = context.Background()
 	}
 	var resp server.QueryResponse
@@ -248,6 +250,7 @@ func (c *Conn) QueryNaive(sql string) (*Result, error) {
 // QueryNaiveCtx executes SQL without mediation under ctx and opts.
 func (c *Conn) QueryNaiveCtx(ctx context.Context, sql string, opts Options) (*Result, error) {
 	if ctx == nil {
+		//lint:allow ctxflow documented nil-context fallback: a nil ctx means background by API contract
 		ctx = context.Background()
 	}
 	var resp server.QueryResponse
@@ -264,6 +267,7 @@ func (c *Conn) QueryNaiveCtx(ctx context.Context, sql string, opts Options) (*Re
 // query session). Set naive to skip mediation.
 func (c *Conn) QueryStream(ctx context.Context, sql, context_ string, naive bool, opts Options) (*RowCursor, error) {
 	if ctx == nil {
+		//lint:allow ctxflow documented nil-context fallback: a nil ctx means background by API contract
 		ctx = context.Background()
 	}
 	body, err := json.Marshal(queryRequest(sql, context_, naive, opts))
@@ -428,6 +432,7 @@ func (c *Conn) Explain(sql, context string) (string, error) {
 // session like a normal query's.
 func (c *Conn) ExplainAnalyze(ctx context.Context, sql, context_ string, opts Options) (string, error) {
 	if ctx == nil {
+		//lint:allow ctxflow documented nil-context fallback: a nil ctx means background by API contract
 		ctx = context.Background()
 	}
 	req := queryRequest(sql, context_, false, opts)

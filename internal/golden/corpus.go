@@ -196,6 +196,7 @@ func runMediate(q Query) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("golden: %s: mediate: %w", q.Name, err)
 	}
+	//lint:allow ctxflow golden harness runs outside any session; corpus queries are short and local
 	rel, warns, err := sys.ExecuteWarnCtx(context.Background(), med,
 		coin.QueryOptions{PartialResults: partial})
 	if err != nil {

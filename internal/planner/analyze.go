@@ -29,7 +29,7 @@ func (e *Executor) AnalyzeSelect(sess *Session, sel *sqlparse.Select) (*BranchPl
 		spj.Distinct = false
 		run = &spj
 	}
-	plan, err := e.Plan(run)
+	plan, err := e.PlanCtx(sess.Context(), run)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ package planner
 // Stats implementation; tests may plug their own.
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -44,15 +45,18 @@ type Stats interface {
 // call; it snapshots nothing (Stats implementations are concurrency-safe)
 // but caches Statser distinct counts for the duration of the enumeration.
 type costModel struct {
-	stats    Stats          // nil: static estimates only
-	distinct map[string]int // "binding.col" -> distinct count; -1 unknown
+	ctx      context.Context // bounds wrapper stat probes for the enumeration
+	stats    Stats           // nil: static estimates only
+	distinct map[string]int  // "binding.col" -> distinct count; -1 unknown
 	hook     func(source string, perQuery float64) float64
 }
 
 // costModelFor builds the executor's cost model: backed by the adaptive
-// statistics store when the executor has one.
-func (e *Executor) costModelFor() *costModel {
-	cm := &costModel{distinct: map[string]int{}, hook: e.PerQueryCostHook}
+// statistics store when the executor has one. ctx bounds any live stat
+// probes the wrappers cost (EstimateRows / DistinctCount) — it is the
+// planning session's context, so canceling the session stops its probes.
+func (e *Executor) costModelFor(ctx context.Context) *costModel {
+	cm := &costModel{ctx: ctx, distinct: map[string]int{}, hook: e.PerQueryCostHook}
 	if e.AdaptiveStats != nil {
 		cm.stats = e.AdaptiveStats
 	}
@@ -70,7 +74,7 @@ func (cm *costModel) accessRows(b *relBinding, pushed []wrapper.Filter, bindCols
 			return math.Max(rows, 0)
 		}
 	}
-	base := float64(b.w.EstimateRows(b.relation))
+	base := float64(b.w.EstimateRows(cm.ctx, b.relation))
 	if cm.stats != nil {
 		if rows, ok := cm.stats.RelationRows(b.relation); ok {
 			base = rows
@@ -106,7 +110,7 @@ func (cm *costModel) distinctOf(b *relBinding, col string) int {
 	}
 	n := -1
 	if st, ok := b.w.(wrapper.Statser); ok {
-		if d, ok := st.DistinctCount(b.relation, col); ok && d > 0 {
+		if d, ok := st.DistinctCount(cm.ctx, b.relation, col); ok && d > 0 {
 			n = d
 		}
 	}

@@ -140,6 +140,7 @@ func (e *Executor) countQuery(tuples int) {
 // session. UNION combines with set semantics unless the Union node says
 // ALL.
 func (e *Executor) Execute(stmt sqlparse.Statement) (*relalg.Relation, error) {
+	//lint:allow ctxflow Execute is the documented ungoverned convenience; governed callers use ExecuteCtx
 	return e.ExecuteCtx(context.Background(), stmt)
 }
 
@@ -178,7 +179,7 @@ func (e *Executor) executeSelect(sess *Session, sel *sqlparse.Select) (*relalg.R
 		}
 		return relalg.Collect(sess.Context(), it, "")
 	}
-	plan, err := e.Plan(sel)
+	plan, err := e.PlanCtx(sess.Context(), sel)
 	if err != nil {
 		return nil, err
 	}

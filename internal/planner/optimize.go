@@ -23,6 +23,7 @@ package planner
 // repeated planning of the same query renders byte-identical plans.
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,12 +43,24 @@ const maxDPRelations = 12
 // only once its required bindings can be fed by constants or by columns
 // of relations already placed (a bind join), and materializes the winning
 // order into executable steps.
+//
+// Plan is the ungoverned convenience form; the engine's own call sites
+// use PlanCtx with the session context so stat probes die with the
+// session.
 func (e *Executor) Plan(sel *sqlparse.Select) (*BranchPlan, error) {
+	//lint:allow ctxflow Plan is the documented context-free convenience; engine paths call PlanCtx
+	return e.PlanCtx(context.Background(), sel)
+}
+
+// PlanCtx is Plan with an explicit context bounding the cost model's
+// wrapper stat probes (EstimateRows / DistinctCount against live
+// sources).
+func (e *Executor) PlanCtx(ctx context.Context, sel *sqlparse.Select) (*BranchPlan, error) {
 	lq, err := e.buildLogical(sel)
 	if err != nil {
 		return nil, err
 	}
-	pb := &planBuilder{e: e, lq: lq, cm: e.costModelFor()}
+	pb := &planBuilder{e: e, lq: lq, cm: e.costModelFor(ctx)}
 	var order []int
 	if e.DisableReorder || len(lq.rels) > maxDPRelations {
 		order, err = pb.greedyOrder()

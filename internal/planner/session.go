@@ -153,6 +153,7 @@ func (s *Session) withContext(ctx context.Context) *Session {
 // Context returns the session's context; Open pipeline trees with it.
 func (s *Session) Context() context.Context {
 	if s == nil {
+		//lint:allow ctxflow a nil session is the documented ungoverned case: background is the only context it has
 		return context.Background()
 	}
 	return s.ctx

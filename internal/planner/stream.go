@@ -643,11 +643,11 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 	if plan.Actuals != nil {
 		out = relalg.NewCounted(out, &plan.Actuals.Rows)
 	}
-	return relalg.NewOnOpen(out, func() {
+	return relalg.Checked(relalg.NewOnOpen(out, func() {
 		e.mu.Lock()
 		e.stats.BranchesRun++
 		e.mu.Unlock()
-	}), nil
+	})), nil
 }
 
 // orderKeysResolve reports whether every column reference in the ORDER BY
@@ -678,7 +678,7 @@ func (e *Executor) selectStream(sess *Session, sel *sqlparse.Select) (relalg.Ite
 	if hasAggregates(sel) {
 		return e.aggregateStream(sess, sel)
 	}
-	plan, err := e.Plan(sel)
+	plan, err := e.PlanCtx(sess.Context(), sel)
 	if err != nil {
 		return nil, err
 	}
@@ -728,7 +728,7 @@ func (e *Executor) aggregateStream(sess *Session, sel *sqlparse.Select) (relalg.
 	spj.GroupBy, spj.Having, spj.OrderBy = nil, nil, nil
 	spj.Limit = -1
 	spj.Distinct = false
-	plan, err := e.Plan(&spj)
+	plan, err := e.PlanCtx(sess.Context(), &spj)
 	if err != nil {
 		return nil, err
 	}

@@ -63,6 +63,7 @@ func NewBatchBuilder(arity int) *BatchBuilder { return &BatchBuilder{arity: arit
 func (bb *BatchBuilder) Reset(capRows int) {
 	bb.rows = bb.rows[:0]
 	if bb.Transient {
+		poisonValues(bb.arena)
 		bb.arena = bb.arena[:0]
 	}
 }
@@ -176,7 +177,7 @@ type Cursor struct {
 
 // NewCursor wraps it. The iterator must already be open; Close remains
 // the caller's job.
-func NewCursor(it Iterator) *Cursor { return &Cursor{it: it} }
+func NewCursor(it Iterator) *Cursor { return &Cursor{it: checkedOpened(it)} }
 
 // Next returns the next tuple, or ok=false when the stream is done.
 func (c *Cursor) Next() (Tuple, bool, error) {

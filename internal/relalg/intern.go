@@ -78,6 +78,7 @@ func NewKeyEncoder(in *Interner) *KeyEncoder {
 }
 
 func (e *KeyEncoder) appendValue(dst []byte, v Value) []byte {
+	v.checkLive()
 	switch v.K {
 	case KindNumber:
 		bits := math.Float64bits(v.N)
@@ -90,6 +91,7 @@ func (e *KeyEncoder) appendValue(dst []byte, v Value) []byte {
 			byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
 	case KindString:
 		h := e.in.Intern(v.S)
+		checkHandle(e.in, h)
 		return append(dst, keyTagStr, byte(h>>24), byte(h>>16), byte(h>>8), byte(h))
 	case KindBool:
 		if v.B {

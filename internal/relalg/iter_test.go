@@ -290,9 +290,9 @@ type raggedWrap struct {
 	i     int
 }
 
-func (r *raggedWrap) Schema() Schema                { return r.inner.Schema() }
+func (r *raggedWrap) Schema() Schema                 { return r.inner.Schema() }
 func (r *raggedWrap) Open(ctx context.Context) error { return r.inner.Open(ctx) }
-func (r *raggedWrap) Close() error                  { return r.inner.Close() }
+func (r *raggedWrap) Close() error                   { return r.inner.Close() }
 func (r *raggedWrap) Next(max int) (Batch, error) {
 	n := r.sizes[r.i%len(r.sizes)]
 	r.i++

@@ -141,12 +141,14 @@ func presizeHint(it Iterator) int {
 // back to *Relation. The drain loop checks ctx per batch, so a canceled
 // context stops a breaker's buffering (and any other full drain) mid-way.
 func Collect(ctx context.Context, it Iterator, name string) (*Relation, error) {
+	hint := presizeHint(it)
+	it = Checked(it)
 	if err := it.Open(ctx); err != nil {
 		return nil, err
 	}
 	out := NewRelation(name, it.Schema())
-	if n := presizeHint(it); n > 0 {
-		out.Tuples = make([]Tuple, 0, n)
+	if hint > 0 {
+		out.Tuples = make([]Tuple, 0, hint)
 	}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -161,6 +163,7 @@ func Collect(ctx context.Context, it Iterator, name string) (*Relation, error) {
 		if b.Empty() {
 			break
 		}
+		//lint:allow batchretain Collect is the durable boundary: the root iterator owns no transient arena, so its rows are durable by contract
 		out.Tuples = append(out.Tuples, b.Rows...)
 	}
 	if err := it.Close(); err != nil {

@@ -433,6 +433,7 @@ func (n *NestedLoopIter) Next(max int) (Batch, error) {
 				if b.Empty() {
 					break
 				}
+				//lint:allow batchretain pull-synchronized: the stashed batch is fully consumed before the next outer Next
 				n.ob, n.oi = b, 0
 			}
 			n.cur, n.pos = n.ob.Rows[n.oi], 0
@@ -670,6 +671,7 @@ func (h *HashJoinIter) Next(max int) (Batch, error) {
 				if b.Empty() {
 					break
 				}
+				//lint:allow batchretain pull-synchronized: the stashed probe batch is fully consumed before the next probe Next
 				h.pb, h.pi = b, 0
 			}
 			t := h.pb.Rows[h.pi]

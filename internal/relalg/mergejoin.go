@@ -18,5 +18,6 @@ func MergeJoin(a, b *Relation, aKeys, bKeys []string, residual sqlparse.Expr) (*
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctxflow materialized op over in-memory relations: the drain does no remote work, nothing to cancel
 	return Collect(context.Background(), it, "")
 }

@@ -19,6 +19,7 @@ func Filter(r *Relation, pred sqlparse.Expr) (*Relation, error) {
 	if pred == nil {
 		return r, nil
 	}
+	//lint:allow ctxflow materialized op over in-memory relations: the drain does no remote work, nothing to cancel
 	return Collect(context.Background(), NewFilter(NewScan(r), pred), r.Name)
 }
 
@@ -30,6 +31,7 @@ type ProjectItem struct {
 
 // Project computes one output column per item.
 func Project(r *Relation, items []ProjectItem) (*Relation, error) {
+	//lint:allow ctxflow materialized op over in-memory relations: the drain does no remote work, nothing to cancel
 	return Collect(context.Background(), NewProject(NewScan(r), items), r.Name)
 }
 
@@ -46,6 +48,7 @@ func CrossJoin(a, b *Relation) *Relation {
 // NestedLoopJoin joins a and b keeping concatenated rows where pred holds.
 // A nil pred degenerates to CrossJoin.
 func NestedLoopJoin(a, b *Relation, pred sqlparse.Expr) (*Relation, error) {
+	//lint:allow ctxflow materialized op over in-memory relations: the drain does no remote work, nothing to cancel
 	return Collect(context.Background(), NewNestedLoop(NewScan(a), b, pred), "")
 }
 
@@ -59,11 +62,13 @@ func HashJoin(a, b *Relation, aKeys, bKeys []string, residual sqlparse.Expr) (*R
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctxflow materialized op over in-memory relations: the drain does no remote work, nothing to cancel
 	return Collect(context.Background(), it, "")
 }
 
 // Distinct removes duplicate tuples, keeping first occurrences in order.
 func Distinct(r *Relation) *Relation {
+	//lint:allow ctxflow materialized op over in-memory relations: the drain does no remote work, nothing to cancel
 	out, err := Collect(context.Background(), NewDistinct(NewScan(r)), r.Name)
 	if err != nil {
 		// Unreachable: deduplication evaluates no expressions.
@@ -83,6 +88,7 @@ func Union(a, b *Relation, all bool) (*Relation, error) {
 	if !all {
 		it = NewDistinct(it)
 	}
+	//lint:allow ctxflow materialized op over in-memory relations: the drain does no remote work, nothing to cancel
 	return Collect(context.Background(), it, a.Name)
 }
 
@@ -156,6 +162,7 @@ func Limit(r *Relation, n int) *Relation {
 	if n < 0 || n >= len(r.Tuples) {
 		return r
 	}
+	//lint:allow ctxflow materialized op over in-memory relations: the drain does no remote work, nothing to cancel
 	out, err := Collect(context.Background(), NewLimit(NewScan(r), n), r.Name)
 	if err != nil {
 		// Unreachable: limiting evaluates no expressions.

@@ -89,6 +89,8 @@ func (v Value) String() string {
 
 // Equal reports SQL equality; any NULL operand yields false.
 func (v Value) Equal(o Value) bool {
+	v.checkLive()
+	o.checkLive()
 	if v.K != o.K || v.K == KindNull {
 		return false
 	}
@@ -106,6 +108,8 @@ func (v Value) Equal(o Value) bool {
 // Compare orders two values; ok is false when they are incomparable (type
 // mismatch or NULL involved).
 func (v Value) Compare(o Value) (cmp int, ok bool) {
+	v.checkLive()
+	o.checkLive()
 	if v.K == KindNull || o.K == KindNull {
 		return 0, false
 	}
@@ -139,6 +143,8 @@ func (v Value) Compare(o Value) (cmp int, ok bool) {
 // SortKey gives a total order across kinds (NULL first), used by ORDER BY
 // and DISTINCT.
 func (v Value) SortKey(o Value) int {
+	v.checkLive()
+	o.checkLive()
 	if v.K != o.K {
 		return int(v.K) - int(o.K)
 	}

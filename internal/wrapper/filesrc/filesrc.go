@@ -175,8 +175,8 @@ func (s *Source) Capabilities(relation string) (wrapper.Capabilities, error) {
 }
 
 // EstimateRows implements wrapper.Wrapper from the cardinality counted at
-// New.
-func (s *Source) EstimateRows(relation string) int {
+// New; no probe runs, so the context is unused.
+func (s *Source) EstimateRows(_ context.Context, relation string) int {
 	rf, err := s.relation(relation)
 	if err != nil {
 		return 0

@@ -23,10 +23,10 @@ func TestDiscoversBothFormats(t *testing.T) {
 	if len(rels) != 2 || rels[0] != "earnings" || rels[1] != "sectors" {
 		t.Fatalf("Relations = %v, want [earnings sectors]", rels)
 	}
-	if got := s.EstimateRows("earnings"); got != 6 {
+	if got := s.EstimateRows(context.Background(), "earnings"); got != 6 {
 		t.Fatalf("EstimateRows(earnings) = %d, want 6", got)
 	}
-	if got := s.EstimateRows("sectors"); got != 6 {
+	if got := s.EstimateRows(context.Background(), "sectors"); got != 6 {
 		t.Fatalf("EstimateRows(sectors) = %d, want 6", got)
 	}
 	schema, err := s.Schema("sectors")

@@ -71,8 +71,9 @@ func (r *Relational) Capabilities(relation string) (Capabilities, error) {
 	}, nil
 }
 
-// EstimateRows implements Wrapper.
-func (r *Relational) EstimateRows(relation string) int {
+// EstimateRows implements Wrapper. The store is in-process, so the
+// answer is exact and the probe context is never consulted.
+func (r *Relational) EstimateRows(_ context.Context, relation string) int {
 	t, err := r.DB.Table(relation)
 	if err != nil {
 		return 0
@@ -91,7 +92,7 @@ func (r *Relational) Cost() Cost {
 // DistinctCount implements the optional Statser extension: the number of
 // distinct values in a column, computed from the table and cached until
 // the table's cardinality changes.
-func (r *Relational) DistinctCount(relation, column string) (int, bool) {
+func (r *Relational) DistinctCount(_ context.Context, relation, column string) (int, bool) {
 	t, err := r.DB.Table(relation)
 	if err != nil {
 		return 0, false

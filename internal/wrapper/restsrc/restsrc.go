@@ -60,8 +60,15 @@ type remoteRelation struct {
 }
 
 // Dial fetches baseURL/schema and builds a source named name. client nil
-// means http.DefaultClient.
+// means http.DefaultClient. It is the ungoverned form of DialContext.
 func Dial(name, baseURL string, client *http.Client) (*Source, error) {
+	//lint:allow ctxflow Dial is the documented context-free convenience; governed callers use DialContext
+	return DialContext(context.Background(), name, baseURL, client)
+}
+
+// DialContext is Dial with an explicit context bounding the one-time
+// /schema fetch.
+func DialContext(ctx context.Context, name, baseURL string, client *http.Client) (*Source, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
@@ -72,7 +79,7 @@ func Dial(name, baseURL string, client *http.Client) (*Source, error) {
 		CostParams: DefaultCost,
 		rels:       map[string]remoteRelation{},
 	}
-	body, err := s.get(context.Background(), s.base+"/schema")
+	body, err := s.get(ctx, s.base+"/schema")
 	if err != nil {
 		return nil, err
 	}
@@ -142,8 +149,10 @@ func (s *Source) Capabilities(relation string) (wrapper.Capabilities, error) {
 // Cost implements wrapper.Wrapper.
 func (s *Source) Cost() wrapper.Cost { return s.CostParams }
 
-// EstimateRows implements wrapper.Wrapper from the schema document.
-func (s *Source) EstimateRows(relation string) int {
+// EstimateRows implements wrapper.Wrapper from the schema document; the
+// document was fetched at Dial time, so no probe leaves the process and
+// the context goes unused.
+func (s *Source) EstimateRows(_ context.Context, relation string) int {
 	r, err := s.relation(relation)
 	if err != nil {
 		return 0
@@ -153,7 +162,7 @@ func (s *Source) EstimateRows(relation string) int {
 
 // DistinctCount implements wrapper.Statser from the schema document's
 // statistics block — no extra round trip per probe.
-func (s *Source) DistinctCount(relation, column string) (int, bool) {
+func (s *Source) DistinctCount(_ context.Context, relation, column string) (int, bool) {
 	r, err := s.relation(relation)
 	if err != nil {
 		return 0, false

@@ -65,14 +65,14 @@ func TestDialDiscoversSchemaAndStats(t *testing.T) {
 		len(caps.RequiredBindings) != 1 || caps.RequiredBindings[0] != "cname" {
 		t.Fatalf("capabilities = %+v", caps)
 	}
-	if n := src.EstimateRows("indices"); n != 12 {
+	if n := src.EstimateRows(context.Background(), "indices"); n != 12 {
 		t.Fatalf("EstimateRows(indices) = %d, want 12", n)
 	}
-	n, ok := src.DistinctCount("quotes", "cname")
+	n, ok := src.DistinctCount(context.Background(), "quotes", "cname")
 	if !ok || n != 6 {
 		t.Fatalf("DistinctCount = %d, %v; want 6", n, ok)
 	}
-	if _, ok := src.DistinctCount("quotes", "ghost"); ok {
+	if _, ok := src.DistinctCount(context.Background(), "quotes", "ghost"); ok {
 		t.Fatal("DistinctCount(ghost) should report unknown")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/relalg"
 	"repro/internal/wrapper"
@@ -125,10 +126,25 @@ func (s *Source) Capabilities(relation string) (wrapper.Capabilities, error) {
 // Cost implements wrapper.Wrapper.
 func (s *Source) Cost() wrapper.Cost { return s.CostParams }
 
-// EstimateRows implements wrapper.Wrapper via a cached COUNT(*) probe.
-// Estimation is best-effort: probe failures report zero rows rather than
-// failing planning.
-func (s *Source) EstimateRows(relation string) int {
+// ProbeTimeout bounds one stat probe (COUNT(*) / COUNT(DISTINCT)) on top
+// of the caller's context: planning should never hang on a slow server
+// for an estimate that is best-effort anyway.
+const ProbeTimeout = 5 * time.Second
+
+// probeCtx derives the bounded probe context from the planning session's.
+func probeCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		//lint:allow ctxflow nil-context callers (direct wrapper use in tools) still get the probe timeout bound
+		ctx = context.Background()
+	}
+	return context.WithTimeout(ctx, ProbeTimeout)
+}
+
+// EstimateRows implements wrapper.Wrapper via a cached COUNT(*) probe
+// bounded by ctx plus ProbeTimeout — killing the planning session stops
+// its probes. Estimation is best-effort: probe failures report zero rows
+// rather than failing planning.
+func (s *Source) EstimateRows(ctx context.Context, relation string) int {
 	s.mu.Lock()
 	if n, ok := s.rowEst[relation]; ok {
 		s.mu.Unlock()
@@ -138,7 +154,9 @@ func (s *Source) EstimateRows(relation string) int {
 	if _, err := s.Schema(relation); err != nil {
 		return 0
 	}
-	n, err := s.countProbe(context.Background(), relation, "*")
+	pctx, cancel := probeCtx(ctx)
+	defer cancel()
+	n, err := s.countProbe(pctx, relation, "*")
 	if err != nil {
 		return 0
 	}
@@ -150,8 +168,9 @@ func (s *Source) EstimateRows(relation string) int {
 
 // DistinctCount implements wrapper.Statser via a cached COUNT(DISTINCT)
 // probe, giving the optimizer real join selectivities from the server.
-// Probe failures report unknown rather than failing planning.
-func (s *Source) DistinctCount(relation, column string) (int, bool) {
+// The probe is bounded like EstimateRows's; failures report unknown
+// rather than failing planning.
+func (s *Source) DistinctCount(ctx context.Context, relation, column string) (int, bool) {
 	key := relation + "\x00" + column
 	s.mu.Lock()
 	if n, ok := s.distinct[key]; ok {
@@ -163,7 +182,9 @@ func (s *Source) DistinctCount(relation, column string) (int, bool) {
 	if err != nil || schema.Index(column) < 0 {
 		return 0, false
 	}
-	n, err := s.countProbe(context.Background(), relation, column)
+	pctx, cancel := probeCtx(ctx)
+	defer cancel()
+	n, err := s.countProbe(pctx, relation, column)
 	if err != nil {
 		return 0, false
 	}
@@ -190,7 +211,7 @@ func (s *Source) countProbe(ctx context.Context, relation, col string) (int, err
 	var n int
 	row := s.db.QueryRowContext(ctx, fmt.Sprintf("SELECT COUNT(%s) FROM %s", target, rq))
 	if err := row.Scan(&n); err != nil {
-		return 0, fmt.Errorf("sqlsrc: source %s: count probe on %s: %w", s.name, relation, err)
+		return 0, wrapper.Transient(fmt.Errorf("sqlsrc: source %s: count probe on %s: %w", s.name, relation, err))
 	}
 	return n, nil
 }
@@ -235,7 +256,9 @@ func (s *Source) QueryStream(ctx context.Context, q wrapper.SourceQuery) (wrappe
 	}
 	rows, err := s.db.QueryContext(ctx, text, args...)
 	if err != nil {
-		return nil, fmt.Errorf("sqlsrc: source %s: %w", s.name, err)
+		// The SQL text is machine-generated and the relation was resolved
+		// above, so a query error here is server weather, not a bad query.
+		return nil, wrapper.Transient(fmt.Errorf("sqlsrc: source %s: %w", s.name, err))
 	}
 	return &sqlStream{rows: rows, schema: outSchema}, nil
 }
@@ -361,7 +384,8 @@ func (s *sqlStream) Schema() relalg.Schema { return s.schema }
 func (s *sqlStream) Next() (relalg.Tuple, bool, error) {
 	if !s.rows.Next() {
 		if err := s.rows.Err(); err != nil {
-			return nil, false, fmt.Errorf("sqlsrc: cursor: %w", err)
+			// A cursor dropped mid-stream is connection weather: transient.
+			return nil, false, wrapper.Transient(fmt.Errorf("sqlsrc: cursor: %w", err))
 		}
 		return nil, false, nil
 	}
@@ -371,7 +395,9 @@ func (s *sqlStream) Next() (relalg.Tuple, bool, error) {
 		ptrs[i] = &raw[i]
 	}
 	if err := s.rows.Scan(ptrs...); err != nil {
-		return nil, false, fmt.Errorf("sqlsrc: scan: %w", err)
+		// A scan failure means the delivered shape does not match the
+		// declared schema; retrying re-fetches the same shape.
+		return nil, false, wrapper.Permanent(fmt.Errorf("sqlsrc: scan: %w", err))
 	}
 	tup := make(relalg.Tuple, len(raw))
 	for i, v := range raw {
@@ -405,12 +431,12 @@ func (s *sqlStream) NextBatch(max int) ([]relalg.Tuple, error) {
 	for s.bb.Len() < max {
 		if !s.rows.Next() {
 			if err := s.rows.Err(); err != nil {
-				s.pend = fmt.Errorf("sqlsrc: cursor: %w", err)
+				s.pend = wrapper.Transient(fmt.Errorf("sqlsrc: cursor: %w", err))
 			}
 			break
 		}
 		if err := s.rows.Scan(s.ptrs...); err != nil {
-			s.pend = fmt.Errorf("sqlsrc: scan: %w", err)
+			s.pend = wrapper.Permanent(fmt.Errorf("sqlsrc: scan: %w", err))
 			break
 		}
 		tup := s.bb.Row()

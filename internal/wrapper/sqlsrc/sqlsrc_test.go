@@ -92,14 +92,14 @@ func TestInListCompilesToSQL(t *testing.T) {
 
 func TestStatserAndRowEstimateProbes(t *testing.T) {
 	src, drv := newFixture(t)
-	n, ok := src.DistinctCount("accounts", "currency")
+	n, ok := src.DistinctCount(context.Background(), "accounts", "currency")
 	if !ok || n != 4 {
 		t.Fatalf("DistinctCount(currency) = %d, %v; want 4", n, ok)
 	}
 	if got, want := lastStatement(t, drv), `SELECT COUNT(DISTINCT "currency") FROM "accounts"`; got != want {
 		t.Fatalf("served SQL = %q, want %q", got, want)
 	}
-	if rows := src.EstimateRows("accounts"); rows != 5 {
+	if rows := src.EstimateRows(context.Background(), "accounts"); rows != 5 {
 		t.Fatalf("EstimateRows = %d, want 5", rows)
 	}
 	if got, want := lastStatement(t, drv), `SELECT COUNT(*) FROM "accounts"`; got != want {
@@ -107,14 +107,39 @@ func TestStatserAndRowEstimateProbes(t *testing.T) {
 	}
 	// Both probes are cached: repeating them must not reach the server.
 	before := len(drv.Statements())
-	if _, ok := src.DistinctCount("accounts", "currency"); !ok {
+	if _, ok := src.DistinctCount(context.Background(), "accounts", "currency"); !ok {
 		t.Fatal("cached DistinctCount lost")
 	}
-	if src.EstimateRows("accounts") != 5 {
+	if src.EstimateRows(context.Background(), "accounts") != 5 {
 		t.Fatal("cached row estimate changed")
 	}
 	if after := len(drv.Statements()); after != before {
 		t.Fatalf("cached probes still hit the server (%d -> %d statements)", before, after)
+	}
+}
+
+func TestStatProbesHonorContext(t *testing.T) {
+	src, drv := newFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before any probe starts
+	if rows := src.EstimateRows(ctx, "accounts"); rows != 0 {
+		t.Fatalf("EstimateRows under a canceled context = %d, want 0 (degraded)", rows)
+	}
+	if _, ok := src.DistinctCount(ctx, "accounts", "currency"); ok {
+		t.Fatal("DistinctCount under a canceled context should report unknown")
+	}
+	for _, stmt := range drv.Statements() {
+		if strings.Contains(stmt, "COUNT") {
+			t.Fatalf("canceled probe still reached the server: %q", stmt)
+		}
+	}
+	// The failed probes must not poison the cache: a live context probes
+	// for real and caches the genuine answers.
+	if rows := src.EstimateRows(context.Background(), "accounts"); rows != 5 {
+		t.Fatalf("EstimateRows after cancellation recovery = %d, want 5", rows)
+	}
+	if n, ok := src.DistinctCount(context.Background(), "accounts", "currency"); !ok || n != 4 {
+		t.Fatalf("DistinctCount after cancellation recovery = %d, %v; want 4", n, ok)
 	}
 }
 
@@ -203,7 +228,7 @@ func TestCompileErrors(t *testing.T) {
 	if _, err := src.Query(ctx, wrapper.SourceQuery{Relation: `bad"name`}); err == nil {
 		t.Fatal("identifier that escapes quoting should fail")
 	}
-	if _, ok := src.DistinctCount("fx", "ghost"); ok {
+	if _, ok := src.DistinctCount(context.Background(), "fx", "ghost"); ok {
 		t.Fatal("DistinctCount on unknown column should report unknown")
 	}
 }

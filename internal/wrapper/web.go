@@ -90,8 +90,9 @@ func (w *Web) Capabilities(relation string) (Capabilities, error) {
 	return Capabilities{RequiredBindings: append([]string(nil), spec.Params...)}, nil
 }
 
-// EstimateRows implements Wrapper.
-func (w *Web) EstimateRows(string) int {
+// EstimateRows implements Wrapper. The estimate is a configured constant
+// (a Web form gives no cardinality), so the probe context is unused.
+func (w *Web) EstimateRows(context.Context, string) int {
 	if w.RowEstimate > 0 {
 		return w.RowEstimate
 	}

@@ -233,7 +233,12 @@ type Wrapper interface {
 	// Capabilities describes the per-relation query power.
 	Capabilities(relation string) (Capabilities, error)
 	// EstimateRows guesses a relation's cardinality for the cost model.
-	EstimateRows(relation string) int
+	// The context bounds any probe the estimate costs (a COUNT(*) against
+	// a live server): it is the planning session's context, so killing
+	// the session also stops its stat probes. Estimation stays
+	// best-effort — a canceled probe degrades the estimate, never fails
+	// planning.
+	EstimateRows(ctx context.Context, relation string) int
 	// Cost returns the source's communication-cost parameters.
 	Cost() Cost
 	// Query executes a source query and returns a relation whose columns
@@ -250,8 +255,9 @@ type Wrapper interface {
 // guess. Wrappers without statistics simply do not implement it.
 type Statser interface {
 	// DistinctCount returns the number of distinct values of a column,
-	// ok=false when unknown.
-	DistinctCount(relation, column string) (int, bool)
+	// ok=false when unknown. Like EstimateRows, the context bounds any
+	// probe behind the answer.
+	DistinctCount(ctx context.Context, relation, column string) (int, bool)
 }
 
 // ApplyFilters evaluates filters over a relation locally; wrappers use it

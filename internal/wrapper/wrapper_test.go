@@ -35,8 +35,8 @@ func TestRelationalWrapperBasics(t *testing.T) {
 	if err != nil || !caps.Selection || !caps.Projection || len(caps.RequiredBindings) != 0 {
 		t.Errorf("caps = %+v, %v", caps, err)
 	}
-	if w.EstimateRows("r1") != 3 {
-		t.Errorf("estimate = %d", w.EstimateRows("r1"))
+	if w.EstimateRows(context.Background(), "r1") != 3 {
+		t.Errorf("estimate = %d", w.EstimateRows(context.Background(), "r1"))
 	}
 	if _, err := w.Schema("zzz"); err == nil {
 		t.Error("unknown relation accepted")

@@ -77,19 +77,19 @@ func (c *Counter) sleep(ctx context.Context) error {
 // DistinctCount forwards the optional wrapper.Statser extension of the
 // inner wrapper; embedding the Wrapper interface alone would hide it
 // from the planner's type assertion.
-func (c *Counter) DistinctCount(relation, column string) (int, bool) {
+func (c *Counter) DistinctCount(ctx context.Context, relation, column string) (int, bool) {
 	if st, ok := c.Wrapper.(wrapper.Statser); ok {
-		return st.DistinctCount(relation, column)
+		return st.DistinctCount(ctx, relation, column)
 	}
 	return 0, false
 }
 
 // EstimateRows implements wrapper.Wrapper, honoring RowEstimates.
-func (c *Counter) EstimateRows(relation string) int {
+func (c *Counter) EstimateRows(ctx context.Context, relation string) int {
 	if n, ok := c.RowEstimates[relation]; ok {
 		return n
 	}
-	return c.Wrapper.EstimateRows(relation)
+	return c.Wrapper.EstimateRows(ctx, relation)
 }
 
 // Cost implements wrapper.Wrapper, honoring CostParams.

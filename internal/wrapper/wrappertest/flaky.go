@@ -99,9 +99,9 @@ func (f *Flaky) next() *Fault {
 
 // DistinctCount forwards the optional wrapper.Statser extension of the
 // inner wrapper, like Counter does.
-func (f *Flaky) DistinctCount(relation, column string) (int, bool) {
+func (f *Flaky) DistinctCount(ctx context.Context, relation, column string) (int, bool) {
 	if st, ok := f.Wrapper.(wrapper.Statser); ok {
-		return st.DistinctCount(relation, column)
+		return st.DistinctCount(ctx, relation, column)
 	}
 	return 0, false
 }
