@@ -25,9 +25,12 @@ test: build
 	$(GO) test $(PKGS)
 
 # Race detector over the session/concurrency-sensitive packages (CI runs
-# this as its own job).
+# this as its own job). The exchange-operator and parallel-pipeline tests
+# run twice so scheduling variation between runs gets a chance to surface
+# ordering races the first pass missed.
 test-race:
 	$(GO) test -race ./internal/server/ ./internal/planner/ ./coin/ ./internal/relalg/ ./internal/wrapper/... ./internal/client/ ./internal/golden/
+	$(GO) test -race -count=2 -run 'Parallel|Exchange' ./internal/relalg/ ./internal/planner/
 
 # Fault-injection (chaos) suite under the race detector, twice, so the
 # deterministic fault scripts are also exercised against scheduling
@@ -86,9 +89,13 @@ examples:
 	$(GO) run ./examples/finanalysis
 	$(GO) run ./examples/federation
 
-# Run the gating benchmarks once, with allocation stats.
+# Run the gating benchmarks once, with allocation stats. The parallel-join
+# scaling family runs across -cpu 1,2,4,8 so speedup (or, on single-core CI
+# containers, parity) is visible in one sweep; see BENCH_baseline.json for
+# the recorded shape per machine.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count 1 ./internal/datalog/ .
+	$(GO) test -run '^$$' -bench BenchmarkParallelJoinScaling -cpu 1,2,4,8 -benchmem -count 1 .
 
 # One iteration of every gating benchmark plus the batch-execution set
 # (E1c, E9 scale, fault-free overhead): a compile-and-run smoke so CI

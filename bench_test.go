@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -289,6 +290,35 @@ func BenchmarkE9_MediatedExecutionScale(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkParallelJoinScaling measures intra-query parallel speedup on
+// an E9-style local-heavy mediated join: the scaled Figure 2 workload,
+// large enough that local hash-join/sort work dominates the source
+// round-trips, executed with MaxParallelism = GOMAXPROCS so the
+// exchange join, scan fan-out and partitioned cores all engage. Drive
+// it with -cpu 1,2,4,8 (the Makefile bench gate does) to read the
+// scaling curve; the -cpu 1 lane runs byte-identical serial plans, so
+// it doubles as the no-regression guard for the serial path.
+func BenchmarkParallelJoinScaling(b *testing.B) {
+	med, err := core.New(fixture.Registry()).MediateSQL(fixture.PaperQ1, "c2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat, w := scaledCatalog(10000, 42)
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := planner.NewExecutor(cat)
+		ex.DefaultParallelism = runtime.GOMAXPROCS(0)
+		res, err := ex.ExecuteMediation(med)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Len() != w.Expected.Len() {
+			b.Fatalf("answers = %d, want %d", res.Len(), w.Expected.Len())
+		}
 	}
 }
 

@@ -16,6 +16,7 @@
 //	coinquery -stream '...'          # NDJSON wire path: rows print as they arrive
 //	coinquery -partial '...'         # degrade on source faults: drop failed branches, warn on stderr
 //	coinquery -retry-budget 10 '...' # cap retries the session may spend across sources
+//	coinquery -parallelism 1 '...'   # force serial pipelines (N>1: that many workers)
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,6 +45,7 @@ type queryConfig struct {
 	stream       bool
 	partial      bool
 	retryBudget  int
+	parallelism  int
 }
 
 func main() {
@@ -58,6 +61,7 @@ func main() {
 	stream := flag.Bool("stream", false, "stream rows as they are produced instead of buffering the answer")
 	partial := flag.Bool("partial", false, "return partial results when a source fails: drop the failed branches, print warnings to stderr")
 	retryBudget := flag.Int("retry-budget", 0, "cap on retries the query session may spend across all sources (0: per-operation policy only)")
+	parallelism := flag.Int("parallelism", 0, "worker bound for intra-query parallel operators; 1 forces serial pipelines (0: GOMAXPROCS locally, the server default remotely)")
 	flag.Parse()
 
 	sql := strings.TrimSpace(strings.Join(flag.Args(), " "))
@@ -68,7 +72,7 @@ func main() {
 	cfg := queryConfig{
 		naive: *naive, showMediated: *showMediated, explain: *explain, analyze: *analyze,
 		timeout: *timeout, maxRows: *maxRows, maxPerSource: *maxPerSource, stream: *stream,
-		partial: *partial, retryBudget: *retryBudget,
+		partial: *partial, retryBudget: *retryBudget, parallelism: *parallelism,
 	}
 	if err := run(*serverURL, *contextName, sql, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "coinquery:", err)
@@ -89,7 +93,7 @@ func runRemote(serverURL, receiverCtx, sql string, cfg queryConfig) error {
 		return err
 	}
 	opts := client.Options{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource,
-		RetryBudget: cfg.retryBudget, Partial: cfg.partial}
+		RetryBudget: cfg.retryBudget, Partial: cfg.partial, Parallelism: cfg.parallelism}
 	if cfg.explain || cfg.analyze {
 		var plan string
 		if cfg.analyze {
@@ -161,8 +165,16 @@ func printWarnings(warns []planner.Warning) {
 
 func runLocal(receiverCtx, sql string, cfg queryConfig) error {
 	sys := coin.Figure2System()
+	// Resolve the local default here (0 → GOMAXPROCS) and install it as the
+	// executor default too, so plain EXPLAIN — which plans without a
+	// session — renders the same placements a run would use.
+	par := cfg.parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sys.Executor().DefaultParallelism = par
 	opts := coin.QueryOptions{Timeout: cfg.timeout, MaxRows: cfg.maxRows, MaxConcurrentPerSource: cfg.maxPerSource,
-		RetryBudget: cfg.retryBudget, PartialResults: cfg.partial}
+		RetryBudget: cfg.retryBudget, PartialResults: cfg.partial, MaxParallelism: par}
 	if cfg.explain || cfg.analyze {
 		var (
 			plan string

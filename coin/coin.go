@@ -215,6 +215,11 @@ func (s *System) Explain(sql, receiver string) (string, error) {
 		if err != nil {
 			return "", fmt.Errorf("coin: planning branch %d: %w", i+1, err)
 		}
+		// Annotate with the executor's default parallelism so EXPLAIN shows
+		// the exchange/fan-out placements execution would use (a nil
+		// session resolves to DefaultParallelism; serial plans render
+		// byte-identically to the pre-exchange planner).
+		s.executor.ParallelizePlan(plan, nil)
 		fmt.Fprintf(&b, "branch %d: %s\n%s", i+1, br.String(), plan.Explain())
 	}
 	if med.Post != nil {

@@ -20,7 +20,14 @@ package analysis
 //     copies Values and is safe; spreading []Tuple (append(dst,
 //     b.Rows...)) copies only the slice headers and is retention;
 //   - using a batch-derived value after a non-deferred Close of the
-//     iterator it came from.
+//     iterator it came from;
+//   - sending a batch-derived value on a channel from inside a re-pulling
+//     loop, including aliases wrapped in a composite literal (the
+//     exchange operators' chunk{rows: b.Rows} handoff shape): the
+//     consumer worker reads on its own timeline while the producer
+//     re-pulls. The sanctioned durable copy — append into a fresh
+//     destination, which materializes a new backing array — is
+//     recognized and not flagged.
 
 import (
 	"go/ast"
@@ -369,6 +376,36 @@ func checkBatchRetain(pass *Pass, bt *batchTypes, body *ast.BlockStmt) {
 		}
 	}
 
+	// reportTaintedWithin flags every batch-derived alias inside a sent
+	// value, descending through composite literals (the exchange
+	// operators' chunk{rows: ...} envelope). Descent stops at a reported
+	// node (so b.Rows does not also report its inner b) and at an append
+	// into a fresh destination — the durable-copy idiom the exchange
+	// handoff contract requires.
+	reportTaintedWithin := func(root ast.Expr) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID &&
+					pass.Info.Uses[id] == types.Universe.Lookup("append") &&
+					len(call.Args) > 0 {
+					if _, dstTainted := taintedExpr(call.Args[0]); !dstTainted {
+						return false // fresh backing array: the durable copy
+					}
+				}
+			}
+			x, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if _, ok := taintedExpr(x); ok {
+				t, _ := derivedType(pass, bt, x)
+				report(x.Pos(), t, "across Next (sent on a channel)")
+				return false
+			}
+			return true
+		})
+	}
+
 	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.AssignStmt:
@@ -378,12 +415,11 @@ func checkBatchRetain(pass *Pass, bt *batchTypes, body *ast.BlockStmt) {
 				}
 			}
 		case *ast.SendStmt:
-			// ch <- row hands the alias to another goroutine's timeline.
+			// ch <- row (or ch <- chunk{rows: b.Rows}) hands the alias to
+			// another goroutine's timeline: the cross-worker handoff needs
+			// the durable copy first.
 			if len(pullLoops(stack)) > 0 {
-				if _, ok := taintedExpr(st.Value); ok {
-					t, _ := derivedType(pass, bt, st.Value)
-					report(st.Value.Pos(), t, "across Next (sent on a channel)")
-				}
+				reportTaintedWithin(st.Value)
 			}
 		case *ast.Ident:
 			// Use after Close: a batch-derived read past the iterator's

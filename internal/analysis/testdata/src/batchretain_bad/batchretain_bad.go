@@ -70,6 +70,32 @@ func holdBatch(ctx context.Context, it relalg.Iterator) (relalg.Batch, error) {
 	return last, it.Close()
 }
 
+// chunk mimics the exchange operators' cross-worker handoff envelope.
+type chunk struct {
+	rows []relalg.Tuple
+}
+
+// handoffAlias ships live batch storage to another worker's timeline:
+// the producer re-pulls (recycling the backing array) while the consumer
+// still reads it. Wrapping the alias in a composite literal does not
+// launder it.
+func handoffAlias(ctx context.Context, it relalg.Iterator, out chan chunk) error {
+	if err := it.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		b, err := it.Next(64)
+		if err != nil {
+			it.Close()
+			return err
+		}
+		if len(b.Rows) == 0 {
+			return it.Close()
+		}
+		out <- chunk{rows: b.Rows} // want "batch rows slice retained across Next .sent on a channel."
+	}
+}
+
 // useAfterClose reads rows after the iterator was closed.
 func useAfterClose(ctx context.Context, it relalg.Iterator) []relalg.Tuple {
 	if err := it.Open(ctx); err != nil {

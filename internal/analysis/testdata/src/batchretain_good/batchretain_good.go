@@ -52,6 +52,35 @@ func countRows(ctx context.Context, it relalg.Iterator) (int, error) {
 	return n, it.Close()
 }
 
+// chunk mirrors the exchange operators' cross-worker handoff envelope.
+type chunk struct {
+	rows []relalg.Tuple
+}
+
+// handoffCopy is the exchange handoff contract: append into a fresh
+// destination materializes a new backing array before the rows cross the
+// channel, decoupling the consumer from the producer's batch reuse (the
+// tuples themselves are durable per the producer's contract). Both the
+// inline form and the two-step form used by the scan fan-out are clean.
+func handoffCopy(ctx context.Context, it relalg.Iterator, out chan chunk) error {
+	if err := it.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		b, err := it.Next(64)
+		if err != nil {
+			it.Close()
+			return err
+		}
+		if len(b.Rows) == 0 {
+			return it.Close()
+		}
+		out <- chunk{rows: append([]relalg.Tuple(nil), b.Rows...)}
+		rows := append([]relalg.Tuple(nil), b.Rows...)
+		out <- chunk{rows: rows}
+	}
+}
+
 // lastValue copies a single Value out of the batch — Values are copied
 // by value, so nothing aliases the arena.
 func lastValue(ctx context.Context, it relalg.Iterator) (relalg.Value, error) {

@@ -47,6 +47,25 @@ func leakOnError(ctx context.Context, it relalg.Iterator) (int, error) {
 	return n, it.Close()
 }
 
+// workerNoOwner mimics the exchange-worker shape but reaches the part
+// iterator through a parameter, not a receiver: no operator Close owns
+// these parts, so the leak is real.
+func workerNoOwner(ctx context.Context, subs []relalg.Iterator, p int) error {
+	sub := subs[p]
+	if err := sub.Open(ctx); err != nil { // want "never closed on any path"
+		return err
+	}
+	for {
+		b, err := sub.Next(64)
+		if err != nil {
+			return err
+		}
+		if len(b.Rows) == 0 {
+			return nil
+		}
+	}
+}
+
 // streamNeverClosed acquires a TupleStream and drops it.
 func streamNeverClosed(ctx context.Context, w wrapper.Wrapper, q wrapper.SourceQuery) error {
 	st, err := wrapper.QueryStream(ctx, w, q) // want "never closed on any path"

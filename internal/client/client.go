@@ -23,16 +23,18 @@ import (
 // Options bound one query: a server-side session timeout, a cap on
 // result rows (the server truncates, not fails), a cap on the session's
 // concurrent fetches per source (the server's dispatcher defaults apply
-// when zero), a session-wide retry budget, and the Partial degradation
+// when zero), a session-wide retry budget, the Partial degradation
 // switch (the server drops failed mediation branches with warnings
-// instead of failing the query). The zero value is ungoverned and
-// fail-fast.
+// instead of failing the query), and a Parallelism cap on the server's
+// intra-query parallel operators (1 forces serial pipelines; zero defers
+// to the server's default). The zero value is ungoverned and fail-fast.
 type Options struct {
 	Timeout                time.Duration
 	MaxRows                int
 	MaxConcurrentPerSource int
 	RetryBudget            int
 	Partial                bool
+	Parallelism            int
 }
 
 // Conn is an open connection to a mediation server.
@@ -213,6 +215,7 @@ func queryRequest(sql, context string, naive bool, opts Options) server.QueryReq
 		MaxConcurrentPerSource: opts.MaxConcurrentPerSource,
 		RetryBudget:            opts.RetryBudget,
 		Partial:                opts.Partial,
+		Parallelism:            opts.Parallelism,
 	}
 	if opts.Timeout > 0 {
 		req.Timeout = opts.Timeout.String()

@@ -6,6 +6,7 @@ package golden
 //	-- mode: engine | mediate | mediate-partial   (default engine)
 //	-- receiver: c2                               (mediate modes)
 //	-- ordered: true                              (force order-sensitive rows)
+//	-- parallelism: N                             (intra-query workers; default serial)
 //
 // engine entries run on a fresh heterogeneous Fixture; mediate entries
 // run the paper's Figure 2 system end to end (mediate-partial with its
@@ -32,7 +33,11 @@ type Query struct {
 	Mode     string // engine | mediate | mediate-partial
 	Receiver string
 	Ordered  bool
-	SQL      string
+	// Parallelism is the intra-query worker bound the entry runs (and
+	// plans) under; 0 keeps the historical serial pipelines, so the
+	// pre-exchange baselines stay byte-identical.
+	Parallelism int
+	SQL         string
 }
 
 // Result is one entry's observed behavior: everything the baseline pins.
@@ -102,6 +107,12 @@ func parseQueryFile(name, raw string) (Query, error) {
 					return Query{}, fmt.Errorf("bad ordered directive %q", val)
 				}
 				q.Ordered = b
+			case "parallelism":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return Query{}, fmt.Errorf("bad parallelism directive %q", val)
+				}
+				q.Parallelism = n
 			}
 			continue
 		}
@@ -153,6 +164,11 @@ func runEngine(q Query, opts RunOptions) (*Result, error) {
 	if opts.Mutate != nil {
 		opts.Mutate(fx)
 	}
+	// The parallelism directive runs the entry under that many workers and
+	// baselines the annotated plan (exchange/part/merge placements); 0
+	// leaves the executor serial, pinning byte-identical pre-exchange
+	// plans for the historical corpus.
+	fx.Ex.DefaultParallelism = q.Parallelism
 	stmt, err := sqlparse.Parse(q.SQL)
 	if err != nil {
 		return nil, fmt.Errorf("golden: %s: parse: %w", q.Name, err)
@@ -164,6 +180,7 @@ func runEngine(q Query, opts RunOptions) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("golden: %s: planning branch %d: %w", q.Name, i+1, err)
 		}
+		fx.Ex.ParallelizePlan(p, nil)
 		if len(sels) > 1 {
 			fmt.Fprintf(&plan, "branch %d:\n", i+1)
 		}
@@ -188,6 +205,7 @@ func runMediate(q Query) (*Result, error) {
 	if partial {
 		sys = coin.Figure2SystemWith(downFetcher{})
 	}
+	sys.Executor().DefaultParallelism = q.Parallelism
 	plan, err := sys.Explain(q.SQL, q.Receiver)
 	if err != nil {
 		return nil, fmt.Errorf("golden: %s: explain: %w", q.Name, err)
@@ -198,7 +216,7 @@ func runMediate(q Query) (*Result, error) {
 	}
 	//lint:allow ctxflow golden harness runs outside any session; corpus queries are short and local
 	rel, warns, err := sys.ExecuteWarnCtx(context.Background(), med,
-		coin.QueryOptions{PartialResults: partial})
+		coin.QueryOptions{PartialResults: partial, MaxParallelism: q.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("golden: %s: executing: %w", q.Name, err)
 	}

@@ -68,6 +68,18 @@ func NewFixture() (*Fixture, error) {
 	} {
 		companies.MustInsert(relalg.StrV(r.c), relalg.StrV(r.co), relalg.NumV(r.f))
 	}
+	// trades: the corpus's bulk relation — large enough that the
+	// parallelize pass fans its scan out and runs joins over it under the
+	// exchange (the parallelism-directive entries, 29+). Deterministic
+	// LCG-shuffled rows keyed by cname, so partitioned runs face unsorted,
+	// repeating keys.
+	tradeNames := []string{"IBM", "NTT", "SONY", "DT", "BT", "ACME"}
+	trades := hq.MustCreateTable("trades", relalg.NewSchema(strCol("cname"), numCol("amount")))
+	lcg := uint32(12345)
+	for i := 0; i < 3000; i++ {
+		lcg = lcg*1664525 + 1013904223
+		trades.MustInsert(relalg.StrV(tradeNames[lcg%6]), relalg.NumV(float64(lcg%100000)))
+	}
 	if err := cat.AddSource(wrapper.NewRelational(hq)); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,6 @@
+-- parallel hash join: the bulk trades scan fans out into partitioned
+-- range streams and probes companies under the repartition exchange
+-- parallelism: 4
+SELECT companies.cname, companies.country, trades.amount
+FROM companies, trades
+WHERE trades.cname = companies.cname AND trades.amount < 200

@@ -1,0 +1,4 @@
+-- partitioned GROUP BY over the fanned-out bulk scan
+-- parallelism: 4
+SELECT trades.cname, COUNT(*) AS n, SUM(trades.amount) AS total
+FROM trades GROUP BY trades.cname

@@ -1,0 +1,5 @@
+-- ORDER BY above the order-preserving merge exchange (partitioned sort)
+-- parallelism: 4
+SELECT trades.cname, trades.amount FROM trades
+WHERE trades.amount < 1000
+ORDER BY trades.amount DESC, trades.cname LIMIT 25

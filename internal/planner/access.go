@@ -14,11 +14,30 @@ package planner
 //
 // Slot discipline: a streaming scan holds its slot from Open until the
 // stream is exhausted, fails, or is closed; a materialized fetch holds
-// it for the duration of the source query. The iterator trees this
-// planner builds drain at most one source stream at a time per pipeline
-// (every breaker collects one side to completion — closing it — before
-// opening the other), so admission can never self-deadlock: a pipeline
-// waiting for a slot holds no other slot on any source.
+// it for the duration of the source query; a partitioned scan fan-out
+// holds ScanParts slots at once, reserved all-or-nothing up front
+// (acquireSourceN) before any part stream opens. The deadlock argument,
+// re-proven for the fan-out era:
+//
+//   - Per pipeline, at most one SCAN STEP is active at a time (every
+//     breaker collects one side to completion — closing it and freeing
+//     its slots — before opening the other), so a pipeline waiting for
+//     admission holds no slots from other steps. A fan-out's K held
+//     slots all belong to the one active step, and all K part streams
+//     are drained concurrently by that step's reassembly workers, so a
+//     held slot always belongs to a stream whose progress depends only
+//     on the pipeline's own consumer — never on another admission wait.
+//   - Multi-slot reservations are serialized per dispatcher by a fan-out
+//     mutex, so two fan-outs can never interleave partial acquisitions
+//     of one pool and deadlock each other holding half a pool each; a
+//     reservation in progress waits only for single-slot holders, which
+//     release independently (their streams drain on their own).
+//   - Reservations never exceed a pool: the parallelize pass clamps
+//     ScanParts to the source's concurrency cap and the session's
+//     per-source allowance, so an up-front reservation always fits.
+//   - The session-level and source-level pools are always taken in that
+//     order (session first), for singles and reservations alike, so the
+//     two levels cannot deadlock against each other.
 
 import (
 	"context"
@@ -41,6 +60,12 @@ const DefaultMaxConcurrentPerSource = 4
 // scope.
 type dispatcher struct {
 	slots chan struct{}
+
+	// fanMu serializes multi-slot reservations (acquireN): two fan-outs
+	// interleaving partial acquisitions of one pool could each hold half
+	// and wait forever for the other's half. Single-slot acquires bypass
+	// it — they hold-and-wait on nothing.
+	fanMu sync.Mutex
 
 	// circuit-breaker state (methods in breaker.go)
 	bmu        sync.Mutex
@@ -66,6 +91,26 @@ func (d *dispatcher) acquire(ctx context.Context) error {
 		return ctx.Err()
 	}
 }
+
+// acquireN reserves n slots all-or-nothing under the fan-out mutex: on
+// ctx death mid-reservation every slot already taken is returned. n must
+// not exceed the pool (capacity); callers clamp.
+func (d *dispatcher) acquireN(ctx context.Context, n int) error {
+	d.fanMu.Lock()
+	defer d.fanMu.Unlock()
+	for i := 0; i < n; i++ {
+		if err := d.acquire(ctx); err != nil {
+			for ; i > 0; i-- {
+				d.release()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// capacity reports the pool size.
+func (d *dispatcher) capacity() int { return cap(d.slots) }
 
 // release frees one acquired slot. Releasing more than was acquired is a
 // slot-accounting bug in the caller (a double release would silently
@@ -130,6 +175,50 @@ func (e *Executor) acquireSource(ctx context.Context, sess *Session, w wrapper.W
 		d.release()
 		if sd != nil {
 			sd.release()
+		}
+	}, nil
+}
+
+// acquireSourceN reserves n in-flight-query slots against w as one
+// all-or-nothing unit — the admission form of a partitioned scan
+// fan-out, which holds all n slots until its last part stream is torn
+// down. Levels are taken in the same session-then-source order as
+// acquireSource; each level's reservation runs under that dispatcher's
+// fan-out mutex (see the slot-discipline comment at the top of this
+// file for the deadlock argument). n is clamped to the smaller pool; the
+// actual reservation size is returned with a release callback that frees
+// all of it, exactly once.
+func (e *Executor) acquireSourceN(ctx context.Context, sess *Session, w wrapper.Wrapper, n int) (got int, release func(), err error) {
+	sd := sess.dispatcherFor(w.Source())
+	d := e.dispatcherFor(w)
+	if n > d.capacity() {
+		n = d.capacity()
+	}
+	if sd != nil && n > sd.capacity() {
+		n = sd.capacity()
+	}
+	if n < 1 {
+		n = 1
+	}
+	if sd != nil {
+		if err := sd.acquireN(ctx, n); err != nil {
+			return 0, nil, err
+		}
+	}
+	if err := d.acquireN(ctx, n); err != nil {
+		if sd != nil {
+			for i := 0; i < n; i++ {
+				sd.release()
+			}
+		}
+		return 0, nil, err
+	}
+	return n, func() {
+		for i := 0; i < n; i++ {
+			d.release()
+			if sd != nil {
+				sd.release()
+			}
 		}
 	}, nil
 }

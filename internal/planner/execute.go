@@ -42,6 +42,13 @@ type Executor struct {
 	// DisableBatching keeps bind joins on one query per feeder value even
 	// against IN-capable sources — the batching ablation.
 	DisableBatching bool
+	// DefaultParallelism bounds the workers of intra-query parallel
+	// operators (exchange joins, partitioned sorts/group-bys, scan
+	// fan-outs) for sessions that do not set Limits.MaxParallelism.
+	// Zero or one keeps every pipeline serial — the library default, so
+	// embedding code sees the historical plans; the binaries (coinserver,
+	// coinquery) default it to GOMAXPROCS. See parallel.go.
+	DefaultParallelism int
 	// DisableReorder keeps the legacy greedy access ordering instead of
 	// the dynamic-programming enumerator — the join-order ablation.
 	DisableReorder bool
@@ -183,6 +190,7 @@ func (e *Executor) executeSelect(sess *Session, sel *sqlparse.Select) (*relalg.R
 	if err != nil {
 		return nil, err
 	}
+	e.ParallelizePlan(plan, sess)
 	return e.RunSession(sess, plan)
 }
 

@@ -53,6 +53,19 @@ type PlanStep struct {
 	// has run.
 	AfterPreds []sqlparse.Expr
 
+	// Workers is the hash-repartition exchange parallelism of this step's
+	// join: above 1, the probe stream is split across that many worker
+	// pipelines (relalg.ParallelHashJoinIter) and reassembled in exact
+	// serial order. 0 or 1 is the serial hash join. Annotated by the
+	// parallelize pass (parallel.go), never by the enumerators.
+	Workers int
+	// ScanParts is the partitioned fan-out of this step's source scan:
+	// above 1, that many disjoint range streams are fetched concurrently
+	// (the source must advertise Capabilities.Partitions) and reassembled
+	// in part order, which equals the serial scan. Annotated by the
+	// parallelize pass.
+	ScanParts int
+
 	// EstRows is the estimated tuples this step transfers from its source
 	// (across all probes, for a bind join); EstQueries the estimated
 	// source queries; EstCost the step's communication cost in the
@@ -80,6 +93,12 @@ type StepActuals struct {
 	// Out counts the tuples the step emitted downstream, after its joins
 	// and local predicates.
 	Out atomic.Int64
+	// WorkerRows, when the step ran under a parallel exchange, counts the
+	// tuples each worker produced (join output rows for an exchange join,
+	// scanned rows for a partitioned scan). Installed by BuildStream
+	// before execution — one slot per worker — and rendered as per-worker
+	// rows by Explain; nil for serial steps.
+	WorkerRows []atomic.Int64
 }
 
 // PlanActuals carries a plan's measured execution counts, one entry per
@@ -98,6 +117,12 @@ type BranchPlan struct {
 	Distinct bool
 	OrderBy  []sqlparse.OrderItem
 	Limit    int
+
+	// Parallelism is the worker bound the parallelize pass annotated the
+	// plan with (parallel.go); 0 or 1 means every operator runs serial
+	// and the plan — Explain output included — is byte-identical to the
+	// pre-exchange planner's.
+	Parallelism int
 
 	// Actuals, when non-nil (EnableAnalyze), makes the compiled pipeline
 	// count per-step actual rows and queries as it runs; Explain then
@@ -172,14 +197,29 @@ func (p *BranchPlan) Explain() string {
 			}
 			b.WriteString("]")
 		}
+		if s.ScanParts > 1 {
+			fmt.Fprintf(&b, " part[%d]", s.ScanParts)
+		}
+		if s.Workers > 1 {
+			fmt.Fprintf(&b, " exchange[%d]", s.Workers)
+		}
 		fmt.Fprintf(&b, " est_rows=%.0f est_queries=%.0f est_cost=%.0f", s.EstRows, s.EstQueries, s.EstCost)
-		if act := p.stepActuals(i); act != nil {
+		act := p.stepActuals(i)
+		if act != nil {
 			rows, queries := act.Rows.Load(), act.Queries.Load()
 			actCost := s.SourceCost.PerQuery*float64(queries) + s.SourceCost.PerTuple*float64(rows)
 			fmt.Fprintf(&b, " | act_rows=%d act_queries=%d act_cost=%.0f act_out=%d",
 				rows, queries, actCost, act.Out.Load())
 		}
 		b.WriteByte('\n')
+		if act != nil {
+			for w := range act.WorkerRows {
+				fmt.Fprintf(&b, "  worker %d: act_rows=%d\n", w, act.WorkerRows[w].Load())
+			}
+		}
+	}
+	if p.Parallelism > 1 && len(p.OrderBy) > 0 {
+		fmt.Fprintf(&b, "merge[%d]\n", p.Parallelism)
 	}
 	fmt.Fprintf(&b, "total est_cost=%.0f", p.EstCost)
 	if p.Actuals != nil {

@@ -49,6 +49,13 @@ type Limits struct {
 	// RetryPolicy. Zero means unbudgeted (the per-operation policy alone
 	// governs).
 	RetryBudget int
+	// MaxParallelism caps the workers intra-query parallel operators may
+	// use in this session: the hash-repartition join exchange, the
+	// partitioned sort and group-by cores, and the partitioned scan
+	// fan-out. Zero defers to the executor's DefaultParallelism; 1 forces
+	// serial pipelines (plans and EXPLAIN output are byte-identical to
+	// the pre-exchange planner); values above 1 allow that many workers.
+	MaxParallelism int
 	// PartialResults degrades instead of failing when a mediation branch
 	// is felled by a source fault (after retries and the breaker have had
 	// their say): the branch is dropped, the answer is computed from the

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -80,6 +81,12 @@ type sourceScanIter struct {
 	stream    wrapper.TupleStream
 	batch     wrapper.BatchStream // non-nil when the stream block-fetches
 	release   func()
+	// reserved marks a part scan running under a fan-out's up-front slot
+	// reservation (parallelScanIter): the scan never acquires or releases
+	// admission itself — the slot is held by the reservation for the
+	// fan-out's whole lifetime, and mid-stream recovery re-opens the part
+	// query on the same held slot.
+	reserved  bool
 	pulled    int
 	exhausted bool
 	one       [1]relalg.Tuple // degenerate batch for per-tuple streams
@@ -112,14 +119,20 @@ func (s *sourceScanIter) RowCountHint() int { return s.est }
 // retry/breaker machinery; shared by Open and mid-stream recovery.
 func (s *sourceScanIter) openStream(ctx context.Context) error {
 	return s.e.withRetry(ctx, s.sess, s.w, func() error {
-		release, err := s.e.acquireSource(ctx, s.sess, s.w)
-		if err != nil {
-			return err
+		var release func()
+		if !s.reserved {
+			var err error
+			release, err = s.e.acquireSource(ctx, s.sess, s.w)
+			if err != nil {
+				return err
+			}
 		}
 		start := time.Now()
 		stream, err := wrapper.QueryStream(ctx, s.w, s.q)
 		if err != nil {
-			release()
+			if release != nil {
+				release()
+			}
 			return err
 		}
 		s.e.observeLatency(s.sess, s.w.Source(), time.Since(start))
@@ -399,6 +412,201 @@ func (s *sourceScanIter) Close() error {
 	return err
 }
 
+// scanChunk is one unit of part-stream → consumer flow in a partitioned
+// scan fan-out: a durable copy of one batch's row headers, or a terminal
+// error (the part's rows before the fault were flushed in prior chunks).
+type scanChunk struct {
+	rows []relalg.Tuple
+	err  error
+}
+
+// scanChanCap bounds each part stream's output channel so fast parts
+// cannot buffer unboundedly ahead of the consumer (which drains parts in
+// order).
+const scanChanCap = 2
+
+// parallelScanIter fans one independent relation scan out across
+// ScanParts partitioned source streams (SourceQuery.Partitions — the
+// source promises disjoint contiguous ranges whose concatenation in part
+// order equals the unpartitioned scan). All part streams run
+// concurrently, each a full sourceScanIter with the retry/recovery and
+// governor machinery intact; the consumer reassembles strictly in part
+// order, so the output is identical, tuple for tuple and in order, to
+// the serial scan.
+//
+// Admission: Open reserves all slots up front through acquireSourceN and
+// holds them until Close — the part scans run in reserved mode and never
+// touch the dispatcher themselves (mid-stream recovery re-opens a part
+// query on its already-held slot). See access.go for why the up-front
+// reservation cannot deadlock.
+//
+// Error parity: part k's fault surfaces only after parts 0..k-1 and k's
+// own prefix are fully delivered — exactly the position the serial scan
+// would surface it, since serial output is the in-order concatenation of
+// the parts.
+type parallelScanIter struct {
+	e      *Executor
+	sess   *Session
+	w      wrapper.Wrapper
+	base   wrapper.SourceQuery
+	schema relalg.Schema
+	act    *StepActuals
+	est    int
+	parts  int
+
+	// workerRows, when non-nil, receives per-part scanned-row counts
+	// (EXPLAIN ANALYZE's per-worker rows). BuildStream installs it only
+	// when the step's WorkerRows slice belongs to the scan (a step with a
+	// join exchange gives the slice to the join's workers instead).
+	workerRows []atomic.Int64
+
+	release func()
+	subs    []*sourceScanIter
+	outs    []chan scanChunk
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	part    int
+	cur     []relalg.Tuple
+	pos     int
+	done    bool
+}
+
+func (s *parallelScanIter) Schema() relalg.Schema { return s.schema }
+
+// RowCountHint mirrors sourceScanIter's presize hint.
+func (s *parallelScanIter) RowCountHint() int { return s.est }
+
+func (s *parallelScanIter) Open(ctx context.Context) error {
+	got, release, err := s.e.acquireSourceN(ctx, s.sess, s.w, s.parts)
+	if err != nil {
+		return err
+	}
+	s.release = release
+	s.parts = got
+	wctx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	s.subs = make([]*sourceScanIter, got)
+	s.outs = make([]chan scanChunk, got)
+	estPart := s.est/got + 1
+	for p := 0; p < got; p++ {
+		q := s.base
+		if got > 1 {
+			q.Partitions, q.Partition = got, p
+		}
+		s.subs[p] = &sourceScanIter{
+			e: s.e, sess: s.sess, w: s.w, q: q,
+			schema: s.schema, act: s.act, est: estPart,
+			reserved: true,
+		}
+		s.outs[p] = make(chan scanChunk, scanChanCap)
+	}
+	for p := 0; p < got; p++ {
+		s.wg.Add(1)
+		go s.runPart(wctx, p)
+	}
+	s.part, s.cur, s.pos, s.done = 0, nil, 0, false
+	return nil
+}
+
+// runPart drains one part stream into its channel: durable row-header
+// copies (the sub-scan may reuse its batch buffer; the tuples inside are
+// durable per the batch contract), then a terminal error chunk or a
+// channel close on clean exhaustion.
+func (s *parallelScanIter) runPart(ctx context.Context, p int) {
+	defer s.wg.Done()
+	out := s.outs[p]
+	defer close(out)
+	send := func(c scanChunk) bool {
+		select {
+		case out <- c:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	sub := s.subs[p]
+	if err := sub.Open(ctx); err != nil {
+		send(scanChunk{err: err})
+		return
+	}
+	workers := s.workerRows
+	for {
+		b, err := sub.Next(relalg.DefaultBatchSize)
+		if err != nil {
+			send(scanChunk{err: err})
+			return
+		}
+		if b.Empty() {
+			return
+		}
+		if p < len(workers) {
+			workers[p].Add(int64(b.Len()))
+		}
+		rows := append([]relalg.Tuple(nil), b.Rows...)
+		if !send(scanChunk{rows: rows}) {
+			return
+		}
+	}
+}
+
+func (s *parallelScanIter) Next(max int) (relalg.Batch, error) {
+	if max <= 0 {
+		max = relalg.DefaultBatchSize
+	}
+	for {
+		if s.pos < len(s.cur) {
+			n := len(s.cur) - s.pos
+			if n > max {
+				n = max
+			}
+			rows := s.cur[s.pos : s.pos+n]
+			s.pos += n
+			return relalg.Batch{Rows: rows}, nil
+		}
+		if s.done {
+			return relalg.Batch{}, nil
+		}
+		c, ok := <-s.outs[s.part]
+		if !ok {
+			s.part++
+			if s.part >= len(s.outs) {
+				s.done = true
+				return relalg.Batch{}, nil
+			}
+			continue
+		}
+		if c.err != nil {
+			s.done = true
+			return relalg.Batch{}, c.err
+		}
+		s.cur, s.pos = c.rows, 0
+	}
+}
+
+func (s *parallelScanIter) Close() error {
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+	s.wg.Wait()
+	var err error
+	for _, sub := range s.subs {
+		if sub == nil {
+			continue
+		}
+		if cerr := sub.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.subs, s.outs, s.cur = nil, nil, nil
+	s.done = true
+	if s.release != nil {
+		s.release()
+		s.release = nil
+	}
+	return err
+}
+
 // sourceIter builds the scan pipeline for one independent (non-bind)
 // step: chunked fetch with pushed filters, columns qualified with the
 // step binding, then the engine-local filters the source could not
@@ -412,12 +620,23 @@ func (e *Executor) sourceIter(sess *Session, step *PlanStep, act *StepActuals) (
 	if err != nil {
 		return nil, err
 	}
-	leaf := &sourceScanIter{
-		e: e, sess: sess, w: w,
-		q:      wrapper.SourceQuery{Relation: step.Relation, Filters: step.Pushed},
-		schema: schema,
-		act:    act,
-		est:    int(step.EstRows),
+	q := wrapper.SourceQuery{Relation: step.Relation, Filters: step.Pushed}
+	var leaf relalg.Iterator
+	if step.ScanParts > 1 {
+		ps := &parallelScanIter{
+			e: e, sess: sess, w: w, base: q,
+			schema: schema, act: act, est: int(step.EstRows),
+			parts: step.ScanParts,
+		}
+		if act != nil && step.Workers <= 1 {
+			ps.workerRows = act.WorkerRows
+		}
+		leaf = ps
+	} else {
+		leaf = &sourceScanIter{
+			e: e, sess: sess, w: w, q: q,
+			schema: schema, act: act, est: int(step.EstRows),
+		}
 	}
 	qualified := schema.Qualify(step.Binding)
 	var it relalg.Iterator = relalg.NewRename(leaf, qualified)
@@ -452,7 +671,7 @@ func (e *Executor) sourceIter(sess *Session, step *PlanStep, act *StepActuals) (
 // every join algorithm applies it to the joined row before emitting, so
 // rejected rows never leave the join (and their arena slots are
 // reclaimed) instead of being materialized and filtered above.
-func (e *Executor) joinIter(sess *Session, pool *relalg.Interner, cur, next relalg.Iterator, keys []JoinKey, binding string, residual sqlparse.Expr) (relalg.Iterator, error) {
+func (e *Executor) joinIter(sess *Session, pool *relalg.Interner, cur, next relalg.Iterator, keys []JoinKey, binding string, residual sqlparse.Expr, workers int, workerRows []atomic.Int64) (relalg.Iterator, error) {
 	if len(keys) > 0 && !e.ForceNestedLoop {
 		aKeys := make([]string, len(keys))
 		bKeys := make([]string, len(keys))
@@ -462,6 +681,19 @@ func (e *Executor) joinIter(sess *Session, pool *relalg.Interner, cur, next rela
 		}
 		if e.ForceMergeJoin {
 			return relalg.NewMergeJoin(cur, next, aKeys, bKeys, residual, e.stagerFor(sess))
+		}
+		if workers > 1 {
+			// Hash-repartition exchange: build and probe split across
+			// worker pipelines, output re-serialized in exact probe order.
+			// The probe side is NOT marked transient — its batches cross
+			// the exchange asynchronously, so the consumer promise that
+			// makes arena recycling safe cannot be given here.
+			phj, err := relalg.NewParallelHashJoin(cur, next, aKeys, bKeys, residual, false /* build the fetched side */, e.stagerFor(sess), workers)
+			if err != nil {
+				return nil, err
+			}
+			phj.WorkerOut = workerRows
+			return phj, nil
 		}
 		hj, err := relalg.NewHashJoin(cur, next, aKeys, bKeys, residual, false /* build the fetched side */, e.stagerFor(sess))
 		if err != nil {
@@ -530,6 +762,21 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 	for i := range plan.Steps {
 		step := &plan.Steps[i]
 		act := plan.stepActuals(i)
+		if act != nil && act.WorkerRows == nil {
+			// Per-worker actual rows for EXPLAIN ANALYZE: the exchange
+			// join's workers when the step has one, else the scan fan-out
+			// parts.
+			switch {
+			case step.Workers > 1:
+				act.WorkerRows = make([]atomic.Int64, step.Workers)
+			case step.ScanParts > 1:
+				act.WorkerRows = make([]atomic.Int64, step.ScanParts)
+			}
+		}
+		var workerRows []atomic.Int64
+		if act != nil && step.Workers > 1 {
+			workerRows = act.WorkerRows
+		}
 		var after sqlparse.Expr
 		if len(step.AfterPreds) > 0 {
 			after = sqlparse.AndAll(step.AfterPreds)
@@ -543,7 +790,7 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 			}
 			if cur == nil {
 				cur = next
-			} else if cur, err = e.joinIter(sess, pool, cur, next, step.JoinKeys, step.Binding, after); err != nil {
+			} else if cur, err = e.joinIter(sess, pool, cur, next, step.JoinKeys, step.Binding, after, step.Workers, workerRows); err != nil {
 				return nil, err
 			} else {
 				afterConsumed = after != nil
@@ -579,7 +826,7 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 				if err != nil {
 					return nil, err
 				}
-				return e.joinIter(sess, pool, relalg.NewScan(curRel), relalg.NewScan(fetched), step.JoinKeys, step.Binding, after)
+				return e.joinIter(sess, pool, relalg.NewScan(curRel), relalg.NewScan(fetched), step.JoinKeys, step.Binding, after, step.Workers, workerRows)
 			})
 			afterConsumed = after != nil
 		}
@@ -623,7 +870,9 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 		// ORDER BY references source columns the projection drops: sort
 		// before projecting (as the materialized executor's fallback did —
 		// including its quirk of skipping DISTINCT on this path).
-		out = relalg.NewProject(relalg.NewSort(cur, keys, e.stagerFor(sess)), items)
+		srt := relalg.NewSort(cur, keys, e.stagerFor(sess))
+		srt.Par = plan.Parallelism
+		out = relalg.NewProject(srt, items)
 	} else {
 		// The projection re-copies every surviving value per batch, so
 		// the operator feeding it may recycle its output batches. (The
@@ -636,7 +885,9 @@ func (e *Executor) BuildStream(sess *Session, plan *BranchPlan) (relalg.Iterator
 			out = d
 		}
 		if len(plan.OrderBy) > 0 {
-			out = relalg.NewSort(out, keys, e.stagerFor(sess))
+			srt := relalg.NewSort(out, keys, e.stagerFor(sess))
+			srt.Par = plan.Parallelism
+			out = srt
 		}
 	}
 	out = relalg.NewLimit(out, plan.Limit)
@@ -682,6 +933,7 @@ func (e *Executor) selectStream(sess *Session, sel *sqlparse.Select) (relalg.Ite
 	if err != nil {
 		return nil, err
 	}
+	e.ParallelizePlan(plan, sess)
 	return e.BuildStream(sess, plan)
 }
 
@@ -732,6 +984,7 @@ func (e *Executor) aggregateStream(sess *Session, sel *sqlparse.Select) (relalg.
 	if err != nil {
 		return nil, err
 	}
+	e.ParallelizePlan(plan, sess)
 	wide, err := e.BuildStream(sess, plan)
 	if err != nil {
 		return nil, err
@@ -756,13 +1009,16 @@ func (e *Executor) aggregateStream(sess *Session, sel *sqlparse.Select) (relalg.
 	pool := relalg.NewInterner()
 	gb := relalg.NewGroupBy(wide, sel.GroupBy, items, sel.Having, e.stagerFor(sess))
 	gb.Intern = pool
+	gb.Par = e.parallelism(sess)
 	var out relalg.Iterator = gb
 	if len(sel.OrderBy) > 0 {
 		keys := make([]relalg.OrderKey, len(sel.OrderBy))
 		for i, o := range sel.OrderBy {
 			keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
 		}
-		out = relalg.NewSort(out, keys, e.stagerFor(sess))
+		srt := relalg.NewSort(out, keys, e.stagerFor(sess))
+		srt.Par = e.parallelism(sess)
+		out = srt
 	}
 	if sel.Distinct {
 		d := relalg.NewDistinct(out)
@@ -971,6 +1227,7 @@ func (e *Executor) postStream(sess *Session, post *core.Post, in relalg.Iterator
 		}
 		gb := relalg.NewGroupBy(out, post.GroupBy, items, post.Having, e.stagerFor(sess))
 		gb.Intern = pool
+		gb.Par = e.parallelism(sess)
 		out = gb
 	} else if len(post.Items) > 0 {
 		items := make([]relalg.ProjectItem, len(post.Items))
@@ -996,7 +1253,9 @@ func (e *Executor) postStream(sess *Session, post *core.Post, in relalg.Iterator
 		for i, o := range post.OrderBy {
 			keys[i] = relalg.OrderKey{Expr: o.Expr, Desc: o.Desc}
 		}
-		out = relalg.NewSort(out, keys, e.stagerFor(sess))
+		srt := relalg.NewSort(out, keys, e.stagerFor(sess))
+		srt.Par = e.parallelism(sess)
+		out = srt
 	}
 	return relalg.NewLimit(out, post.Limit), nil
 }

@@ -155,6 +155,12 @@ func MarkTransient(it Iterator) {
 		case *MergeJoinIter:
 			x.TransientOutput = true
 			return
+		case *ParallelHashJoinIter:
+			// Deliberately unmarked: its batches are produced
+			// asynchronously by worker pipelines and handed across
+			// channels, so no consumer promise can make arena recycling
+			// safe. The mark is dropped.
+			return
 		case *DeferredIter:
 			x.transient = true
 			return

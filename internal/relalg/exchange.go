@@ -1,0 +1,832 @@
+package relalg
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sqlparse"
+)
+
+// This file holds the intra-query parallelism ("exchange") operators:
+// a hash-repartition exchange embodied in ParallelHashJoinIter (build and
+// probe sides split across N worker pipelines on the join keys), and the
+// partitioned cores behind SortIter.Par (parallel chunk sort + an
+// order-preserving merge exchange) and GroupByIter.Par (hash-partitioned
+// grouping with first-appearance order restored on merge).
+//
+// Determinism rule: every parallel operator produces output identical in
+// content AND order to its serial counterpart, so plans never change
+// results when the parallelism knob moves. The mechanisms:
+//
+//   - parallel hash join: probe batches are dispatched round-robin to
+//     workers and their outputs re-read in the same round-robin order,
+//     so rows flow in exact probe-stream order; same-key build rows all
+//     land in one partition, preserving build-insertion match order.
+//   - parallel sort: contiguous chunks are stable-sorted concurrently
+//     and merged with ties broken by chunk index, reproducing the serial
+//     stable sort exactly.
+//   - parallel group-by: rows are hash-partitioned on the group key so
+//     no group spans workers; the merged output is reordered by each
+//     group's first-appearance row index, the serial emission order.
+//
+// Isolation rule: no Interner handle, KeyEncoder scratch buffer, or
+// transient batch crosses a worker boundary. Each partition builds with
+// a private pool; probers share that pool strictly read-only through
+// KeyEncoder.LookupKey; batches handed across channels are durable
+// copies (fresh builder arenas or copied row-header slices).
+
+// FNV-1a 64-bit parameters for the partition-routing hash.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hashValueInto folds one value into a partition-routing hash that is
+// identical across interner pools: strings hash their raw bytes (handles
+// differ pool to pool), NaN payloads are canonicalized exactly as the key
+// encoding does, and NULL hashes its tag (NULL keys form real GROUP BY
+// groups; hash-join routing drops NULL-keyed rows before hashing).
+func hashValueInto(h uint64, v Value) uint64 {
+	v.checkLive()
+	switch v.K {
+	case KindNumber:
+		bits := math.Float64bits(v.N)
+		if v.N != v.N {
+			bits = math.Float64bits(math.NaN())
+		}
+		h = (h ^ uint64(keyTagNum)) * fnvPrime64
+		for s := 56; s >= 0; s -= 8 {
+			h = (h ^ (bits >> uint(s) & 0xFF)) * fnvPrime64
+		}
+	case KindString:
+		h = (h ^ uint64(keyTagStr)) * fnvPrime64
+		for i := 0; i < len(v.S); i++ {
+			h = (h ^ uint64(v.S[i])) * fnvPrime64
+		}
+		// Terminator so adjacent key strings cannot alias each other.
+		h = (h ^ 0xFF) * fnvPrime64
+	case KindBool:
+		tag := uint64(keyTagFalse)
+		if v.B {
+			tag = keyTagTrue
+		}
+		h = (h ^ tag) * fnvPrime64
+	default:
+		h = (h ^ uint64(keyTagNull)) * fnvPrime64
+	}
+	return h
+}
+
+// partitionHash hashes the values of t at cols for partition routing.
+func partitionHash(t Tuple, cols []int) uint64 {
+	h := fnvOffset64
+	for _, ci := range cols {
+		h = hashValueInto(h, t[ci])
+	}
+	return h
+}
+
+// hashValues is partitionHash over already-evaluated key values.
+func hashValues(vals []Value) uint64 {
+	h := fnvOffset64
+	for _, v := range vals {
+		h = hashValueInto(h, v)
+	}
+	return h
+}
+
+// tupleHasNullKey reports whether any key column of t is NULL (SQL
+// equality: such rows can never join).
+func tupleHasNullKey(t Tuple, cols []int) bool {
+	for _, i := range cols {
+		if t[i].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// phjTable is one partition's hash table: the same bucket layout as
+// HashJoinIter (single string keys map raw strings to dense bucket
+// indexes; other shapes use the pool-backed fixed-width encoding), built
+// by exactly one worker and probed read-only afterwards.
+type phjTable struct {
+	in      *Interner
+	stable  map[string]int
+	table   map[string]int
+	buckets []hjBucket
+	single  bool
+}
+
+// buildPHJTable hashes one partition's build rows. Rows with NULL keys
+// were dropped at routing.
+func buildPHJTable(rows []Tuple, idx []int) *phjTable {
+	t := &phjTable{in: NewInterner(), single: len(idx) == 1}
+	if t.single {
+		t.stable = make(map[string]int, len(rows))
+	} else {
+		t.table = make(map[string]int, len(rows))
+	}
+	enc := NewKeyEncoder(t.in)
+	t.buckets = make([]hjBucket, 0, len(rows))
+	for _, tu := range rows {
+		var bi int
+		var ok bool
+		if t.single && tu[idx[0]].K == KindString {
+			s := tu[idx[0]].S
+			if bi, ok = t.stable[s]; !ok {
+				bi = len(t.buckets)
+				t.buckets = append(t.buckets, hjBucket{})
+				t.stable[s] = bi
+			}
+		} else {
+			if t.table == nil {
+				// Single-key build with a non-string value: fall back to
+				// the generic encoded table for this row.
+				t.table = make(map[string]int)
+			}
+			k := enc.Key(tu, idx)
+			if bi, ok = t.table[string(k)]; !ok {
+				bi = len(t.buckets)
+				t.buckets = append(t.buckets, hjBucket{})
+				t.table[string(k)] = bi
+			}
+		}
+		if b := &t.buckets[bi]; b.first == nil {
+			b.first = tu
+		} else {
+			b.rest = append(b.rest, tu)
+		}
+	}
+	return t
+}
+
+// lookup finds the bucket for a probe tuple's key, if any. enc must be a
+// prober-private encoder over t.in; LookupKey keeps the shared pool
+// frozen, so any number of workers may probe one table concurrently.
+func (t *phjTable) lookup(tu Tuple, probeIdx []int, enc *KeyEncoder) (int, bool) {
+	if t.single {
+		if v := tu[probeIdx[0]]; v.K == KindString {
+			bi, ok := t.stable[v.S]
+			return bi, ok
+		}
+	}
+	if t.table == nil {
+		return 0, false
+	}
+	k, ok := enc.LookupKey(tu, probeIdx)
+	if !ok {
+		return 0, false
+	}
+	bi, ok := t.table[string(k)]
+	return bi, ok
+}
+
+// phjChunk is one unit of worker→consumer flow: a durable row slice, a
+// marker for the final chunk of one input probe batch, and an optional
+// terminal error (residual evaluation failed; any partial rows were
+// flushed in the preceding chunk, matching the serial flush-before-fail
+// contract).
+type phjChunk struct {
+	rows []Tuple
+	last bool
+	err  error
+}
+
+// phjChanCap bounds the dispatch and output channels so a fast producer
+// cannot buffer unbounded batches ahead of a slow consumer.
+const phjChanCap = 2
+
+// ParallelHashJoinIter is the hash-repartition exchange form of
+// HashJoinIter: the build side is drained once, routed by key hash into
+// Par partitions and hashed into Par tables concurrently (each with a
+// private interner pool); probe batches are then dispatched round-robin
+// to Par worker pipelines that probe the tables read-only and emit
+// concatenated rows. The consumer re-reads worker outputs in the same
+// round-robin order, so the output is identical in content and order to
+// the serial HashJoinIter — batch boundaries may differ, row order may
+// not.
+//
+// The probe child is driven only from the dispatch goroutine; Close
+// cancels the internal context, waits for every worker to exit, and only
+// then closes the child, so the single-use iterator contract holds.
+type ParallelHashJoinIter struct {
+	left, right Iterator
+	leftIdx     []int
+	rightIdx    []int
+	residual    sqlparse.Expr
+	buildLeft   bool
+	stager      Stager
+	schema      Schema
+	// Par is the worker count; set before Open (values < 1 run one
+	// worker). The planner only builds this operator when Par > 1.
+	Par int
+	// WorkerOut, when non-nil, counts the rows each worker emitted
+	// (index = worker, extra slots ignored) — the per-worker breakdown
+	// EXPLAIN ANALYZE renders. Set before Open; counters are atomic so
+	// the observer may read them while the exchange runs.
+	WorkerOut []atomic.Int64
+
+	tables    []*phjTable
+	probe     Iterator
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	outs      []chan phjChunk
+	dist      *phjDist
+	nextBatch int
+	exhausted bool
+	cur       []Tuple
+	pos       int
+}
+
+// phjDist carries the dispatch goroutine's terminal error (a probe-side
+// Next failure) to the consumer, which surfaces it after every
+// dispatched batch's output has been served — the same position the
+// serial join would surface it.
+type phjDist struct {
+	mu sync.Mutex
+	e  error
+}
+
+func (d *phjDist) fail(err error) {
+	d.mu.Lock()
+	if d.e == nil {
+		d.e = err
+	}
+	d.mu.Unlock()
+}
+
+func (d *phjDist) err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.e
+}
+
+// NewParallelHashJoin prepares a partitioned-parallel hash join of left
+// and right on pairwise equal key columns, mirroring NewHashJoin's
+// contract (buildLeft selects the materialized side; residual applies to
+// the concatenated row; output columns are always left ++ right).
+func NewParallelHashJoin(left, right Iterator, leftKeys, rightKeys []string, residual sqlparse.Expr, buildLeft bool, st Stager, par int) (*ParallelHashJoinIter, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("relalg: hash join requires matching non-empty key lists")
+	}
+	ls, rs := left.Schema(), right.Schema()
+	li := make([]int, len(leftKeys))
+	ri := make([]int, len(rightKeys))
+	for i := range leftKeys {
+		li[i] = ls.Index(leftKeys[i])
+		ri[i] = rs.Index(rightKeys[i])
+		if li[i] < 0 || ri[i] < 0 {
+			return nil, fmt.Errorf("relalg: hash join key %s/%s not found", leftKeys[i], rightKeys[i])
+		}
+	}
+	if par < 1 {
+		par = 1
+	}
+	return &ParallelHashJoinIter{
+		left: left, right: right,
+		leftIdx: li, rightIdx: ri,
+		residual: residual, buildLeft: buildLeft, stager: st,
+		schema: ls.Concat(rs), Par: par,
+	}, nil
+}
+
+// Schema implements Iterator.
+func (j *ParallelHashJoinIter) Schema() Schema { return j.schema }
+
+// Open implements Iterator: it drains the build side, partitions it into
+// Par hash tables built concurrently, opens the probe child and starts
+// the dispatch and worker goroutines.
+func (j *ParallelHashJoinIter) Open(ctx context.Context) error {
+	build, buildIdx := j.right, j.rightIdx
+	if j.buildLeft {
+		build, buildIdx = j.left, j.leftIdx
+	}
+	rel, err := Collect(ctx, build, "")
+	if err != nil {
+		return err
+	}
+	if rel, err = stage(j.stager, rel); err != nil {
+		return err
+	}
+	par := j.Par
+	if par < 1 {
+		par = 1
+	}
+	// Route build rows by key hash; same-key rows land in one partition
+	// in build order, so match order inside a bucket is preserved. SQL
+	// equality: NULL keys never join, drop them here.
+	parts := make([][]Tuple, par)
+	for _, t := range rel.Tuples {
+		if tupleHasNullKey(t, buildIdx) {
+			continue
+		}
+		p := int(partitionHash(t, buildIdx) % uint64(par))
+		parts[p] = append(parts[p], t)
+	}
+	j.tables = make([]*phjTable, par)
+	var bwg sync.WaitGroup
+	for p := 0; p < par; p++ {
+		bwg.Add(1)
+		go func(p int) {
+			defer bwg.Done()
+			j.tables[p] = buildPHJTable(parts[p], buildIdx)
+		}(p)
+	}
+	bwg.Wait()
+
+	j.probe = j.left
+	probeIdx := j.leftIdx
+	if j.buildLeft {
+		j.probe, probeIdx = j.right, j.rightIdx
+	}
+	if err := j.probe.Open(ctx); err != nil {
+		// A failed child Open cleans up after itself; never Close it.
+		j.probe = nil
+		return err
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	j.cancel = cancel
+	ins := make([]chan []Tuple, par)
+	j.outs = make([]chan phjChunk, par)
+	for p := range ins {
+		ins[p] = make(chan []Tuple, phjChanCap)
+		j.outs[p] = make(chan phjChunk, phjChanCap)
+	}
+	j.dist = &phjDist{}
+	for p := 0; p < par; p++ {
+		j.wg.Add(1)
+		go j.worker(wctx, p, ins[p], j.outs[p], probeIdx)
+	}
+	j.wg.Add(1)
+	go j.dispatch(wctx, ins)
+	j.nextBatch, j.exhausted, j.cur, j.pos = 0, false, nil, 0
+	return nil
+}
+
+// dispatch pulls probe batches and hands batch k to worker k%Par. It is
+// the only goroutine touching the probe child between Open and Close.
+func (j *ParallelHashJoinIter) dispatch(ctx context.Context, ins []chan []Tuple) {
+	defer j.wg.Done()
+	// Closing the inboxes is the workers' end-of-stream signal, on both
+	// the clean and the cancelled path.
+	defer func() {
+		for _, in := range ins {
+			close(in)
+		}
+	}()
+	k := 0
+	for {
+		b, err := j.probe.Next(DefaultBatchSize)
+		if err != nil {
+			j.dist.fail(err)
+			return
+		}
+		if b.Empty() {
+			return
+		}
+		// Durable copy of the row headers: the batch's Rows slice is only
+		// valid until the next Next on the probe child, but the worker
+		// consumes it asynchronously. The Tuples inside are durable per
+		// the batch contract (the probe side is never marked transient).
+		rows := append([]Tuple(nil), b.Rows...)
+		select {
+		case ins[k%len(ins)] <- rows:
+		case <-ctx.Done():
+			return
+		}
+		k++
+	}
+}
+
+// worker probes the partition tables for each dispatched batch and emits
+// the join output as chunks, ending each input batch with a last-marked
+// chunk so the consumer can re-serialize batches in dispatch order.
+func (j *ParallelHashJoinIter) worker(ctx context.Context, self int, in chan []Tuple, out chan phjChunk, probeIdx []int) {
+	defer j.wg.Done()
+	defer close(out)
+	par := len(j.tables)
+	// Private encoders over the shared frozen pools: scratch buffers are
+	// per-worker, pools are probed read-only via LookupKey.
+	encs := make([]*KeyEncoder, par)
+	for p := range encs {
+		encs[p] = NewKeyEncoder(j.tables[p].in)
+	}
+	var resFn func(Tuple) (bool, error)
+	if j.residual != nil {
+		// Compiled predicates keep per-instance scratch state: one per
+		// worker, never shared.
+		resFn = CompileBool(j.residual, j.schema)
+	}
+	send := func(c phjChunk) bool {
+		select {
+		case out <- c:
+			if self < len(j.WorkerOut) && len(c.rows) > 0 {
+				j.WorkerOut[self].Add(int64(len(c.rows)))
+			}
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	for rows := range in {
+		// A fresh builder per chunk: its arena is never Reset again, so
+		// the rows stay durable after crossing the channel.
+		bb := NewBatchBuilder(len(j.schema.Columns))
+		failed := false
+		for _, t := range rows {
+			if tupleHasNullKey(t, probeIdx) {
+				continue
+			}
+			tp := int(partitionHash(t, probeIdx) % uint64(par))
+			tbl := j.tables[tp]
+			bi, ok := tbl.lookup(t, probeIdx, encs[tp])
+			if !ok {
+				continue
+			}
+			bkt := &tbl.buckets[bi]
+			for mi := 0; mi <= len(bkt.rest); mi++ {
+				bt := bkt.first
+				if mi > 0 {
+					bt = bkt.rest[mi-1]
+				}
+				l, r := t, bt
+				if j.buildLeft {
+					l, r = bt, t
+				}
+				row := bb.Concat(l, r)
+				if resFn != nil {
+					ok, err := resFn(row)
+					if err != nil {
+						bb.DropLast()
+						// Flush the partial output, then the error, in
+						// the same positions the serial join would.
+						if bb.Len() > 0 {
+							if !send(phjChunk{rows: bb.Batch().Rows}) {
+								return
+							}
+						}
+						send(phjChunk{err: err, last: true})
+						failed = true
+						break
+					}
+					if !ok {
+						bb.DropLast()
+					}
+				}
+				if bb.Len() >= DefaultBatchSize {
+					if !send(phjChunk{rows: bb.Batch().Rows}) {
+						return
+					}
+					bb = NewBatchBuilder(len(j.schema.Columns))
+				}
+			}
+			if failed {
+				break
+			}
+		}
+		if failed {
+			// The consumer stops at the error chunk; drain the inbox so
+			// the dispatcher is never blocked on a dead worker.
+			for range in {
+			}
+			return
+		}
+		if !send(phjChunk{rows: bb.Batch().Rows, last: true}) {
+			return
+		}
+	}
+}
+
+// Next implements Iterator: it serves the workers' chunks in dispatch
+// order, slicing to the consumer's max.
+func (j *ParallelHashJoinIter) Next(max int) (Batch, error) {
+	if max <= 0 {
+		max = DefaultBatchSize
+	}
+	for {
+		if j.pos < len(j.cur) {
+			n := len(j.cur) - j.pos
+			if n > max {
+				n = max
+			}
+			rows := j.cur[j.pos : j.pos+n]
+			j.pos += n
+			return Batch{Rows: rows}, nil
+		}
+		if j.exhausted || j.outs == nil {
+			return Batch{}, nil
+		}
+		ch, ok := <-j.outs[j.nextBatch%len(j.outs)]
+		if !ok {
+			// Batch nextBatch was never dispatched: the probe stream
+			// ended — or failed, in which case the error surfaces here,
+			// after every dispatched batch's output, exactly where the
+			// serial join would surface it.
+			j.exhausted = true
+			return Batch{}, j.dist.err()
+		}
+		if ch.err != nil {
+			j.exhausted = true
+			return Batch{}, ch.err
+		}
+		if ch.last {
+			j.nextBatch++
+		}
+		j.cur, j.pos = ch.rows, 0
+	}
+}
+
+// Close implements Iterator: cancel the exchange, wait for the dispatch
+// and worker goroutines to exit, then close the probe child (single-use
+// iterators must never see concurrent calls).
+func (j *ParallelHashJoinIter) Close() error {
+	if j.cancel != nil {
+		j.cancel()
+		j.cancel = nil
+	}
+	j.wg.Wait()
+	j.tables, j.outs, j.cur, j.dist = nil, nil, nil, nil
+	j.exhausted = true
+	if j.probe == nil {
+		return nil
+	}
+	err := j.probe.Close()
+	j.probe = nil
+	return err
+}
+
+// parallelSortRelation is the parallel form of sortRelation: the
+// decorated rows are split into par contiguous chunks, each chunk
+// stable-sorted concurrently with the same comparator, and the chunks
+// k-way merged with ties broken by lowest chunk index — which reproduces
+// the serial stable sort exactly (the order-preserving merge exchange).
+func parallelSortRelation(r *Relation, keys []OrderKey, par int) (*Relation, error) {
+	n := len(r.Tuples)
+	if par > n {
+		par = n
+	}
+	if par <= 1 || len(keys) == 0 {
+		return sortRelation(r, keys)
+	}
+	type decorated struct {
+		t    Tuple
+		keys []Value
+	}
+	rows := make([]decorated, n)
+	cmp := func(a, b decorated) int {
+		for ki := range keys {
+			c := a.keys[ki].SortKey(b.keys[ki])
+			if c == 0 {
+				continue
+			}
+			if keys[ki].Desc {
+				return -c
+			}
+			return c
+		}
+		return 0
+	}
+	bounds := make([]int, par+1)
+	for p := 0; p <= par; p++ {
+		bounds[p] = n * p / par
+	}
+	errs := make([]error, par)
+	sawNaN := make([]bool, par)
+	var wg sync.WaitGroup
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := bounds[p]; i < bounds[p+1]; i++ {
+				t := r.Tuples[i]
+				d := decorated{t: t, keys: make([]Value, len(keys))}
+				for ki, k := range keys {
+					v, err := Eval(k.Expr, r.Schema, t)
+					if err != nil {
+						errs[p] = err
+						return
+					}
+					if v.K == KindNumber && v.N != v.N {
+						sawNaN[p] = true
+					}
+					d.keys[ki] = v
+				}
+				rows[i] = d
+			}
+			if sawNaN[p] {
+				return
+			}
+			chunk := rows[bounds[p]:bounds[p+1]]
+			sort.SliceStable(chunk, func(i, k int) bool { return cmp(chunk[i], chunk[k]) < 0 })
+		}(p)
+	}
+	wg.Wait()
+	// The first error in chunk order is the first error in row order:
+	// each worker records the earliest failure of its own chunk.
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	for _, saw := range sawNaN {
+		if saw {
+			// NaN compares equal to every number (Value.Compare), so
+			// SortKey is not a strict weak order and the serial sort's
+			// tie placement depends on sort internals a chunk merge
+			// cannot reproduce. Fall back to the serial core to keep
+			// parallel output byte-identical.
+			return sortRelation(r, keys)
+		}
+	}
+	out := NewRelation(r.Name, r.Schema)
+	out.Tuples = make([]Tuple, 0, n)
+	pos := make([]int, par)
+	for len(out.Tuples) < n {
+		best := -1
+		for p := 0; p < par; p++ {
+			if bounds[p]+pos[p] >= bounds[p+1] {
+				continue
+			}
+			if best < 0 || cmp(rows[bounds[p]+pos[p]], rows[bounds[best]+pos[best]]) < 0 {
+				best = p
+			}
+		}
+		out.Tuples = append(out.Tuples, rows[bounds[best]+pos[best]].t)
+		pos[best]++
+	}
+	return out, nil
+}
+
+// groupByParallel is the parallel form of groupByInterned: rows are
+// hash-partitioned on the evaluated group key so no group spans workers,
+// each partition groups and aggregates with a private interner pool, and
+// the merged output is reordered by each group's first-appearance row
+// index — the serial emission order. Global aggregation (no keys) would
+// need aggregate-state merging and stays serial.
+func groupByParallel(r *Relation, keys []sqlparse.Expr, items []AggItem, having sqlparse.Expr, par int) (*Relation, error) {
+	n := len(r.Tuples)
+	if par > n {
+		par = n
+	}
+	if par <= 1 || len(keys) == 0 {
+		return groupByInterned(r, keys, items, having, nil)
+	}
+
+	// Phase 1: per-row routing hashes, computed over contiguous chunks.
+	hashes := make([]uint64, n)
+	bounds := make([]int, par+1)
+	for p := 0; p <= par; p++ {
+		bounds[p] = n * p / par
+	}
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			kv := make([]Value, len(keys))
+			for i := bounds[p]; i < bounds[p+1]; i++ {
+				for ki, k := range keys {
+					v, err := Eval(k, r.Schema, r.Tuples[i])
+					if err != nil {
+						errs[p] = err
+						return
+					}
+					kv[ki] = v
+				}
+				hashes[i] = hashValues(kv)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	// Phase 2: scatter rows (with their global indexes) to partitions, in
+	// row order, so each partition sees its rows in global order.
+	type partIn struct {
+		rows []Tuple
+		idx  []int
+	}
+	parts := make([]partIn, par)
+	for i, t := range r.Tuples {
+		p := int(hashes[i] % uint64(par))
+		parts[p].rows = append(parts[p].rows, t)
+		parts[p].idx = append(parts[p].idx, i)
+	}
+
+	// Phase 3: group per partition with private pools, tagging each group
+	// with the global index of its first row.
+	type outGroup struct {
+		first  int
+		tuples []Tuple
+	}
+	partGroups := make([][]*outGroup, par)
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			enc := NewKeyEncoder(nil)
+			index := map[string]int{}
+			var order []*outGroup
+			kv := make([]Value, len(keys))
+			for li, t := range parts[p].rows {
+				for ki, k := range keys {
+					v, err := Eval(k, r.Schema, t)
+					if err != nil {
+						errs[p] = err
+						return
+					}
+					kv[ki] = v
+				}
+				hk := enc.FullKey(kv)
+				gi, ok := index[string(hk)]
+				if !ok {
+					gi = len(order)
+					index[string(hk)] = gi
+					order = append(order, &outGroup{first: parts[p].idx[li]})
+				}
+				order[gi].tuples = append(order[gi].tuples, t)
+			}
+			partGroups[p] = order
+		}(p)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	// Phase 4: merge to first-appearance order. Each partition's list is
+	// already increasing in first, so a sort over the concatenation is a
+	// cheap multiway merge (counts are group counts, not row counts).
+	var all []*outGroup
+	for _, gs := range partGroups {
+		all = append(all, gs...)
+	}
+	sort.Slice(all, func(i, k int) bool { return all[i].first < all[k].first })
+
+	// Phase 5: aggregate per group, in parallel over the merged list;
+	// assembly stays in group order.
+	cols := make([]Column, len(items))
+	for i, it := range items {
+		cols[i] = Column{Name: it.Name, Type: aggType(it.Expr, r.Schema)}
+	}
+	rowsOut := make([]Tuple, len(all))
+	keep := make([]bool, len(all))
+	gb := make([]int, par+1)
+	for p := 0; p <= par; p++ {
+		gb[p] = len(all) * p / par
+	}
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for gi := gb[p]; gi < gb[p+1]; gi++ {
+				g := all[gi]
+				row := make(Tuple, len(items))
+				for i, it := range items {
+					v, err := evalAgg(it.Expr, r.Schema, g.tuples)
+					if err != nil {
+						errs[p] = err
+						return
+					}
+					row[i] = v
+				}
+				if having != nil {
+					hv, err := evalAgg(having, r.Schema, g.tuples)
+					if err != nil {
+						errs[p] = err
+						return
+					}
+					if hv.K != KindBool || !hv.B {
+						continue
+					}
+				}
+				rowsOut[gi], keep[gi] = row, true
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	out := NewRelation(r.Name, Schema{Columns: cols})
+	for gi := range all {
+		if keep[gi] {
+			out.Tuples = append(out.Tuples, rowsOut[gi])
+		}
+	}
+	return out, nil
+}

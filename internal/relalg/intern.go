@@ -114,6 +114,36 @@ func (e *KeyEncoder) Key(t Tuple, cols []int) []byte {
 	return b
 }
 
+// LookupKey encodes like Key but never grows the pool: a string value
+// the pool has never seen cannot equal any key that was built through
+// it, so the encoding is reported impossible (ok=false) instead of
+// interning the string. Because it leaves the pool untouched, concurrent
+// probers may call it through private encoders sharing one frozen pool —
+// the read-only half of the hash-repartition exchange contract (see
+// exchange.go). The returned key aliases the encoder's scratch buffer,
+// same as Key.
+func (e *KeyEncoder) LookupKey(t Tuple, cols []int) ([]byte, bool) {
+	b := e.buf[:0]
+	for _, i := range cols {
+		v := t[i]
+		v.checkLive()
+		if v.K == KindString {
+			h, ok := e.in.Lookup(v.S)
+			if !ok {
+				e.buf = b
+				return nil, false
+			}
+			checkHandle(e.in, h)
+			b = append(b, keyTagStr, byte(h>>24), byte(h>>16), byte(h>>8), byte(h))
+			continue
+		}
+		// Non-string values never touch the pool.
+		b = e.appendValue(b, v)
+	}
+	e.buf = b
+	return b, true
+}
+
 // FullKey encodes every value of t. Same aliasing rule as Key.
 func (e *KeyEncoder) FullKey(t Tuple) []byte {
 	b := e.buf[:0]

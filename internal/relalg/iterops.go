@@ -908,7 +908,11 @@ type SortIter struct {
 	child  Iterator
 	keys   []OrderKey
 	stager Stager
-	out    *ScanIter
+	// Par > 1 sorts with the parallel chunk-sort + merge-exchange core
+	// (see parallelSortRelation); output is identical to the serial
+	// stable sort. Set before Open.
+	Par int
+	out *ScanIter
 }
 
 // NewSort sorts child by keys (stable).
@@ -928,7 +932,12 @@ func (s *SortIter) Open(ctx context.Context) error {
 	if rel, err = stage(s.stager, rel); err != nil {
 		return err
 	}
-	sorted, err := sortRelation(rel, s.keys)
+	var sorted *Relation
+	if s.Par > 1 {
+		sorted, err = parallelSortRelation(rel, s.keys, s.Par)
+	} else {
+		sorted, err = sortRelation(rel, s.keys)
+	}
 	if err != nil {
 		return err
 	}
@@ -959,7 +968,12 @@ type GroupByIter struct {
 	// Intern optionally shares a pipeline-wide interner pool with the
 	// grouping core; set it before Open.
 	Intern *Interner
-	out    *ScanIter
+	// Par > 1 groups with the hash-partitioned parallel core (see
+	// groupByParallel), which uses private pools per partition and
+	// ignores Intern; output is identical to the serial core. Set
+	// before Open.
+	Par int
+	out *ScanIter
 }
 
 // NewGroupBy groups child by keys and computes items per group (see
@@ -987,7 +1001,12 @@ func (g *GroupByIter) Open(ctx context.Context) error {
 	if rel, err = stage(g.stager, rel); err != nil {
 		return err
 	}
-	grouped, err := groupByInterned(rel, g.keys, g.items, g.having, g.Intern)
+	var grouped *Relation
+	if g.Par > 1 {
+		grouped, err = groupByParallel(rel, g.keys, g.items, g.having, g.Par)
+	} else {
+		grouped, err = groupByInterned(rel, g.keys, g.items, g.having, g.Intern)
+	}
 	if err != nil {
 		return err
 	}

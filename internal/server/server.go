@@ -111,6 +111,11 @@ type QueryRequest struct {
 	// source operations. Zero: the server's per-operation retry policy
 	// alone applies.
 	RetryBudget int `json:"retry_budget,omitempty"`
+	// Parallelism caps the workers intra-query parallel operators may use
+	// for this query (exchange joins, partitioned sorts and group-bys,
+	// scan fan-outs). 1 forces serial pipelines; zero defers to the
+	// server's default parallelism.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // limits converts the request's governor fields to planner.Limits.
@@ -135,6 +140,10 @@ func (r *QueryRequest) limits() (planner.Limits, error) {
 		return lim, fmt.Errorf("server: bad retry_budget %d", r.RetryBudget)
 	}
 	lim.RetryBudget = r.RetryBudget
+	if r.Parallelism < 0 {
+		return lim, fmt.Errorf("server: bad parallelism %d", r.Parallelism)
+	}
+	lim.MaxParallelism = r.Parallelism
 	lim.PartialResults = r.Partial
 	return lim, nil
 }

@@ -164,14 +164,21 @@ func (s *Source) Schema(relation string) (relalg.Schema, error) {
 	return rf.schema, nil
 }
 
+// fileMaxPartitions is the partition fan-out a file source advertises.
+// Each partition re-opens and re-parses the file from the top (skipping
+// rows outside its range), so the win is parallel parse/filter/transfer,
+// and a modest cap keeps the redundant skip work bounded.
+const fileMaxPartitions = 8
+
 // Capabilities implements wrapper.Wrapper: the wrapper evaluates
-// selections and projections itself while streaming the file, but a flat
-// file answers no IN-list disjunctions natively and requires no bindings.
+// selections and projections itself while streaming the file, and can
+// serve contiguous row ranges for a parallel scan fan-out; a flat file
+// answers no IN-list disjunctions natively and requires no bindings.
 func (s *Source) Capabilities(relation string) (wrapper.Capabilities, error) {
 	if _, err := s.relation(relation); err != nil {
 		return wrapper.Capabilities{}, err
 	}
-	return wrapper.Capabilities{Selection: true, Projection: true}, nil
+	return wrapper.Capabilities{Selection: true, Projection: true, Partitions: fileMaxPartitions}, nil
 }
 
 // EstimateRows implements wrapper.Wrapper from the cardinality counted at
@@ -231,7 +238,16 @@ func (s *Source) QueryStream(ctx context.Context, q wrapper.SourceQuery) (wrappe
 	if err != nil {
 		return nil, err
 	}
-	st := &filteredStream{ctx: ctx, raw: raw, match: match, schema: rf.schema}
+	var ranged fileStream = raw
+	if q.Partitions > 1 {
+		// Serve one contiguous range of the file's base row order; the
+		// bounds come from the cardinality counted at New (the Source is
+		// immutable after New by contract). Filters apply inside the
+		// range, so the parts concatenate to the unpartitioned answer.
+		lo, hi := wrapper.PartitionRange(rf.rows, q.Partitions, q.Partition)
+		ranged = &rangeStream{raw: raw, lo: lo, hi: hi}
+	}
+	st := &filteredStream{ctx: ctx, raw: ranged, match: match, schema: rf.schema}
 	if len(q.Columns) > 0 {
 		idx := make([]int, len(q.Columns))
 		cols := make([]relalg.Column, len(q.Columns))
@@ -256,6 +272,39 @@ type fileStream interface {
 	Next() (relalg.Tuple, bool, error)
 	Close() error
 }
+
+// rangeStream restricts a raw file stream to base rows [lo, hi): rows
+// before lo are parsed and discarded (a flat file has no seek index),
+// and the stream ends at hi without reading the tail.
+type rangeStream struct {
+	raw fileStream
+	lo  int
+	hi  int
+	pos int
+}
+
+func (r *rangeStream) Schema() relalg.Schema { return r.raw.Schema() }
+
+func (r *rangeStream) Next() (relalg.Tuple, bool, error) {
+	for r.pos < r.lo {
+		_, ok, err := r.raw.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		r.pos++
+	}
+	if r.pos >= r.hi {
+		return nil, false, nil
+	}
+	t, ok, err := r.raw.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	r.pos++
+	return t, true, nil
+}
+
+func (r *rangeStream) Close() error { return r.raw.Close() }
 
 // filteredStream applies the query's filters and projection over a raw
 // file stream, checking the context per row.

@@ -23,20 +23,32 @@ type Gate struct {
 	wrapper.Wrapper
 	Emitted chan struct{}
 	Proceed chan struct{}
+	open    chan struct{}
 }
 
 // NewGate gates inner's streams.
 func NewGate(inner wrapper.Wrapper) *Gate {
-	return &Gate{Wrapper: inner, Emitted: make(chan struct{}), Proceed: make(chan struct{})}
+	return &Gate{Wrapper: inner, Emitted: make(chan struct{}), Proceed: make(chan struct{}),
+		open: make(chan struct{})}
 }
 
-// Allow services n gate cycles (n tuples pass).
+// Allow services n gate cycles (n tuples pass). The cycles are served one
+// at a time but in whatever order blocked streams arrive, so it works
+// unchanged when several partitioned streams of one fan-out block on the
+// gate concurrently.
 func (g *Gate) Allow(n int) {
 	for i := 0; i < n; i++ {
 		<-g.Emitted
 		g.Proceed <- struct{}{}
 	}
 }
+
+// Open releases the gate permanently: every stream blocked on it — and
+// every future tuple — passes immediately and concurrently. It lets a
+// test freeze a parallel fan-out mid-transfer with Allow, assert on the
+// frozen state, then let all partitions drain at full concurrency.
+// Open must be called at most once per Gate.
+func (g *Gate) Open() { close(g.open) }
 
 // QueryStream implements wrapper.Streamer.
 func (g *Gate) QueryStream(ctx context.Context, q wrapper.SourceQuery) (wrapper.TupleStream, error) {
@@ -56,11 +68,14 @@ type gateStream struct {
 func (s *gateStream) Next() (relalg.Tuple, bool, error) {
 	select {
 	case s.g.Emitted <- struct{}{}:
+	case <-s.g.open:
+		return s.TupleStream.Next()
 	case <-s.ctx.Done():
 		return nil, false, s.ctx.Err()
 	}
 	select {
 	case <-s.g.Proceed:
+	case <-s.g.open:
 	case <-s.ctx.Done():
 		return nil, false, s.ctx.Err()
 	}
